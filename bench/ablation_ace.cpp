@@ -1,0 +1,62 @@
+// Ablation from the paper's introduction: PT-CN with the direct Fock
+// operator vs PT-CN with the adaptively compressed exchange (ACE) operator
+// (Lin 2016; Jia & Lin 2019 showed PT+ACE wins on CPUs, while the paper
+// finds direct PT alone is the better fit for Summit GPUs). Here we run
+// both paths for real on Si8 and report wall time per PT-CN step, plus the
+// model's view of why direct wins when every SCF iteration performs exactly
+// one exchange-bearing H application.
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "common/table.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace pwdft;
+
+  Table t({"exchange path", "ground state (s)", "PT-CN step (s)", "SCF iters"});
+  for (bool use_ace : {false, true}) {
+    core::SimulationOptions opt;
+    opt.ecut = 4.0;
+    opt.dense_factor = 1;
+    opt.hybrid = true;
+    opt.use_ace = use_ace;
+    opt.scf.max_iter = 40;
+    opt.scf.tol_rho = 1e-7;
+    opt.scf.lobpcg.max_iter = 6;
+    opt.scf.hybrid_outer_max = 5;
+
+    core::Simulation sim(opt);
+    WallTimer tg;
+    sim.ground_state();
+    const double t_gs = tg.seconds();
+
+    const td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+    core::PropagateOptions p;
+    p.dt_as = 50.0;
+    p.steps = 1;
+    p.field = &kick;
+    p.record_energy = false;
+    p.record_excitation = false;
+    p.ptcn.rho_tol = 1e-6;
+    p.ptcn.max_scf = 60;
+    WallTimer ts;
+    auto trace = sim.propagate(p);
+    t.add_row();
+    t.add_cell(use_ace ? "ACE-compressed" : "direct (Alg. 2)");
+    t.add_cell(t_gs, 1);
+    t.add_cell(ts.seconds(), 2);
+    t.add_cell(trace[1].scf_iterations);
+  }
+  std::printf("== Ablation: direct Fock vs ACE inside PT-CN (Si8, Ecut 4 Ha) ==\n\n");
+  t.print();
+  std::printf(
+      "\nIn PT-CN each SCF iteration refreshes the exchange orbitals and applies\n"
+      "H once, so ACE pays its construction cost (one full Alg. 2 apply) without\n"
+      "amortizing it -- the paper's finding that on Summit \"the PT formulation\n"
+      "alone leads to more efficient implementation\" (section 1). ACE wins only\n"
+      "when one frozen exchange operator serves many H applications (e.g. the\n"
+      "LOBPCG inner iterations of the ground-state solver).\n");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates paper Fig. 10: strong scaling of the communication
+// operations (MPI_Bcast, CPU-GPU memcpy, MPI_Alltoallv, MPI_Allreduce)
+// against the computation time, per PT-CN step for Si1536.
+
+#include <cstdio>
+
+#include "perf/report.hpp"
+
+int main() {
+  using namespace pwdft;
+  perf::SummitModel model(perf::SummitMachine::defaults(), perf::Workload::silicon(1536));
+  std::printf("== Fig. 10: MPI / memcpy / compute per step (s), Si1536 ==\n");
+  std::printf("(paper: compute falls ~1/P; Bcast grows and crosses compute\n"
+              " past ~1536 GPUs; Allreduce is flat; Alltoallv shrinks)\n\n");
+  perf::fig10(model, {36, 72, 144, 288, 384, 768, 1536, 3072}).print();
+  return 0;
+}

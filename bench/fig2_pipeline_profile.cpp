@@ -1,0 +1,53 @@
+// Regenerates the analysis behind paper Fig. 2 / §3.2 step 5: the Fock
+// broadcast pipeline with (a) CUDA-aware MPI, whose implicit synchronized
+// staging copies disrupt comm/compute overlap, and (b) explicit
+// asynchronous staging + host broadcast, which hides the communication
+// behind the pair-solve computation. Prints an ASCII Gantt of the first
+// bands and the per-application totals across GPU counts.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "perf/timeline.hpp"
+
+int main() {
+  using namespace pwdft;
+  const auto machine = perf::SummitMachine::defaults();
+  const auto workload = perf::Workload::silicon(1536);
+
+  std::printf("== Fig. 2 analysis: Fock broadcast pipeline, Si1536, 768 GPUs ==\n\n");
+  for (bool sync : {true, false}) {
+    perf::PipelineOptions opt;
+    opt.overlap = true;
+    opt.sync_staging = sync;
+    opt.bands = 8;
+    const auto r = perf::simulate_fock_pipeline(machine, workload, 768, opt);
+    std::printf("%s (first 8 bands, B=broadcast, s=staging, C=compute):\n",
+                sync ? "CUDA-aware MPI (synchronized staging)"
+                     : "explicit async staging + host Bcast");
+    std::printf("%s\n", perf::render_timeline(r, 8, r.total_time / 70.0).c_str());
+  }
+
+  std::printf("== Per-application totals (full 3072 bands) ==\n\n");
+  Table t({"GPUs", "sync staging (s)", "async staging (s)", "async overlap eff."});
+  for (int g : {36, 144, 768, 1536, 3072}) {
+    perf::PipelineOptions opt;
+    opt.overlap = true;
+    opt.sync_staging = true;
+    const auto rs = perf::simulate_fock_pipeline(machine, workload, g, opt);
+    opt.sync_staging = false;
+    const auto ra = perf::simulate_fock_pipeline(machine, workload, g, opt);
+    t.add_row();
+    t.add_cell(g);
+    t.add_cell(rs.total_time, 2);
+    t.add_cell(ra.total_time, 2);
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(0) << ra.overlap_efficiency() * 100.0 << "%";
+    t.add_cell(os.str());
+  }
+  t.print();
+  std::printf("\n(paper §3.2: \"the MPI communication and GPU computation can overlap\n"
+              "perfectly\" once the staging copy is issued explicitly; at 768 GPUs\n"
+              "about half of the raw broadcast time remains exposed, §7)\n");
+  return 0;
+}

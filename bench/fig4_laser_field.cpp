@@ -1,0 +1,43 @@
+// Regenerates paper Fig. 4: (a) the atomic configuration of the test
+// systems and (b) the 380 nm external laser field over the 30 fs window.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "crystal/crystal.hpp"
+#include "td/field.hpp"
+
+int main() {
+  using namespace pwdft;
+
+  std::printf("== Fig. 4(a): silicon test systems (paper section 4) ==\n\n");
+  Table systems({"cells", "atoms", "bands (Ne)", "electrons"});
+  const int configs[6][3] = {{1, 2, 3}, {2, 2, 3}, {2, 3, 4}, {4, 3, 4}, {4, 4, 6}, {4, 6, 8}};
+  for (const auto& c : configs) {
+    const auto cr = crystal::Crystal::silicon_supercell(c[0], c[1], c[2]);
+    systems.add_row();
+    systems.add_cell(std::to_string(c[0]) + "x" + std::to_string(c[1]) + "x" +
+                     std::to_string(c[2]));
+    systems.add_cell(cr.n_atoms());
+    systems.add_cell(cr.n_occupied_bands());
+    systems.add_cell(cr.n_electrons(), 0);
+  }
+  systems.print();
+
+  std::printf("\n== Fig. 4(b): 380 nm laser pulse, 30 fs window ==\n");
+  const auto pulse = td::LaserPulse::paper_pulse(0.01);
+  std::printf("photon energy: %.3f eV (380 nm)\n\n", pulse.photon_energy_ev());
+  Table t({"t (fs)", "E_z (a.u.)", "A_z (a.u.)"});
+  for (int i = 0; i <= 60; ++i) {
+    const double t_fs = 0.5 * i;
+    const double t_au = constants::femtoseconds_to_au(t_fs);
+    t.add_row();
+    t.add_cell(t_fs, 2);
+    t.add_cell(pulse.efield(t_au)[2], 6);
+    t.add_cell(pulse.vector_potential(t_au)[2], 6);
+  }
+  t.print();
+  t.write_csv("fig4_laser_field.csv");
+  std::printf("\nseries written to fig4_laser_field.csv\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Regenerates paper Fig. 7: strong scaling of the PT-CN step for Si1536.
+// (a) total time and per-component times including MPI and memcpy;
+// (b) pure computation per component (near-ideal scaling in the paper).
+
+#include <cstdio>
+
+#include "perf/report.hpp"
+
+int main() {
+  using namespace pwdft;
+  perf::SummitModel model(perf::SummitMachine::defaults(), perf::Workload::silicon(1536));
+  const std::vector<int> gpus{36, 72, 144, 288, 384, 768, 1536, 3072};
+
+  std::printf("== Fig. 7(a): strong scaling, total + components per step (s) ==\n");
+  std::printf("(paper: near-ideal below 384 GPUs, MPI-dominated past 768)\n\n");
+  perf::fig7a(model, gpus).print();
+
+  std::printf("\n== Fig. 7(b): computation-only per SCF (s, comm excluded) ==\n\n");
+  perf::fig7b(model, gpus).print();
+  return 0;
+}

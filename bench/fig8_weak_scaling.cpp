@@ -1,0 +1,22 @@
+// Regenerates paper Fig. 8: weak scaling over silicon systems of 48 to
+// 1536 atoms with the GPU count set to half the atom count, against the
+// ideal O(N^2) line anchored at the largest system. Paper observations:
+// 192 atoms / 96 GPUs run 50 as in ~16 s; small systems sit above the
+// anchored N^2 line because Fock exchange does not yet dominate.
+
+#include <cstdio>
+
+#include "perf/report.hpp"
+
+int main() {
+  using namespace pwdft;
+  std::printf("== Fig. 8: weak scaling, 50 as step time, GPUs = Natom/2 ==\n\n");
+  perf::fig8(perf::SummitMachine::defaults(), {48, 96, 192, 384, 768, 1536}).print();
+
+  perf::SummitModel m192(perf::SummitMachine::defaults(), perf::Workload::silicon(192));
+  const double per_fs = m192.ptcn_step_total(96) * (1000.0 / 50.0);
+  std::printf("\n192 atoms at 96 GPUs: %.1f s per fs (paper: ~5 min/fs), so a\n"
+              "picosecond of dynamics is ~%.1f days (paper: ~4 days).\n",
+              per_fs, per_fs * 1000.0 / 86400.0);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates paper Fig. 9: the total time of a single SCF iteration and
+// the contribution of each component (HPsi, residual, density evaluation,
+// Anderson mixing, others) across GPU counts for Si1536.
+
+#include <cstdio>
+
+#include "perf/report.hpp"
+
+int main() {
+  using namespace pwdft;
+  perf::SummitModel model(perf::SummitMachine::defaults(), perf::Workload::silicon(1536));
+  std::printf("== Fig. 9: single-SCF component contributions (s), Si1536 ==\n");
+  std::printf("(paper: HPsi dominates everywhere; 'others' does not scale and\n"
+              " grows from 2.6%% of an SCF at 36 GPUs to ~15%% at 768)\n\n");
+  perf::fig9(model, {36, 72, 144, 288, 768}).print();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark microkernels for the primitives behind the paper's cost
+// model: 1-D/3-D FFTs (the Fock operator is NG-point FFT bound), batched vs
+// band-by-band FFT submission (paper §3.2 step 2), overlap-matrix GEMMs
+// (Alg. 3), single-precision wire conversion (step 4), and one full Fock
+// pair solve.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "fft/fft3d.hpp"
+#include "ham/fock.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace {
+
+using namespace pwdft;
+
+std::vector<Complex> random_vec(std::size_t n) {
+  Rng rng(7);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = rng.complex_normal();
+  return v;
+}
+
+void BM_Fft1D(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  fft::FftPlan1D plan(n);
+  auto in = random_vec(n);
+  std::vector<Complex> out(n), work(n);
+  for (auto _ : state) {
+    plan.execute(in.data(), 1, out.data(), work.data(), -1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft1D)->Arg(15)->Arg(60)->Arg(90)->Arg(120);
+
+void BM_Fft3D(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  fft::Fft3D fft({n, n, n});
+  auto data = random_vec(fft.size());
+  for (auto _ : state) {
+    fft.forward(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.size());
+}
+BENCHMARK(BM_Fft3D)->Arg(15)->Arg(30);
+
+void BM_Fft3DBatched(benchmark::State& state) {
+  // Batched submission (one plan, contiguous batch) vs the loop in
+  // BM_Fft3D; the GPU version gains bandwidth here, the CPU version gains
+  // plan reuse.
+  fft::Fft3D fft({15, 15, 15});
+  const std::size_t nb = state.range(0);
+  auto data = random_vec(fft.size() * nb);
+  for (auto _ : state) {
+    fft.forward_many(data.data(), nb);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.size() * nb);
+}
+BENCHMARK(BM_Fft3DBatched)->Arg(1)->Arg(8);
+
+void BM_OverlapGemm(benchmark::State& state) {
+  // S = Psi^H Psi for NG x Ne blocks (Alg. 3 step 2).
+  const std::size_t ng = 3375, nb = state.range(0);
+  CMatrix x(ng, nb);
+  Rng rng(9);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.complex_normal();
+  CMatrix s(nb, nb);
+  for (auto _ : state) {
+    linalg::gemm('C', 'N', Complex{1, 0}, x, x, Complex{0, 0}, s);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ng * nb * nb);
+}
+BENCHMARK(BM_OverlapGemm)->Arg(16)->Arg(32);
+
+void BM_SinglePrecisionWireConversion(benchmark::State& state) {
+  // The §3.2 step-4 conversion: complex<double> -> complex<float> -> back.
+  const std::size_t n = 648000 / 8;  // one Si192-scale wavefunction
+  auto buf = random_vec(n);
+  std::vector<std::complex<float>> wire(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) wire[i] = std::complex<float>(buf[i]);
+    for (std::size_t i = 0; i < n; ++i) buf[i] = Complex(wire[i]);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_SinglePrecisionWireConversion);
+
+void BM_FockPairSolve(benchmark::State& state) {
+  // One Poisson-like pair solve of Eq. 3 on the Si8 wavefunction grid:
+  // pair density, forward FFT, kernel multiply, inverse FFT, accumulate.
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 10.0, 1);
+  fft::Fft3D fft(setup.wfc_grid.dims());
+  const std::size_t nw = setup.n_wfc();
+  auto a = random_vec(nw), b = random_vec(nw);
+  std::vector<Complex> pair(nw), acc(nw);
+  std::vector<double> kernel(nw, 1.0);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < nw; ++i) pair[i] = std::conj(a[i]) * b[i];
+    fft.forward(pair.data());
+    for (std::size_t i = 0; i < nw; ++i) pair[i] *= kernel[i];
+    fft.inverse(pair.data());
+    for (std::size_t i = 0; i < nw; ++i) acc[i] += a[i] * pair[i];
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FockPairSolve);
+
+void BM_FullFockApply(benchmark::State& state) {
+  // Complete Alg. 2 application on Si8 at reduced cutoff.
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 4.0, 1);
+  const std::size_t nb = 16;
+  Rng rng(11);
+  CMatrix phi(setup.n_g(), nb);
+  for (std::size_t i = 0; i < phi.size(); ++i) phi.data()[i] = rng.complex_normal();
+  CMatrix s = linalg::overlap(phi, phi);
+  linalg::potrf_lower(s);
+  linalg::trsm_right_lower_conj(phi, s);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  ham::FockOperator fock(setup, xc::HybridParams{true, 0.25, 0.11});
+  fock.set_orbitals(phi, occ, par::BlockPartition(nb, 1), comm);
+  CMatrix y(setup.n_g(), nb);
+  for (auto _ : state) {
+    y.fill(Complex{0, 0});
+    fock.apply_add(phi, y, comm);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nb * nb);
+}
+BENCHMARK(BM_FullFockApply);
+
+}  // namespace

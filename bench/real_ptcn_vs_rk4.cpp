@@ -1,0 +1,87 @@
+// The real-numerics counterpart of Fig. 6: measures the actual wall time of
+// PT-CN (dt = 50 as) against RK4 (dt = 0.5 as) advancing the same hybrid
+// rt-TDDFT system by 50 attoseconds on this machine (Si8, reduced cutoff so
+// the run finishes in seconds). The paper's 20-30x speedup comes from the
+// same mechanism exercised here: ~100x fewer Fock-bearing H applications
+// per unit time, paid back by ~22 SCF iterations per PT-CN step.
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "common/table.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace pwdft;
+  core::SimulationOptions opt;
+  opt.ecut = 4.0;
+  opt.dense_factor = 1;
+  opt.hybrid = true;
+  opt.scf.max_iter = 40;
+  opt.scf.tol_rho = 1e-7;
+  opt.scf.lobpcg.max_iter = 6;
+  opt.scf.hybrid_outer_max = 5;
+
+  std::printf("== Real measurement: PT-CN vs RK4, Si8 (Ecut 4 Ha), 50 as ==\n");
+  core::Simulation sim(opt);
+  {
+    WallTimer t;
+    sim.ground_state();
+    std::printf("hybrid ground state: %.1f s\n\n", t.seconds());
+  }
+
+  const td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+
+  Table t({"integrator", "dt (as)", "steps", "wall (s)", "SCF iters", "Fock applies"});
+  double t_ptcn = 0.0, t_rk4 = 0.0;
+
+  {
+    core::Simulation s2(opt);
+    s2.ground_state();
+    core::PropagateOptions p;
+    p.integrator = core::Integrator::kPtCn;
+    p.dt_as = 50.0;
+    p.steps = 1;
+    p.field = &kick;
+    p.record_energy = false;
+    p.record_excitation = false;
+    p.ptcn.rho_tol = 1e-6;  // paper stopping criterion
+    p.ptcn.max_scf = 60;
+    WallTimer timer;
+    auto trace = s2.propagate(p);
+    t_ptcn = timer.seconds();
+    t.add_row();
+    t.add_cell("PT-CN");
+    t.add_cell(50.0, 1);
+    t.add_cell(1);
+    t.add_cell(t_ptcn, 2);
+    t.add_cell(trace[1].scf_iterations);
+    t.add_cell(trace[1].scf_iterations + 1);
+  }
+  {
+    core::Simulation s3(opt);
+    s3.ground_state();
+    core::PropagateOptions p;
+    p.integrator = core::Integrator::kRk4;
+    p.dt_as = 0.5;
+    p.steps = 100;
+    p.field = &kick;
+    p.record_energy = false;
+    p.record_excitation = false;
+    WallTimer timer;
+    s3.propagate(p);
+    t_rk4 = timer.seconds();
+    t.add_row();
+    t.add_cell("RK4");
+    t.add_cell(0.5, 1);
+    t.add_cell(100);
+    t.add_cell(t_rk4, 2);
+    t.add_cell(0);
+    t.add_cell(400);
+  }
+  t.print();
+  std::printf("\nmeasured PT-CN speedup: %.1fx (paper at scale: 20-30x; the small\n"
+              "system spends relatively more time outside the Fock operator)\n",
+              t_rk4 / t_ptcn);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Regenerates paper Table 2: per-step MPI / CPU-GPU memcpy / compute
+// breakdown for Si1536 across GPU counts.
+
+#include <cstdio>
+
+#include "perf/report.hpp"
+
+int main() {
+  using namespace pwdft;
+  perf::SummitModel model(perf::SummitMachine::defaults(), perf::Workload::silicon(1536));
+  std::printf("== Table 2: MPI / memcpy / compute per PT-CN step (s), Si1536 ==\n");
+  std::printf("(paper anchors @36 GPUs: memcpy 60.8, Alltoallv 20.97, Allreduce 11.5,\n"
+              " Bcast 18.78, compute 2341.4; Bcast grows to 193.9 @3072 GPUs)\n\n");
+  perf::table2(model, perf::paper_gpu_counts()).print();
+  return 0;
+}

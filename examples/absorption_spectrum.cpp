@@ -1,0 +1,65 @@
+// Absorption spectrum of bulk silicon from a delta-kick rt-TDDFT run
+// (Yabana-Bertsch linear response): apply a small vector-potential step,
+// record the macroscopic current with PT-CN, and Fourier-transform into
+// the dielectric function. This is the canonical first application of any
+// rt-TDDFT code and exercises kick + propagation + observables.
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace pwdft;
+  core::SimulationOptions opt;
+  opt.ecut = 4.0;
+  opt.dense_factor = 1;
+  opt.hybrid = true;
+  opt.scf.tol_rho = 1e-7;
+  opt.scf.lobpcg.max_iter = 6;
+  opt.scf.hybrid_outer_max = 5;
+
+  std::printf("Delta-kick absorption spectrum: Si8, hybrid functional\n");
+  core::Simulation sim(opt);
+  sim.ground_state();
+
+  const double kappa = 5e-3;
+  const td::DeltaKick kick({0.0, 0.0, kappa}, -1.0);
+
+  core::PropagateOptions popt;
+  popt.integrator = core::Integrator::kPtCn;
+  popt.dt_as = 25.0;
+  popt.steps = 60;  // ~1.5 fs of response (demo length)
+  popt.field = &kick;
+  popt.record_energy = false;
+  popt.record_excitation = false;
+  popt.ptcn.rho_tol = 1e-7;
+
+  std::printf("propagating %d PT-CN steps of %.0f as after a kappa=%.0e kick...\n",
+              popt.steps, popt.dt_as, kappa);
+  auto trace = sim.propagate(popt);
+
+  const double eta = 0.02;  // damping ~ finite propagation window
+  const double wmax = 1.0;  // Ha (~27 eV)
+  auto spectrum = td::dielectric_from_kick(trace, kappa, eta, wmax, 100);
+
+  std::ofstream csv("absorption_spectrum.csv");
+  csv << "omega_ev,eps_re,eps_im\n";
+  // The finite window leaves a spurious low-frequency (Drude-like) tail in
+  // Im eps; report the interband feature above 2 eV.
+  double peak_w = 0.0, peak = -1e9;
+  for (const auto& s : spectrum) {
+    const double ev = s.omega / constants::hartree_per_ev;
+    csv << ev << "," << s.eps_re << "," << s.eps_im << "\n";
+    if (ev > 2.0 && s.eps_im > peak) {
+      peak = s.eps_im;
+      peak_w = ev;
+    }
+  }
+  std::printf("\nIm eps interband peak at %.2f eV (height %.2f); full series in "
+              "absorption_spectrum.csv\n",
+              peak_w, peak);
+  std::printf("(with the short demo window the resonances are broad; extend `steps`\n"
+              "for sharper features — each fs costs ~40 PT-CN steps.)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Laser-driven carrier excitation: the workload class the paper's intro
+// motivates (exciton excitation / charge transfer needs hybrid rt-TDDFT at
+// scale). A 380 nm pulse pumps bulk silicon; we track the number of excited
+// electrons and the absorbed energy along the PT-CN trajectory.
+//
+// For a one-core demo the pulse is compressed into a ~2.4 fs window (the
+// paper runs 30 fs on Summit); the physics pipeline is identical.
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace pwdft;
+  core::SimulationOptions opt;
+  opt.ecut = 4.0;
+  opt.dense_factor = 1;
+  opt.hybrid = true;
+  opt.scf.tol_rho = 1e-7;
+  opt.scf.lobpcg.max_iter = 6;
+  opt.scf.hybrid_outer_max = 5;
+
+  std::printf("Laser excitation: Si8, hybrid functional, 380 nm pulse\n");
+  core::Simulation sim(opt);
+  auto gs = sim.ground_state();
+  std::printf("ground-state energy: %.6f Ha\n\n", gs.energy.total());
+
+  // Compressed pulse: center 1.2 fs, width 0.35 fs, strong field so the
+  // short window still deposits measurable energy.
+  const double t0 = constants::femtoseconds_to_au(1.2);
+  const double sigma = constants::femtoseconds_to_au(0.35);
+  const td::LaserPulse pulse(380.0, 0.05, t0, sigma, {0.0, 0.0, 1.0},
+                             constants::femtoseconds_to_au(3.0));
+
+  core::PropagateOptions popt;
+  popt.integrator = core::Integrator::kPtCn;
+  popt.dt_as = 50.0;  // the paper's PT-CN step
+  popt.steps = 48;    // 2.4 fs
+  popt.field = &pulse;
+  popt.ptcn.rho_tol = 1e-6;
+
+  auto trace = sim.propagate(popt);
+
+  std::ofstream csv("laser_excitation.csv");
+  csv << "t_fs,E_z,n_excited,energy_ha,scf_iters\n";
+  std::printf("%8s %12s %12s %12s %6s\n", "t (fs)", "E_z(t)", "n_excited", "dE (Ha)", "SCF");
+  const double e0 = trace.front().energy;
+  for (const auto& p : trace) {
+    const double t_fs = p.t * constants::fs_per_au_time;
+    const double ez = pulse.efield(p.t)[2];
+    csv << t_fs << "," << ez << "," << p.n_excited << "," << p.energy << ","
+        << p.scf_iterations << "\n";
+    if (static_cast<int>(t_fs * 10) % 2 == 0) {
+      std::printf("%8.2f %12.4e %12.4e %12.4e %6d\n", t_fs, ez, p.n_excited, p.energy - e0,
+                  p.scf_iterations);
+    }
+  }
+  std::printf("\nfinal: %.4e electrons excited, %.4e Ha absorbed (8 atoms)\n",
+              trace.back().n_excited, trace.back().energy - e0);
+  std::printf("full trace in laser_excitation.csv\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Capacity planner built on the Summit performance model: answers the
+// paper's own planning questions ("how many GPUs for a 1000-atom hybrid
+// rt-TDDFT run? what does a femtosecond cost? is memory a bottleneck?")
+// and explores the paper's conclusion that better NICs would extend the
+// scaling limit.
+//
+// Usage: summit_planner [natoms] [ngpus]   (defaults: 1536 768)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "perf/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pwdft;
+  const std::size_t natoms = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1536;
+  const int ngpus = argc > 2 ? std::atoi(argv[2]) : 768;
+
+  perf::SummitMachine machine = perf::SummitMachine::defaults();
+  perf::SummitModel model(machine, perf::Workload::silicon(natoms));
+
+  std::printf("== PT-CN hybrid rt-TDDFT on Summit: %zu Si atoms, %d GPUs ==\n\n", natoms,
+              ngpus);
+  const double step = model.ptcn_step_total(ngpus);
+  std::printf("one 50 as PT-CN step:  %10.1f s\n", step);
+  std::printf("one femtosecond:       %10.2f h   (paper Si1536@768: ~1.5 h/fs)\n",
+              step * 20.0 / 3600.0);
+  std::printf("30 fs trajectory:      %10.1f h\n", step * 600.0 / 3600.0);
+  std::printf("Anderson memory/rank:  %10.1f GB  (host memory per node: 512 GB)\n",
+              model.anderson_memory_gb_per_rank(ngpus));
+  std::printf("node power:            %10.0f W\n\n", model.gpu_power_w(ngpus));
+
+  std::printf("== Where does the time go? (per SCF iteration) ==\n\n");
+  const auto b = model.scf_breakdown(ngpus);
+  Table t({"component", "seconds", "share"});
+  auto row = [&](const char* name, double v) {
+    t.add_row();
+    t.add_cell(name);
+    t.add_cell(v, 3);
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << 100.0 * v / b.per_scf() << "%";
+    t.add_cell(os.str());
+  };
+  row("Fock exchange (compute)", b.fock_comp);
+  row("Fock exchange (MPI)", b.fock_mpi);
+  row("local + semi-local", b.local_semilocal);
+  row("residual (Alg. 3)", b.resid_total());
+  row("Anderson mixing", b.anderson_total());
+  row("density", b.density_total());
+  row("others", b.others);
+  t.print();
+
+  std::printf("\n== What if the network were faster? (paper's conclusion) ==\n\n");
+  Table t2({"NIC bandwidth", "best GPUs", "best step (s)"});
+  for (double factor : {1.0, 2.0, 4.0}) {
+    perf::SummitMachine m2 = machine;
+    m2.nic_bw_per_socket = machine.nic_bw_per_socket * factor;
+    perf::SummitModel model2(m2, perf::Workload::silicon(natoms));
+    int best_g = 36;
+    double best_t = 1e30;
+    for (int g : {36, 72, 144, 288, 384, 768, 1536, 3072, 6144}) {
+      const double v = model2.ptcn_step_total(g);
+      if (v < best_t) {
+        best_t = v;
+        best_g = g;
+      }
+    }
+    t2.add_row();
+    std::ostringstream os;
+    os << factor << "x (" << m2.nic_bw_per_socket / 1e9 << " GB/s/socket)";
+    t2.add_cell(os.str());
+    t2.add_cell(best_g);
+    t2.add_cell(best_t, 1);
+  }
+  t2.print();
+  std::printf("\n\"we expect the parallel performance could scale further with improved\n"
+              "network bandwidth on future supercomputers\" -- paper, section 8.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file check.hpp
+/// Error handling: PWDFT_CHECK for user-facing precondition violations
+/// (always active, throws pwdft::Error) and PWDFT_ASSERT for internal
+/// invariants (active unless NDEBUG).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pwdft {
+
+/// Exception thrown on any failed PWDFT_CHECK.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+/// Builds the optional message from a streamed expression.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pwdft
+
+/// Always-active check; use for preconditions on public API boundaries.
+#define PWDFT_CHECK(cond, ...)                                                 \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::pwdft::detail::throw_check_failure(                                    \
+          #cond, __FILE__, __LINE__,                                           \
+          (::pwdft::detail::MessageBuilder{} << "" __VA_ARGS__).str());        \
+    }                                                                          \
+  } while (false)
+
+/// Internal invariant; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define PWDFT_ASSERT(cond, ...) \
+  do {                          \
+  } while (false)
+#else
+#define PWDFT_ASSERT(cond, ...) PWDFT_CHECK(cond, __VA_ARGS__)
+#endif

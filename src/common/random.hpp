@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file random.hpp
+/// Deterministic random number generation. All stochastic initialization in
+/// the library flows through Rng so runs are reproducible given a seed.
+
+#include <random>
+
+#include "common/types.hpp"
+
+namespace pwdft {
+
+/// Seeded pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : gen_(seed) {}
+
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+  /// Standard complex normal (independent N(0,1/sqrt(2)) components).
+  Complex complex_normal() {
+    const double s = 1.0 / 1.4142135623730951;
+    return {normal(0.0, s), normal(0.0, s)};
+  }
+  std::uint64_t integer() { return gen_(); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace pwdft

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file table.hpp
+/// Console/CSV table formatting used by the benchmark harnesses to print
+/// paper-style rows (Table 1, Table 2, figure series).
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pwdft {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with a fixed precision. The first added row is the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Starts a new row; returns the row index.
+  std::size_t add_row() {
+    rows_.emplace_back();
+    return rows_.size() - 1;
+  }
+  void add_cell(std::string value) {
+    PWDFT_CHECK(!rows_.empty(), "add_row() before add_cell()");
+    rows_.back().push_back(std::move(value));
+  }
+  void add_cell(double value, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    add_cell(os.str());
+  }
+  void add_cell(std::size_t value) { add_cell(std::to_string(value)); }
+  void add_cell(int value) { add_cell(std::to_string(value)); }
+
+  /// Row-at-once convenience: each argument becomes one cell.
+  template <typename... Args>
+  void row(Args&&... args) {
+    add_row();
+    (add_cell(std::forward<Args>(args)), ...);
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto grow = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_) grow(r);
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+           << (c < r.size() ? r[c] : "");
+      }
+      os << "\n";
+    };
+    emit(header_);
+    std::vector<std::string> rule;
+    for (auto w : width) rule.push_back(std::string(w, '-'));
+    emit(rule);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    PWDFT_CHECK(f.good(), "cannot open " << path);
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) f << (c ? "," : "") << r[c];
+      f << "\n";
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pwdft

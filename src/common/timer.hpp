@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timers and a cumulative per-phase timer registry used by the
+/// propagators to produce component breakdowns analogous to the paper's
+/// Table 1 / Fig. 9.
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace pwdft {
+
+/// Simple monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase durations, e.g. "fock", "residual", "density".
+class TimerRegistry {
+ public:
+  void add(const std::string& name, double seconds) { acc_[name] += seconds; }
+  double total(const std::string& name) const {
+    auto it = acc_.find(name);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+  const std::map<std::string, double>& all() const { return acc_; }
+  void clear() { acc_.clear(); }
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+/// RAII guard adding elapsed time to a registry entry on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& reg, std::string name) : reg_(reg), name_(std::move(name)) {}
+  ~ScopedTimer() { reg_.add(name_, timer_.seconds()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& reg_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace pwdft

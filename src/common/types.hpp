@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar types and physical constants (Hartree atomic units).
+///
+/// Everything in PT-PWDFT is expressed in Hartree atomic units:
+/// energy in Hartree, length in Bohr, time in a.u. (1 a.u. = 24.188843 as).
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace pwdft {
+
+using Real = double;
+using Complex = std::complex<double>;
+using Index = std::ptrdiff_t;
+
+namespace constants {
+
+/// Bohr radii per Angstrom.
+inline constexpr double bohr_per_angstrom = 1.8897259886;
+/// Electron-volt in Hartree.
+inline constexpr double hartree_per_ev = 1.0 / 27.211386245988;
+/// Attoseconds per atomic unit of time.
+inline constexpr double as_per_au_time = 24.188843265857;
+/// Femtoseconds per atomic unit of time.
+inline constexpr double fs_per_au_time = as_per_au_time * 1e-3;
+/// Speed of light in atomic units (fine structure constant inverse).
+inline constexpr double speed_of_light_au = 137.035999084;
+/// Planck constant times speed of light, in eV * nm (for photon energies).
+inline constexpr double hc_ev_nm = 1239.841984;
+inline constexpr double pi = 3.14159265358979323846;
+inline constexpr double two_pi = 2.0 * pi;
+inline constexpr double four_pi = 4.0 * pi;
+
+/// Photon energy in Hartree for a vacuum wavelength given in nm.
+inline constexpr double photon_energy_ha(double wavelength_nm) {
+  return hc_ev_nm / wavelength_nm * hartree_per_ev;
+}
+
+/// Convert a duration in attoseconds to atomic units of time.
+inline constexpr double attoseconds_to_au(double t_as) { return t_as / as_per_au_time; }
+
+/// Convert a duration in femtoseconds to atomic units of time.
+inline constexpr double femtoseconds_to_au(double t_fs) { return t_fs / fs_per_au_time; }
+
+}  // namespace constants
+
+/// Imaginary unit as a Complex.
+inline constexpr Complex imag_unit{0.0, 1.0};
+
+}  // namespace pwdft

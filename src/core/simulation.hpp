@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file simulation.hpp
+/// High-level facade used by the examples: build a silicon supercell, run
+/// the hybrid ground state, propagate with PT-CN or RK4, and record
+/// observables. Serial (one rank); the distributed code paths are exercised
+/// directly through the module APIs (see tests/ and bench/).
+
+#include <memory>
+#include <vector>
+
+#include "ham/energy.hpp"
+#include "ham/hamiltonian.hpp"
+#include "ham/setup.hpp"
+#include "scf/scf.hpp"
+#include "td/field.hpp"
+#include "td/observables.hpp"
+#include "td/ptcn.hpp"
+#include "td/rk4.hpp"
+
+namespace pwdft::core {
+
+struct SimulationOptions {
+  int cells[3] = {1, 1, 1};   ///< supercell in 8-atom cubic cells
+  double ecut = 10.0;         ///< Ha (paper value)
+  int dense_factor = 2;       ///< density grid refinement (paper value)
+  bool hybrid = true;         ///< HSE-style screened exchange
+  bool nonlocal = true;       ///< synthetic KB projectors
+  bool use_ace = false;       ///< apply exchange through ACE
+  xc::HybridParams hybrid_params{};
+  ham::FockOptions fock{};
+  scf::ScfOptions scf{};
+  std::uint64_t seed = 42;
+};
+
+enum class Integrator { kPtCn, kRk4 };
+
+struct PropagateOptions {
+  Integrator integrator = Integrator::kPtCn;
+  double dt_as = 50.0;  ///< time step in attoseconds
+  int steps = 10;
+  const td::ExternalField* field = nullptr;  ///< nullptr = no field
+  bool record_energy = true;
+  bool record_excitation = true;
+  td::PtCnOptions ptcn{};  ///< dt is overridden from dt_as
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const SimulationOptions& opt);
+
+  const ham::PlanewaveSetup& setup() const { return *setup_; }
+  ham::Hamiltonian& hamiltonian() { return *ham_; }
+  const CMatrix& wavefunctions() const { return psi_; }
+  const std::vector<double>& occupations() const { return occ_; }
+
+  /// Runs (LDA then hybrid) SCF; must be called before propagate().
+  scf::ScfResult ground_state();
+
+  /// Propagates and returns one TimePoint per step (plus the t=0 sample).
+  std::vector<td::TimePoint> propagate(const PropagateOptions& opt);
+
+  /// Total energy of the current state (rebuilds density and exchange).
+  ham::EnergyBreakdown current_energy();
+
+ private:
+  SimulationOptions opt_;
+  std::unique_ptr<ham::PlanewaveSetup> setup_;
+  pseudo::PseudoSpecies species_;
+  std::unique_ptr<ham::Hamiltonian> ham_;
+  par::SerialComm comm_;
+  CMatrix psi_;
+  std::vector<double> occ_;
+  bool ground_state_done_ = false;
+};
+
+}  // namespace pwdft::core

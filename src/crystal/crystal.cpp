@@ -1,0 +1,74 @@
+#include "crystal/crystal.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pwdft::crystal {
+
+Crystal::Crystal(grid::Lattice lattice, std::vector<SpeciesInfo> species, std::vector<Atom> atoms)
+    : lattice_(lattice), species_(std::move(species)), atoms_(std::move(atoms)) {
+  for (const auto& at : atoms_) {
+    PWDFT_CHECK(at.species >= 0 && static_cast<std::size_t>(at.species) < species_.size(),
+                "Crystal: atom references unknown species");
+  }
+}
+
+Crystal Crystal::silicon_supercell(int nx, int ny, int nz) {
+  PWDFT_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "silicon_supercell: bad cell counts");
+  const double a = 5.43 * constants::bohr_per_angstrom;  // 10.2612 Bohr
+  auto lattice = grid::Lattice::orthorhombic(a * nx, a * ny, a * nz);
+
+  // Diamond structure: fcc sites + basis offset (1/4,1/4,1/4).
+  static const grid::Vec3 base[8] = {
+      {0.00, 0.00, 0.00}, {0.00, 0.50, 0.50}, {0.50, 0.00, 0.50}, {0.50, 0.50, 0.00},
+      {0.25, 0.25, 0.25}, {0.25, 0.75, 0.75}, {0.75, 0.25, 0.75}, {0.75, 0.75, 0.25}};
+
+  std::vector<Atom> atoms;
+  atoms.reserve(static_cast<std::size_t>(8 * nx * ny * nz));
+  for (int cz = 0; cz < nz; ++cz) {
+    for (int cy = 0; cy < ny; ++cy) {
+      for (int cx = 0; cx < nx; ++cx) {
+        for (const auto& b : base) {
+          atoms.push_back(Atom{0,
+                               {(b[0] + cx) / nx, (b[1] + cy) / ny, (b[2] + cz) / nz}});
+        }
+      }
+    }
+  }
+  return Crystal(lattice, {SpeciesInfo{"Si", 4.0}}, std::move(atoms));
+}
+
+double Crystal::n_electrons() const {
+  double n = 0.0;
+  for (const auto& at : atoms_) n += species_[static_cast<std::size_t>(at.species)].zval;
+  return n;
+}
+
+std::size_t Crystal::n_occupied_bands() const {
+  const double ne = n_electrons();
+  const auto nb = static_cast<std::size_t>(std::llround(ne / 2.0));
+  PWDFT_CHECK(std::abs(ne - 2.0 * static_cast<double>(nb)) < 1e-9,
+              "Crystal: odd electron count; closed-shell occupations required");
+  return nb;
+}
+
+grid::Vec3 Crystal::position(std::size_t a) const {
+  PWDFT_CHECK(a < atoms_.size(), "Crystal: atom index out of range");
+  return lattice_.cartesian(atoms_[a].frac);
+}
+
+Crystal Crystal::translated(const grid::Vec3& frac_shift) const {
+  std::vector<Atom> atoms = atoms_;
+  for (auto& at : atoms) {
+    for (int d = 0; d < 3; ++d) {
+      double f = at.frac[static_cast<std::size_t>(d)] + frac_shift[static_cast<std::size_t>(d)];
+      f -= std::floor(f);
+      at.frac[static_cast<std::size_t>(d)] = f;
+    }
+  }
+  return Crystal(lattice_, species_, std::move(atoms));
+}
+
+}  // namespace pwdft::crystal

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file crystal.hpp
+/// Atomic structure: species, atoms, and the silicon supercell builders used
+/// throughout the paper's evaluation (8-atom simple-cubic diamond cells,
+/// a = 5.43 A, supercells 1x1x3 ... 4x6x8 => 48 ... 1536 atoms).
+
+#include <string>
+#include <vector>
+
+#include "grid/lattice.hpp"
+
+namespace pwdft::crystal {
+
+struct SpeciesInfo {
+  std::string symbol;
+  double zval = 0.0;  ///< valence charge (electrons contributed per atom)
+};
+
+struct Atom {
+  int species = 0;          ///< index into Crystal::species()
+  grid::Vec3 frac{};        ///< fractional coordinates in [0,1)
+};
+
+class Crystal {
+ public:
+  Crystal(grid::Lattice lattice, std::vector<SpeciesInfo> species, std::vector<Atom> atoms);
+
+  /// Diamond-structure silicon supercell of nx x ny x nz conventional cubic
+  /// cells (8 atoms each), lattice constant 5.43 A (paper §4).
+  static Crystal silicon_supercell(int nx, int ny, int nz);
+
+  const grid::Lattice& lattice() const { return lattice_; }
+  const std::vector<SpeciesInfo>& species() const { return species_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  std::size_t n_atoms() const { return atoms_.size(); }
+  /// Total valence electron count.
+  double n_electrons() const;
+  /// Number of doubly-occupied bands = n_electrons / 2 (closed shell).
+  std::size_t n_occupied_bands() const;
+
+  /// Cartesian position of atom a (Bohr).
+  grid::Vec3 position(std::size_t a) const;
+
+  /// Returns a copy with every atom displaced by `shift` (fractional);
+  /// used by translation-invariance tests.
+  Crystal translated(const grid::Vec3& frac_shift) const;
+
+ private:
+  grid::Lattice lattice_;
+  std::vector<SpeciesInfo> species_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace pwdft::crystal

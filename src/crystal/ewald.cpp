@@ -1,0 +1,97 @@
+#include "crystal/ewald.hpp"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pwdft::crystal {
+
+double ewald_energy(const Crystal& crystal, const EwaldOptions& opt) {
+  const auto& lat = crystal.lattice();
+  const double vol = lat.volume();
+  const std::size_t na = crystal.n_atoms();
+
+  std::vector<double> z(na);
+  std::vector<grid::Vec3> pos(na);
+  double ztot = 0.0, z2tot = 0.0;
+  for (std::size_t i = 0; i < na; ++i) {
+    z[i] = crystal.species()[static_cast<std::size_t>(crystal.atoms()[i].species)].zval;
+    pos[i] = crystal.position(i);
+    ztot += z[i];
+    z2tot += z[i] * z[i];
+  }
+
+  // Automatic splitting: balances real and reciprocal sum work.
+  double eta = opt.eta;
+  if (eta <= 0.0) {
+    eta = constants::pi * std::pow(static_cast<double>(na) / (vol * vol), 1.0 / 3.0);
+    eta = std::max(eta, 0.05);
+  }
+  const double sqrt_eta = std::sqrt(eta);
+
+  // Cutoffs from the asymptotics erfc(x) ~ e^{-x^2}: keep terms above tol.
+  const double tol = opt.tolerance;
+  const double rcut = std::sqrt(std::max(1.0, -std::log(tol))) / sqrt_eta * 1.2;
+  const double gcut = 2.0 * sqrt_eta * std::sqrt(std::max(1.0, -std::log(tol))) * 1.2;
+
+  // Real-space sum over periodic images within rcut.
+  const auto& a = lat.vectors();
+  auto len = [](const grid::Vec3& v) { return std::sqrt(grid::norm2(v)); };
+  const int nr0 = static_cast<int>(std::ceil(rcut / len(a[0]))) + 1;
+  const int nr1 = static_cast<int>(std::ceil(rcut / len(a[1]))) + 1;
+  const int nr2 = static_cast<int>(std::ceil(rcut / len(a[2]))) + 1;
+
+  double e_real = 0.0;
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < na; ++j) {
+      const grid::Vec3 dij = grid::sub(pos[i], pos[j]);
+      for (int c0 = -nr0; c0 <= nr0; ++c0) {
+        for (int c1 = -nr1; c1 <= nr1; ++c1) {
+          for (int c2 = -nr2; c2 <= nr2; ++c2) {
+            if (i == j && c0 == 0 && c1 == 0 && c2 == 0) continue;
+            const grid::Vec3 rvec = grid::add(
+                dij, grid::add(grid::add(grid::scale(a[0], c0), grid::scale(a[1], c1)),
+                               grid::scale(a[2], c2)));
+            const double r = len(rvec);
+            if (r > rcut) continue;
+            e_real += 0.5 * z[i] * z[j] * std::erfc(sqrt_eta * r) / r;
+          }
+        }
+      }
+    }
+  }
+
+  // Reciprocal-space sum over G != 0 within gcut.
+  const auto& b = lat.recip();
+  const int ng0 = static_cast<int>(std::ceil(gcut / len(b[0]))) + 1;
+  const int ng1 = static_cast<int>(std::ceil(gcut / len(b[1]))) + 1;
+  const int ng2 = static_cast<int>(std::ceil(gcut / len(b[2]))) + 1;
+
+  double e_recip = 0.0;
+  for (int n0 = -ng0; n0 <= ng0; ++n0) {
+    for (int n1 = -ng1; n1 <= ng1; ++n1) {
+      for (int n2 = -ng2; n2 <= ng2; ++n2) {
+        if (n0 == 0 && n1 == 0 && n2 == 0) continue;
+        const grid::Vec3 g = lat.gvector(n0, n1, n2);
+        const double g2 = grid::norm2(g);
+        if (g2 > gcut * gcut) continue;
+        Complex s{0.0, 0.0};
+        for (std::size_t i = 0; i < na; ++i) {
+          const double phase = grid::dot(g, pos[i]);
+          s += z[i] * Complex{std::cos(phase), std::sin(phase)};
+        }
+        e_recip += constants::two_pi / vol * std::exp(-g2 / (4.0 * eta)) / g2 * std::norm(s);
+      }
+    }
+  }
+
+  const double e_self = -sqrt_eta / std::sqrt(constants::pi) * z2tot;
+  const double e_background = -constants::pi / (2.0 * vol * eta) * ztot * ztot;
+
+  return e_real + e_recip + e_self + e_background;
+}
+
+}  // namespace pwdft::crystal

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file ewald.hpp
+/// Ewald summation for the ion-ion interaction energy of point charges in a
+/// periodic cell with a neutralizing background (the standard planewave-DFT
+/// convention; pairs with the removed G=0 components of V_loc and V_H).
+
+#include "crystal/crystal.hpp"
+
+namespace pwdft::crystal {
+
+struct EwaldOptions {
+  /// Splitting parameter eta (Bohr^-2); <= 0 selects automatically.
+  double eta = -1.0;
+  /// Relative accuracy target controlling real/reciprocal cutoffs.
+  double tolerance = 1e-10;
+};
+
+/// Total ion-ion energy (Hartree) including self-energy and background terms.
+double ewald_energy(const Crystal& crystal, const EwaldOptions& opt = {});
+
+}  // namespace pwdft::crystal

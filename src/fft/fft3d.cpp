@@ -1,0 +1,72 @@
+#include "fft/fft3d.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pwdft::fft {
+
+Fft3D::Fft3D(std::array<std::size_t, 3> dims)
+    : dims_(dims), plan_x_(dims[0]), plan_y_(dims[1]), plan_z_(dims[2]) {
+  const std::size_t nmax = std::max({dims[0], dims[1], dims[2]});
+  line_out_.resize(nmax);
+  work_.resize(nmax);
+}
+
+void Fft3D::axis_pass(Complex* data, int axis, int sign) {
+  const std::size_t n0 = dims_[0], n1 = dims_[1], n2 = dims_[2];
+  if (axis == 0) {
+    const std::size_t nlines = n1 * n2;
+    for (std::size_t l = 0; l < nlines; ++l) {
+      Complex* base = data + l * n0;
+      plan_x_.execute(base, 1, line_out_.data(), work_.data(), sign);
+      std::copy_n(line_out_.data(), n0, base);
+    }
+  } else if (axis == 1) {
+    for (std::size_t z = 0; z < n2; ++z) {
+      for (std::size_t x = 0; x < n0; ++x) {
+        Complex* base = data + x + n0 * n1 * z;
+        plan_y_.execute(base, n0, line_out_.data(), work_.data(), sign);
+        for (std::size_t y = 0; y < n1; ++y) base[y * n0] = line_out_[y];
+      }
+    }
+  } else {
+    const std::size_t stride = n0 * n1;
+    for (std::size_t y = 0; y < n1; ++y) {
+      for (std::size_t x = 0; x < n0; ++x) {
+        Complex* base = data + x + n0 * y;
+        plan_z_.execute(base, stride, line_out_.data(), work_.data(), sign);
+        for (std::size_t z = 0; z < n2; ++z) base[z * stride] = line_out_[z];
+      }
+    }
+  }
+}
+
+void Fft3D::transform(Complex* data, int sign) {
+  axis_pass(data, 0, sign);
+  axis_pass(data, 1, sign);
+  axis_pass(data, 2, sign);
+}
+
+void Fft3D::forward(Complex* data) { transform(data, -1); }
+
+void Fft3D::inverse(Complex* data) { transform(data, +1); }
+
+void Fft3D::inverse_scaled(Complex* data) {
+  transform(data, +1);
+  const double inv = 1.0 / static_cast<double>(size());
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) data[i] *= inv;
+}
+
+void Fft3D::forward_many(Complex* data, std::size_t count) {
+  const std::size_t n = size();
+  for (std::size_t b = 0; b < count; ++b) transform(data + b * n, -1);
+}
+
+void Fft3D::inverse_many(Complex* data, std::size_t count) {
+  const std::size_t n = size();
+  for (std::size_t b = 0; b < count; ++b) transform(data + b * n, +1);
+}
+
+}  // namespace pwdft::fft

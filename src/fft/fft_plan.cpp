@@ -1,0 +1,165 @@
+#include "fft/fft_plan.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::fft {
+
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return true;
+}
+
+/// Radix selection: prefer 4 (fewest passes among {2,3,4,5}), then 2, 3, 5,
+/// then the smallest prime factor for exotic sizes.
+std::size_t pick_radix(std::size_t n) {
+  if (n % 4 == 0) return 4;
+  if (n % 2 == 0) return 2;
+  if (n % 3 == 0) return 3;
+  if (n % 5 == 0) return 5;
+  for (std::size_t d = 7; d * d <= n; d += 2)
+    if (n % d == 0) return d;
+  return n;  // prime
+}
+
+Complex unit_root(double num, double den) {
+  // exp(-2*pi*i*num/den), the sign=-1 convention used by all tables.
+  const double ang = -constants::two_pi * num / den;
+  return {std::cos(ang), std::sin(ang)};
+}
+
+}  // namespace
+
+bool FftPlan1D::fast_size(std::size_t n) {
+  if (n == 0) return false;
+  for (std::size_t f : {2ul, 3ul, 5ul})
+    while (n % f == 0) n /= f;
+  return n == 1;
+}
+
+FftPlan1D::FftPlan1D(std::size_t n) : n_(n) {
+  PWDFT_CHECK(n >= 1, "FFT length must be positive");
+  std::size_t m = n;
+  while (true) {
+    Level lv;
+    lv.n = m;
+    if (m <= 5 || is_prime(m)) {
+      lv.leaf = true;
+      lv.r = m;
+      lv.n1 = 1;
+      lv.tw_off = tw_.size();
+      for (std::size_t j = 0; j < m; ++j) tw_.push_back(unit_root(double(j), double(m)));
+      levels_.push_back(lv);
+      break;
+    }
+    const std::size_t r = pick_radix(m);
+    lv.r = r;
+    lv.n1 = m / r;
+    lv.tw_off = tw_.size();
+    for (std::size_t q = 0; q < r; ++q)
+      for (std::size_t k = 0; k < lv.n1; ++k)
+        tw_.push_back(unit_root(double(q * k), double(m)));
+    lv.cb_off = comb_.size();
+    for (std::size_t j = 0; j < r; ++j)
+      for (std::size_t q = 0; q < r; ++q)
+        comb_.push_back(unit_root(double((j * q) % r), double(r)));
+    levels_.push_back(lv);
+    m = lv.n1;
+  }
+}
+
+void FftPlan1D::execute(const Complex* in, std::size_t in_stride, Complex* out, Complex* work,
+                        int sign) const {
+  PWDFT_ASSERT(sign == 1 || sign == -1);
+  exec_level(0, in, in_stride, out, work, sign);
+}
+
+void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride, Complex* out,
+                           Complex* work, int sign) const {
+  const Level& lv = levels_[li];
+  const Complex* tw = tw_.data() + lv.tw_off;
+
+  if (lv.leaf) {
+    // Naive DFT: out[k] = sum_m in[m*stride] * w^{(k*m) mod n}.
+    const std::size_t n = lv.n;
+    if (n == 1) {
+      out[0] = in[0];
+      return;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      Complex acc = in[0];
+      std::size_t idx = 0;
+      for (std::size_t m2 = 1; m2 < n; ++m2) {
+        idx += k;
+        if (idx >= n) idx -= n;
+        const Complex w = (sign < 0) ? tw[idx] : std::conj(tw[idx]);
+        acc += in[m2 * stride] * w;
+      }
+      out[k] = acc;
+    }
+    return;
+  }
+
+  const std::size_t r = lv.r;
+  const std::size_t n1 = lv.n1;
+
+  // Decimation in time: child q transforms the subsequence in[q::r].
+  // Child results land in work[q*n1 .. ), using out[q*n1 ..) as scratch.
+  for (std::size_t q = 0; q < r; ++q)
+    exec_level(li + 1, in + q * stride, stride * r, work + q * n1, out + q * n1, sign);
+
+  // Twiddle multiply in place: w_hat[q*n1+k] = work[q*n1+k] * W_n^{qk}.
+  if (sign < 0) {
+    for (std::size_t i = 0; i < r * n1; ++i) work[i] *= tw[i];
+  } else {
+    for (std::size_t i = 0; i < r * n1; ++i) work[i] *= std::conj(tw[i]);
+  }
+
+  // Combine: out[j*n1+k] = sum_q w_hat[q*n1+k] * W_r^{jq}.
+  if (r == 2) {
+    for (std::size_t k = 0; k < n1; ++k) {
+      const Complex a = work[k];
+      const Complex b = work[n1 + k];
+      out[k] = a + b;
+      out[n1 + k] = a - b;
+    }
+    return;
+  }
+  if (r == 4) {
+    // W_4 = -i for sign=-1, +i for sign=+1.
+    const Complex mi = (sign < 0) ? Complex{0.0, -1.0} : Complex{0.0, 1.0};
+    for (std::size_t k = 0; k < n1; ++k) {
+      const Complex a = work[k];
+      const Complex b = work[n1 + k];
+      const Complex c = work[2 * n1 + k];
+      const Complex d = work[3 * n1 + k];
+      const Complex ac_p = a + c, ac_m = a - c;
+      const Complex bd_p = b + d, bd_m = mi * (b - d);
+      out[k] = ac_p + bd_p;
+      out[n1 + k] = ac_m + bd_m;
+      out[2 * n1 + k] = ac_p - bd_p;
+      out[3 * n1 + k] = ac_m - bd_m;
+    }
+    return;
+  }
+  const Complex* cb = comb_.data() + lv.cb_off;
+  for (std::size_t k = 0; k < n1; ++k) {
+    for (std::size_t j = 0; j < r; ++j) {
+      Complex acc{0.0, 0.0};
+      const Complex* row = cb + j * r;
+      if (sign < 0) {
+        for (std::size_t q = 0; q < r; ++q) acc += work[q * n1 + k] * row[q];
+      } else {
+        for (std::size_t q = 0; q < r; ++q) acc += work[q * n1 + k] * std::conj(row[q]);
+      }
+      out[j * n1 + k] = acc;
+    }
+  }
+}
+
+}  // namespace pwdft::fft

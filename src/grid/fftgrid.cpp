@@ -1,0 +1,54 @@
+#include "grid/fftgrid.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fft/fft_plan.hpp"
+
+namespace pwdft::grid {
+
+FftGrid::FftGrid(std::array<std::size_t, 3> dims) : dims_(dims) {
+  PWDFT_CHECK(dims[0] >= 1 && dims[1] >= 1 && dims[2] >= 1, "FftGrid: empty dimension");
+}
+
+std::size_t FftGrid::good_size(std::size_t n) {
+  if (n == 0) return 1;
+  while (!fft::FftPlan1D::fast_size(n)) ++n;
+  return n;
+}
+
+FftGrid FftGrid::for_gmax(const Lattice& lat, double gmax) {
+  std::array<std::size_t, 3> dims;
+  for (int ax = 0; ax < 3; ++ax) {
+    // n_i = G . a_i / (2*pi) <= gmax * |a_i| / (2*pi); exact for orthogonal
+    // cells and a safe (over-)bound in general.
+    const double alen = std::sqrt(norm2(lat.vectors()[static_cast<std::size_t>(ax)]));
+    const int nmax = static_cast<int>(std::floor(gmax * alen / constants::two_pi + 1e-8));
+    dims[static_cast<std::size_t>(ax)] = good_size(static_cast<std::size_t>(2 * nmax + 1));
+  }
+  return FftGrid(dims);
+}
+
+int FftGrid::freq(std::size_t i, int axis) const {
+  const std::size_t n = dims_[static_cast<std::size_t>(axis)];
+  PWDFT_ASSERT(i < n);
+  return (i <= (n - 1) / 2) ? static_cast<int>(i) : static_cast<int>(i) - static_cast<int>(n);
+}
+
+std::size_t FftGrid::index_of(int f0, int f1, int f2) const {
+  auto wrap = [&](int f, int axis) -> std::size_t {
+    const int n = static_cast<int>(dims_[static_cast<std::size_t>(axis)]);
+    PWDFT_CHECK(f > -n && f < n, "FftGrid: frequency out of range");
+    return static_cast<std::size_t>(f >= 0 ? f : f + n);
+  };
+  return wrap(f0, 0) + dims_[0] * (wrap(f1, 1) + dims_[1] * wrap(f2, 2));
+}
+
+FftGrid FftGrid::refined(int factor) const {
+  PWDFT_CHECK(factor >= 1, "FftGrid: bad refinement factor");
+  return FftGrid({good_size(dims_[0] * static_cast<std::size_t>(factor)),
+                  good_size(dims_[1] * static_cast<std::size_t>(factor)),
+                  good_size(dims_[2] * static_cast<std::size_t>(factor))});
+}
+
+}  // namespace pwdft::grid

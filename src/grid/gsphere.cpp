@@ -1,0 +1,64 @@
+#include "grid/gsphere.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pwdft::grid {
+
+GSphere::GSphere(const Lattice& lat, double ecut, const FftGrid& wfc_grid) : ecut_(ecut) {
+  PWDFT_CHECK(ecut > 0.0, "GSphere: cutoff must be positive");
+  const double g2max = 2.0 * ecut;
+
+  const int m0 = wfc_grid.max_freq(0);
+  const int m1 = wfc_grid.max_freq(1);
+  const int m2 = wfc_grid.max_freq(2);
+
+  for (int n2 = -m2; n2 <= m2; ++n2) {
+    for (int n1 = -m1; n1 <= m1; ++n1) {
+      for (int n0 = -m0; n0 <= m0; ++n0) {
+        const Vec3 g = lat.gvector(n0, n1, n2);
+        const double g2 = norm2(g);
+        if (g2 <= g2max + 1e-12) {
+          if (n0 == 0 && n1 == 0 && n2 == 0) g0_index_ = g2_.size();
+          g2_.push_back(g2);
+          gvec_.push_back(g);
+          miller_.push_back({n0, n1, n2});
+        }
+      }
+    }
+  }
+  PWDFT_CHECK(!g2_.empty(), "GSphere: no planewaves inside the cutoff");
+
+  // Verify the enclosing grid resolves the sphere: any |G| <= gmax has
+  // |n_i| <= max_freq(i) by construction of the loop bounds; additionally
+  // check the grid is not smaller than Nyquist for the largest Miller index.
+  for (const auto& m : miller_) {
+    PWDFT_CHECK(std::abs(m[0]) <= m0 && std::abs(m[1]) <= m1 && std::abs(m[2]) <= m2,
+                "GSphere: sphere does not fit in the FFT grid");
+  }
+}
+
+std::vector<std::size_t> GSphere::map_to(const FftGrid& grid) const {
+  std::vector<std::size_t> map(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto& m = miller_[i];
+    map[i] = grid.index_of(m[0], m[1], m[2]);
+  }
+  return map;
+}
+
+void GSphere::scatter(std::span<const Complex> coeffs, std::span<const std::size_t> map,
+                      std::span<Complex> grid) {
+  PWDFT_ASSERT(coeffs.size() == map.size());
+  std::fill(grid.begin(), grid.end(), Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < coeffs.size(); ++i) grid[map[i]] = coeffs[i];
+}
+
+void GSphere::gather(std::span<const Complex> grid, std::span<const std::size_t> map,
+                     double scale, std::span<Complex> coeffs) {
+  PWDFT_ASSERT(coeffs.size() == map.size());
+  for (std::size_t i = 0; i < coeffs.size(); ++i) coeffs[i] = grid[map[i]] * scale;
+}
+
+}  // namespace pwdft::grid

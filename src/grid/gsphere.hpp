@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file gsphere.hpp
+/// The planewave basis sphere: all G with |G|^2/2 <= Ecut, together with
+/// scatter/gather maps between sphere coefficients and FFT grids.
+///
+/// Conventions (see also ham/density.cpp):
+///   psi(r) = sum_G c_G e^{i G.r} / sqrt(Omega),  sum_G |c_G|^2 = 1.
+/// Real-space values on a grid are obtained by scattering c into the grid
+/// and running an unnormalized inverse FFT; gathering divides by Ngrid.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/fftgrid.hpp"
+#include "grid/lattice.hpp"
+
+namespace pwdft::grid {
+
+class GSphere {
+ public:
+  /// Builds the sphere for a kinetic-energy cutoff (Hartree). The sphere
+  /// must fit inside `wfc_grid` (checked).
+  GSphere(const Lattice& lat, double ecut, const FftGrid& wfc_grid);
+
+  std::size_t size() const { return g2_.size(); }
+  double ecut() const { return ecut_; }
+
+  const std::vector<double>& g2() const { return g2_; }
+  const std::vector<Vec3>& gvec() const { return gvec_; }
+  const std::vector<std::array<int, 3>>& miller() const { return miller_; }
+  /// Index (into the sphere) of the G = 0 vector.
+  std::size_t g0_index() const { return g0_index_; }
+
+  /// Map from sphere index to linear index in `grid` (which may be the
+  /// wavefunction grid or any denser grid).
+  std::vector<std::size_t> map_to(const FftGrid& grid) const;
+
+  /// grid <- 0; grid[map[i]] = coeffs[i].
+  static void scatter(std::span<const Complex> coeffs, std::span<const std::size_t> map,
+                      std::span<Complex> grid);
+  /// coeffs[i] = grid[map[i]] * scale.
+  static void gather(std::span<const Complex> grid, std::span<const std::size_t> map,
+                     double scale, std::span<Complex> coeffs);
+
+ private:
+  double ecut_ = 0.0;
+  std::vector<double> g2_;
+  std::vector<Vec3> gvec_;
+  std::vector<std::array<int, 3>> miller_;
+  std::size_t g0_index_ = 0;
+};
+
+}  // namespace pwdft::grid

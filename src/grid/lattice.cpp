@@ -1,0 +1,40 @@
+#include "grid/lattice.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::grid {
+
+Lattice::Lattice() : Lattice(Mat3{Vec3{1, 0, 0}, Vec3{0, 1, 0}, Vec3{0, 0, 1}}) {}
+
+Lattice::Lattice(const Mat3& a) : a_(a) {
+  const Vec3 a23 = cross(a[1], a[2]);
+  const double det = dot(a[0], a23);
+  PWDFT_CHECK(std::abs(det) > 1e-12, "Lattice: degenerate cell");
+  volume_ = std::abs(det);
+  const double f = constants::two_pi / det;
+  b_[0] = scale(cross(a[1], a[2]), f);
+  b_[1] = scale(cross(a[2], a[0]), f);
+  b_[2] = scale(cross(a[0], a[1]), f);
+}
+
+Lattice Lattice::orthorhombic(double ax, double ay, double az) {
+  return Lattice(Mat3{Vec3{ax, 0, 0}, Vec3{0, ay, 0}, Vec3{0, 0, az}});
+}
+
+Vec3 Lattice::cartesian(const Vec3& f) const {
+  return add(add(scale(a_[0], f[0]), scale(a_[1], f[1])), scale(a_[2], f[2]));
+}
+
+Vec3 Lattice::fractional(const Vec3& c) const {
+  // f_i = (c . b_i) / (2*pi) from b_i . a_j = 2*pi*delta_ij.
+  return {dot(c, b_[0]) / constants::two_pi, dot(c, b_[1]) / constants::two_pi,
+          dot(c, b_[2]) / constants::two_pi};
+}
+
+Vec3 Lattice::gvector(int n1, int n2, int n3) const {
+  return add(add(scale(b_[0], n1), scale(b_[1], n2)), scale(b_[2], n3));
+}
+
+}  // namespace pwdft::grid

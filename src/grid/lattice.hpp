@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file lattice.hpp
+/// Simulation cell (Bravais lattice) and its reciprocal lattice.
+/// Vectors are rows of a 3x3 matrix in Bohr; reciprocal vectors satisfy
+/// b_i . a_j = 2*pi*delta_ij.
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace pwdft::grid {
+
+using Vec3 = std::array<double, 3>;
+using Mat3 = std::array<Vec3, 3>;
+
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]};
+}
+inline Vec3 add(const Vec3& a, const Vec3& b) { return {a[0] + b[0], a[1] + b[1], a[2] + b[2]}; }
+inline Vec3 sub(const Vec3& a, const Vec3& b) { return {a[0] - b[0], a[1] - b[1], a[2] - b[2]}; }
+inline Vec3 scale(const Vec3& a, double s) { return {a[0] * s, a[1] * s, a[2] * s}; }
+inline double norm2(const Vec3& a) { return dot(a, a); }
+
+class Lattice {
+ public:
+  /// Identity cell of 1 Bohr; useful only as a placeholder.
+  Lattice();
+  explicit Lattice(const Mat3& a);
+  static Lattice orthorhombic(double ax, double ay, double az);
+  /// Simple cubic cell of edge a.
+  static Lattice cubic(double a) { return orthorhombic(a, a, a); }
+
+  const Mat3& vectors() const { return a_; }
+  const Mat3& recip() const { return b_; }
+  double volume() const { return volume_; }
+
+  /// Cartesian position of fractional coordinates.
+  Vec3 cartesian(const Vec3& frac) const;
+  /// Fractional coordinates of a Cartesian position.
+  Vec3 fractional(const Vec3& cart) const;
+  /// G vector for integer Miller-like indices (n1, n2, n3).
+  Vec3 gvector(int n1, int n2, int n3) const;
+
+ private:
+  Mat3 a_;
+  Mat3 b_;
+  double volume_ = 0.0;
+};
+
+}  // namespace pwdft::grid

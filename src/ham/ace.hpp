@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file ace.hpp
+/// Adaptively Compressed Exchange (ACE), Lin (2016) [paper ref 24].
+///
+/// The paper notes (§1) that on CPU machines PT-CN + ACE [22] reduces the
+/// hybrid rt-TDDFT cost, while on Summit the direct PT treatment wins. We
+/// implement ACE so that trade-off is an executable ablation
+/// (bench/ablation_ace):
+///   W  = VX * Phi,          M = Phi^H W  (Hermitian, negative definite)
+///   -M = L L^H,             Xi = W L^{-H}
+///   VX_ACE = -Xi Xi^H       (exact on span(Phi): VX_ACE Phi = VX Phi)
+
+#include <span>
+
+#include "ham/fock.hpp"
+#include "parallel/transpose.hpp"
+
+namespace pwdft::ham {
+
+class AceOperator {
+ public:
+  explicit AceOperator(const PlanewaveSetup& setup) : setup_(setup) {}
+
+  /// Builds the compressed operator from `fock`'s current orbitals; one
+  /// exact Fock apply on Phi plus dense linear algebra in the G-space
+  /// layout. Collective.
+  void build(FockOperator& fock, const CMatrix& phi_local, par::Comm& comm);
+
+  bool ready() const { return !xi_g_.empty(); }
+
+  /// y_local += VX_ACE * psi_local (band layout). Collective: two
+  /// transposes + one small Allreduce, no per-band broadcasts.
+  void apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Comm& comm) const;
+
+ private:
+  const PlanewaveSetup& setup_;
+  par::WavefunctionTranspose transpose_;
+  par::BlockPartition psi_bands_;
+  CMatrix xi_g_;  ///< (ng_local x nb) compressed exchange vectors, G layout
+};
+
+}  // namespace pwdft::ham

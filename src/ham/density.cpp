@@ -1,0 +1,45 @@
+#include "ham/density.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::ham {
+
+std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft_dense,
+                                    const CMatrix& psi_local, std::span<const double> occ_local,
+                                    par::Comm& comm) {
+  PWDFT_CHECK(psi_local.cols() == occ_local.size(), "compute_density: occupations mismatch");
+  const std::size_t nd = setup.n_dense();
+  std::vector<double> rho(nd, 0.0);
+  std::vector<Complex> work(nd);
+  const double inv_vol = 1.0 / setup.volume();
+
+  for (std::size_t j = 0; j < psi_local.cols(); ++j) {
+    grid::GSphere::scatter({psi_local.col(j), setup.n_g()}, setup.map_dense, work);
+    fft_dense.inverse(work.data());
+    const double f = occ_local[j] * inv_vol;
+    for (std::size_t i = 0; i < nd; ++i) rho[i] += f * std::norm(work[i]);
+  }
+
+  comm.allreduce_sum(rho.data(), rho.size());
+  return rho;
+}
+
+double integrate_dense(const PlanewaveSetup& setup, std::span<const double> f) {
+  PWDFT_CHECK(f.size() == setup.n_dense(), "integrate_dense: size mismatch");
+  double acc = 0.0;
+  for (double v : f) acc += v;
+  return acc * setup.weight_dense();
+}
+
+double density_error(const PlanewaveSetup& setup, std::span<const double> rho_new,
+                     std::span<const double> rho_old) {
+  PWDFT_CHECK(rho_new.size() == rho_old.size(), "density_error: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rho_new.size(); ++i) acc += std::abs(rho_new[i] - rho_old[i]);
+  const double nelec = setup.crystal.n_electrons();
+  return acc * setup.weight_dense() / nelec;
+}
+
+}  // namespace pwdft::ham

@@ -1,0 +1,170 @@
+#include "ham/fock.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "common/check.hpp"
+#include "linalg/blas.hpp"
+
+namespace pwdft::ham {
+
+FockOperator::FockOperator(const PlanewaveSetup& setup, xc::HybridParams hybrid, FockOptions opt)
+    : setup_(setup), hybrid_(hybrid), opt_(opt), fft_wfc_(setup.wfc_grid.dims()) {
+  // Precompute K(G)/N on the wavefunction grid (the paper evaluates the
+  // exchange on the wavefunction grid, §4).
+  const auto dims = setup_.wfc_grid.dims();
+  const std::size_t n = setup_.n_wfc();
+  kernel_.resize(n);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dims[2]; ++z) {
+    const int f2 = setup_.wfc_grid.freq(z, 2);
+    for (std::size_t y = 0; y < dims[1]; ++y) {
+      const int f1 = setup_.wfc_grid.freq(y, 1);
+      for (std::size_t x = 0; x < dims[0]; ++x, ++idx) {
+        const auto g = setup_.crystal.lattice().gvector(setup_.wfc_grid.freq(x, 0), f1, f2);
+        kernel_[idx] = xc::exchange_kernel(grid::norm2(g), hybrid_.omega) * inv_n;
+      }
+    }
+  }
+}
+
+void FockOperator::set_orbitals(const CMatrix& phi_local, std::span<const double> occ_global,
+                                const par::BlockPartition& bands, par::Comm& comm) {
+  PWDFT_CHECK(phi_local.rows() == setup_.n_g(), "FockOperator: orbital row mismatch");
+  PWDFT_CHECK(occ_global.size() == bands.total(), "FockOperator: occupation count mismatch");
+  PWDFT_CHECK(phi_local.cols() == bands.count(comm.rank()),
+              "FockOperator: local band count mismatch");
+  bands_ = bands;
+  occ_.assign(occ_global.begin(), occ_global.end());
+
+  const std::size_t nw = setup_.n_wfc();
+  phi_real_.resize(nw, phi_local.cols());
+  for (std::size_t j = 0; j < phi_local.cols(); ++j) {
+    grid::GSphere::scatter({phi_local.col(j), setup_.n_g()}, setup_.map_wfc,
+                           {phi_real_.col(j), nw});
+    fft_wfc_.inverse(phi_real_.col(j));
+  }
+}
+
+void FockOperator::fetch_orbital(std::size_t band, par::Comm& comm, std::vector<Complex>& buf) {
+  const int owner = bands_.owner(band);
+  const std::size_t nw = setup_.n_wfc();
+  if (comm.rank() == owner) {
+    const std::size_t local = band - bands_.offset(owner);
+    std::copy_n(phi_real_.col(local), nw, buf.data());
+  }
+  ++broadcasts_;
+  if (comm.size() == 1) return;
+  if (opt_.single_precision_comm) {
+    // Convert to complex<float> for the wire and back (paper §3.2 step 4).
+    std::vector<std::complex<float>> wire(nw);
+    if (comm.rank() == owner)
+      for (std::size_t i = 0; i < nw; ++i) wire[i] = std::complex<float>(buf[i]);
+    comm.bcast(wire.data(), nw, owner);
+    for (std::size_t i = 0; i < nw; ++i) buf[i] = Complex(wire[i]);
+  } else {
+    comm.bcast(buf.data(), nw, owner);
+  }
+}
+
+void FockOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Comm& comm) {
+  PWDFT_CHECK(has_orbitals(), "FockOperator: orbitals not set");
+  PWDFT_CHECK(psi_local.rows() == setup_.n_g() && y_local.rows() == setup_.n_g() &&
+                  psi_local.cols() == y_local.cols(),
+              "FockOperator: shape mismatch");
+  const std::size_t nw = setup_.n_wfc();
+  const std::size_t ncol = psi_local.cols();
+  const std::size_t nb = bands_.total();
+  if (ncol == 0) {
+    // Still participate in the collective broadcasts.
+    std::vector<Complex> buf(nw);
+    for (std::size_t i = 0; i < nb; ++i) fetch_orbital(i, comm, buf);
+    return;
+  }
+
+  // psi on the real-space wavefunction grid.
+  CMatrix psi_real(nw, ncol);
+  for (std::size_t j = 0; j < ncol; ++j) {
+    grid::GSphere::scatter({psi_local.col(j), setup_.n_g()}, setup_.map_wfc,
+                           {psi_real.col(j), nw});
+    fft_wfc_.inverse(psi_real.col(j));
+  }
+
+  CMatrix acc(nw, ncol, Complex{0.0, 0.0});
+  const std::size_t bs = opt_.batched ? std::max<std::size_t>(1, opt_.batch_size) : 1;
+  std::vector<Complex> pair(bs * nw);
+  std::vector<Complex> buf_a(nw), buf_b(nw);
+
+  // Prefetch pipeline (paper §3.2 step 5): with overlap enabled the next
+  // band's broadcast runs on a helper thread while this band is computed.
+  std::future<void> prefetch;
+  std::vector<Complex>* current = &buf_a;
+  std::vector<Complex>* next = &buf_b;
+  fetch_orbital(0, comm, *current);
+
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (i + 1 < nb) {
+      if (opt_.overlap) {
+        prefetch = std::async(std::launch::async,
+                              [this, i, &comm, next] { fetch_orbital(i + 1, comm, *next); });
+      } else {
+        fetch_orbital(i + 1, comm, *next);
+      }
+    }
+
+    const double f_i = occ_[i];
+    if (f_i > 1e-12) {
+      const double scale = -hybrid_.alpha * 0.5 * f_i;
+      const Complex* qi = current->data();
+      for (std::size_t j0 = 0; j0 < ncol; j0 += bs) {
+        const std::size_t jn = std::min(bs, ncol - j0);
+        for (std::size_t b = 0; b < jn; ++b) {
+          const Complex* pj = psi_real.col(j0 + b);
+          Complex* dst = pair.data() + b * nw;
+          for (std::size_t r = 0; r < nw; ++r) dst[r] = std::conj(qi[r]) * pj[r];
+        }
+        fft_wfc_.forward_many(pair.data(), jn);
+        for (std::size_t b = 0; b < jn; ++b) {
+          Complex* dst = pair.data() + b * nw;
+          for (std::size_t r = 0; r < nw; ++r) dst[r] *= kernel_[r];
+        }
+        fft_wfc_.inverse_many(pair.data(), jn);
+        for (std::size_t b = 0; b < jn; ++b) {
+          const Complex* v = pair.data() + b * nw;
+          Complex* dst = acc.col(j0 + b);
+          for (std::size_t r = 0; r < nw; ++r) dst[r] += scale * qi[r] * v[r];
+        }
+        pair_solves_ += jn;
+      }
+    }
+
+    if (prefetch.valid()) prefetch.wait();
+    std::swap(current, next);
+  }
+
+  // Back to sphere coefficients: c'(G) = forward(acc)(G) / (N * Omega).
+  const double out_scale = 1.0 / (static_cast<double>(nw) * setup_.volume());
+  std::vector<Complex> coeffs(setup_.n_g());
+  for (std::size_t j = 0; j < ncol; ++j) {
+    fft_wfc_.forward(acc.col(j));
+    grid::GSphere::gather({acc.col(j), nw}, setup_.map_wfc, out_scale, coeffs);
+    linalg::axpy(Complex{1.0, 0.0}, coeffs, {y_local.col(j), setup_.n_g()});
+  }
+}
+
+double FockOperator::exchange_energy(const CMatrix& psi_local, std::span<const double> occ_local,
+                                     par::Comm& comm) {
+  PWDFT_CHECK(psi_local.cols() == occ_local.size(), "exchange_energy: occupation mismatch");
+  CMatrix vx(setup_.n_g(), psi_local.cols(), Complex{0.0, 0.0});
+  apply_add(psi_local, vx, comm);
+  double e = 0.0;
+  for (std::size_t j = 0; j < psi_local.cols(); ++j) {
+    e += 0.5 * occ_local[j] *
+         linalg::dotc({psi_local.col(j), setup_.n_g()}, {vx.col(j), setup_.n_g()}).real();
+  }
+  comm.allreduce_sum(&e, 1);
+  return e;
+}
+
+}  // namespace pwdft::ham

@@ -1,0 +1,102 @@
+#include "ham/hamiltonian.hpp"
+
+#include "common/check.hpp"
+#include "ham/hartree.hpp"
+
+namespace pwdft::ham {
+
+Hamiltonian::Hamiltonian(const PlanewaveSetup& setup, const pseudo::PseudoSpecies& species,
+                         HamiltonianOptions options)
+    : setup_(setup),
+      options_(options),
+      fft_dense_(setup.dense_grid.dims()),
+      fock_(setup, options.hybrid, options.fock),
+      ace_(setup) {
+  v_loc_ps_ = pseudo::build_local_potential(setup_.crystal, species, setup_.dense_grid);
+  if (options_.use_nonlocal && !species.channels.empty()) {
+    nonlocal_ = std::make_unique<pseudo::NonlocalProjectors>(setup_.crystal, species,
+                                                             setup_.dense_grid,
+                                                             setup_.crystal.lattice());
+  }
+  e_ewald_ = crystal::ewald_energy(setup_.crystal);
+
+  const std::size_t nd = setup_.n_dense();
+  v_hartree_.assign(nd, 0.0);
+  v_xc_.assign(nd, 0.0);
+  eps_xc_.assign(nd, 0.0);
+  v_total_ = v_loc_ps_;
+  set_vector_potential({0.0, 0.0, 0.0});
+}
+
+void Hamiltonian::update_density(std::span<const double> rho_dense) {
+  const std::size_t nd = setup_.n_dense();
+  PWDFT_CHECK(rho_dense.size() == nd, "Hamiltonian: density size mismatch");
+  v_hartree_ = hartree_potential(setup_, fft_dense_, rho_dense);
+  xc::lda_pz(rho_dense, eps_xc_, v_xc_);
+  for (std::size_t i = 0; i < nd; ++i) v_total_[i] = v_loc_ps_[i] + v_hartree_[i] + v_xc_[i];
+}
+
+void Hamiltonian::set_vector_potential(const grid::Vec3& a) {
+  a_ = a;
+  const auto& gv = setup_.sphere.gvec();
+  kin_.resize(gv.size());
+  for (std::size_t i = 0; i < gv.size(); ++i) {
+    const grid::Vec3 ga = grid::add(gv[i], a);
+    kin_[i] = 0.5 * grid::norm2(ga);
+  }
+}
+
+void Hamiltonian::set_exchange_orbitals(const CMatrix& phi_local,
+                                        std::span<const double> occ_global,
+                                        const par::BlockPartition& bands, par::Comm& comm) {
+  if (!options_.hybrid.enabled) return;
+  fock_.set_orbitals(phi_local, occ_global, bands, comm);
+  if (options_.use_ace) ace_.build(fock_, phi_local, comm);
+}
+
+void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& comm,
+                        TimerRegistry* timers) {
+  const std::size_t ng = setup_.n_g();
+  PWDFT_CHECK(psi_local.rows() == ng, "Hamiltonian::apply: row mismatch");
+  y_local.resize(ng, psi_local.cols());
+
+  {
+    WallTimer t;
+    const std::size_t nd = setup_.n_dense();
+    const double weight = setup_.weight_dense();
+    const double inv_nd = 1.0 / static_cast<double>(nd);
+    std::vector<Complex> grid_work(nd);
+    std::vector<Complex> vloc_part(nd);
+    std::vector<Complex> coeffs(ng);
+
+    for (std::size_t j = 0; j < psi_local.cols(); ++j) {
+      const Complex* c = psi_local.col(j);
+      Complex* y = y_local.col(j);
+      // Kinetic term on the sphere.
+      for (std::size_t i = 0; i < ng; ++i) y[i] = kin_[i] * c[i];
+
+      // Local potential + nonlocal projectors in real space (dense grid).
+      grid::GSphere::scatter({c, ng}, setup_.map_dense, grid_work);
+      fft_dense_.inverse(grid_work.data());
+      for (std::size_t i = 0; i < nd; ++i) vloc_part[i] = v_total_[i] * grid_work[i];
+      if (nonlocal_) nonlocal_->apply_add(grid_work, vloc_part, weight);
+      fft_dense_.forward(vloc_part.data());
+      grid::GSphere::gather(vloc_part, setup_.map_dense, inv_nd, coeffs);
+      for (std::size_t i = 0; i < ng; ++i) y[i] += coeffs[i];
+    }
+    if (timers) timers->add("hpsi_local", t.seconds());
+  }
+
+  if (options_.hybrid.enabled) {
+    WallTimer t;
+    PWDFT_CHECK(fock_.has_orbitals(), "Hamiltonian::apply: exchange orbitals not set");
+    if (options_.use_ace) {
+      ace_.apply_add(psi_local, y_local, comm);
+    } else {
+      fock_.apply_add(psi_local, y_local, comm);
+    }
+    if (timers) timers->add("hpsi_fock", t.seconds());
+  }
+}
+
+}  // namespace pwdft::ham

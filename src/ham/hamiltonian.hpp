@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file hamiltonian.hpp
+/// The time-dependent Kohn-Sham Hamiltonian (paper Eq. 2):
+///   H(t, P) = 1/2 |G + a(t)|^2  +  V_loc,ps + V_H[rho] + V_xc[rho]  +  V_nl  +  VX[P]
+/// with a laser coupled in the velocity gauge through the vector potential
+/// a(t). The Fock term can be applied directly (Alg. 2) or through ACE.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "crystal/ewald.hpp"
+#include "fft/fft3d.hpp"
+#include "ham/ace.hpp"
+#include "ham/fock.hpp"
+#include "ham/setup.hpp"
+#include "pseudo/local_pot.hpp"
+#include "pseudo/nonlocal.hpp"
+#include "xc/lda.hpp"
+
+namespace pwdft::ham {
+
+struct HamiltonianOptions {
+  xc::HybridParams hybrid;
+  FockOptions fock;
+  bool use_nonlocal = true;
+  /// Apply exchange through the ACE compression instead of direct Alg. 2.
+  bool use_ace = false;
+};
+
+class Hamiltonian {
+ public:
+  Hamiltonian(const PlanewaveSetup& setup, const pseudo::PseudoSpecies& species,
+              HamiltonianOptions options);
+
+  const PlanewaveSetup& setup() const { return setup_; }
+  const HamiltonianOptions& options() const { return options_; }
+
+  /// Rebuilds V_H + V_xc from a dense-grid density (local operation; the
+  /// density is replicated on every rank per paper §3.4).
+  void update_density(std::span<const double> rho_dense);
+
+  /// Sets the vector potential a(t) entering the kinetic term.
+  void set_vector_potential(const grid::Vec3& a);
+  const grid::Vec3& vector_potential() const { return a_; }
+
+  /// Registers the exchange orbitals (PT-CN refreshes these every SCF
+  /// iteration with Psi_f). Rebuilds ACE when enabled. Collective.
+  void set_exchange_orbitals(const CMatrix& phi_local, std::span<const double> occ_global,
+                             const par::BlockPartition& bands, par::Comm& comm);
+
+  /// y = H psi for a block of local bands (sphere coefficients).
+  /// Optional timers record "hpsi_local" and "hpsi_fock" phases.
+  void apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& comm,
+             TimerRegistry* timers = nullptr);
+
+  bool hybrid_enabled() const { return options_.hybrid.enabled; }
+  /// Toggles the exact-exchange term at runtime (the ground-state solver
+  /// converges an LDA phase before switching the hybrid on).
+  void set_hybrid_enabled(bool enabled) { options_.hybrid.enabled = enabled; }
+  FockOperator& fock() { return fock_; }
+  const FockOperator& fock() const { return fock_; }
+  const pseudo::NonlocalProjectors* nonlocal() const { return nonlocal_.get(); }
+
+  const std::vector<double>& v_local_ps() const { return v_loc_ps_; }
+  const std::vector<double>& v_hartree() const { return v_hartree_; }
+  const std::vector<double>& v_xc() const { return v_xc_; }
+  const std::vector<double>& eps_xc() const { return eps_xc_; }
+  double ewald_energy() const { return e_ewald_; }
+  /// Kinetic coefficients 1/2 |G + a|^2 per sphere index.
+  const std::vector<double>& kinetic() const { return kin_; }
+  fft::Fft3D& fft_dense() { return fft_dense_; }
+
+ private:
+  const PlanewaveSetup& setup_;
+  HamiltonianOptions options_;
+  fft::Fft3D fft_dense_;
+  std::vector<double> v_loc_ps_;
+  std::vector<double> v_hartree_;
+  std::vector<double> v_xc_;
+  std::vector<double> eps_xc_;
+  std::vector<double> v_total_;  ///< v_loc_ps + v_H + v_xc on the dense grid
+  std::unique_ptr<pseudo::NonlocalProjectors> nonlocal_;
+  FockOperator fock_;
+  AceOperator ace_;
+  grid::Vec3 a_{0.0, 0.0, 0.0};
+  std::vector<double> kin_;
+  double e_ewald_ = 0.0;
+};
+
+}  // namespace pwdft::ham

@@ -1,0 +1,38 @@
+#include "ham/hartree.hpp"
+
+#include "common/check.hpp"
+#include "ham/density.hpp"
+
+namespace pwdft::ham {
+
+std::vector<double> hartree_potential(const PlanewaveSetup& setup, fft::Fft3D& fft_dense,
+                                      std::span<const double> rho) {
+  const std::size_t nd = setup.n_dense();
+  PWDFT_CHECK(rho.size() == nd, "hartree_potential: density size mismatch");
+
+  std::vector<Complex> work(nd);
+  for (std::size_t i = 0; i < nd; ++i) work[i] = Complex{rho[i], 0.0};
+  fft_dense.forward(work.data());
+
+  // rho(G) = forward(rho)/N; V(G) = 4 pi rho(G)/G^2; V(r) = inverse(V(G)).
+  const double inv_n = 1.0 / static_cast<double>(nd);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const double g2 = setup.dense_g2[i];
+    work[i] *= (g2 < 1e-12) ? 0.0 : constants::four_pi * inv_n / g2;
+  }
+  fft_dense.inverse(work.data());
+
+  std::vector<double> vh(nd);
+  for (std::size_t i = 0; i < nd; ++i) vh[i] = work[i].real();
+  return vh;
+}
+
+double hartree_energy(const PlanewaveSetup& setup, std::span<const double> rho,
+                      std::span<const double> vh) {
+  PWDFT_CHECK(rho.size() == vh.size(), "hartree_energy: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i) acc += rho[i] * vh[i];
+  return 0.5 * acc * setup.weight_dense();
+}
+
+}  // namespace pwdft::ham

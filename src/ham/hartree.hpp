@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file hartree.hpp
+/// Hartree potential: one Poisson solve in reciprocal space on the dense
+/// grid, V_H(G) = 4 pi rho(G) / G^2 with the G = 0 term dropped
+/// (neutralizing background; pairs with Ewald and the V_loc alpha term).
+
+#include <span>
+#include <vector>
+
+#include "fft/fft3d.hpp"
+#include "ham/setup.hpp"
+
+namespace pwdft::ham {
+
+std::vector<double> hartree_potential(const PlanewaveSetup& setup, fft::Fft3D& fft_dense,
+                                      std::span<const double> rho);
+
+/// E_H = (1/2) integral rho V_H.
+double hartree_energy(const PlanewaveSetup& setup, std::span<const double> rho,
+                      std::span<const double> vh);
+
+}  // namespace pwdft::ham

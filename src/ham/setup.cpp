@@ -1,0 +1,35 @@
+#include "ham/setup.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::ham {
+
+PlanewaveSetup::PlanewaveSetup(crystal::Crystal c, double ecut_ha, int dense_factor_in)
+    : crystal(std::move(c)),
+      ecut(ecut_ha),
+      dense_factor(dense_factor_in),
+      wfc_grid(grid::FftGrid::for_gmax(crystal.lattice(), std::sqrt(2.0 * ecut_ha))),
+      dense_grid(wfc_grid.refined(dense_factor_in)),
+      sphere(crystal.lattice(), ecut_ha, wfc_grid) {
+  PWDFT_CHECK(dense_factor >= 1, "PlanewaveSetup: dense_factor must be >= 1");
+  map_wfc = sphere.map_to(wfc_grid);
+  map_dense = sphere.map_to(dense_grid);
+
+  dense_g2.resize(dense_grid.size());
+  const auto dims = dense_grid.dims();
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dims[2]; ++z) {
+    const int f2 = dense_grid.freq(z, 2);
+    for (std::size_t y = 0; y < dims[1]; ++y) {
+      const int f1 = dense_grid.freq(y, 1);
+      for (std::size_t x = 0; x < dims[0]; ++x, ++idx) {
+        const auto g = crystal.lattice().gvector(dense_grid.freq(x, 0), f1, f2);
+        dense_g2[idx] = grid::norm2(g);
+      }
+    }
+  }
+}
+
+}  // namespace pwdft::ham

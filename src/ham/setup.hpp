@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file setup.hpp
+/// Immutable per-problem context: crystal + cutoff + the two FFT grids
+/// (wavefunction grid for Fock exchange, dense grid for density/potentials,
+/// paper §4: e.g. Si1536 -> 60x90x120 and 120x180x240) + the G sphere and
+/// its scatter maps.
+
+#include <vector>
+
+#include "crystal/crystal.hpp"
+#include "grid/fftgrid.hpp"
+#include "grid/gsphere.hpp"
+
+namespace pwdft::ham {
+
+struct PlanewaveSetup {
+  /// dense_factor doubles the density grid relative to the wavefunction
+  /// grid (2 reproduces the paper; 1 is a cheaper mode for tests).
+  PlanewaveSetup(crystal::Crystal c, double ecut_ha, int dense_factor = 2);
+
+  crystal::Crystal crystal;
+  double ecut;
+  int dense_factor;
+  grid::FftGrid wfc_grid;
+  grid::FftGrid dense_grid;
+  grid::GSphere sphere;
+  std::vector<std::size_t> map_wfc;    ///< sphere -> wfc grid linear index
+  std::vector<std::size_t> map_dense;  ///< sphere -> dense grid linear index
+  std::vector<double> dense_g2;        ///< |G|^2 at every dense-grid point
+
+  double volume() const { return crystal.lattice().volume(); }
+  std::size_t n_g() const { return sphere.size(); }
+  std::size_t n_wfc() const { return wfc_grid.size(); }
+  std::size_t n_dense() const { return dense_grid.size(); }
+  /// Real-space quadrature weight on the dense grid: Omega / Ndense.
+  double weight_dense() const { return volume() / static_cast<double>(n_dense()); }
+  std::size_t n_bands() const { return crystal.n_occupied_bands(); }
+};
+
+}  // namespace pwdft::ham

@@ -1,0 +1,105 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace pwdft::io {
+
+namespace {
+
+constexpr char kMagicPsi[8] = {'P', 'W', 'D', 'F', 'T', 'P', 'S', '1'};
+constexpr char kMagicRho[8] = {'P', 'W', 'D', 'F', 'T', 'R', 'H', '1'};
+
+void write_meta(std::ofstream& f, const char magic[8], const CheckpointMeta& m) {
+  f.write(magic, 8);
+  f.write(reinterpret_cast<const char*>(&m), sizeof(m));
+}
+
+CheckpointMeta read_meta(std::ifstream& f, const char magic[8], const std::string& path) {
+  char got[8];
+  f.read(got, 8);
+  PWDFT_CHECK(f.good() && std::memcmp(got, magic, 8) == 0,
+              "checkpoint: bad magic in " << path);
+  CheckpointMeta m;
+  f.read(reinterpret_cast<char*>(&m), sizeof(m));
+  PWDFT_CHECK(f.good(), "checkpoint: truncated header in " << path);
+  return m;
+}
+
+void check_compatible(const CheckpointMeta& got, const CheckpointMeta* expected) {
+  if (!expected) return;
+  PWDFT_CHECK(got.n_g == expected->n_g, "checkpoint: planewave count mismatch (file "
+                                            << got.n_g << ", run " << expected->n_g << ")");
+  PWDFT_CHECK(got.n_bands == expected->n_bands, "checkpoint: band count mismatch");
+  PWDFT_CHECK(std::abs(got.ecut - expected->ecut) < 1e-12, "checkpoint: cutoff mismatch");
+}
+
+}  // namespace
+
+CheckpointMeta CheckpointMeta::from_setup(const ham::PlanewaveSetup& setup,
+                                          std::size_t n_bands, double time_au,
+                                          std::uint64_t step) {
+  CheckpointMeta m;
+  m.n_g = setup.n_g();
+  m.n_bands = n_bands;
+  m.n_dense = setup.n_dense();
+  m.ecut = setup.ecut;
+  m.time_au = time_au;
+  m.step = step;
+  return m;
+}
+
+void save_wavefunctions(const std::string& path, const CheckpointMeta& meta,
+                        const CMatrix& psi) {
+  PWDFT_CHECK(psi.rows() == meta.n_g && psi.cols() == meta.n_bands,
+              "checkpoint: wavefunction shape does not match metadata");
+  std::ofstream f(path, std::ios::binary);
+  PWDFT_CHECK(f.good(), "checkpoint: cannot open " << path << " for writing");
+  write_meta(f, kMagicPsi, meta);
+  f.write(reinterpret_cast<const char*>(psi.data()),
+          static_cast<std::streamsize>(psi.size() * sizeof(Complex)));
+  PWDFT_CHECK(f.good(), "checkpoint: short write to " << path);
+}
+
+CheckpointMeta load_wavefunctions(const std::string& path, CMatrix& psi,
+                                  const CheckpointMeta* expected) {
+  std::ifstream f(path, std::ios::binary);
+  PWDFT_CHECK(f.good(), "checkpoint: cannot open " << path);
+  const CheckpointMeta m = read_meta(f, kMagicPsi, path);
+  check_compatible(m, expected);
+  psi.resize(m.n_g, m.n_bands);
+  f.read(reinterpret_cast<char*>(psi.data()),
+         static_cast<std::streamsize>(psi.size() * sizeof(Complex)));
+  PWDFT_CHECK(f.good(), "checkpoint: truncated payload in " << path);
+  return m;
+}
+
+void save_density(const std::string& path, const CheckpointMeta& meta,
+                  const std::vector<double>& rho) {
+  PWDFT_CHECK(rho.size() == meta.n_dense, "checkpoint: density size does not match metadata");
+  std::ofstream f(path, std::ios::binary);
+  PWDFT_CHECK(f.good(), "checkpoint: cannot open " << path << " for writing");
+  write_meta(f, kMagicRho, meta);
+  f.write(reinterpret_cast<const char*>(rho.data()),
+          static_cast<std::streamsize>(rho.size() * sizeof(double)));
+  PWDFT_CHECK(f.good(), "checkpoint: short write to " << path);
+}
+
+CheckpointMeta load_density(const std::string& path, std::vector<double>& rho,
+                            const CheckpointMeta* expected) {
+  std::ifstream f(path, std::ios::binary);
+  PWDFT_CHECK(f.good(), "checkpoint: cannot open " << path);
+  const CheckpointMeta m = read_meta(f, kMagicRho, path);
+  if (expected) {
+    PWDFT_CHECK(m.n_dense == expected->n_dense, "checkpoint: dense-grid size mismatch");
+  }
+  rho.resize(m.n_dense);
+  f.read(reinterpret_cast<char*>(rho.data()),
+         static_cast<std::streamsize>(rho.size() * sizeof(double)));
+  PWDFT_CHECK(f.good(), "checkpoint: truncated payload in " << path);
+  return m;
+}
+
+}  // namespace pwdft::io

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Binary checkpointing of wavefunctions and densities so long rt-TDDFT
+/// trajectories (the paper's production runs are 600 steps / 30 fs) can be
+/// split across job allocations. Format: a fixed header with problem
+/// metadata that is validated on load, followed by raw little-endian
+/// doubles.
+
+#include <string>
+#include <vector>
+
+#include "ham/setup.hpp"
+#include "linalg/matrix.hpp"
+
+namespace pwdft::io {
+
+struct CheckpointMeta {
+  std::uint64_t n_g = 0;
+  std::uint64_t n_bands = 0;
+  std::uint64_t n_dense = 0;
+  double ecut = 0.0;
+  double time_au = 0.0;  ///< simulation time of the snapshot
+  std::uint64_t step = 0;
+
+  static CheckpointMeta from_setup(const ham::PlanewaveSetup& setup, std::size_t n_bands,
+                                   double time_au, std::uint64_t step);
+};
+
+/// Writes wavefunctions (sphere coefficients, full band set) + metadata.
+void save_wavefunctions(const std::string& path, const CheckpointMeta& meta,
+                        const CMatrix& psi);
+
+/// Reads a checkpoint; throws pwdft::Error on a malformed file. When
+/// `expected` is non-null its n_g/n_bands/ecut must match (restart safety).
+CheckpointMeta load_wavefunctions(const std::string& path, CMatrix& psi,
+                                  const CheckpointMeta* expected = nullptr);
+
+/// Dense-grid density snapshots.
+void save_density(const std::string& path, const CheckpointMeta& meta,
+                  const std::vector<double>& rho);
+CheckpointMeta load_density(const std::string& path, std::vector<double>& rho,
+                            const CheckpointMeta* expected = nullptr);
+
+}  // namespace pwdft::io

@@ -1,0 +1,123 @@
+#include "linalg/blas.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::linalg {
+
+namespace {
+
+std::size_t op_rows(char op, const CMatrix& m) { return op == 'N' ? m.rows() : m.cols(); }
+std::size_t op_cols(char op, const CMatrix& m) { return op == 'N' ? m.cols() : m.rows(); }
+
+Complex op_elem(char op, const CMatrix& m, std::size_t i, std::size_t j) {
+  switch (op) {
+    case 'N':
+      return m(i, j);
+    case 'T':
+      return m(j, i);
+    default:
+      return std::conj(m(j, i));
+  }
+}
+
+/// C = alpha * A^H * B + beta * C; A is k-by-m, B is k-by-n, columns
+/// contiguous, so each C(i,j) is a contiguous conjugated dot product.
+void gemm_cn(Complex alpha, const CMatrix& a, const CMatrix& b, Complex beta, CMatrix& c) {
+  const std::size_t m = a.cols(), n = b.cols(), k = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    const Complex* bj = b.col(j);
+    for (std::size_t i = 0; i < m; ++i) {
+      const Complex* ai = a.col(i);
+      Complex acc{0.0, 0.0};
+      for (std::size_t l = 0; l < k; ++l) acc += std::conj(ai[l]) * bj[l];
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+/// C = alpha * A * B + beta * C with A m-by-k, B k-by-n. Column-major
+/// friendly: accumulate C's column j as a linear combination of A's columns.
+void gemm_nn(Complex alpha, const CMatrix& a, const CMatrix& b, Complex beta, CMatrix& c) {
+  const std::size_t m = a.rows(), n = b.cols(), k = a.cols();
+  for (std::size_t j = 0; j < n; ++j) {
+    Complex* cj = c.col(j);
+    if (beta == Complex{0.0, 0.0}) {
+      for (std::size_t i = 0; i < m; ++i) cj[i] = Complex{0.0, 0.0};
+    } else if (beta != Complex{1.0, 0.0}) {
+      for (std::size_t i = 0; i < m; ++i) cj[i] *= beta;
+    }
+    for (std::size_t l = 0; l < k; ++l) {
+      const Complex f = alpha * b(l, j);
+      if (f == Complex{0.0, 0.0}) continue;
+      const Complex* al = a.col(l);
+      for (std::size_t i = 0; i < m; ++i) cj[i] += f * al[i];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(char opa, char opb, Complex alpha, const CMatrix& a, const CMatrix& b, Complex beta,
+          CMatrix& c) {
+  PWDFT_CHECK(opa == 'N' || opa == 'T' || opa == 'C', "bad opa");
+  PWDFT_CHECK(opb == 'N' || opb == 'T' || opb == 'C', "bad opb");
+  const std::size_t m = op_rows(opa, a);
+  const std::size_t n = op_cols(opb, b);
+  const std::size_t k = op_cols(opa, a);
+  PWDFT_CHECK(op_rows(opb, b) == k, "gemm: inner dimensions mismatch");
+  PWDFT_CHECK(c.rows() == m && c.cols() == n, "gemm: C has wrong shape");
+
+  if (opa == 'C' && opb == 'N') {
+    gemm_cn(alpha, a, b, beta, c);
+    return;
+  }
+  if (opa == 'N' && opb == 'N') {
+    gemm_nn(alpha, a, b, beta, c);
+    return;
+  }
+  // Generic fallback for the remaining op combinations (cold paths).
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t l = 0; l < k; ++l) acc += op_elem(opa, a, i, l) * op_elem(opb, b, l, j);
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+CMatrix overlap(const CMatrix& a, const CMatrix& b) {
+  PWDFT_CHECK(a.rows() == b.rows(), "overlap: row mismatch");
+  CMatrix s(a.cols(), b.cols());
+  gemm('C', 'N', Complex{1.0, 0.0}, a, b, Complex{0.0, 0.0}, s);
+  return s;
+}
+
+void axpy(Complex alpha, std::span<const Complex> x, std::span<Complex> y) {
+  PWDFT_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Complex dotc(std::span<const Complex> x, std::span<const Complex> y) {
+  PWDFT_ASSERT(x.size() == y.size());
+  Complex acc{0.0, 0.0};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += std::conj(x[i]) * y[i];
+  return acc;
+}
+
+double nrm2(std::span<const Complex> x) {
+  double acc = 0.0;
+  for (const Complex& v : x) acc += std::norm(v);
+  return std::sqrt(acc);
+}
+
+void scal(Complex alpha, std::span<Complex> x) {
+  for (Complex& v : x) v *= alpha;
+}
+
+double frobenius_norm(const CMatrix& a) {
+  return nrm2(std::span<const Complex>(a.data(), a.size()));
+}
+
+}  // namespace pwdft::linalg

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file blas.hpp
+/// Complex dense kernels standing in for cuBLAS: GEMM (ops N/T/C), rank-k
+/// overlap products, and level-1 helpers. The two hot paths in PT-CN are
+///   S = X^H * Y   (overlap matrices, Alg. 3 step 2)
+///   Y = X * S     (subspace rotations, Alg. 3 step 4)
+/// and both have dedicated cache-friendly loops.
+
+#include <span>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace pwdft::linalg {
+
+/// C = alpha * op(A) * op(B) + beta * C, with op in {'N','T','C'}.
+void gemm(char opa, char opb, Complex alpha, const CMatrix& a, const CMatrix& b, Complex beta,
+          CMatrix& c);
+
+/// Convenience: returns A^H * B (the overlap of two wavefunction blocks).
+CMatrix overlap(const CMatrix& a, const CMatrix& b);
+
+/// y += alpha * x
+void axpy(Complex alpha, std::span<const Complex> x, std::span<Complex> y);
+
+/// Conjugated dot product: sum_i conj(x_i) * y_i.
+Complex dotc(std::span<const Complex> x, std::span<const Complex> y);
+
+/// Euclidean norm.
+double nrm2(std::span<const Complex> x);
+
+/// x *= alpha
+void scal(Complex alpha, std::span<Complex> x);
+
+/// Frobenius norm of a matrix.
+double frobenius_norm(const CMatrix& a);
+
+}  // namespace pwdft::linalg

@@ -1,0 +1,64 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::linalg {
+
+void potrf_lower(CMatrix& a) {
+  PWDFT_CHECK(a.rows() == a.cols(), "potrf: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j).real();
+    for (std::size_t k = 0; k < j; ++k) diag -= std::norm(a(j, k));
+    PWDFT_CHECK(diag > 0.0, "potrf: matrix not positive definite at column " << j);
+    const double ljj = std::sqrt(diag);
+    a(j, j) = Complex{ljj, 0.0};
+    for (std::size_t i = j + 1; i < n; ++i) {
+      Complex v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a(i, k) * std::conj(a(j, k));
+      a(i, j) = v / ljj;
+    }
+    for (std::size_t i = 0; i < j; ++i) a(i, j) = Complex{0.0, 0.0};
+  }
+}
+
+void trsm_right_lower_conj(CMatrix& x, const CMatrix& l) {
+  PWDFT_CHECK(l.rows() == l.cols() && l.rows() == x.cols(), "trsm: shape mismatch");
+  const std::size_t m = x.rows(), n = x.cols();
+  // Solve Q * L^H = X column-by-column:  q_j = (x_j - sum_{k<j} q_k conj(L(j,k))) / L(j,j).
+  for (std::size_t j = 0; j < n; ++j) {
+    Complex* xj = x.col(j);
+    for (std::size_t k = 0; k < j; ++k) {
+      const Complex f = std::conj(l(j, k));
+      if (f == Complex{0.0, 0.0}) continue;
+      const Complex* xk = x.col(k);
+      for (std::size_t i = 0; i < m; ++i) xj[i] -= f * xk[i];
+    }
+    const Complex d = l(j, j);
+    PWDFT_CHECK(std::abs(d) > 0.0, "trsm: singular triangular factor");
+    const Complex inv = Complex{1.0, 0.0} / d;
+    for (std::size_t i = 0; i < m; ++i) xj[i] *= inv;
+  }
+}
+
+void solve_lower(const CMatrix& l, Complex* b) {
+  const std::size_t n = l.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * b[k];
+    b[i] = v / l(i, i);
+  }
+}
+
+void solve_lower_conj(const CMatrix& l, Complex* b) {
+  const std::size_t n = l.rows();
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= std::conj(l(k, ii)) * b[k];
+    b[ii] = v / std::conj(l(ii, ii));
+  }
+}
+
+}  // namespace pwdft::linalg

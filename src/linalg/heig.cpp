@@ -1,0 +1,105 @@
+#include "linalg/heig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace pwdft::linalg {
+
+namespace {
+
+double offdiag_norm(const CMatrix& a) {
+  const std::size_t n = a.rows();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j + 1; i < n; ++i) acc += std::norm(a(i, j));
+  return std::sqrt(2.0 * acc);
+}
+
+}  // namespace
+
+void heig(const CMatrix& a_in, std::vector<double>& evals, CMatrix& v) {
+  PWDFT_CHECK(a_in.rows() == a_in.cols(), "heig: matrix must be square");
+  const std::size_t n = a_in.rows();
+
+  // Hermitize defensively; callers assemble A from products that can carry
+  // O(eps) asymmetry.
+  CMatrix a(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      a(i, j) = 0.5 * (a_in(i, j) + std::conj(a_in(j, i)));
+
+  v.resize(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = Complex{1.0, 0.0};
+
+  double scale = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(a(i, j)));
+  if (scale == 0.0) scale = 1.0;
+  const double tol = 1e-14 * scale * static_cast<double>(n);
+
+  const int max_sweeps = 60;
+  for (int sweep = 0; sweep < max_sweeps && offdiag_norm(a) > tol; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const Complex apq = a(p, q);
+        const double mag = std::abs(apq);
+        if (mag <= tol / static_cast<double>(n)) continue;
+
+        // 2x2 block [[app, apq],[conj(apq), aqq]]. With apq = mag*e^{i*phi},
+        // the unitary U = [[c, -s e^{i phi}],[s e^{-i phi}, c]] zeroes the
+        // off-diagonal when tan(2 theta) = 2*mag / (app - aqq).
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const Complex phase = apq / mag;  // e^{i phi}
+        const double tau = (app - aqq) / (2.0 * mag);
+        const double t = (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                      : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        // Column update: A <- A U.
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip + s * std::conj(phase) * aiq;
+          a(i, q) = -s * phase * aip + c * aiq;
+        }
+        // Row update: A <- U^H A.
+        for (std::size_t j = 0; j < n; ++j) {
+          const Complex apj = a(p, j), aqj = a(q, j);
+          a(p, j) = c * apj + s * phase * aqj;
+          a(q, j) = -s * std::conj(phase) * apj + c * aqj;
+        }
+        // Accumulate eigenvectors: V <- V U.
+        for (std::size_t i = 0; i < n; ++i) {
+          const Complex vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip + s * std::conj(phase) * viq;
+          v(i, q) = -s * phase * vip + c * viq;
+        }
+        a(p, q) = Complex{0.0, 0.0};
+        a(q, p) = Complex{0.0, 0.0};
+      }
+    }
+  }
+
+  evals.resize(n);
+  for (std::size_t i = 0; i < n; ++i) evals[i] = a(i, i).real();
+
+  // Sort ascending, permuting eigenvector columns accordingly.
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(),
+            [&](std::size_t x, std::size_t y) { return evals[x] < evals[y]; });
+  std::vector<double> ev(n);
+  CMatrix vs(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    ev[k] = evals[perm[k]];
+    for (std::size_t i = 0; i < n; ++i) vs(i, k) = v(i, perm[k]);
+  }
+  evals = std::move(ev);
+  v = std::move(vs);
+}
+
+}  // namespace pwdft::linalg

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file heig.hpp
+/// Hermitian eigensolver (cyclic complex Jacobi). Used for the Rayleigh-Ritz
+/// step of LOBPCG and for small subspace diagonalizations; matrix sizes in
+/// this code are at most a few hundred, where Jacobi is robust and accurate.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace pwdft::linalg {
+
+/// Computes all eigenvalues (ascending) and eigenvectors of a Hermitian
+/// matrix. Only the values implied by hermitizing (A + A^H)/2 are used.
+/// On return, v.col(k) is the eigenvector for evals[k], and V is unitary.
+void heig(const CMatrix& a, std::vector<double>& evals, CMatrix& v);
+
+}  // namespace pwdft::linalg

@@ -1,0 +1,45 @@
+#include "linalg/lsq.hpp"
+
+#include "common/check.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace pwdft::linalg {
+
+std::vector<Complex> lsq_solve(const CMatrix& a, std::span<const Complex> b, double lam) {
+  PWDFT_CHECK(a.rows() == b.size(), "lsq: rhs size mismatch");
+  const std::size_t n = a.cols();
+  CMatrix gram = overlap(a, a);
+  std::vector<Complex> rhs(n);
+  for (std::size_t j = 0; j < n; ++j)
+    rhs[j] = dotc(std::span<const Complex>(a.col(j), a.rows()), b);
+  return lsq_solve_gram(gram, rhs, lam);
+}
+
+std::vector<Complex> lsq_solve_gram(const CMatrix& gram, std::span<const Complex> rhs,
+                                    double lam) {
+  PWDFT_CHECK(gram.rows() == gram.cols(), "lsq: Gram matrix must be square");
+  PWDFT_CHECK(gram.rows() == rhs.size(), "lsq: rhs size mismatch");
+  const std::size_t n = gram.rows();
+  PWDFT_CHECK(lam >= 0.0, "lsq: negative regularization");
+
+  // Scale-invariant regularization: lam is relative to the mean diagonal.
+  double diag_mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) diag_mean += gram(i, i).real();
+  diag_mean = (n > 0) ? diag_mean / static_cast<double>(n) : 1.0;
+  if (diag_mean <= 0.0) diag_mean = 1.0;
+
+  CMatrix m(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      m(i, j) = 0.5 * (gram(i, j) + std::conj(gram(j, i)));
+  for (std::size_t i = 0; i < n; ++i) m(i, i) += lam * diag_mean;
+
+  std::vector<Complex> x(rhs.begin(), rhs.end());
+  potrf_lower(m);
+  solve_lower(m, x.data());
+  solve_lower_conj(m, x.data());
+  return x;
+}
+
+}  // namespace pwdft::linalg

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file lsq.hpp
+/// Tikhonov-regularized complex least squares, min_x ||A x - b||^2 + lam ||x||^2,
+/// solved via the normal equations. Sized for the Anderson mixing history
+/// (paper §3.4: at most a 20x20 problem per mixed quantity).
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace pwdft::linalg {
+
+/// Solves the regularized normal equations (A^H A + lam I) x = A^H b.
+/// `a` is m-by-n with m >= 1, n >= 1; returns x of size n.
+std::vector<Complex> lsq_solve(const CMatrix& a, std::span<const Complex> b, double lam);
+
+/// Variant taking the Gram matrix G = A^H A and rhs r = A^H b directly
+/// (used when the Gram matrix is assembled distributedly via Allreduce).
+std::vector<Complex> lsq_solve_gram(const CMatrix& gram, std::span<const Complex> rhs,
+                                    double lam);
+
+}  // namespace pwdft::linalg

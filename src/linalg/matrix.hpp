@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Minimal column-major dense matrix. Wavefunction blocks are stored as
+/// CMatrix with one band per column (the paper's "band index" layout maps a
+/// block of columns to each rank; the "G-space" layout maps a block of rows).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pwdft {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), d_(rows * cols) {}
+  Matrix(std::size_t rows, std::size_t cols, T init)
+      : rows_(rows), cols_(cols), d_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return d_.size(); }
+  bool empty() const { return d_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    PWDFT_ASSERT(i < rows_ && j < cols_);
+    return d_[i + rows_ * j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    PWDFT_ASSERT(i < rows_ && j < cols_);
+    return d_[i + rows_ * j];
+  }
+
+  T* data() { return d_.data(); }
+  const T* data() const { return d_.data(); }
+  T* col(std::size_t j) {
+    PWDFT_ASSERT(j < cols_);
+    return d_.data() + rows_ * j;
+  }
+  const T* col(std::size_t j) const {
+    PWDFT_ASSERT(j < cols_);
+    return d_.data() + rows_ * j;
+  }
+
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    d_.assign(rows * cols, T{});
+  }
+  void fill(T v) { std::fill(d_.begin(), d_.end(), v); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.d_ == b.d_;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> d_;
+};
+
+using CMatrix = Matrix<Complex>;
+using RMatrix = Matrix<double>;
+
+}  // namespace pwdft

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file comm.hpp
+/// Message-passing abstraction ("vmpi") standing in for MPI.
+///
+/// All distributed algorithms in this library (Alg. 2 Fock broadcast
+/// pipeline, Alg. 3 residual evaluation, density Allreduce, wavefunction
+/// transposes) are written against this interface, exactly as the paper's
+/// PWDFT is written against MPI. Two implementations exist:
+///   - SerialComm: the 1-rank case, all ops are local no-ops/copies;
+///   - ThreadComm: N ranks as threads in one process with rendezvous
+///     collectives (see thread_comm.hpp).
+/// Every operation records call counts, payload bytes, and wall time into
+/// CommStats; the perf model validates its volume formulas (paper §7)
+/// against these measured numbers.
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pwdft::par {
+
+enum class CommOp : int {
+  kBcast = 0,
+  kAllreduce,
+  kAlltoallv,
+  kAllgatherv,
+  kSendRecv,
+  kBarrier,
+  kCount
+};
+
+const char* comm_op_name(CommOp op);
+
+struct OpStats {
+  std::size_t calls = 0;
+  std::size_t bytes = 0;  ///< receive-side payload volume
+  double seconds = 0.0;
+};
+
+/// Per-rank accumulated communication statistics.
+class CommStats {
+ public:
+  void add(CommOp op, std::size_t bytes, double seconds) {
+    auto& s = ops_[static_cast<int>(op)];
+    ++s.calls;
+    s.bytes += bytes;
+    s.seconds += seconds;
+  }
+  const OpStats& get(CommOp op) const { return ops_[static_cast<int>(op)]; }
+  std::size_t total_bytes() const {
+    std::size_t t = 0;
+    for (const auto& s : ops_) t += s.bytes;
+    return t;
+  }
+  void reset() { ops_ = {}; }
+
+ private:
+  std::array<OpStats, static_cast<int>(CommOp::kCount)> ops_{};
+};
+
+/// Abstract communicator. Methods are collective unless noted; every rank of
+/// the communicator must call them in the same order (MPI semantics).
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  virtual void barrier() = 0;
+  virtual void bcast_bytes(void* data, std::size_t bytes, int root) = 0;
+  virtual void allreduce_sum(double* data, std::size_t count) = 0;
+  virtual void allreduce_sum(Complex* data, std::size_t count) = 0;
+  /// Byte-granularity all-to-all; counts/displs arrays have size() entries.
+  virtual void alltoallv_bytes(const unsigned char* send, const std::size_t* send_counts,
+                               const std::size_t* send_displs, unsigned char* recv,
+                               const std::size_t* recv_counts, const std::size_t* recv_displs) = 0;
+  virtual void allgatherv_bytes(const unsigned char* send, std::size_t send_bytes,
+                                unsigned char* recv, const std::size_t* recv_counts,
+                                const std::size_t* recv_displs) = 0;
+  /// Point-to-point (not collective).
+  virtual void send_bytes(const void* data, std::size_t bytes, int dest, int tag) = 0;
+  virtual void recv_bytes(void* data, std::size_t bytes, int src, int tag) = 0;
+
+  /// Typed broadcast convenience.
+  template <typename T>
+  void bcast(T* data, std::size_t count, int root) {
+    bcast_bytes(static_cast<void*>(data), count * sizeof(T), root);
+  }
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+ protected:
+  CommStats stats_;
+};
+
+/// Single-rank communicator; every collective is a local no-op.
+class SerialComm final : public Comm {
+ public:
+  int rank() const override { return 0; }
+  int size() const override { return 1; }
+  void barrier() override;
+  void bcast_bytes(void* data, std::size_t bytes, int root) override;
+  void allreduce_sum(double* data, std::size_t count) override;
+  void allreduce_sum(Complex* data, std::size_t count) override;
+  void alltoallv_bytes(const unsigned char* send, const std::size_t* send_counts,
+                       const std::size_t* send_displs, unsigned char* recv,
+                       const std::size_t* recv_counts, const std::size_t* recv_displs) override;
+  void allgatherv_bytes(const unsigned char* send, std::size_t send_bytes, unsigned char* recv,
+                        const std::size_t* recv_counts, const std::size_t* recv_displs) override;
+  void send_bytes(const void* data, std::size_t bytes, int dest, int tag) override;
+  void recv_bytes(void* data, std::size_t bytes, int src, int tag) override;
+};
+
+}  // namespace pwdft::par

@@ -1,0 +1,4 @@
+#include "parallel/distribution.hpp"
+
+// Header-only logic; translation unit kept so the library exposes a stable
+// object for this module and for future non-inline additions.

@@ -1,0 +1,187 @@
+#include "parallel/thread_comm.hpp"
+
+#include <barrier>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace pwdft::par {
+
+namespace detail {
+
+struct SharedState {
+  explicit SharedState(int n) : nranks(n), sync(n), ptrs(n), aux(n) {}
+
+  int nranks;
+  std::barrier<> sync;
+  /// Per-rank published buffer pointer for the current collective.
+  std::vector<const void*> ptrs;
+  /// Per-rank published auxiliary pointer (counts/displs for alltoallv).
+  std::vector<std::array<const std::size_t*, 2>> aux;
+
+  // Point-to-point mailbox: key = (src, dst, tag).
+  struct MailEntry {
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+    bool consumed = false;
+  };
+  std::mutex mail_mutex;
+  std::condition_variable mail_cv;
+  std::map<std::tuple<int, int, int>, MailEntry> mailbox;
+};
+
+}  // namespace detail
+
+using detail::SharedState;
+
+ThreadComm::ThreadComm(std::shared_ptr<SharedState> shared, int rank)
+    : shared_(std::move(shared)), rank_(rank) {}
+
+ThreadComm::~ThreadComm() = default;
+
+int ThreadComm::size() const { return shared_->nranks; }
+
+void ThreadComm::barrier() {
+  WallTimer t;
+  shared_->sync.arrive_and_wait();
+  stats_.add(CommOp::kBarrier, 0, t.seconds());
+}
+
+void ThreadComm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  PWDFT_CHECK(root >= 0 && root < size(), "bcast: root out of range");
+  WallTimer t;
+  shared_->ptrs[rank_] = data;
+  shared_->sync.arrive_and_wait();
+  if (rank_ != root) std::memcpy(data, shared_->ptrs[root], bytes);
+  shared_->sync.arrive_and_wait();
+  stats_.add(CommOp::kBcast, rank_ == root ? 0 : bytes, t.seconds());
+}
+
+template <typename T>
+void ThreadComm::allreduce_sum_impl(T* data, std::size_t count) {
+  WallTimer t;
+  shared_->ptrs[rank_] = data;
+  shared_->sync.arrive_and_wait();
+  std::vector<T> acc(count, T{});
+  for (int r = 0; r < size(); ++r) {
+    const T* src = static_cast<const T*>(shared_->ptrs[r]);
+    for (std::size_t i = 0; i < count; ++i) acc[i] += src[i];
+  }
+  shared_->sync.arrive_and_wait();  // all ranks finished reading
+  std::memcpy(data, acc.data(), count * sizeof(T));
+  stats_.add(CommOp::kAllreduce, count * sizeof(T), t.seconds());
+}
+
+void ThreadComm::allreduce_sum(double* data, std::size_t count) {
+  allreduce_sum_impl(data, count);
+}
+
+void ThreadComm::allreduce_sum(Complex* data, std::size_t count) {
+  allreduce_sum_impl(data, count);
+}
+
+void ThreadComm::alltoallv_bytes(const unsigned char* send, const std::size_t* send_counts,
+                                 const std::size_t* send_displs, unsigned char* recv,
+                                 const std::size_t* recv_counts,
+                                 const std::size_t* recv_displs) {
+  WallTimer t;
+  shared_->ptrs[rank_] = send;
+  shared_->aux[rank_] = {send_counts, send_displs};
+  shared_->sync.arrive_and_wait();
+  std::size_t received = 0;
+  for (int r = 0; r < size(); ++r) {
+    const auto* src = static_cast<const unsigned char*>(shared_->ptrs[r]);
+    const std::size_t* sc = shared_->aux[r][0];
+    const std::size_t* sd = shared_->aux[r][1];
+    PWDFT_CHECK(sc[rank_] == recv_counts[r],
+                "alltoallv: rank " << r << " sends " << sc[rank_] << " bytes, expected "
+                                   << recv_counts[r]);
+    std::memcpy(recv + recv_displs[r], src + sd[rank_], sc[rank_]);
+    if (r != rank_) received += sc[rank_];
+  }
+  shared_->sync.arrive_and_wait();
+  stats_.add(CommOp::kAlltoallv, received, t.seconds());
+}
+
+void ThreadComm::allgatherv_bytes(const unsigned char* send, std::size_t send_bytes,
+                                  unsigned char* recv, const std::size_t* recv_counts,
+                                  const std::size_t* recv_displs) {
+  WallTimer t;
+  shared_->ptrs[rank_] = send;
+  shared_->aux[rank_][0] = &send_bytes;
+  shared_->sync.arrive_and_wait();
+  std::size_t received = 0;
+  for (int r = 0; r < size(); ++r) {
+    const std::size_t bytes = *shared_->aux[r][0];
+    PWDFT_CHECK(bytes == recv_counts[r], "allgatherv: count mismatch from rank " << r);
+    std::memcpy(recv + recv_displs[r], shared_->ptrs[r], bytes);
+    if (r != rank_) received += bytes;
+  }
+  shared_->sync.arrive_and_wait();
+  stats_.add(CommOp::kAllgatherv, received, t.seconds());
+}
+
+void ThreadComm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
+  PWDFT_CHECK(dest >= 0 && dest < size() && dest != rank_, "send: bad destination");
+  WallTimer t;
+  const auto key = std::make_tuple(rank_, dest, tag);
+  std::unique_lock lock(shared_->mail_mutex);
+  shared_->mail_cv.wait(lock, [&] { return shared_->mailbox.find(key) == shared_->mailbox.end(); });
+  shared_->mailbox[key] = {data, bytes, false};
+  shared_->mail_cv.notify_all();
+  shared_->mail_cv.wait(lock, [&] {
+    auto it = shared_->mailbox.find(key);
+    return it != shared_->mailbox.end() && it->second.consumed;
+  });
+  shared_->mailbox.erase(key);
+  shared_->mail_cv.notify_all();
+  stats_.add(CommOp::kSendRecv, bytes, t.seconds());
+}
+
+void ThreadComm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
+  PWDFT_CHECK(src >= 0 && src < size() && src != rank_, "recv: bad source");
+  WallTimer t;
+  const auto key = std::make_tuple(src, rank_, tag);
+  std::unique_lock lock(shared_->mail_mutex);
+  shared_->mail_cv.wait(lock, [&] {
+    auto it = shared_->mailbox.find(key);
+    return it != shared_->mailbox.end() && !it->second.consumed;
+  });
+  auto& entry = shared_->mailbox[key];
+  PWDFT_CHECK(entry.bytes == bytes, "recv: size mismatch (sent " << entry.bytes << ", expected "
+                                                                 << bytes << ")");
+  std::memcpy(data, entry.data, bytes);
+  entry.consumed = true;
+  shared_->mail_cv.notify_all();
+  stats_.add(CommOp::kSendRecv, bytes, t.seconds());
+}
+
+std::vector<CommStats> ThreadGroup::run(int nranks, const RankFn& fn) {
+  PWDFT_CHECK(nranks >= 1, "ThreadGroup: need at least one rank");
+  auto shared = std::make_shared<SharedState>(nranks);
+  std::vector<CommStats> stats(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(nranks);
+
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      ThreadComm comm(shared, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+      stats[r] = comm.stats();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return stats;
+}
+
+}  // namespace pwdft::par

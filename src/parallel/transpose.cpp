@@ -1,0 +1,114 @@
+#include "parallel/transpose.hpp"
+
+#include <complex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pwdft::par {
+
+namespace {
+
+using ComplexF = std::complex<float>;
+
+/// Runs one alltoallv where block (dst <- src) carries the sub-matrix of
+/// src's local bands restricted to dst's G rows, in band-major order.
+template <typename Wire>
+void transpose_impl(Comm& comm, const BlockPartition& gvecs, const BlockPartition& bands,
+                    const CMatrix& band_local, CMatrix* g_out, const CMatrix* g_in,
+                    CMatrix* band_out) {
+  const int np = comm.size();
+  const int me = comm.rank();
+  const std::size_t nb_loc = bands.count(me);
+  const std::size_t ng_loc = gvecs.count(me);
+  const bool to_g = (g_out != nullptr);
+
+  std::vector<std::size_t> scounts(np), sdispls(np), rcounts(np), rdispls(np);
+  std::size_t soff = 0, roff = 0;
+  for (int r = 0; r < np; ++r) {
+    // Element counts of the exchanged blocks.
+    const std::size_t fwd = bands.count(me) * gvecs.count(r);  // me -> r (band_to_g)
+    const std::size_t bwd = bands.count(r) * gvecs.count(me);  // r -> me (band_to_g)
+    scounts[r] = (to_g ? fwd : bwd) * sizeof(Wire);
+    rcounts[r] = (to_g ? bwd : fwd) * sizeof(Wire);
+    sdispls[r] = soff;
+    rdispls[r] = roff;
+    soff += scounts[r];
+    roff += rcounts[r];
+  }
+
+  std::vector<Wire> sendbuf(soff / sizeof(Wire));
+  std::vector<Wire> recvbuf(roff / sizeof(Wire));
+
+  // Pack.
+  if (to_g) {
+    PWDFT_CHECK(band_local.rows() == gvecs.total() && band_local.cols() == nb_loc,
+                "band_to_g: bad band-local shape");
+    std::size_t p = 0;
+    for (int r = 0; r < np; ++r) {
+      const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
+      for (std::size_t j = 0; j < nb_loc; ++j) {
+        const Complex* cj = band_local.col(j) + g0;
+        for (std::size_t i = 0; i < gn; ++i) sendbuf[p++] = Wire(cj[i]);
+      }
+    }
+  } else {
+    PWDFT_CHECK(g_in->rows() == ng_loc && g_in->cols() == bands.total(),
+                "g_to_band: bad G-local shape");
+    std::size_t p = 0;
+    for (int r = 0; r < np; ++r) {
+      const std::size_t b0 = bands.offset(r), bn = bands.count(r);
+      for (std::size_t j = 0; j < bn; ++j) {
+        const Complex* cj = g_in->col(b0 + j);
+        for (std::size_t i = 0; i < ng_loc; ++i) sendbuf[p++] = Wire(cj[i]);
+      }
+    }
+  }
+
+  comm.alltoallv_bytes(reinterpret_cast<const unsigned char*>(sendbuf.data()), scounts.data(),
+                       sdispls.data(), reinterpret_cast<unsigned char*>(recvbuf.data()),
+                       rcounts.data(), rdispls.data());
+
+  // Unpack.
+  if (to_g) {
+    g_out->resize(ng_loc, bands.total());
+    std::size_t p = 0;
+    for (int r = 0; r < np; ++r) {
+      const std::size_t b0 = bands.offset(r), bn = bands.count(r);
+      for (std::size_t j = 0; j < bn; ++j) {
+        Complex* cj = g_out->col(b0 + j);
+        for (std::size_t i = 0; i < ng_loc; ++i) cj[i] = Complex(recvbuf[p++]);
+      }
+    }
+  } else {
+    band_out->resize(gvecs.total(), nb_loc);
+    std::size_t p = 0;
+    for (int r = 0; r < np; ++r) {
+      const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
+      for (std::size_t j = 0; j < nb_loc; ++j) {
+        Complex* cj = band_out->col(j) + g0;
+        for (std::size_t i = 0; i < gn; ++i) cj[i] = Complex(recvbuf[p++]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void WavefunctionTranspose::band_to_g(Comm& comm, const CMatrix& band_local, CMatrix& g_local,
+                                      bool single_precision) const {
+  if (single_precision)
+    transpose_impl<ComplexF>(comm, gvecs_, bands_, band_local, &g_local, nullptr, nullptr);
+  else
+    transpose_impl<Complex>(comm, gvecs_, bands_, band_local, &g_local, nullptr, nullptr);
+}
+
+void WavefunctionTranspose::g_to_band(Comm& comm, const CMatrix& g_local, CMatrix& band_local,
+                                      bool single_precision) const {
+  if (single_precision)
+    transpose_impl<ComplexF>(comm, gvecs_, bands_, CMatrix{}, nullptr, &g_local, &band_local);
+  else
+    transpose_impl<Complex>(comm, gvecs_, bands_, CMatrix{}, nullptr, &g_local, &band_local);
+}
+
+}  // namespace pwdft::par

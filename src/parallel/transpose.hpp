@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file transpose.hpp
+/// Band-index <-> G-space transposes via Alltoallv (paper §3.1, Fig. 1).
+///
+/// Band layout:  local matrix is (n_g  x  nb_local), bands [b0, b0+nb_local).
+/// G layout:     local matrix is (ng_local x nb_total), rows [g0, g0+ng_local).
+///
+/// Payloads can be sent in double precision or converted to single precision
+/// for the wire (paper §3.2 optimization 4 / §3.3), mirroring the
+/// communication-volume halving on Summit; data is converted back to double
+/// on arrival.
+
+#include "linalg/matrix.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/distribution.hpp"
+
+namespace pwdft::par {
+
+class WavefunctionTranspose {
+ public:
+  WavefunctionTranspose() = default;
+  WavefunctionTranspose(BlockPartition gvecs, BlockPartition bands)
+      : gvecs_(gvecs), bands_(bands) {}
+
+  /// band_local: (n_g x nb_local) -> g_local: (ng_local x nb_total).
+  void band_to_g(Comm& comm, const CMatrix& band_local, CMatrix& g_local,
+                 bool single_precision) const;
+
+  /// g_local: (ng_local x nb_total) -> band_local: (n_g x nb_local).
+  void g_to_band(Comm& comm, const CMatrix& g_local, CMatrix& band_local,
+                 bool single_precision) const;
+
+  const BlockPartition& gvecs() const { return gvecs_; }
+  const BlockPartition& bands() const { return bands_; }
+
+ private:
+  BlockPartition gvecs_;
+  BlockPartition bands_;
+};
+
+}  // namespace pwdft::par

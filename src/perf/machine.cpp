@@ -1,0 +1,29 @@
+#include "perf/machine.hpp"
+
+// Calibration notes (values in machine.hpp):
+//
+// All scaling behaviour in the model is derived from hardware rates and the
+// algorithm's operation counts (paper §7). Eight residual coefficients are
+// fitted once against anchor rows of the paper's Table 1/2 for the 1536-atom
+// silicon system and then held fixed for every other system size and GPU
+// count:
+//
+//  - fft_flop_per_point (6.0): effective FLOP of a 3-D CUFFT per point per
+//    log2(N); chosen so the per-step FLOP matches the paper's NVPROF count
+//    of 3.87e16 within ~10%.
+//  - fock_overhead (1.38): ratio of the measured per-pair Poisson-solve time
+//    (Table 1, 36 GPUs: 90.99 s / (3072^2/36) pairs = 347 us) to the
+//    bandwidth+FLOP lower bound (252 us).
+//  - fock_band_fixed_s: per-band fixed cost visible in the 3072-GPU row
+//    where each rank holds a single band.
+//  - gemm_eff (0.25): from the residual-computation row (includes the
+//    pack/unpack traffic around the GEMMs).
+//  - allreduce_bw (0.55 GB/s): from the flat ~0.52-0.67 s overlap-matrix
+//    Allreduce row (144 MB payload).
+//  - nvlink_eff (0.43): from the Anderson-mixing CPU-GPU copy row.
+//  - bcast_floor_* / bcast_tree_coef / bcast_hide_eff: from the Fock MPI row;
+//    see model.cpp (fock_bcast_measured) for the functional form.
+//  - cpu_core_fft_flops (1.1 GF/s): from the CPU reference (8874 s per step
+//    on 3072 cores, ~95% Fock).
+
+namespace pwdft::perf {}  // namespace pwdft::perf

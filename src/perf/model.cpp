@@ -1,0 +1,238 @@
+#include "perf/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::perf {
+
+namespace {
+double log2d(double x) { return std::log2(x); }
+}  // namespace
+
+double SummitModel::fft_flop(double n) const {
+  return m_.fft_flop_per_point * n * log2d(n);
+}
+
+double SummitModel::fock_compute_per_apply(int ngpu, bool batched) const {
+  PWDFT_CHECK(ngpu >= 1, "model: ngpu must be positive");
+  const double pairs = static_cast<double>(w_.ne) * static_cast<double>(w_.ne) /
+                       static_cast<double>(ngpu);
+  // Per pair: forward + inverse FFT on the wavefunction grid plus the
+  // pointwise kernels (pair density, kernel multiply, accumulation).
+  const double t_flop = 2.0 * fft_flop(w_.ng) / (m_.gpu_peak_flops * m_.fft_flop_eff);
+  const double t_bw = 6.0 * 16.0 * w_.ng / (m_.gpu_hbm_bw * m_.kernel_bw_eff);
+  double t_pair = (t_flop + t_bw) * m_.fock_overhead;
+  double t_fixed = m_.fock_band_fixed_s;
+  if (!batched) {
+    // Band-by-band launches cannot saturate HBM and multiply launch counts
+    // (paper §3.2 step 2).
+    t_pair *= m_.batch_penalty;
+    t_fixed *= 4.0;
+  }
+  return pairs * t_pair + static_cast<double>(w_.ne) * t_fixed;
+}
+
+double SummitModel::fock_bcast_raw_per_apply(int ngpu, bool single_precision) const {
+  // Every rank receives all Ne wavefunctions per application (paper §7:
+  // 15.36 GB per node at single precision for Si1536).
+  const double volume = w_.fock_bcast_bytes_per_rank(single_precision);
+  const double tree =
+      1.0 + std::max(0.0, m_.bcast_tree_coef * log2d(static_cast<double>(ngpu) / 768.0));
+  return volume / m_.nic_rank_bw() * tree;
+}
+
+double SummitModel::fock_bcast_measured_per_apply(int ngpu) const {
+  // Two regimes (fitted against the Table 1 "Fock exchange operator MPI"
+  // row, see machine.cpp): a software/latency floor that grows slowly with
+  // the communicator size, and the bandwidth term left exposed after the
+  // prefetch pipeline hides up to bcast_hide_eff of the compute time.
+  const double floor = m_.bcast_floor_36gpu_s * (static_cast<double>(w_.ne) / 3072.0) *
+                       std::pow(static_cast<double>(ngpu) / 36.0, m_.bcast_floor_exp);
+  const double raw = fock_bcast_raw_per_apply(ngpu, /*single_precision=*/true);
+  const double hidden = m_.bcast_hide_eff * fock_compute_per_apply(ngpu);
+  return std::max(floor, raw - hidden);
+}
+
+double SummitModel::local_semilocal_per_apply(int ngpu) const {
+  // Per band: two dense-grid FFTs, the pointwise potential multiply, and
+  // the sparse nonlocal projectors (bandwidth bound).
+  const double t_fft = 2.0 * fft_flop(w_.ndense) / (m_.gpu_peak_flops * m_.fft_flop_eff);
+  const double t_bw = 6.0 * 16.0 * w_.ndense / (m_.gpu_hbm_bw * m_.kernel_bw_eff);
+  const double per_band = (t_fft + t_bw) * m_.fock_overhead;
+  return static_cast<double>(w_.ne) / static_cast<double>(ngpu) * per_band;
+}
+
+ScfBreakdown SummitModel::scf_breakdown(int ngpu) const {
+  PWDFT_CHECK(ngpu >= 1, "model: ngpu must be positive");
+  const double np = ngpu;
+  const double ne = static_cast<double>(w_.ne);
+  ScfBreakdown b;
+
+  b.fock_comp = fock_compute_per_apply(ngpu);
+  b.fock_mpi = fock_bcast_measured_per_apply(ngpu);
+  b.local_semilocal = local_semilocal_per_apply(ngpu);
+
+  // Residual (Alg. 3): 4 wavefunction transposes (3 in + 1 out, single
+  // precision), the overlap-matrix Allreduce, and two GEMMs + BLAS1.
+  const double a2av_bytes = 4.0 * w_.ng * ne * 8.0 / np;
+  b.resid_alltoallv = a2av_bytes / m_.nic_rank_bw();
+  const double s_bytes = ne * ne * 16.0;
+  b.resid_allreduce = 2.0 * s_bytes / m_.allreduce_bw * (0.8 + 0.04 * log2d(np));
+  const double gemm_flop = 2.0 * 8.0 * w_.ng * ne * ne / np;
+  b.resid_comp = gemm_flop / (m_.gpu_peak_flops * m_.gemm_eff);
+
+  // Anderson mixing: per band, up to `depth` history copies move over
+  // NVLink (paper §3.4 keeps the history in host memory), plus the small
+  // least-squares work (bandwidth bound on the overlap evaluations).
+  const double nb_loc = ne / np;
+  const double and_bytes = 2.0 * nb_loc * static_cast<double>(w_.anderson_depth) * w_.ng * 16.0;
+  b.anderson_memcpy = and_bytes / (m_.nvlink_bw * m_.nvlink_eff);
+  b.anderson_comp = 82.8 / np * (ne / 3072.0) * (w_.ng / 648000.0);
+
+  // Density: one dense FFT + accumulation per band, then a 8*Ndense-byte
+  // Allreduce (paper: ~40 MB for Si1536).
+  const double dens_band = (fft_flop(w_.ndense) / (m_.gpu_peak_flops * m_.fft_flop_eff) +
+                            3.0 * 16.0 * w_.ndense / (m_.gpu_hbm_bw * m_.kernel_bw_eff));
+  b.density_comp = ne / np * dens_band;
+  b.density_allreduce = 2.0 * w_.ndense * 8.0 / m_.allreduce_bw * (0.8 + 0.04 * log2d(np));
+
+  // "Others" (paper §3.4): Hartree/XC and density-variable broadcasts,
+  // parallelized on the CPU side; a flat part, a 1/P part, slow log growth.
+  const double dens_scale = w_.ndense / 5184000.0;
+  b.others = m_.others_base_s * dens_scale + m_.others_per_gpu_s * dens_scale / np +
+             m_.others_log_s * log2d(np);
+  return b;
+}
+
+double SummitModel::ptcn_step_total(int ngpu) const {
+  const ScfBreakdown b = scf_breakdown(ngpu);
+  // 22 SCF iterations + 2 extra Fock-bearing H applications (initial
+  // residual Rn and the energy evaluation) + orthogonalization.
+  const double extra_applies = static_cast<double>(w_.fock_applies - w_.nscf);
+  const double ortho = 0.017 + 0.10;  // Cholesky (paper: 0.017 s) + rotation
+  return w_.nscf * b.per_scf() + extra_applies * b.hpsi_total() + ortho;
+}
+
+StepCommBreakdown SummitModel::comm_breakdown(int ngpu) const {
+  const ScfBreakdown b = scf_breakdown(ngpu);
+  StepCommBreakdown c;
+  const double napply = static_cast<double>(w_.fock_applies);
+  const double np = ngpu;
+
+  c.bcast = napply * fock_bcast_measured_per_apply(ngpu) +
+            1.5 * (w_.ndense / 5184000.0);  // density-variable broadcasts
+  c.alltoallv = w_.nscf * b.resid_alltoallv + 2.0 * (4.0 * w_.ng * static_cast<double>(w_.ne) *
+                                                     8.0 / np / m_.nic_rank_bw());
+  c.allreduce = w_.nscf * (b.resid_allreduce + b.density_allreduce);
+  c.allgatherv = 1.0 * (w_.ndense / 5184000.0) * (0.5 + 0.1 * log2d(np));
+  c.memcpy = w_.nscf * b.anderson_memcpy + m_.memcpy_stage_gpu_s * (w_.ne / 3072.0) *
+                                               (w_.ng / 648000.0) / np +
+             m_.memcpy_fixed_s;
+  c.compute = ptcn_step_total(ngpu) - c.mpi_total() - c.memcpy;
+  return c;
+}
+
+double SummitModel::rk4_50as_total(int ngpu) const {
+  // RK4 with dt = 0.5 as: 100 steps per 50 as, 4 H applications each,
+  // density/potential rebuilt per stage. The RK4 code path predates the
+  // communication optimizations: double-precision broadcasts, no overlap.
+  const ScfBreakdown b = scf_breakdown(ngpu);
+  const double nsteps = w_.dt_as / w_.rk4_dt_as;
+  const double per_apply = fock_compute_per_apply(ngpu) + local_semilocal_per_apply(ngpu) +
+                           fock_bcast_raw_per_apply(ngpu, /*single_precision=*/false);
+  const double per_stage_misc = b.density_total();
+  return nsteps * (4.0 * (per_apply + per_stage_misc) + b.others);
+}
+
+double SummitModel::cpu_step_total(int ncores) const {
+  PWDFT_CHECK(ncores >= 1, "model: ncores must be positive");
+  // Fock dominates (~95%); the remainder is scaled from the paper's CPU run.
+  const double pairs = static_cast<double>(w_.ne) * static_cast<double>(w_.ne) /
+                       static_cast<double>(ncores);
+  const double t_pair = 2.0 * fft_flop(w_.ng) / m_.cpu_core_fft_flops;
+  const double fock_per_apply = pairs * t_pair;
+  const double napply = static_cast<double>(w_.fock_applies);
+  return napply * fock_per_apply / 0.95;
+}
+
+double SummitModel::total_flop_per_step() const {
+  const double ne = static_cast<double>(w_.ne);
+  const double napply = static_cast<double>(w_.fock_applies);
+  const double fock = napply * ne * ne * (2.0 * fft_flop(w_.ng) + 6.0 * 2.0 * w_.ng);
+  const double local = napply * ne * (2.0 * fft_flop(w_.ndense) + 6.0 * 2.0 * w_.ndense);
+  const double gemm = w_.nscf * 2.0 * 8.0 * w_.ng * ne * ne;
+  const double density = (w_.nscf + 2.0) * ne * (fft_flop(w_.ndense) + 2.0 * w_.ndense);
+  return fock + local + gemm + density;
+}
+
+double SummitModel::gpu_power_w(int ngpu) const {
+  const int nodes = (ngpu + m_.gpus_per_node - 1) / m_.gpus_per_node;
+  return nodes * (m_.gpus_per_node * m_.gpu_power_w + 2.0 * m_.cpu_socket_power_w);
+}
+
+int SummitModel::cpu_nodes(int ncores) const {
+  return static_cast<int>(std::lround(static_cast<double>(ncores) / m_.cpu_cores_per_node_used));
+}
+
+double SummitModel::cpu_power_w(int ncores) const {
+  return cpu_nodes(ncores) * 2.0 * m_.cpu_socket_power_w;
+}
+
+double SummitModel::anderson_memory_gb_per_rank(int ngpu) const {
+  const double nb_loc = static_cast<double>(w_.ne) / static_cast<double>(ngpu);
+  // depth copies of the local wavefunctions, double precision complex.
+  return static_cast<double>(w_.anderson_depth) * nb_loc * w_.ng * 16.0 / 1e9;
+}
+
+SummitModel::MemoryBreakdown SummitModel::memory_breakdown(int ngpu) const {
+  MemoryBreakdown m;
+  const double nb_loc = static_cast<double>(w_.ne) / static_cast<double>(ngpu);
+  const double wfc_bytes = w_.ng * 16.0;
+  // Psi, H Psi, Psi_half, residual (+ the real-space block in the Fock
+  // apply) — five wavefunction-sized blocks of local bands.
+  m.wavefunctions_gpu = 5.0 * nb_loc * wfc_bytes / 1e9;
+  // One broadcast band (double-buffered) + an 8-wide pair-density batch on
+  // the wavefunction grid.
+  m.fock_buffers_gpu = (2.0 + 8.0) * w_.ng * 16.0 / 1e9;
+  // Paper §3.2: 432 MB of nonlocal projectors for 1536 atoms, replicated on
+  // every rank — 281 kB per atom.
+  m.projectors_gpu = 432e6 / 1536.0 * static_cast<double>(w_.natoms) / 1e9;
+  // rho, V_H, V_xc, V_loc, eps_xc, workspace on the dense grid, replicated
+  // per rank (paper §3.4 keeps density-related variables on each task).
+  m.density_vars_gpu = 6.0 * w_.ndense * 8.0 / 1e9;
+  m.anderson_host = 2.0 * anderson_memory_gb_per_rank(ngpu);  // Psi & residual history
+  return m;
+}
+
+std::vector<FockStage> SummitModel::fock_stages(int ngpu, int cpu_cores) const {
+  std::vector<FockStage> stages;
+  const double cpu = cpu_step_total(cpu_cores) * 0.95 / static_cast<double>(w_.fock_applies);
+  stages.push_back({"CPU (" + std::to_string(cpu_cores) + " cores)", cpu});
+
+  // Staging copies through the host before CUDA-aware MPI (step 3) move the
+  // received volume once more over NVLink.
+  const double staging =
+      w_.fock_bcast_bytes_per_rank(false) / (m_.nvlink_bw * m_.nvlink_eff);
+
+  const double band_by_band = fock_compute_per_apply(ngpu, /*batched=*/false) +
+                              fock_bcast_raw_per_apply(ngpu, false) + staging;
+  stages.push_back({"GPU band-by-band", band_by_band});
+
+  const double batched = fock_compute_per_apply(ngpu, /*batched=*/true) +
+                         fock_bcast_raw_per_apply(ngpu, false) + staging;
+  stages.push_back({"+ batched FFT", batched});
+
+  const double cuda_aware = fock_compute_per_apply(ngpu) + fock_bcast_raw_per_apply(ngpu, false);
+  stages.push_back({"+ CUDA-aware MPI", cuda_aware});
+
+  const double sp = fock_compute_per_apply(ngpu) + fock_bcast_raw_per_apply(ngpu, true);
+  stages.push_back({"+ single-precision MPI", sp});
+
+  const double overlap = fock_compute_per_apply(ngpu) + fock_bcast_measured_per_apply(ngpu);
+  stages.push_back({"+ overlap comm/compute", overlap});
+  return stages;
+}
+
+}  // namespace pwdft::perf

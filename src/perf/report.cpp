@@ -1,0 +1,227 @@
+#include "perf/report.hpp"
+
+#include <cmath>
+
+namespace pwdft::perf {
+
+std::vector<int> paper_gpu_counts() { return {36, 72, 144, 288, 384, 768, 1536, 3072}; }
+
+Table table1(const SummitModel& model, const std::vector<int>& gpus, int cpu_cores) {
+  std::vector<std::string> header{"component"};
+  for (int g : gpus) header.push_back(std::to_string(g));
+  Table t(header);
+
+  std::vector<ScfBreakdown> b;
+  b.reserve(gpus.size());
+  for (int g : gpus) b.push_back(model.scf_breakdown(g));
+
+  auto row = [&](const std::string& name, auto getter, int prec = 3) {
+    t.add_row();
+    t.add_cell(name);
+    for (std::size_t i = 0; i < gpus.size(); ++i) t.add_cell(getter(b[i], gpus[i]), prec);
+  };
+
+  row("Fock exchange MPI", [](const ScfBreakdown& x, int) { return x.fock_mpi; });
+  row("Fock exchange computation", [](const ScfBreakdown& x, int) { return x.fock_comp; });
+  row("Fock exchange total", [](const ScfBreakdown& x, int) { return x.fock_total(); });
+  row("Local and semi-local", [](const ScfBreakdown& x, int) { return x.local_semilocal; });
+  row("HPsi total", [](const ScfBreakdown& x, int) { return x.hpsi_total(); });
+  row("Wavefunction Alltoallv", [](const ScfBreakdown& x, int) { return x.resid_alltoallv; });
+  row("<Psi|Psi> Allreduce", [](const ScfBreakdown& x, int) { return x.resid_allreduce; });
+  row("Residual computation", [](const ScfBreakdown& x, int) { return x.resid_comp; });
+  row("Residual total", [](const ScfBreakdown& x, int) { return x.resid_total(); });
+  row("Anderson memcpy", [](const ScfBreakdown& x, int) { return x.anderson_memcpy; });
+  row("Anderson computation", [](const ScfBreakdown& x, int) { return x.anderson_comp; });
+  row("Anderson total", [](const ScfBreakdown& x, int) { return x.anderson_total(); });
+  row("Density computation", [](const ScfBreakdown& x, int) { return x.density_comp; });
+  row("Density Allreduce", [](const ScfBreakdown& x, int) { return x.density_allreduce; });
+  row("Density total", [](const ScfBreakdown& x, int) { return x.density_total(); });
+  row("Others", [](const ScfBreakdown& x, int) { return x.others; });
+  row("per SCF time", [](const ScfBreakdown& x, int) { return x.per_scf(); }, 2);
+
+  const double cpu_total = model.cpu_step_total(cpu_cores);
+  t.add_row();
+  t.add_cell("Total time");
+  for (int g : gpus) t.add_cell(model.ptcn_step_total(g), 1);
+  t.add_row();
+  t.add_cell("Total speedup vs CPU");
+  for (int g : gpus) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << cpu_total / model.ptcn_step_total(g) << "x";
+    t.add_cell(os.str());
+  }
+  t.add_row();
+  t.add_cell("HPsi percentage");
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    std::ostringstream os;
+    const double frac = (model.workload().fock_applies *
+                         b[i].hpsi_total()) /
+                        model.ptcn_step_total(gpus[i]) * 100.0;
+    os << std::fixed << std::setprecision(1) << frac << "%";
+    t.add_cell(os.str());
+  }
+  return t;
+}
+
+Table table2(const SummitModel& model, const std::vector<int>& gpus) {
+  std::vector<std::string> header{"per-step time (s)"};
+  for (int g : gpus) header.push_back(std::to_string(g));
+  Table t(header);
+
+  std::vector<StepCommBreakdown> c;
+  c.reserve(gpus.size());
+  for (int g : gpus) c.push_back(model.comm_breakdown(g));
+
+  auto row = [&](const std::string& name, auto getter) {
+    t.add_row();
+    t.add_cell(name);
+    for (const auto& x : c) t.add_cell(getter(x), 2);
+  };
+  row("CPU-GPU memory copy", [](const StepCommBreakdown& x) { return x.memcpy; });
+  row("MPI_Alltoallv", [](const StepCommBreakdown& x) { return x.alltoallv; });
+  row("MPI_Allreduce", [](const StepCommBreakdown& x) { return x.allreduce; });
+  row("MPI_Bcast", [](const StepCommBreakdown& x) { return x.bcast; });
+  row("MPI_AllGatherv", [](const StepCommBreakdown& x) { return x.allgatherv; });
+  row("MPI total", [](const StepCommBreakdown& x) { return x.mpi_total(); });
+  row("Computational time", [](const StepCommBreakdown& x) { return x.compute; });
+  return t;
+}
+
+Table fig3(const SummitModel& model, int ngpu, int cpu_cores) {
+  Table t({"stage", "Fock time per SCF (s)", "speedup vs CPU"});
+  const auto stages = model.fock_stages(ngpu, cpu_cores);
+  const double cpu = stages.front().seconds;
+  for (const auto& s : stages) {
+    t.add_row();
+    t.add_cell(s.name);
+    t.add_cell(s.seconds, 2);
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << cpu / s.seconds << "x";
+    t.add_cell(os.str());
+  }
+  return t;
+}
+
+Table fig6(const SummitModel& model, const std::vector<int>& gpus) {
+  Table t({"GPUs", "RK4 (s per 50 as)", "PT-CN (s per 50 as)", "PT-CN speedup"});
+  for (int g : gpus) {
+    const double rk4 = model.rk4_50as_total(g);
+    const double pt = model.ptcn_step_total(g);
+    t.add_row();
+    t.add_cell(g);
+    t.add_cell(rk4, 1);
+    t.add_cell(pt, 1);
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << rk4 / pt << "x";
+    t.add_cell(os.str());
+  }
+  return t;
+}
+
+Table fig7a(const SummitModel& model, const std::vector<int>& gpus) {
+  Table t({"GPUs", "total", "HPsi", "residual", "anderson", "density", "others", "ideal"});
+  const double base = model.ptcn_step_total(gpus.front());
+  for (int g : gpus) {
+    const auto b = model.scf_breakdown(g);
+    const int n = model.workload().nscf;
+    t.add_row();
+    t.add_cell(g);
+    t.add_cell(model.ptcn_step_total(g), 1);
+    t.add_cell((n + 2) * b.hpsi_total(), 1);
+    t.add_cell(n * b.resid_total(), 2);
+    t.add_cell(n * b.anderson_total(), 2);
+    t.add_cell(n * b.density_total(), 2);
+    t.add_cell(n * b.others, 2);
+    t.add_cell(base * gpus.front() / g, 1);
+  }
+  return t;
+}
+
+Table fig7b(const SummitModel& model, const std::vector<int>& gpus) {
+  Table t({"GPUs", "Fock comp", "local", "residual comp", "anderson comp", "density comp"});
+  for (int g : gpus) {
+    const auto b = model.scf_breakdown(g);
+    t.add_row();
+    t.add_cell(g);
+    t.add_cell(b.fock_comp, 2);
+    t.add_cell(b.local_semilocal, 3);
+    t.add_cell(b.resid_comp, 3);
+    t.add_cell(b.anderson_comp, 3);
+    t.add_cell(b.density_comp, 4);
+  }
+  return t;
+}
+
+Table fig8(const SummitMachine& machine, const std::vector<std::size_t>& natoms) {
+  Table t({"atoms", "GPUs", "time per 50 as (s)", "ideal O(N^2)"});
+  // Anchor the ideal-scaling line at the largest system, as in the paper.
+  const std::size_t n_ref = natoms.back();
+  SummitModel ref(machine, Workload::silicon(n_ref));
+  const double t_ref = ref.ptcn_step_total(static_cast<int>(n_ref / 2));
+  for (std::size_t n : natoms) {
+    SummitModel m(machine, Workload::silicon(n));
+    const int g = static_cast<int>(n / 2);
+    t.add_row();
+    t.add_cell(n);
+    t.add_cell(g);
+    t.add_cell(m.ptcn_step_total(g), 2);
+    const double ratio = static_cast<double>(n) / static_cast<double>(n_ref);
+    t.add_cell(t_ref * ratio * ratio, 2);
+  }
+  return t;
+}
+
+Table fig9(const SummitModel& model, const std::vector<int>& gpus) {
+  Table t({"GPUs", "HPsi", "residual", "density", "anderson", "others", "per-SCF total"});
+  for (int g : gpus) {
+    const auto b = model.scf_breakdown(g);
+    t.add_row();
+    t.add_cell(g);
+    t.add_cell(b.hpsi_total(), 2);
+    t.add_cell(b.resid_total(), 2);
+    t.add_cell(b.density_total(), 3);
+    t.add_cell(b.anderson_total(), 3);
+    t.add_cell(b.others, 2);
+    t.add_cell(b.per_scf(), 2);
+  }
+  return t;
+}
+
+Table fig10(const SummitModel& model, const std::vector<int>& gpus) {
+  Table t({"GPUs", "MPI Bcast", "memcpy", "Alltoallv", "Allreduce", "compute"});
+  for (int g : gpus) {
+    const auto c = model.comm_breakdown(g);
+    t.add_row();
+    t.add_cell(g);
+    t.add_cell(c.bcast, 1);
+    t.add_cell(c.memcpy, 1);
+    t.add_cell(c.alltoallv, 2);
+    t.add_cell(c.allreduce, 2);
+    t.add_cell(c.compute, 1);
+  }
+  return t;
+}
+
+Table power_comparison(const SummitModel& model, int ngpu, int cpu_cores) {
+  Table t({"configuration", "nodes", "power (W)", "step time (s)", "speedup"});
+  const double cpu_time = model.cpu_step_total(cpu_cores);
+  const double gpu_time = model.ptcn_step_total(ngpu);
+  const int gpu_nodes = (ngpu + 5) / 6;
+  t.add_row();
+  t.add_cell("CPU, " + std::to_string(cpu_cores) + " cores");
+  t.add_cell(model.cpu_nodes(cpu_cores));
+  t.add_cell(model.cpu_power_w(cpu_cores), 0);
+  t.add_cell(cpu_time, 1);
+  t.add_cell("1.0x");
+  t.add_row();
+  t.add_cell("GPU, " + std::to_string(ngpu) + " GPUs");
+  t.add_cell(gpu_nodes);
+  t.add_cell(model.gpu_power_w(ngpu), 0);
+  t.add_cell(gpu_time, 1);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << cpu_time / gpu_time << "x";
+  t.add_cell(os.str());
+  return t;
+}
+
+}  // namespace pwdft::perf

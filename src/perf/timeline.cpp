@@ -1,0 +1,90 @@
+#include "perf/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pwdft::perf {
+
+PipelineResult simulate_fock_pipeline(const SummitMachine& machine, const Workload& workload,
+                                      int ngpu, const PipelineOptions& opt) {
+  PWDFT_CHECK(ngpu >= 1, "timeline: ngpu must be positive");
+  const std::size_t nb = opt.bands ? opt.bands : workload.ne;
+
+  // Per-band durations: wire transfer, host<->device staging, and the
+  // compute slice (all pair solves against this broadcast band).
+  const double msg = workload.wfc_bytes(opt.single_precision);
+  const double t_bcast = msg / machine.nic_rank_bw();
+  const double t_stage = msg / (machine.nvlink_bw * machine.nvlink_eff);
+  const double pairs_per_band =
+      static_cast<double>(workload.ne) / static_cast<double>(ngpu);
+  const double flop_pair = 2.0 * machine.fft_flop_per_point * workload.ng *
+                           std::log2(workload.ng);
+  const double t_pair = (flop_pair / (machine.gpu_peak_flops * machine.fft_flop_eff) +
+                         6.0 * 16.0 * workload.ng / (machine.gpu_hbm_bw * machine.kernel_bw_eff)) *
+                        machine.fock_overhead;
+  const double t_compute = pairs_per_band * t_pair;
+
+  PipelineResult res;
+  double comm_free = 0.0;     // when the network channel is next available
+  double compute_free = 0.0;  // when the compute stream is next available
+  std::vector<double> ready(nb, 0.0);
+
+  for (std::size_t i = 0; i < nb; ++i) {
+    // Broadcast band i. Without overlap the broadcast waits for all prior
+    // compute (fully serialized schedule).
+    double b0 = comm_free;
+    if (!opt.overlap) b0 = std::max(b0, compute_free);
+    const double b1 = b0 + t_bcast;
+    res.events.push_back({PipelineEvent::Kind::kBcast, i, b0, b1});
+    comm_free = b1;
+
+    // Staging copy to the device. With CUDA-aware MPI (paper Fig. 2) the
+    // copy synchronizes with the compute stream: it must wait for compute
+    // to drain and blocks it while running.
+    double s0 = b1;
+    if (opt.sync_staging) s0 = std::max(s0, compute_free);
+    const double s1 = s0 + t_stage;
+    res.events.push_back({PipelineEvent::Kind::kStaging, i, s0, s1});
+    if (opt.sync_staging) compute_free = std::max(compute_free, s1);
+    comm_free = std::max(comm_free, s1);
+    ready[i] = s1;
+
+    // Compute slice for band i.
+    const double c0 = std::max(compute_free, ready[i]);
+    const double c1 = c0 + t_compute;
+    res.events.push_back({PipelineEvent::Kind::kCompute, i, c0, c1});
+    compute_free = c1;
+  }
+
+  res.total_time = compute_free;
+  res.compute_busy = static_cast<double>(nb) * t_compute;
+  res.comm_busy = static_cast<double>(nb) * (t_bcast + t_stage);
+  res.exposed_comm = res.total_time - res.compute_busy;
+  return res;
+}
+
+std::string render_timeline(const PipelineResult& result, std::size_t max_bands,
+                            double seconds_per_char) {
+  PWDFT_CHECK(seconds_per_char > 0.0, "timeline: bad scale");
+  std::ostringstream os;
+  auto lane = [&](PipelineEvent::Kind kind, char symbol, const char* label) {
+    std::string row;
+    for (const auto& e : result.events) {
+      if (e.kind != kind || e.band >= max_bands) continue;
+      const auto c0 = static_cast<std::size_t>(e.start / seconds_per_char);
+      const auto c1 = std::max(c0 + 1, static_cast<std::size_t>(e.end / seconds_per_char));
+      if (row.size() < c1) row.resize(c1, ' ');
+      for (std::size_t c = c0; c < c1; ++c) row[c] = symbol;
+    }
+    os << label << " |" << row << "\n";
+  };
+  lane(PipelineEvent::Kind::kBcast, 'B', "net  ");
+  lane(PipelineEvent::Kind::kStaging, 's', "stage");
+  lane(PipelineEvent::Kind::kCompute, 'C', "gpu  ");
+  return os.str();
+}
+
+}  // namespace pwdft::perf

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Event-level simulation of the Fock-exchange broadcast pipeline (Alg. 2
+/// with the §3.2 step-5 overlap). This is the executable counterpart of the
+/// paper's Fig. 2 profiling discussion: with CUDA-aware MPI_Bcast, Spectrum
+/// MPI inserts synchronized host staging copies that break the overlap of
+/// communication and computation; staging explicitly + broadcasting from
+/// the host restores a clean two-channel pipeline.
+
+#include <string>
+#include <vector>
+
+#include "perf/machine.hpp"
+#include "perf/workload.hpp"
+
+namespace pwdft::perf {
+
+struct PipelineEvent {
+  enum class Kind { kBcast, kStaging, kCompute };
+  Kind kind;
+  std::size_t band = 0;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct PipelineOptions {
+  bool overlap = true;          ///< prefetch next band during compute
+  bool sync_staging = false;    ///< staging copy blocks the compute stream
+                                ///< (the CUDA-aware MPI behaviour of Fig. 2)
+  bool single_precision = true;
+  std::size_t bands = 0;        ///< 0 = full workload band count
+};
+
+struct PipelineResult {
+  std::vector<PipelineEvent> events;
+  double total_time = 0.0;
+  double compute_busy = 0.0;   ///< sum of compute-event durations
+  double comm_busy = 0.0;      ///< sum of bcast + staging durations
+  double exposed_comm = 0.0;   ///< total_time - compute_busy
+  /// Fraction of communication hidden behind computation, in [0, 1].
+  double overlap_efficiency() const {
+    return comm_busy <= 0.0 ? 1.0
+                            : std::max(0.0, 1.0 - exposed_comm / comm_busy);
+  }
+};
+
+/// Simulates one Fock application's per-band schedule on two resources
+/// (network channel, GPU compute stream) for one rank of `ngpu`.
+PipelineResult simulate_fock_pipeline(const SummitMachine& machine, const Workload& workload,
+                                      int ngpu, const PipelineOptions& opt);
+
+/// ASCII Gantt rendering of the first `max_bands` bands (for the bench).
+std::string render_timeline(const PipelineResult& result, std::size_t max_bands,
+                            double seconds_per_char);
+
+}  // namespace pwdft::perf

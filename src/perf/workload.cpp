@@ -1,0 +1,18 @@
+#include "perf/workload.hpp"
+
+#include "common/check.hpp"
+
+namespace pwdft::perf {
+
+Workload Workload::silicon(std::size_t natoms) {
+  PWDFT_CHECK(natoms >= 8 && natoms % 8 == 0, "Workload: silicon systems come in 8-atom cells");
+  Workload w;
+  w.natoms = natoms;
+  w.ne = 2 * natoms;  // 4 valence electrons per atom, doubly occupied bands
+  // 15 grid points per 10.26-Bohr cell edge at Ecut = 10 Ha => 15^3 * ncells.
+  w.ng = 3375.0 * static_cast<double>(natoms) / 8.0;
+  w.ndense = 8.0 * w.ng;  // density grid doubles each dimension
+  return w;
+}
+
+}  // namespace pwdft::perf

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file workload.hpp
+/// Problem-size model for the paper's silicon systems (§4): Natom atoms,
+/// Ne = 2 Natom bands, wavefunction grid NG = 648000 * Natom/1536
+/// (exactly 15^3 points per 8-atom cell), dense density grid 8x NG,
+/// PT-CN with 22 SCF iterations and 24 Fock applications per 50 as step.
+
+#include <cstddef>
+
+namespace pwdft::perf {
+
+struct Workload {
+  std::size_t natoms = 1536;
+  std::size_t ne = 3072;      ///< number of bands (wavefunctions)
+  double ng = 648000.0;       ///< wavefunction grid points (NG)
+  double ndense = 5184000.0;  ///< density grid points
+  int nscf = 22;              ///< SCF iterations per PT-CN step (paper avg)
+  int fock_applies = 24;      ///< 22 SCF + residual Rn + energy (paper §7)
+  int anderson_depth = 20;
+  double dt_as = 50.0;
+  double rk4_dt_as = 0.5;
+
+  /// Bytes of one wavefunction on the wire (paper: 5.0 MB single precision).
+  double wfc_bytes(bool single_precision) const { return ng * (single_precision ? 8.0 : 16.0); }
+
+  /// Total per-step communication volume of the Fock broadcasts received by
+  /// one rank: Ne * NG * bytes (paper §3.2: Np*NG*Ne across ranks).
+  double fock_bcast_bytes_per_rank(bool single_precision) const {
+    return static_cast<double>(ne) * wfc_bytes(single_precision);
+  }
+
+  static Workload silicon(std::size_t natoms);
+};
+
+}  // namespace pwdft::perf

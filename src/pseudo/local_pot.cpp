@@ -1,0 +1,66 @@
+#include "pseudo/local_pot.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "fft/fft3d.hpp"
+
+namespace pwdft::pseudo {
+
+std::vector<double> build_local_potential(const crystal::Crystal& crystal,
+                                          const PseudoSpecies& species,
+                                          const grid::FftGrid& grid) {
+  const auto& lat = crystal.lattice();
+  const double vol = lat.volume();
+  const auto dims = grid.dims();
+  const std::size_t n = grid.size();
+  const std::size_t na = crystal.n_atoms();
+
+  // Per-atom, per-axis phase tables: e^{-i 2 pi f_axis * n_axis} for every
+  // grid frequency. The structure factor then factorizes (orthorhombic or
+  // not: G.tau = 2 pi sum_d n_d f_d holds for fractional coordinates).
+  std::array<std::vector<Complex>, 3> phase;
+  for (int ax = 0; ax < 3; ++ax) {
+    phase[static_cast<std::size_t>(ax)].resize(na * dims[static_cast<std::size_t>(ax)]);
+    for (std::size_t a = 0; a < na; ++a) {
+      const double f = crystal.atoms()[a].frac[static_cast<std::size_t>(ax)];
+      for (std::size_t i = 0; i < dims[static_cast<std::size_t>(ax)]; ++i) {
+        const double ang = -constants::two_pi * grid.freq(i, ax) * f;
+        phase[static_cast<std::size_t>(ax)][a * dims[static_cast<std::size_t>(ax)] + i] =
+            Complex{std::cos(ang), std::sin(ang)};
+      }
+    }
+  }
+
+  std::vector<Complex> vg(n, Complex{0.0, 0.0});
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dims[2]; ++z) {
+    const int f2 = grid.freq(z, 2);
+    for (std::size_t y = 0; y < dims[1]; ++y) {
+      const int f1 = grid.freq(y, 1);
+      for (std::size_t x = 0; x < dims[0]; ++x, ++idx) {
+        const int f0 = grid.freq(x, 0);
+        const auto g = lat.gvector(f0, f1, f2);
+        const double g2 = grid::norm2(g);
+        const double ff = (g2 < 1e-12) ? local_form_factor_g0(species.local)
+                                       : local_form_factor(species.local, g2);
+        Complex s{0.0, 0.0};
+        for (std::size_t a = 0; a < na; ++a) {
+          s += phase[0][a * dims[0] + x] * phase[1][a * dims[1] + y] *
+               phase[2][a * dims[2] + z];
+        }
+        vg[idx] = s * (ff / vol);
+      }
+    }
+  }
+
+  // V(r) = sum_G V(G) e^{i G.r}: one unnormalized inverse FFT.
+  fft::Fft3D plan(dims);
+  plan.inverse(vg.data());
+
+  std::vector<double> vr(n);
+  for (std::size_t i = 0; i < n; ++i) vr[i] = vg[i].real();
+  return vr;
+}
+
+}  // namespace pwdft::pseudo

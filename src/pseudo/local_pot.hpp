@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file local_pot.hpp
+/// Assembly of the total local ionic potential V_loc(r) on a dense FFT grid
+/// via structure factors:  V(G) = (1/Omega) sum_a e^{-i G.tau_a} v_a(|G|).
+
+#include <vector>
+
+#include "crystal/crystal.hpp"
+#include "grid/fftgrid.hpp"
+#include "pseudo/pseudopotential.hpp"
+
+namespace pwdft::pseudo {
+
+/// Returns V_loc on the real-space grid (Ha). All species share `species`
+/// (single-species crystals only, which covers the paper's silicon systems).
+std::vector<double> build_local_potential(const crystal::Crystal& crystal,
+                                          const PseudoSpecies& species,
+                                          const grid::FftGrid& grid);
+
+}  // namespace pwdft::pseudo

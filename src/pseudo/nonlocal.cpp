@@ -1,0 +1,121 @@
+#include "pseudo/nonlocal.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::pseudo {
+
+namespace {
+
+/// Gaussian radial shapes: l=0: exp(-r^2/(2 s^2)); l=1: (r_d/s) exp(-r^2/(2 s^2)).
+double radial(int l, double sigma, double r2) {
+  const double g = std::exp(-r2 / (2.0 * sigma * sigma));
+  return l == 0 ? g : g / sigma;  // l=1 carries the extra r_d factor outside
+}
+
+}  // namespace
+
+NonlocalProjectors::NonlocalProjectors(const crystal::Crystal& crystal,
+                                       const PseudoSpecies& species, const grid::FftGrid& grid,
+                                       const grid::Lattice& lattice) {
+  const auto dims = grid.dims();
+  const auto& a = lattice.vectors();
+  const double vol = lattice.volume();
+  const double weight = vol / static_cast<double>(grid.size());
+
+  // Grid spacing along each lattice direction (orthorhombic cells in all
+  // shipped systems; bounds stay valid as an overestimate otherwise).
+  std::array<double, 3> h{};
+  for (std::size_t d = 0; d < 3; ++d)
+    h[d] = std::sqrt(grid::norm2(a[d])) / static_cast<double>(dims[d]);
+
+  for (std::size_t ai = 0; ai < crystal.n_atoms(); ++ai) {
+    const grid::Vec3 tau = crystal.position(ai);
+    for (const auto& ch : species.channels) {
+      PWDFT_CHECK(ch.l == 0 || ch.l == 1, "NonlocalProjectors: only l=0,1 supported");
+      const int nm = (ch.l == 0) ? 1 : 3;
+      for (int m = 0; m < nm; ++m) {
+        Projector p;
+        p.energy = ch.energy;
+
+        // Enumerate grid points within rcut of tau, with periodic wrap.
+        std::array<int, 3> span{};
+        for (std::size_t d = 0; d < 3; ++d)
+          span[d] = static_cast<int>(std::ceil(ch.rcut / h[d])) + 1;
+        const grid::Vec3 tfrac = lattice.fractional(tau);
+        std::array<int, 3> center{};
+        for (std::size_t d = 0; d < 3; ++d)
+          center[d] = static_cast<int>(std::llround(tfrac[d] * static_cast<double>(dims[d])));
+
+        double norm2_acc = 0.0;
+        for (int dz = -span[2]; dz <= span[2]; ++dz) {
+          for (int dy = -span[1]; dy <= span[1]; ++dy) {
+            for (int dx = -span[0]; dx <= span[0]; ++dx) {
+              const int gx = center[0] + dx, gy = center[1] + dy, gz = center[2] + dz;
+              // Fractional offset of this grid point relative to the atom.
+              const grid::Vec3 df = {
+                  static_cast<double>(gx) / static_cast<double>(dims[0]) - tfrac[0],
+                  static_cast<double>(gy) / static_cast<double>(dims[1]) - tfrac[1],
+                  static_cast<double>(gz) / static_cast<double>(dims[2]) - tfrac[2]};
+              const grid::Vec3 r = lattice.cartesian(df);
+              const double r2 = grid::norm2(r);
+              if (r2 > ch.rcut * ch.rcut) continue;
+
+              auto wrap = [](int i, std::size_t n) {
+                int v = i % static_cast<int>(n);
+                if (v < 0) v += static_cast<int>(n);
+                return static_cast<std::size_t>(v);
+              };
+              const std::size_t gi =
+                  wrap(gx, dims[0]) + dims[0] * (wrap(gy, dims[1]) + dims[1] * wrap(gz, dims[2]));
+
+              double v = radial(ch.l, ch.sigma, r2);
+              if (ch.l == 1) v *= r[static_cast<std::size_t>(m)];
+              if (std::abs(v) < 1e-14) continue;
+              p.idx.push_back(gi);
+              p.val.push_back(v);
+              norm2_acc += v * v;
+            }
+          }
+        }
+        PWDFT_CHECK(!p.idx.empty(), "NonlocalProjectors: projector sphere misses the grid");
+        const double inv_norm = 1.0 / std::sqrt(norm2_acc * weight);
+        for (double& v : p.val) v *= inv_norm;
+        projectors_.push_back(std::move(p));
+      }
+    }
+  }
+}
+
+void NonlocalProjectors::apply_add(std::span<const Complex> psi_real, std::span<Complex> out,
+                                   double weight) const {
+  for (const auto& p : projectors_) {
+    Complex amp{0.0, 0.0};
+    const std::size_t m = p.idx.size();
+    for (std::size_t k = 0; k < m; ++k) amp += p.val[k] * psi_real[p.idx[k]];
+    amp *= weight * p.energy;
+    for (std::size_t k = 0; k < m; ++k) out[p.idx[k]] += amp * p.val[k];
+  }
+}
+
+double NonlocalProjectors::energy_contribution(std::span<const Complex> psi_real,
+                                               double weight) const {
+  double e = 0.0;
+  for (const auto& p : projectors_) {
+    Complex amp{0.0, 0.0};
+    const std::size_t m = p.idx.size();
+    for (std::size_t k = 0; k < m; ++k) amp += p.val[k] * psi_real[p.idx[k]];
+    e += p.energy * std::norm(amp * weight);
+  }
+  return e;
+}
+
+std::size_t NonlocalProjectors::storage_bytes() const {
+  std::size_t b = 0;
+  for (const auto& p : projectors_)
+    b += p.idx.size() * (sizeof(std::size_t) + sizeof(double));
+  return b;
+}
+
+}  // namespace pwdft::pseudo

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file nonlocal.hpp
+/// Kleinman-Bylander nonlocal projectors stored as real-space sparse vectors
+/// (paper §3.2: "we choose the real space representation for the nonlocal
+/// projectors, which can be stored as sparse vectors", replicated on every
+/// rank so the apply needs no communication).
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crystal/crystal.hpp"
+#include "grid/fftgrid.hpp"
+#include "pseudo/pseudopotential.hpp"
+
+namespace pwdft::pseudo {
+
+/// One projector: a sparse real-space function beta(r) on the grid within
+/// rcut of its atom, normalized to unit L2 norm, with KB energy D.
+struct Projector {
+  std::vector<std::size_t> idx;  ///< grid indices inside the sphere
+  std::vector<double> val;       ///< beta at those points (real)
+  double energy = 0.0;           ///< KB coefficient D (Ha)
+};
+
+class NonlocalProjectors {
+ public:
+  /// Builds all projectors for the crystal on `grid` (the grid on which
+  /// H*psi real-space products are formed).
+  NonlocalProjectors(const crystal::Crystal& crystal, const PseudoSpecies& species,
+                     const grid::FftGrid& grid, const grid::Lattice& lattice);
+
+  std::size_t n_projectors() const { return projectors_.size(); }
+  const std::vector<Projector>& projectors() const { return projectors_; }
+
+  /// Adds V_nl * psi to `out`, both real-space arrays on the build grid.
+  /// `weight` is the quadrature weight Omega/Ngrid.
+  void apply_add(std::span<const Complex> psi_real, std::span<Complex> out,
+                 double weight) const;
+
+  /// sum_p D_p |<beta_p|psi>|^2 for one orbital (its nonlocal energy).
+  double energy_contribution(std::span<const Complex> psi_real, double weight) const;
+
+  /// Total bytes of the sparse storage (paper: ~432 MB for Si1536,
+  /// replicated per rank; used by the memory model).
+  std::size_t storage_bytes() const;
+
+ private:
+  std::vector<Projector> projectors_;
+};
+
+}  // namespace pwdft::pseudo

@@ -1,0 +1,88 @@
+#include "scf/anderson.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/lsq.hpp"
+
+namespace pwdft::scf {
+
+AndersonMixer::AndersonMixer(std::size_t n, std::size_t depth, double beta,
+                             double regularization)
+    : n_(n), depth_(depth), beta_(beta), reg_(regularization) {
+  PWDFT_CHECK(n > 0, "AndersonMixer: empty vector");
+  PWDFT_CHECK(depth >= 1, "AndersonMixer: depth must be >= 1");
+  prev_x_.resize(n);
+  prev_f_.resize(n);
+  dx_.resize(n, depth);
+  df_.resize(n, depth);
+}
+
+void AndersonMixer::reset() {
+  n_hist_ = 0;
+  next_col_ = 0;
+  have_prev_ = false;
+}
+
+void AndersonMixer::mix(std::span<const Complex> x, std::span<const Complex> f,
+                        std::span<Complex> out) {
+  PWDFT_CHECK(x.size() == n_ && f.size() == n_ && out.size() == n_,
+              "AndersonMixer: size mismatch");
+
+  if (have_prev_) {
+    // Append difference columns (ring buffer overwrites the oldest).
+    Complex* dxc = dx_.col(next_col_);
+    Complex* dfc = df_.col(next_col_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      dxc[i] = x[i] - prev_x_[i];
+      dfc[i] = f[i] - prev_f_[i];
+    }
+    next_col_ = (next_col_ + 1) % depth_;
+    if (n_hist_ < depth_) ++n_hist_;
+  }
+  std::copy(x.begin(), x.end(), prev_x_.begin());
+  std::copy(f.begin(), f.end(), prev_f_.begin());
+  have_prev_ = true;
+
+  if (n_hist_ == 0) {
+    // First iteration: plain damped update x + beta f.
+    for (std::size_t i = 0; i < n_; ++i) out[i] = x[i] + beta_ * f[i];
+    return;
+  }
+
+  // Solve min_gamma ||f - dF gamma|| over the active history columns.
+  CMatrix df_active(n_, n_hist_);
+  CMatrix dx_active(n_, n_hist_);
+  for (std::size_t k = 0; k < n_hist_; ++k) {
+    // Oldest-to-newest order is irrelevant for the LSQ solution.
+    std::copy_n(df_.col(k), n_, df_active.col(k));
+    std::copy_n(dx_.col(k), n_, dx_active.col(k));
+  }
+  const std::vector<Complex> gamma = linalg::lsq_solve(df_active, f, reg_);
+
+  // out = (x - dX gamma) + beta (f - dF gamma).
+  for (std::size_t i = 0; i < n_; ++i) out[i] = x[i] + beta_ * f[i];
+  for (std::size_t k = 0; k < n_hist_; ++k) {
+    const Complex g = gamma[k];
+    if (g == Complex{0.0, 0.0}) continue;
+    const Complex* dxc = dx_active.col(k);
+    const Complex* dfc = df_active.col(k);
+    for (std::size_t i = 0; i < n_; ++i) out[i] -= g * (dxc[i] + beta_ * dfc[i]);
+  }
+}
+
+void AndersonMixer::mix_real(std::span<const double> x, std::span<const double> f,
+                             std::span<double> out) {
+  PWDFT_CHECK(x.size() == n_ && f.size() == n_ && out.size() == n_,
+              "AndersonMixer: size mismatch");
+  std::vector<Complex> xc(n_), fc(n_), oc(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    xc[i] = Complex{x[i], 0.0};
+    fc[i] = Complex{f[i], 0.0};
+  }
+  mix(xc, fc, oc);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = oc[i].real();
+}
+
+}  // namespace pwdft::scf

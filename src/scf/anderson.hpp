@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file anderson.hpp
+/// Anderson mixing (Anderson 1965, paper ref [2]) for nonlinear fixed-point
+/// problems x = g(x), driven by residuals f = g(x) - x.
+///
+/// Used in two places, as in the paper:
+///  - ground-state SCF: mixing the (real) electron density;
+///  - PT-CN: mixing each wavefunction band (complex, history depth <= 20,
+///    one small least-squares problem per band, §3.4).
+///
+/// Given histories {x_k} and {f_k}, the update solves
+///   min_gamma || f_m - dF gamma ||^2      (Tikhonov-regularized)
+///   x_{m+1} = (x_m - dX gamma) + beta (f_m - dF gamma)
+/// where dX, dF hold the last `depth` difference columns.
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace pwdft::scf {
+
+class AndersonMixer {
+ public:
+  /// n: vector length; depth: max history (paper uses 20); beta: simple
+  /// mixing fraction applied to the residual.
+  AndersonMixer(std::size_t n, std::size_t depth, double beta, double regularization = 1e-12);
+
+  /// Computes the next iterate from (x, f = g(x) - x) into `out`
+  /// (out may alias x). Updates the internal history.
+  void mix(std::span<const Complex> x, std::span<const Complex> f, std::span<Complex> out);
+
+  /// Convenience for real vectors (density mixing).
+  void mix_real(std::span<const double> x, std::span<const double> f, std::span<double> out);
+
+  void reset();
+  std::size_t history_size() const { return n_hist_; }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t n_;
+  std::size_t depth_;
+  double beta_;
+  double reg_;
+  std::vector<Complex> prev_x_, prev_f_;
+  CMatrix dx_, df_;  ///< difference histories (ring buffer of columns)
+  std::size_t n_hist_ = 0;
+  std::size_t next_col_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace pwdft::scf

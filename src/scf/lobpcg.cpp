@@ -1,0 +1,161 @@
+#include "scf/lobpcg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/heig.hpp"
+
+namespace pwdft::scf {
+
+namespace {
+
+/// Teter-Payne-Allan preconditioner value for x = Ekin(G)/Ekin(band).
+double teter(double x) {
+  const double x2 = x * x, x3 = x2 * x, x4 = x2 * x2;
+  const double num = 27.0 + 18.0 * x + 12.0 * x2 + 8.0 * x3;
+  return num / (num + 16.0 * x4);
+}
+
+/// Cholesky-QR orthonormalization in place; returns false on breakdown.
+bool ortho(CMatrix& s) {
+  CMatrix g = linalg::overlap(s, s);
+  try {
+    linalg::potrf_lower(g);
+  } catch (const Error&) {
+    return false;
+  }
+  linalg::trsm_right_lower_conj(s, g);
+  return true;
+}
+
+}  // namespace
+
+LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_kin, CMatrix& x,
+                    const LobpcgOptions& opt) {
+  const std::size_t n = x.rows();
+  const std::size_t nb = x.cols();
+  PWDFT_CHECK(nb >= 1 && n >= nb, "lobpcg: bad block shape");
+  PWDFT_CHECK(precond_kin.empty() || precond_kin.size() == n,
+              "lobpcg: preconditioner size mismatch");
+
+  LobpcgResult res;
+  PWDFT_CHECK(ortho(x), "lobpcg: initial block is rank deficient");
+
+  CMatrix hx(n, nb);
+  apply_h(x, hx);
+
+  CMatrix p, hp;  // empty until the second iteration
+  std::vector<double> theta(nb, 0.0);
+
+  for (int it = 0; it < opt.max_iter; ++it) {
+    // Ritz values within X and residuals R = HX - X (X^H HX).
+    CMatrix xhx = linalg::overlap(x, hx);
+    CMatrix r = hx;
+    linalg::gemm('N', 'N', Complex{-1.0, 0.0}, x, xhx, Complex{1.0, 0.0}, r);
+    for (std::size_t j = 0; j < nb; ++j) theta[j] = xhx(j, j).real();
+
+    double max_res = 0.0;
+    for (std::size_t j = 0; j < nb; ++j) {
+      const double rn = linalg::nrm2({r.col(j), n}) / std::max(1.0, std::abs(theta[j]));
+      max_res = std::max(max_res, rn);
+    }
+    res.max_residual = max_res;
+    res.iterations = it;
+    if (max_res < opt.tol) {
+      res.converged = true;
+      break;
+    }
+
+    // Preconditioned residuals.
+    CMatrix w = r;
+    if (!precond_kin.empty()) {
+      for (std::size_t j = 0; j < nb; ++j) {
+        double ek = 1e-12;
+        const Complex* cx = x.col(j);
+        for (std::size_t i = 0; i < n; ++i) ek += precond_kin[i] * std::norm(cx[i]);
+        Complex* cw = w.col(j);
+        for (std::size_t i = 0; i < n; ++i) cw[i] *= teter(precond_kin[i] / ek);
+      }
+    }
+
+    // Assemble the trial subspace S = [X W P] and orthonormalize; HS is
+    // transformed by the same right-multiplications as S, so we track it by
+    // recomputing only H W (and reusing HX / HP).
+    const bool have_p = p.cols() == nb;
+    const std::size_t ns = nb * (have_p ? 3 : 2);
+    CMatrix s(n, ns), hs(n, ns);
+    auto put = [&](std::size_t col0, const CMatrix& src, CMatrix& dst) {
+      for (std::size_t j = 0; j < src.cols(); ++j) std::copy_n(src.col(j), n, dst.col(col0 + j));
+    };
+    put(0, x, s);
+    put(nb, w, s);
+    if (have_p) put(2 * nb, p, s);
+
+    CMatrix g = linalg::overlap(s, s);
+    bool ok = true;
+    try {
+      linalg::potrf_lower(g);
+    } catch (const Error&) {
+      ok = false;
+    }
+    if (!ok) {
+      // Drop P and retry; if that still fails the block has converged to
+      // numerical rank deficiency and we stop.
+      if (!have_p) break;
+      s.resize(n, 2 * nb);
+      put(0, x, s);
+      put(nb, w, s);
+      g = linalg::overlap(s, s);
+      try {
+        linalg::potrf_lower(g);
+      } catch (const Error&) {
+        break;
+      }
+    }
+    linalg::trsm_right_lower_conj(s, g);
+
+    CMatrix hw(n, nb);
+    apply_h(w, hw);
+    hs.resize(n, s.cols());
+    put(0, hx, hs);
+    put(nb, hw, hs);
+    if (s.cols() == 3 * nb) put(2 * nb, hp, hs);
+    linalg::trsm_right_lower_conj(hs, g);
+
+    // Rayleigh-Ritz on the subspace.
+    CMatrix shs = linalg::overlap(s, hs);
+    std::vector<double> evals;
+    CMatrix c;
+    linalg::heig(shs, evals, c);
+
+    CMatrix c_min(s.cols(), nb);
+    for (std::size_t j = 0; j < nb; ++j)
+      for (std::size_t i = 0; i < s.cols(); ++i) c_min(i, j) = c(i, j);
+
+    CMatrix x_new(n, nb), hx_new(n, nb);
+    linalg::gemm('N', 'N', Complex{1.0, 0.0}, s, c_min, Complex{0.0, 0.0}, x_new);
+    linalg::gemm('N', 'N', Complex{1.0, 0.0}, hs, c_min, Complex{0.0, 0.0}, hx_new);
+
+    // Conjugate direction: the W/P part of the Ritz combination.
+    CMatrix c_tail = c_min;
+    for (std::size_t j = 0; j < nb; ++j)
+      for (std::size_t i = 0; i < nb; ++i) c_tail(i, j) = Complex{0.0, 0.0};
+    p.resize(n, nb);
+    hp.resize(n, nb);
+    linalg::gemm('N', 'N', Complex{1.0, 0.0}, s, c_tail, Complex{0.0, 0.0}, p);
+    linalg::gemm('N', 'N', Complex{1.0, 0.0}, hs, c_tail, Complex{0.0, 0.0}, hp);
+
+    x = std::move(x_new);
+    hx = std::move(hx_new);
+  }
+
+  // Final Ritz values.
+  CMatrix xhx = linalg::overlap(x, hx);
+  res.eigenvalues.resize(nb);
+  for (std::size_t j = 0; j < nb; ++j) res.eigenvalues[j] = xhx(j, j).real();
+  return res;
+}
+
+}  // namespace pwdft::scf

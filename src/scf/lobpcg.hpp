@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file lobpcg.hpp
+/// Locally optimal block preconditioned conjugate gradient eigensolver with
+/// the Teter-Payne-Allan planewave preconditioner. Used to compute the
+/// hybrid-DFT ground state that seeds every rt-TDDFT run (the paper starts
+/// its dynamics from a converged hybrid ground state).
+
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace pwdft::scf {
+
+/// Applies the (Hermitian) operator: y = H x, shapes (n x m) -> (n x m).
+using ApplyFn = std::function<void(const CMatrix&, CMatrix&)>;
+
+struct LobpcgOptions {
+  int max_iter = 50;
+  double tol = 1e-7;  ///< on ||H x - theta x|| / max(1, |theta|)
+  bool verbose = false;
+};
+
+struct LobpcgResult {
+  std::vector<double> eigenvalues;
+  int iterations = 0;
+  double max_residual = 0.0;
+  bool converged = false;
+};
+
+/// Minimizes the Rayleigh quotient over blocks of x.cols() vectors.
+/// `precond_kin` holds the per-row kinetic energies used by the Teter
+/// preconditioner (empty disables preconditioning). x must enter with full
+/// column rank; it exits with orthonormal Ritz vectors.
+LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_kin, CMatrix& x,
+                    const LobpcgOptions& opt);
+
+}  // namespace pwdft::scf

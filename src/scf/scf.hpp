@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file scf.hpp
+/// Ground-state SCF driver: LDA phase (density-mixed SCF with LOBPCG inner
+/// solves) followed by a hybrid outer loop that freezes the Fock operator
+/// per outer iteration (the standard nested structure for hybrid DFT).
+/// Deterministic given the seed, which lets distributed drivers reproduce
+/// the same ground state on every rank without communication.
+
+#include <cstdint>
+#include <span>
+
+#include "ham/energy.hpp"
+#include "ham/hamiltonian.hpp"
+#include "scf/lobpcg.hpp"
+
+namespace pwdft::scf {
+
+struct ScfOptions {
+  int max_iter = 60;
+  double tol_rho = 1e-8;        ///< density error per electron
+  double mix_beta = 0.5;
+  std::size_t anderson_depth = 8;
+  LobpcgOptions lobpcg{.max_iter = 8, .tol = 1e-8, .verbose = false};
+  int hybrid_outer_max = 10;
+  double hybrid_outer_tol = 1e-7;  ///< on the total energy change (Ha)
+  bool verbose = false;
+};
+
+struct ScfResult {
+  ham::EnergyBreakdown energy;
+  std::vector<double> eigenvalues;
+  int scf_iterations = 0;
+  int outer_iterations = 0;
+  double rho_error = 0.0;
+  bool converged = false;
+};
+
+class GroundStateSolver {
+ public:
+  /// Serial solver (one rank); distributed runs replicate it per rank.
+  GroundStateSolver(const ham::PlanewaveSetup& setup, ham::Hamiltonian& hamiltonian);
+
+  /// Randomized, cutoff-damped, orthonormal initial orbitals.
+  CMatrix initial_guess(std::size_t nbands, std::uint64_t seed = 42) const;
+
+  /// Runs LDA SCF, then (if the Hamiltonian has hybrid enabled) the hybrid
+  /// outer loop. psi enters as the initial guess and exits converged.
+  ScfResult solve(CMatrix& psi, std::span<const double> occ, const ScfOptions& opt);
+
+ private:
+  /// One SCF phase with the current exchange operator held fixed.
+  ScfResult scf_phase(CMatrix& psi, std::span<const double> occ, const ScfOptions& opt,
+                      int max_iter);
+
+  const ham::PlanewaveSetup& setup_;
+  ham::Hamiltonian& ham_;
+};
+
+}  // namespace pwdft::scf

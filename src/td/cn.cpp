@@ -1,0 +1,96 @@
+#include "td/cn.hpp"
+
+#include "common/check.hpp"
+#include "ham/density.hpp"
+#include "linalg/blas.hpp"
+
+namespace pwdft::td {
+
+CnPropagator::CnPropagator(ham::Hamiltonian& hamiltonian, par::BlockPartition bands,
+                           CnOptions opt, int comm_size)
+    : ham_(hamiltonian),
+      bands_(bands),
+      opt_(opt),
+      transpose_(par::BlockPartition(hamiltonian.setup().n_g(), comm_size), bands) {
+  PWDFT_CHECK(opt_.dt > 0.0, "CnPropagator: dt must be positive");
+}
+
+CnStepReport CnPropagator::step(CMatrix& psi_local, std::span<const double> occ_global,
+                                double t, const ExternalField& field, par::Comm& comm,
+                                TimerRegistry* timers) {
+  TimerRegistry local_timers;
+  if (!timers) timers = &local_timers;
+  const std::size_t ng = ham_.setup().n_g();
+  const std::size_t nb_loc = bands_.count(comm.rank());
+  PWDFT_CHECK(psi_local.rows() == ng && psi_local.cols() == nb_loc,
+              "CnPropagator: band layout mismatch");
+  std::span<const double> occ_local(occ_global.data() + bands_.offset(comm.rank()), nb_loc);
+
+  if (mixers_.size() != nb_loc) {
+    mixers_.clear();
+    for (std::size_t j = 0; j < nb_loc; ++j)
+      mixers_.push_back(std::make_unique<scf::AndersonMixer>(ng, opt_.anderson_depth,
+                                                             opt_.anderson_beta));
+  }
+  for (auto& m : mixers_) m->reset();
+
+  CnStepReport report;
+  const Complex i_half_dt = imag_unit * (0.5 * opt_.dt);
+
+  // RHS: Psi_half = Psi_n - i dt/2 H_n Psi_n  (no gauge term).
+  ham_.set_vector_potential(field.vector_potential(t));
+  auto rho = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_local, occ_local, comm);
+  ham_.update_density(rho);
+  if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_local, occ_global, bands_, comm);
+  CMatrix hpsi;
+  ham_.apply(psi_local, hpsi, comm, timers);
+
+  CMatrix psi_half = psi_local;
+  for (std::size_t i = 0; i < psi_half.size(); ++i)
+    psi_half.data()[i] -= i_half_dt * hpsi.data()[i];
+  CMatrix psi_f = psi_half;
+
+  auto rho_f = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_f, occ_local, comm);
+  ham_.set_vector_potential(field.vector_potential(t + opt_.dt));
+
+  for (int it = 0; it < opt_.max_scf; ++it) {
+    ham_.update_density(rho_f);
+    if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_f, occ_global, bands_, comm);
+    ham_.apply(psi_f, hpsi, comm, timers);
+
+    // R = Psi_f + i dt/2 H Psi_f - Psi_half — entirely band-local: the plain
+    // CN residual needs no overlap matrix and hence no transpose/Allreduce.
+    CMatrix rf(ng, nb_loc);
+    for (std::size_t i = 0; i < rf.size(); ++i)
+      rf.data()[i] = psi_f.data()[i] + i_half_dt * hpsi.data()[i] - psi_half.data()[i];
+
+    double rmax = 0.0;
+    for (std::size_t j = 0; j < nb_loc; ++j)
+      rmax = std::max(rmax, linalg::nrm2({rf.col(j), ng}));
+    comm.allreduce_sum(&rmax, 1);  // cheap aggregate (sum as an upper proxy)
+    report.max_residual_norm = std::max(report.max_residual_norm, rmax);
+
+    std::vector<Complex> f(ng);
+    for (std::size_t j = 0; j < nb_loc; ++j) {
+      const Complex* rj = rf.col(j);
+      for (std::size_t i = 0; i < ng; ++i) f[i] = -rj[i];
+      mixers_[j]->mix({psi_f.col(j), ng}, f, {psi_f.col(j), ng});
+    }
+
+    auto rho_new = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_f, occ_local, comm);
+    report.rho_error = ham::density_error(ham_.setup(), rho_new, rho_f);
+    rho_f = std::move(rho_new);
+    report.scf_iterations = it + 1;
+    if (report.rho_error < opt_.rho_tol) {
+      report.converged = true;
+      break;
+    }
+    if (!std::isfinite(report.rho_error) || report.rho_error > 1e3) break;  // diverged
+  }
+
+  orthonormalize(transpose_, comm, psi_f, opt_.sp_comm);
+  psi_local = std::move(psi_f);
+  return report;
+}
+
+}  // namespace pwdft::td

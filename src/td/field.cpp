@@ -1,0 +1,63 @@
+#include "td/field.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pwdft::td {
+
+LaserPulse::LaserPulse(double wavelength_nm, double e0_au, double t0_au, double sigma_au,
+                       grid::Vec3 polarization, double t_max_au)
+    : omega_(constants::photon_energy_ha(wavelength_nm)),
+      e0_(e0_au),
+      t0_(t0_au),
+      sigma_(sigma_au),
+      pol_(polarization) {
+  PWDFT_CHECK(sigma_au > 0.0 && t_max_au > 0.0, "LaserPulse: bad envelope");
+  const double pn = std::sqrt(grid::norm2(pol_));
+  PWDFT_CHECK(pn > 0.0, "LaserPulse: zero polarization");
+  pol_ = grid::scale(pol_, 1.0 / pn);
+
+  // Cumulative trapezoid for a(t) = -int E; ~40 points per laser cycle.
+  dt_ = std::min(0.1, constants::two_pi / omega_ / 40.0);
+  const auto n = static_cast<std::size_t>(std::ceil(t_max_au / dt_)) + 2;
+  a_cumulative_.resize(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double t_prev = static_cast<double>(i - 1) * dt_;
+    const double t_cur = static_cast<double>(i) * dt_;
+    a_cumulative_[i] =
+        a_cumulative_[i - 1] - 0.5 * dt_ * (scalar_efield(t_prev) + scalar_efield(t_cur));
+  }
+}
+
+LaserPulse LaserPulse::paper_pulse(double e0_au) {
+  const double t_total = constants::femtoseconds_to_au(30.0);
+  const double t0 = constants::femtoseconds_to_au(15.0);
+  const double sigma = constants::femtoseconds_to_au(2.5);
+  return LaserPulse(380.0, e0_au, t0, sigma, {0.0, 0.0, 1.0}, t_total * 1.1);
+}
+
+double LaserPulse::scalar_efield(double t) const {
+  const double u = t - t0_;
+  return e0_ * std::exp(-u * u / (2.0 * sigma_ * sigma_)) * std::cos(omega_ * u);
+}
+
+grid::Vec3 LaserPulse::efield(double t) const { return grid::scale(pol_, scalar_efield(t)); }
+
+grid::Vec3 LaserPulse::vector_potential(double t) const {
+  if (t <= 0.0) return {0.0, 0.0, 0.0};
+  const double x = t / dt_;
+  const auto i = static_cast<std::size_t>(x);
+  double a;
+  if (i + 1 >= a_cumulative_.size()) {
+    a = a_cumulative_.back();
+  } else {
+    const double w = x - static_cast<double>(i);
+    a = (1.0 - w) * a_cumulative_[i] + w * a_cumulative_[i + 1];
+  }
+  return grid::scale(pol_, a);
+}
+
+double LaserPulse::photon_energy_ev() const { return omega_ / constants::hartree_per_ev; }
+
+}  // namespace pwdft::td

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file field.hpp
+/// External fields for rt-TDDFT in the velocity gauge: the Hamiltonian
+/// kinetic term is 1/2 |G + a(t)|^2 with a(t) = -integral_0^t E(t') dt'.
+/// Provides the paper's 380 nm Gaussian-envelope laser pulse (Fig. 4b) and
+/// the delta kick used for absorption spectra.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/lattice.hpp"
+
+namespace pwdft::td {
+
+class ExternalField {
+ public:
+  virtual ~ExternalField() = default;
+  /// Vector potential a(t) (atomic units).
+  virtual grid::Vec3 vector_potential(double t) const = 0;
+  /// Electric field E(t) = -da/dt.
+  virtual grid::Vec3 efield(double t) const = 0;
+};
+
+class ZeroField final : public ExternalField {
+ public:
+  grid::Vec3 vector_potential(double /*t*/) const override { return {0.0, 0.0, 0.0}; }
+  grid::Vec3 efield(double /*t*/) const override { return {0.0, 0.0, 0.0}; }
+};
+
+/// a(t) = kappa * theta(t - t0): the Yabana-Bertsch kick for linear response.
+class DeltaKick final : public ExternalField {
+ public:
+  explicit DeltaKick(grid::Vec3 kappa, double t0 = 0.0) : kappa_(kappa), t0_(t0) {}
+  grid::Vec3 vector_potential(double t) const override {
+    return t >= t0_ ? kappa_ : grid::Vec3{0.0, 0.0, 0.0};
+  }
+  grid::Vec3 efield(double /*t*/) const override { return {0.0, 0.0, 0.0}; }
+  const grid::Vec3& kappa() const { return kappa_; }
+
+ private:
+  grid::Vec3 kappa_;
+  double t0_;
+};
+
+/// E(t) = E0 exp(-(t-t0)^2 / (2 sigma^2)) cos(w (t-t0)) * polarization.
+/// The vector potential is precomputed by cumulative integration.
+class LaserPulse final : public ExternalField {
+ public:
+  LaserPulse(double wavelength_nm, double e0_au, double t0_au, double sigma_au,
+             grid::Vec3 polarization, double t_max_au);
+
+  /// The paper's pulse: 380 nm, 30 fs window, centered mid-window.
+  /// e0_au ~ 0.01 a.u. ~ 0.5 V/Angstrom.
+  static LaserPulse paper_pulse(double e0_au = 0.01);
+
+  grid::Vec3 vector_potential(double t) const override;
+  grid::Vec3 efield(double t) const override;
+
+  double frequency() const { return omega_; }
+  double photon_energy_ev() const;
+
+ private:
+  double scalar_efield(double t) const;
+  double omega_;
+  double e0_;
+  double t0_;
+  double sigma_;
+  grid::Vec3 pol_;
+  double dt_;
+  std::vector<double> a_cumulative_;  ///< -integral of scalar E on a fine grid
+};
+
+}  // namespace pwdft::td

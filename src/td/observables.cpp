@@ -1,0 +1,83 @@
+#include "td/observables.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/blas.hpp"
+
+namespace pwdft::td {
+
+grid::Vec3 compute_current(const ham::PlanewaveSetup& setup, const CMatrix& psi_local,
+                           std::span<const double> occ_local, const grid::Vec3& a,
+                           par::Comm& comm) {
+  PWDFT_CHECK(psi_local.cols() == occ_local.size(), "compute_current: occupation mismatch");
+  const auto& gv = setup.sphere.gvec();
+  const std::size_t ng = setup.n_g();
+  double j[3] = {0.0, 0.0, 0.0};
+  for (std::size_t b = 0; b < psi_local.cols(); ++b) {
+    const Complex* c = psi_local.col(b);
+    double jx = 0.0, jy = 0.0, jz = 0.0;
+    for (std::size_t i = 0; i < ng; ++i) {
+      const double w = std::norm(c[i]);
+      jx += (gv[i][0] + a[0]) * w;
+      jy += (gv[i][1] + a[1]) * w;
+      jz += (gv[i][2] + a[2]) * w;
+    }
+    j[0] += occ_local[b] * jx;
+    j[1] += occ_local[b] * jy;
+    j[2] += occ_local[b] * jz;
+  }
+  comm.allreduce_sum(j, 3);
+  const double inv_vol = 1.0 / setup.volume();
+  return {j[0] * inv_vol, j[1] * inv_vol, j[2] * inv_vol};
+}
+
+double excited_electrons(const ham::PlanewaveSetup& setup, const par::BlockPartition& bands,
+                         const CMatrix& psi0_local, const CMatrix& psi_local,
+                         std::span<const double> occ_global, par::Comm& comm) {
+  PWDFT_CHECK(psi0_local.cols() == psi_local.cols(), "excited_electrons: band count mismatch");
+  PWDFT_CHECK(occ_global.size() == bands.total(), "excited_electrons: occupation mismatch");
+
+  par::WavefunctionTranspose tr(par::BlockPartition(setup.n_g(), comm.size()), bands);
+  CMatrix psi0_g, psi_g;
+  tr.band_to_g(comm, psi0_local, psi0_g, /*single_precision=*/false);
+  tr.band_to_g(comm, psi_local, psi_g, /*single_precision=*/false);
+
+  CMatrix s = linalg::overlap(psi0_g, psi_g);  // S_ij = <psi_i(0)|psi_j(t)>
+  comm.allreduce_sum(s.data(), s.size());
+
+  const std::size_t nb = bands.total();
+  double n_exc = 0.0;
+  for (std::size_t j = 0; j < nb; ++j) {
+    double proj = 0.0;
+    for (std::size_t i = 0; i < nb; ++i) proj += std::norm(s(i, j));
+    n_exc += occ_global[j] * (1.0 - proj);
+  }
+  return n_exc;
+}
+
+std::vector<SpectrumPoint> dielectric_from_kick(std::span<const TimePoint> trace, double kappa,
+                                                double eta, double omega_max,
+                                                std::size_t n_omega) {
+  PWDFT_CHECK(trace.size() >= 4, "dielectric_from_kick: trace too short");
+  PWDFT_CHECK(std::abs(kappa) > 0.0, "dielectric_from_kick: zero kick");
+
+  std::vector<SpectrumPoint> out(n_omega);
+  const double t0 = trace.front().t;
+  for (std::size_t k = 0; k < n_omega; ++k) {
+    const double omega = omega_max * static_cast<double>(k + 1) / static_cast<double>(n_omega);
+    Complex jw{0.0, 0.0};
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      const double tm = 0.5 * (trace[i].t + trace[i - 1].t) - t0;
+      const double dt = trace[i].t - trace[i - 1].t;
+      const double jm = 0.5 * (trace[i].current[2] + trace[i - 1].current[2]);
+      jw += jm * std::exp(-eta * tm) * Complex{std::cos(omega * tm), std::sin(omega * tm)} * dt;
+    }
+    const Complex sigma = -jw / kappa;
+    const Complex eps = 1.0 + constants::four_pi * imag_unit * sigma / omega;
+    out[k] = {omega, eps.real(), eps.imag()};
+  }
+  return out;
+}
+
+}  // namespace pwdft::td

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file observables.hpp
+/// Physical observables along an rt-TDDFT trajectory: macroscopic current
+/// (velocity gauge), number of excited electrons, and the dielectric
+/// function from a delta-kick run (Yabana-Bertsch linear response).
+
+#include <span>
+#include <vector>
+
+#include "ham/setup.hpp"
+#include "linalg/matrix.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/transpose.hpp"
+
+namespace pwdft::td {
+
+/// One recorded sample of the trajectory.
+struct TimePoint {
+  double t = 0.0;             ///< a.u.
+  grid::Vec3 current{};       ///< macroscopic current density j(t)
+  double n_excited = 0.0;     ///< electrons promoted out of the t=0 manifold
+  double energy = 0.0;        ///< total energy (Ha), when recorded
+  int scf_iterations = 0;     ///< PT-CN SCF count for the step ending here
+  double rho_error = 0.0;     ///< final SCF density error
+  double wall_seconds = 0.0;  ///< wall time of the step
+};
+
+/// j = (1/Omega) sum_i f_i sum_G (G + a) |c_iG|^2. Collective (band sum).
+grid::Vec3 compute_current(const ham::PlanewaveSetup& setup, const CMatrix& psi_local,
+                           std::span<const double> occ_local, const grid::Vec3& a,
+                           par::Comm& comm);
+
+/// n_exc(t) = sum_j f_j (1 - sum_i |<psi_i(0)|psi_j(t)>|^2), evaluated via
+/// the G-space layout (one overlap GEMM + Allreduce). Collective.
+double excited_electrons(const ham::PlanewaveSetup& setup, const par::BlockPartition& bands,
+                         const CMatrix& psi0_local, const CMatrix& psi_local,
+                         std::span<const double> occ_global, par::Comm& comm);
+
+struct SpectrumPoint {
+  double omega = 0.0;  ///< Ha
+  double eps_re = 0.0;
+  double eps_im = 0.0;
+};
+
+/// Dielectric function from a kick a(t>0) = kappa along z:
+///   sigma(omega) = -jz(omega)/kappa,  eps = 1 + 4 pi i sigma / omega,
+/// with exponential damping exp(-eta t) applied to j(t) - j(infinity-free).
+std::vector<SpectrumPoint> dielectric_from_kick(std::span<const TimePoint> trace, double kappa,
+                                                double eta, double omega_max, std::size_t n_omega);
+
+}  // namespace pwdft::td

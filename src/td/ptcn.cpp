@@ -1,0 +1,173 @@
+#include "td/ptcn.hpp"
+
+#include "common/check.hpp"
+#include "ham/density.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace pwdft::td {
+
+CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm,
+                    const CMatrix& psi_band, const CMatrix& hpsi_band,
+                    const CMatrix* psi_half_band, Complex c_psi, Complex c_h, Complex c_half,
+                    bool sp_comm) {
+  // Alg. 3: convert to the G-space layout, form the overlap matrix with a
+  // local GEMM + Allreduce, rotate, combine, convert back.
+  CMatrix psi_g, hpsi_g, half_g;
+  transpose.band_to_g(comm, psi_band, psi_g, sp_comm);
+  transpose.band_to_g(comm, hpsi_band, hpsi_g, sp_comm);
+  if (psi_half_band) transpose.band_to_g(comm, *psi_half_band, half_g, sp_comm);
+
+  CMatrix s = linalg::overlap(psi_g, hpsi_g);
+  comm.allreduce_sum(s.data(), s.size());
+
+  // R_g = c_psi Psi + c_h (HPsi - Psi S) - c_half Psi_half.
+  CMatrix r_g = hpsi_g;
+  linalg::gemm('N', 'N', Complex{-1.0, 0.0}, psi_g, s, Complex{1.0, 0.0}, r_g);
+  const std::size_t n = r_g.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex v = c_h * r_g.data()[i] + c_psi * psi_g.data()[i];
+    if (psi_half_band) v -= c_half * half_g.data()[i];
+    r_g.data()[i] = v;
+  }
+
+  CMatrix r_band;
+  transpose.g_to_band(comm, r_g, r_band, sp_comm);
+  return r_band;
+}
+
+void orthonormalize(const par::WavefunctionTranspose& transpose, par::Comm& comm,
+                    CMatrix& psi_band, bool sp_comm) {
+  CMatrix psi_g;
+  transpose.band_to_g(comm, psi_band, psi_g, sp_comm);
+  CMatrix s = linalg::overlap(psi_g, psi_g);
+  comm.allreduce_sum(s.data(), s.size());
+  // Replicated Cholesky (the paper runs cuSOLVER on one GPU; the factor is
+  // tiny compared with everything else) followed by the local column solve.
+  linalg::potrf_lower(s);
+  linalg::trsm_right_lower_conj(psi_g, s);
+  transpose.g_to_band(comm, psi_g, psi_band, sp_comm);
+}
+
+PtCnPropagator::PtCnPropagator(ham::Hamiltonian& hamiltonian, par::BlockPartition bands,
+                               PtCnOptions opt, int comm_size)
+    : ham_(hamiltonian),
+      bands_(bands),
+      opt_(opt),
+      transpose_(par::BlockPartition(hamiltonian.setup().n_g(), comm_size), bands) {
+  PWDFT_CHECK(opt_.dt > 0.0, "PtCnPropagator: dt must be positive");
+}
+
+PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> occ_global,
+                                    double t, const ExternalField& field, par::Comm& comm,
+                                    TimerRegistry* timers) {
+  TimerRegistry local_timers;
+  if (!timers) timers = &local_timers;
+  const std::size_t ng = ham_.setup().n_g();
+  const std::size_t nb_loc = bands_.count(comm.rank());
+  PWDFT_CHECK(psi_local.rows() == ng && psi_local.cols() == nb_loc,
+              "PtCnPropagator: band layout mismatch");
+  std::span<const double> occ_local(occ_global.data() + bands_.offset(comm.rank()), nb_loc);
+
+  // Lazily build one Anderson mixer per local band (paper §3.4: one small
+  // least-squares problem per wavefunction, history <= 20).
+  if (mixers_.size() != nb_loc) {
+    mixers_.clear();
+    for (std::size_t j = 0; j < nb_loc; ++j)
+      mixers_.push_back(std::make_unique<scf::AndersonMixer>(ng, opt_.anderson_depth,
+                                                             opt_.anderson_beta));
+  }
+  for (auto& m : mixers_) m->reset();
+
+  PtCnStepReport report;
+  const Complex i_half_dt = imag_unit * (0.5 * opt_.dt);
+
+  // --- Initial residual Rn = Hn Psi_n - Psi_n (Psi^H Hn Psi) at time t. ---
+  ham_.set_vector_potential(field.vector_potential(t));
+  std::vector<double> rho;
+  {
+    ScopedTimer st(*timers, "density");
+    rho = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_local, occ_local, comm);
+  }
+  {
+    ScopedTimer st(*timers, "others");
+    ham_.update_density(rho);
+  }
+  if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_local, occ_global, bands_, comm);
+  CMatrix hpsi;
+  ham_.apply(psi_local, hpsi, comm, timers);
+  ++report.fock_applies;
+
+  CMatrix rn;
+  {
+    ScopedTimer st(*timers, "residual");
+    rn = pt_residual(transpose_, comm, psi_local, hpsi, nullptr, Complex{0.0, 0.0},
+                     Complex{1.0, 0.0}, Complex{0.0, 0.0}, opt_.sp_comm);
+  }
+
+  // --- Psi_{n+1/2} = Psi_n - i dt/2 Rn; initial guess Psi_f = Psi_{n+1/2}.
+  CMatrix psi_half = psi_local;
+  for (std::size_t i = 0; i < psi_half.size(); ++i)
+    psi_half.data()[i] -= i_half_dt * rn.data()[i];
+  CMatrix psi_f = psi_half;
+
+  std::vector<double> rho_f;
+  {
+    ScopedTimer st(*timers, "density");
+    rho_f = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_f, occ_local, comm);
+  }
+
+  // --- SCF fixed-point loop at time t + dt. ---
+  ham_.set_vector_potential(field.vector_potential(t + opt_.dt));
+  for (int it = 0; it < opt_.max_scf; ++it) {
+    {
+      ScopedTimer st(*timers, "others");
+      ham_.update_density(rho_f);
+    }
+    if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_f, occ_global, bands_, comm);
+    ham_.apply(psi_f, hpsi, comm, timers);
+    ++report.fock_applies;
+
+    CMatrix rf;
+    {
+      ScopedTimer st(*timers, "residual");
+      rf = pt_residual(transpose_, comm, psi_f, hpsi, &psi_half, Complex{1.0, 0.0}, i_half_dt,
+                       Complex{1.0, 0.0}, opt_.sp_comm);
+    }
+
+    {
+      // Fixed point x = g(x) with g(x) = x - Rf, so the Anderson residual
+      // input is f = -Rf, mixed independently per band.
+      ScopedTimer st(*timers, "anderson");
+      std::vector<Complex> f(ng);
+      for (std::size_t j = 0; j < nb_loc; ++j) {
+        const Complex* rj = rf.col(j);
+        for (std::size_t i = 0; i < ng; ++i) f[i] = -rj[i];
+        mixers_[j]->mix({psi_f.col(j), ng}, f, {psi_f.col(j), ng});
+      }
+    }
+
+    std::vector<double> rho_new;
+    {
+      ScopedTimer st(*timers, "density");
+      rho_new = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_f, occ_local, comm);
+    }
+    report.rho_error = ham::density_error(ham_.setup(), rho_new, rho_f);
+    rho_f = std::move(rho_new);
+    report.scf_iterations = it + 1;
+    if (report.rho_error < opt_.rho_tol) {
+      report.converged = true;
+      break;
+    }
+  }
+
+  // --- Orthonormalize Psi_f -> Psi_{n+1} (paper §3.4). ---
+  {
+    ScopedTimer st(*timers, "ortho");
+    orthonormalize(transpose_, comm, psi_f, opt_.sp_comm);
+  }
+  psi_local = std::move(psi_f);
+  return report;
+}
+
+}  // namespace pwdft::td

@@ -1,0 +1,66 @@
+#include "td/rk4.hpp"
+
+#include "common/check.hpp"
+#include "ham/density.hpp"
+
+namespace pwdft::td {
+
+Rk4Propagator::Rk4Propagator(ham::Hamiltonian& hamiltonian, par::BlockPartition bands,
+                             Rk4Options opt)
+    : ham_(hamiltonian), bands_(bands), opt_(opt) {
+  PWDFT_CHECK(opt_.dt > 0.0, "Rk4Propagator: dt must be positive");
+}
+
+void Rk4Propagator::derivative(const CMatrix& psi, std::span<const double> occ_local,
+                               std::span<const double> occ_global, double t,
+                               const ExternalField& field, CMatrix& k, par::Comm& comm,
+                               TimerRegistry* timers) {
+  ham_.set_vector_potential(field.vector_potential(t));
+  {
+    ScopedTimer st(*timers, "density");
+    auto rho = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi, occ_local, comm);
+    ham_.update_density(rho);
+  }
+  if (ham_.hybrid_enabled()) {
+    ham_.set_exchange_orbitals(psi, occ_global, bands_, comm);
+  }
+  ham_.apply(psi, k, comm, timers);
+  // k = -i H psi.
+  const std::size_t n = k.size();
+  Complex* d = k.data();
+  for (std::size_t i = 0; i < n; ++i) d[i] *= Complex{0.0, -1.0};
+}
+
+void Rk4Propagator::step(CMatrix& psi_local, std::span<const double> occ_global, double t,
+                         const ExternalField& field, par::Comm& comm, TimerRegistry* timers) {
+  TimerRegistry local_timers;
+  if (!timers) timers = &local_timers;
+  const std::size_t nb_loc = bands_.count(comm.rank());
+  PWDFT_CHECK(psi_local.cols() == nb_loc, "Rk4Propagator: band layout mismatch");
+  std::span<const double> occ_local(occ_global.data() + bands_.offset(comm.rank()), nb_loc);
+
+  const double h = opt_.dt;
+  const std::size_t n = psi_local.size();
+
+  CMatrix k1, k2, k3, k4;
+  CMatrix stage(psi_local.rows(), psi_local.cols());
+
+  derivative(psi_local, occ_local, occ_global, t, field, k1, comm, timers);
+
+  for (std::size_t i = 0; i < n; ++i) stage.data()[i] = psi_local.data()[i] + 0.5 * h * k1.data()[i];
+  derivative(stage, occ_local, occ_global, t + 0.5 * h, field, k2, comm, timers);
+
+  for (std::size_t i = 0; i < n; ++i) stage.data()[i] = psi_local.data()[i] + 0.5 * h * k2.data()[i];
+  derivative(stage, occ_local, occ_global, t + 0.5 * h, field, k3, comm, timers);
+
+  for (std::size_t i = 0; i < n; ++i) stage.data()[i] = psi_local.data()[i] + h * k3.data()[i];
+  derivative(stage, occ_local, occ_global, t + h, field, k4, comm, timers);
+
+  const double w = h / 6.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    psi_local.data()[i] +=
+        w * (k1.data()[i] + 2.0 * k2.data()[i] + 2.0 * k3.data()[i] + k4.data()[i]);
+  }
+}
+
+}  // namespace pwdft::td

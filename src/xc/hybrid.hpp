@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file hybrid.hpp
+/// Hybrid-functional parameters and the screened Coulomb kernel.
+///
+/// HSE-style short-range exact exchange: mixing fraction alpha = 0.25 and
+/// screening parameter omega = 0.11 Bohr^-1 (HSE06). The kernel of the
+/// Poisson-like solves in the Fock operator (paper Eq. 3) is
+///   K(G) = 4 pi (1 - exp(-G^2 / (4 omega^2))) / G^2,
+/// whose G -> 0 limit is finite: pi / omega^2. omega <= 0 selects the bare
+/// (unscreened, PBE0-style) kernel with K(0) = 0 by convention.
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace pwdft::xc {
+
+struct HybridParams {
+  bool enabled = true;
+  double alpha = 0.25;  ///< exact-exchange mixing fraction
+  double omega = 0.11;  ///< screening (Bohr^-1); <= 0 means bare Coulomb
+};
+
+/// Screened Coulomb kernel K(G^2); see file comment for conventions.
+inline double exchange_kernel(double g2, double omega) {
+  if (omega <= 0.0) {
+    return g2 < 1e-12 ? 0.0 : 2.0 * constants::two_pi / g2;
+  }
+  const double w2_4 = 4.0 * omega * omega;
+  if (g2 < 1e-12) return constants::pi / (omega * omega);
+  return constants::four_pi * (1.0 - std::exp(-g2 / w2_4)) / g2;
+}
+
+}  // namespace pwdft::xc

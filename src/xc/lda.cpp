@@ -1,0 +1,46 @@
+#include "xc/lda.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace pwdft::xc {
+
+XcPoint lda_pz(double rho) {
+  if (rho < 1e-14) return {0.0, 0.0};
+
+  // Exchange: eps_x = -(3/4)(3/pi)^{1/3} rho^{1/3}, v_x = (4/3) eps_x.
+  static const double cx = -0.75 * std::cbrt(3.0 / constants::pi);
+  const double r13 = std::cbrt(rho);
+  const double eps_x = cx * r13;
+  const double v_x = (4.0 / 3.0) * eps_x;
+
+  // Perdew-Zunger correlation, unpolarized parameters.
+  const double rs = std::cbrt(3.0 / (constants::four_pi * rho));
+  double eps_c, v_c;
+  if (rs >= 1.0) {
+    const double g = -0.1423, b1 = 1.0529, b2 = 0.3334;
+    const double sq = std::sqrt(rs);
+    const double den = 1.0 + b1 * sq + b2 * rs;
+    eps_c = g / den;
+    v_c = eps_c * (1.0 + (7.0 / 6.0) * b1 * sq + (4.0 / 3.0) * b2 * rs) / den;
+  } else {
+    const double A = 0.0311, B = -0.048, C = 0.0020, D = -0.0116;
+    const double ln = std::log(rs);
+    eps_c = A * ln + B + C * rs * ln + D * rs;
+    v_c = A * ln + (B - A / 3.0) + (2.0 / 3.0) * C * rs * ln + ((2.0 * D - C) / 3.0) * rs;
+  }
+  return {eps_x + eps_c, v_x + v_c};
+}
+
+void lda_pz(std::span<const double> rho, std::span<double> eps, std::span<double> vxc) {
+  PWDFT_CHECK(rho.size() == eps.size() && rho.size() == vxc.size(), "lda_pz: size mismatch");
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    const XcPoint p = lda_pz(rho[i]);
+    eps[i] = p.eps;
+    vxc[i] = p.vxc;
+  }
+}
+
+}  // namespace pwdft::xc

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "ham/ace.hpp"
+#include "ham/density.hpp"
+#include "linalg/blas.hpp"
+#include "parallel/thread_comm.hpp"
+#include "td/field.hpp"
+#include "td/ptcn.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+xc::HybridParams hse() { return xc::HybridParams{true, 0.25, 0.11}; }
+
+TEST(Ace, ExactOnItsOwnOrbitals) {
+  // The defining ACE property: VX_ACE Phi == VX Phi.
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto phi = test::random_orthonormal(setup, 6, 3);
+  std::vector<double> occ(6, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(6, 1);
+
+  ham::FockOperator fock(setup, hse());
+  fock.set_orbitals(phi, occ, bands, comm);
+  ham::AceOperator ace(setup);
+  ace.build(fock, phi, comm);
+
+  CMatrix y_exact(setup.n_g(), 6, Complex{0, 0});
+  fock.apply_add(phi, y_exact, comm);
+  CMatrix y_ace(setup.n_g(), 6, Complex{0, 0});
+  ace.apply_add(phi, y_ace, comm);
+  EXPECT_LT(test::max_abs_diff(y_exact, y_ace), 1e-8);
+}
+
+TEST(Ace, OperatorIsNegativeSemidefinite) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto phi = test::random_orthonormal(setup, 4, 5);
+  std::vector<double> occ(4, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(4, 1);
+  ham::FockOperator fock(setup, hse());
+  fock.set_orbitals(phi, occ, bands, comm);
+  ham::AceOperator ace(setup);
+  ace.build(fock, phi, comm);
+
+  auto x = test::random_orthonormal(setup, 4, 7);
+  CMatrix y(setup.n_g(), 4, Complex{0, 0});
+  ace.apply_add(x, y, comm);
+  for (std::size_t j = 0; j < 4; ++j) {
+    const double q = linalg::dotc({x.col(j), setup.n_g()}, {y.col(j), setup.n_g()}).real();
+    EXPECT_LE(q, 1e-10);
+  }
+}
+
+TEST(Ace, HermitianOnArbitraryStates) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto phi = test::random_orthonormal(setup, 4, 9);
+  std::vector<double> occ(4, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(4, 1);
+  ham::FockOperator fock(setup, hse());
+  fock.set_orbitals(phi, occ, bands, comm);
+  ham::AceOperator ace(setup);
+  ace.build(fock, phi, comm);
+
+  auto x = test::random_orthonormal(setup, 4, 11);
+  CMatrix y(setup.n_g(), 4, Complex{0, 0});
+  ace.apply_add(x, y, comm);
+  CMatrix m = linalg::overlap(x, y);
+  for (std::size_t a = 0; a < 4; ++a)
+    for (std::size_t b = 0; b < 4; ++b)
+      EXPECT_NEAR(std::abs(m(a, b) - std::conj(m(b, a))), 0.0, 1e-10);
+}
+
+TEST(Ace, RequiresBuildBeforeApply) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  ham::AceOperator ace(setup);
+  CMatrix x(setup.n_g(), 1), y(setup.n_g(), 1);
+  par::SerialComm comm;
+  EXPECT_THROW(ace.apply_add(x, y, comm), Error);
+}
+
+TEST(Ace, DistributedBuildAndApplyMatchSerial) {
+  const std::size_t nb = 8;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto phi = test::random_orthonormal(setup, nb, 13);
+  std::vector<double> occ(nb, 2.0);
+
+  par::SerialComm serial;
+  ham::FockOperator fock_ref(setup, hse());
+  fock_ref.set_orbitals(phi, occ, par::BlockPartition(nb, 1), serial);
+  ham::AceOperator ace_ref(setup);
+  ace_ref.build(fock_ref, phi, serial);
+  CMatrix y_ref(setup.n_g(), nb, Complex{0, 0});
+  ace_ref.apply_add(phi, y_ref, serial);
+
+  for (int np : {2, 4}) {
+    par::ThreadGroup::run(np, [&](par::Comm& c) {
+      auto setup_loc = test::make_si8_setup(3.0, 1);
+      par::BlockPartition bands(nb, np);
+      ham::FockOperator fock(setup_loc, hse());
+      CMatrix phi_loc = test::band_slice(phi, bands, c.rank());
+      fock.set_orbitals(phi_loc, occ, bands, c);
+      ham::AceOperator ace(setup_loc);
+      ace.build(fock, phi_loc, c);
+      CMatrix y_loc(setup_loc.n_g(), phi_loc.cols(), Complex{0, 0});
+      ace.apply_add(phi_loc, y_loc, c);
+      CMatrix expect = test::band_slice(y_ref, bands, c.rank());
+      EXPECT_LT(test::max_abs_diff(y_loc, expect), 1e-8);
+    });
+  }
+}
+
+TEST(Ace, PtCnStepWithAceMatchesDirectFock) {
+  // Within each PT-CN SCF iteration the exchange orbitals are the current
+  // iterate, and ACE is exact on them: the trajectories must coincide.
+  const std::size_t nb = 16;  // full Si8 occupancy keeps the SCF well behaved
+  auto build = [&](bool use_ace) {
+    auto opt = test::fast_hybrid_options();
+    opt.use_ace = use_ace;
+    return opt;
+  };
+  auto setup1 = test::make_si8_setup(3.0, 1);
+  auto setup2 = test::make_si8_setup(3.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  ham::Hamiltonian h_direct(setup1, species, build(false));
+  ham::Hamiltonian h_ace(setup2, species, build(true));
+
+  auto psi0 = test::random_orthonormal(setup1, nb, 15);
+  std::vector<double> occ(nb, 2.0);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  td::PtCnOptions opt;
+  opt.dt = 1.0;
+  opt.rho_tol = 1e-7;
+  opt.max_scf = 100;
+  opt.sp_comm = false;
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix psi_a = psi0, psi_b = psi0;
+  td::PtCnPropagator p1(h_direct, bands, opt, 1);
+  td::PtCnPropagator p2(h_ace, bands, opt, 1);
+  auto r1 = p1.step(psi_a, occ, 0.0, kick, comm);
+  auto r2 = p2.step(psi_b, occ, 0.0, kick, comm);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_LT(test::max_abs_diff(psi_a, psi_b), 1e-5);
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace pwdft {
+namespace {
+
+TEST(Constants, UnitConversionsRoundTrip) {
+  EXPECT_NEAR(constants::attoseconds_to_au(constants::as_per_au_time), 1.0, 1e-14);
+  EXPECT_NEAR(constants::femtoseconds_to_au(1.0) * constants::fs_per_au_time, 1.0, 1e-14);
+  // 50 as (the paper's PT-CN step) is ~2.067 a.u.
+  EXPECT_NEAR(constants::attoseconds_to_au(50.0), 2.0671, 1e-3);
+  // 380 nm photon: 3.263 eV.
+  EXPECT_NEAR(constants::photon_energy_ha(380.0) / constants::hartree_per_ev, 3.2627, 1e-3);
+  // Si lattice constant: 5.43 A = 10.2613 bohr.
+  EXPECT_NEAR(5.43 * constants::bohr_per_angstrom, 10.2612, 1e-3);
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    PWDFT_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { EXPECT_NO_THROW(PWDFT_CHECK(2 + 2 == 4)); }
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.integer(), b.integer());
+}
+
+TEST(Rng, ComplexNormalHasUnitVariance) {
+  Rng rng(7);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += std::norm(rng.complex_normal());
+  EXPECT_NEAR(acc / n, 1.0, 0.05);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(TimerRegistry, AccumulatesPhases) {
+  TimerRegistry reg;
+  reg.add("fock", 1.5);
+  reg.add("fock", 0.5);
+  reg.add("density", 0.25);
+  EXPECT_DOUBLE_EQ(reg.total("fock"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.total("density"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.total("missing"), 0.0);
+  {
+    ScopedTimer st(reg, "scoped");
+  }
+  EXPECT_GE(reg.total("scoped"), 0.0);
+  reg.clear();
+  EXPECT_DOUBLE_EQ(reg.total("fock"), 0.0);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row("alpha", 3.14159);
+  t.row("bb", 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.142"), std::string::npos);  // default 3 decimals
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, WritesCsv) {
+  Table t({"a", "b"});
+  t.row(1, 2);
+  const std::string path = "/tmp/pwdft_test_table.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.add_cell("v"), Error);
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "fft/fft3d.hpp"
+#include "ham/density.hpp"
+#include "ham/hartree.hpp"
+#include "parallel/thread_comm.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+TEST(Density, IntegratesToElectronCount) {
+  auto setup = test::make_si8_setup(4.0, 2);
+  auto psi = test::random_orthonormal(setup, 16);
+  std::vector<double> occ(16, 2.0);
+  fft::Fft3D fft(setup.dense_grid.dims());
+  par::SerialComm comm;
+  auto rho = ham::compute_density(setup, fft, psi, occ, comm);
+  EXPECT_NEAR(ham::integrate_dense(setup, rho), 32.0, 1e-9);
+}
+
+TEST(Density, NonNegativeEverywhere) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto psi = test::random_orthonormal(setup, 8);
+  std::vector<double> occ(8, 2.0);
+  fft::Fft3D fft(setup.dense_grid.dims());
+  par::SerialComm comm;
+  auto rho = ham::compute_density(setup, fft, psi, occ, comm);
+  for (double v : rho) EXPECT_GE(v, -1e-14);
+}
+
+TEST(Density, UniformForGZeroOrbital) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  CMatrix psi(setup.n_g(), 1, Complex{0.0, 0.0});
+  psi(setup.sphere.g0_index(), 0) = Complex{1.0, 0.0};
+  std::vector<double> occ{2.0};
+  fft::Fft3D fft(setup.dense_grid.dims());
+  par::SerialComm comm;
+  auto rho = ham::compute_density(setup, fft, psi, occ, comm);
+  const double expect = 2.0 / setup.volume();
+  for (double v : rho) EXPECT_NEAR(v, expect, 1e-12);
+}
+
+TEST(Density, RespectsOccupations) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto psi = test::random_orthonormal(setup, 4);
+  std::vector<double> occ{2.0, 2.0, 1.0, 0.0};
+  fft::Fft3D fft(setup.dense_grid.dims());
+  par::SerialComm comm;
+  auto rho = ham::compute_density(setup, fft, psi, occ, comm);
+  EXPECT_NEAR(ham::integrate_dense(setup, rho), 5.0, 1e-9);
+}
+
+TEST(Density, DistributedMatchesSerial) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto psi = test::random_orthonormal(setup, 12, 23);
+  std::vector<double> occ(12, 2.0);
+  fft::Fft3D fft(setup.dense_grid.dims());
+  par::SerialComm serial;
+  auto rho_ref = ham::compute_density(setup, fft, psi, occ, serial);
+
+  for (int np : {2, 3}) {
+    par::ThreadGroup::run(np, [&](par::Comm& c) {
+      auto local_setup = test::make_si8_setup(4.0, 1);
+      fft::Fft3D local_fft(local_setup.dense_grid.dims());
+      par::BlockPartition bands(12, np);
+      CMatrix psi_loc = test::band_slice(psi, bands, c.rank());
+      std::span<const double> occ_loc(occ.data() + bands.offset(c.rank()),
+                                      bands.count(c.rank()));
+      auto rho = ham::compute_density(local_setup, local_fft, psi_loc, occ_loc, c);
+      for (std::size_t i = 0; i < rho.size(); ++i) EXPECT_NEAR(rho[i], rho_ref[i], 1e-11);
+    });
+  }
+}
+
+TEST(Density, ErrorMetricIsRelativePerElectron) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  std::vector<double> a(setup.n_dense(), 1.0), b(setup.n_dense(), 1.0);
+  EXPECT_DOUBLE_EQ(ham::density_error(setup, a, b), 0.0);
+  for (auto& v : b) v += 32.0 / setup.volume() * 0.01;  // 1% of the density scale
+  EXPECT_NEAR(ham::density_error(setup, a, b), 0.01, 1e-12);
+}
+
+TEST(Hartree, SinglePlaneWaveAnalytic) {
+  // rho(r) = cos(G.r) => V_H(r) = (4 pi / G^2) cos(G.r).
+  auto setup = test::make_si8_setup(4.0, 1);
+  const auto dims = setup.dense_grid.dims();
+  fft::Fft3D fft(dims);
+  const auto& lat = setup.crystal.lattice();
+  const grid::Vec3 g = lat.gvector(1, 0, 0);
+  std::vector<double> rho(setup.n_dense());
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dims[2]; ++z)
+    for (std::size_t y = 0; y < dims[1]; ++y)
+      for (std::size_t x = 0; x < dims[0]; ++x, ++idx) {
+        const double phase = constants::two_pi * double(x) / double(dims[0]);
+        rho[idx] = std::cos(phase);
+      }
+  auto vh = ham::hartree_potential(setup, fft, rho);
+  const double g2 = grid::norm2(g);
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    EXPECT_NEAR(vh[i], constants::four_pi / g2 * rho[i], 1e-9);
+}
+
+TEST(Hartree, IgnoresUniformBackground) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  fft::Fft3D fft(setup.dense_grid.dims());
+  std::vector<double> rho(setup.n_dense(), 0.7);
+  auto vh = ham::hartree_potential(setup, fft, rho);
+  for (double v : vh) EXPECT_NEAR(v, 0.0, 1e-11);
+}
+
+TEST(Hartree, EnergyIsNonNegative) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  fft::Fft3D fft(setup.dense_grid.dims());
+  Rng rng(29);
+  std::vector<double> rho(setup.n_dense());
+  for (auto& v : rho) v = rng.uniform(0.0, 1.0);
+  auto vh = ham::hartree_potential(setup, fft, rho);
+  EXPECT_GE(ham::hartree_energy(setup, rho, vh), -1e-12);
+}
+
+TEST(Hartree, EnergyMatchesReciprocalSum) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  const auto dims = setup.dense_grid.dims();
+  fft::Fft3D fft(dims);
+  Rng rng(31);
+  std::vector<double> rho(setup.n_dense());
+  for (auto& v : rho) v = rng.uniform(0.0, 0.5);
+  auto vh = ham::hartree_potential(setup, fft, rho);
+  const double e_real = ham::hartree_energy(setup, rho, vh);
+
+  // E_H = (Omega/2) sum_{G!=0} 4 pi |rho(G)|^2 / G^2.
+  std::vector<Complex> work(rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) work[i] = Complex{rho[i], 0.0};
+  fft.forward(work.data());
+  double e_g = 0.0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const double g2 = setup.dense_g2[i];
+    if (g2 < 1e-12) continue;
+    const Complex rg = work[i] / static_cast<double>(work.size());
+    e_g += constants::four_pi * std::norm(rg) / g2;
+  }
+  e_g *= 0.5 * setup.volume();
+  EXPECT_NEAR(e_real, e_g, 1e-9 * (1.0 + e_g));
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "fft/fft3d.hpp"
+#include "fft/fft_plan.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+using fft::Fft3D;
+using fft::FftPlan1D;
+
+std::vector<Complex> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = rng.complex_normal();
+  return v;
+}
+
+class Fft1DSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Fft1DSizes, MatchesNaiveDftForward) {
+  const std::size_t n = GetParam();
+  auto x = random_vec(n, 100 + n);
+  auto ref = test::naive_dft(x, -1);
+  FftPlan1D plan(n);
+  std::vector<Complex> out(n), work(n);
+  plan.execute(x.data(), 1, out.data(), work.data(), -1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(out[i] - ref[i]), 0.0, 1e-9 * std::sqrt(double(n)))
+        << "n=" << n << " i=" << i;
+}
+
+TEST_P(Fft1DSizes, MatchesNaiveDftInverse) {
+  const std::size_t n = GetParam();
+  auto x = random_vec(n, 200 + n);
+  auto ref = test::naive_dft(x, +1);
+  FftPlan1D plan(n);
+  std::vector<Complex> out(n), work(n);
+  plan.execute(x.data(), 1, out.data(), work.data(), +1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(out[i] - ref[i]), 0.0, 1e-9 * std::sqrt(double(n)));
+}
+
+TEST_P(Fft1DSizes, RoundTripIsIdentityTimesN) {
+  const std::size_t n = GetParam();
+  auto x = random_vec(n, 300 + n);
+  FftPlan1D plan(n);
+  std::vector<Complex> f(n), out(n), work(n);
+  plan.execute(x.data(), 1, f.data(), work.data(), -1);
+  plan.execute(f.data(), 1, out.data(), work.data(), +1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(out[i] - x[i] * double(n)), 0.0, 1e-8 * double(n));
+}
+
+TEST_P(Fft1DSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  auto x = random_vec(n, 400 + n);
+  FftPlan1D plan(n);
+  std::vector<Complex> f(n), work(n);
+  plan.execute(x.data(), 1, f.data(), work.data(), -1);
+  double ex = 0, ef = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ex += std::norm(x[i]);
+    ef += std::norm(f[i]);
+  }
+  EXPECT_NEAR(ef, ex * double(n), 1e-8 * ex * double(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, Fft1DSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16,
+                                           20, 24, 25, 27, 30, 32, 36, 45, 48, 60, 90, 120));
+
+TEST(FftPlan1D, StridedInputMatchesContiguous) {
+  const std::size_t n = 30, stride = 7;
+  auto big = random_vec(n * stride, 11);
+  std::vector<Complex> contig(n);
+  for (std::size_t i = 0; i < n; ++i) contig[i] = big[i * stride];
+  FftPlan1D plan(n);
+  std::vector<Complex> a(n), b(n), work(n);
+  plan.execute(big.data(), stride, a.data(), work.data(), -1);
+  plan.execute(contig.data(), 1, b.data(), work.data(), -1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(std::abs(a[i] - b[i]), 0.0, 1e-12);
+}
+
+TEST(FftPlan1D, LinearityHolds) {
+  const std::size_t n = 24;
+  auto x = random_vec(n, 1), y = random_vec(n, 2);
+  FftPlan1D plan(n);
+  std::vector<Complex> fx(n), fy(n), fz(n), z(n), work(n);
+  const Complex a{1.7, -0.3}, b{-0.5, 2.1};
+  for (std::size_t i = 0; i < n; ++i) z[i] = a * x[i] + b * y[i];
+  plan.execute(x.data(), 1, fx.data(), work.data(), -1);
+  plan.execute(y.data(), 1, fy.data(), work.data(), -1);
+  plan.execute(z.data(), 1, fz.data(), work.data(), -1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(fz[i] - (a * fx[i] + b * fy[i])), 0.0, 1e-10);
+}
+
+TEST(FftPlan1D, FastSizeDetection) {
+  EXPECT_TRUE(FftPlan1D::fast_size(1));
+  EXPECT_TRUE(FftPlan1D::fast_size(15));
+  EXPECT_TRUE(FftPlan1D::fast_size(60));
+  EXPECT_TRUE(FftPlan1D::fast_size(2 * 3 * 5 * 8));
+  EXPECT_FALSE(FftPlan1D::fast_size(7));
+  EXPECT_FALSE(FftPlan1D::fast_size(0));
+  EXPECT_FALSE(FftPlan1D::fast_size(14));
+}
+
+TEST(Fft3D, DeltaTransformsToConstant) {
+  Fft3D fft({4, 6, 8});
+  std::vector<Complex> data(fft.size(), Complex{0, 0});
+  data[0] = Complex{1.0, 0.0};
+  fft.forward(data.data());
+  for (const auto& v : data) EXPECT_NEAR(std::abs(v - Complex{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Fft3D, PlaneWaveTransformsToSinglePeak) {
+  const std::array<std::size_t, 3> dims{6, 5, 4};
+  Fft3D fft(dims);
+  std::vector<Complex> data(fft.size());
+  const int k0 = 2, k1 = 1, k2 = 3;
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dims[2]; ++z)
+    for (std::size_t y = 0; y < dims[1]; ++y)
+      for (std::size_t x = 0; x < dims[0]; ++x, ++idx) {
+        const double ang = constants::two_pi * (double(k0 * x) / dims[0] +
+                                                double(k1 * y) / dims[1] +
+                                                double(k2 * z) / dims[2]);
+        data[idx] = Complex{std::cos(ang), std::sin(ang)};
+      }
+  // exp(+i k.r) picks out bin k under the inverse convention; the forward
+  // transform of exp(+i k.r) has its peak at k as well (sum of e^{i(k-k')r}).
+  fft.forward(data.data());
+  const std::size_t peak = k0 + dims[0] * (k1 + dims[1] * k2);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i == peak) {
+      EXPECT_NEAR(std::abs(data[i] - Complex{double(fft.size()), 0.0}), 0.0, 1e-8);
+    } else {
+      EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Fft3D, RoundTripScaled) {
+  Fft3D fft({15, 15, 15});
+  auto x = random_vec(fft.size(), 5);
+  auto y = x;
+  fft.forward(y.data());
+  fft.inverse_scaled(y.data());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+}
+
+TEST(Fft3D, BatchedMatchesLoop) {
+  Fft3D fft({12, 10, 6});
+  const std::size_t nb = 5;
+  auto batch = random_vec(fft.size() * nb, 6);
+  auto ref = batch;
+  fft.forward_many(batch.data(), nb);
+  for (std::size_t b = 0; b < nb; ++b) fft.forward(ref.data() + b * fft.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_NEAR(std::abs(batch[i] - ref[i]), 0.0, 1e-12);
+}
+
+TEST(Fft3D, AxesAreIndependent) {
+  // A function varying only along z transforms to a line along the z axis.
+  const std::array<std::size_t, 3> dims{4, 4, 8};
+  Fft3D fft(dims);
+  std::vector<Complex> data(fft.size());
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < dims[2]; ++z)
+    for (std::size_t y = 0; y < dims[1]; ++y)
+      for (std::size_t x = 0; x < dims[0]; ++x, ++idx)
+        data[idx] = Complex{std::sin(constants::two_pi * double(z) / dims[2]), 0.0};
+  fft.forward(data.data());
+  idx = 0;
+  for (std::size_t z = 0; z < dims[2]; ++z)
+    for (std::size_t y = 0; y < dims[1]; ++y)
+      for (std::size_t x = 0; x < dims[0]; ++x, ++idx) {
+        if (x != 0 || y != 0) EXPECT_NEAR(std::abs(data[idx]), 0.0, 1e-9);
+      }
+}
+
+TEST(Fft3D, ParsevalIn3D) {
+  Fft3D fft({15, 12, 10});
+  auto x = random_vec(fft.size(), 9);
+  double ex = 0;
+  for (const auto& v : x) ex += std::norm(v);
+  fft.forward(x.data());
+  double ef = 0;
+  for (const auto& v : x) ef += std::norm(v);
+  EXPECT_NEAR(ef, ex * double(fft.size()), 1e-8 * ex * double(fft.size()));
+}
+
+}  // namespace
+}  // namespace pwdft

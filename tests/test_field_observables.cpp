@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "ham/setup.hpp"
+#include "td/field.hpp"
+#include "td/observables.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+TEST(LaserPulse, PhotonEnergyMatches380nm) {
+  const auto pulse = td::LaserPulse::paper_pulse();
+  EXPECT_NEAR(pulse.photon_energy_ev(), 3.263, 0.01);  // 1239.84/380
+}
+
+TEST(LaserPulse, EnvelopePeaksAtCenter) {
+  const double t0 = constants::femtoseconds_to_au(15.0);
+  const auto pulse = td::LaserPulse::paper_pulse(0.01);
+  EXPECT_NEAR(pulse.efield(t0)[2], 0.01, 1e-10);  // cos(0)=1 at center
+  // Far before and after the pulse the field is negligible.
+  EXPECT_NEAR(pulse.efield(0.0)[2], 0.0, 1e-8);
+  EXPECT_NEAR(pulse.efield(2.0 * t0)[2], 0.0, 1e-8);
+}
+
+TEST(LaserPulse, VectorPotentialIsMinusIntegralOfE) {
+  const auto pulse = td::LaserPulse::paper_pulse(0.02);
+  // Central difference of a(t) should reproduce -E(t).
+  const double t = constants::femtoseconds_to_au(14.0);
+  const double h = 0.05;
+  const double dadt = (pulse.vector_potential(t + h)[2] - pulse.vector_potential(t - h)[2]) /
+                      (2.0 * h);
+  EXPECT_NEAR(dadt, -pulse.efield(t)[2], 2e-4 * std::abs(pulse.efield(t)[2]) + 1e-6);
+}
+
+TEST(LaserPulse, StartsFromZeroVectorPotential) {
+  const auto pulse = td::LaserPulse::paper_pulse();
+  EXPECT_EQ(pulse.vector_potential(-1.0)[2], 0.0);
+  EXPECT_NEAR(pulse.vector_potential(0.0)[2], 0.0, 1e-12);
+}
+
+TEST(LaserPulse, PolarizationIsNormalizedDirection) {
+  td::LaserPulse p(380.0, 0.01, 10.0, 3.0, {3.0, 0.0, 4.0}, 100.0);
+  const auto e = p.efield(10.0);
+  EXPECT_NEAR(e[0] / e[2], 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(std::sqrt(grid::norm2(e)), 0.01, 1e-10);
+}
+
+TEST(DeltaKick, StepsAtGivenTime) {
+  td::DeltaKick kick({0.0, 0.0, 0.002}, 1.0);
+  EXPECT_EQ(kick.vector_potential(0.5)[2], 0.0);
+  EXPECT_EQ(kick.vector_potential(1.5)[2], 0.002);
+}
+
+TEST(ZeroField, IsZero) {
+  td::ZeroField f;
+  EXPECT_EQ(f.vector_potential(3.0)[0], 0.0);
+  EXPECT_EQ(f.efield(3.0)[2], 0.0);
+}
+
+TEST(Current, VanishesForInversionSymmetricState) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  // Coefficients depending only on |G| give an inversion-symmetric state.
+  CMatrix psi(setup.n_g(), 1);
+  const auto& g2 = setup.sphere.g2();
+  double norm = 0.0;
+  for (std::size_t i = 0; i < setup.n_g(); ++i) {
+    psi(i, 0) = Complex{std::exp(-g2[i]), 0.0};
+    norm += std::norm(psi(i, 0));
+  }
+  linalg::scal(Complex{1.0 / std::sqrt(norm), 0.0}, {psi.col(0), setup.n_g()});
+  std::vector<double> occ{2.0};
+  par::SerialComm comm;
+  const auto j = td::compute_current(setup, psi, occ, {0, 0, 0}, comm);
+  EXPECT_NEAR(j[0], 0.0, 1e-12);
+  EXPECT_NEAR(j[1], 0.0, 1e-12);
+  EXPECT_NEAR(j[2], 0.0, 1e-12);
+}
+
+TEST(Current, DiamagneticResponseIsDensityTimesA) {
+  // j(a) - j(0) = (Ne/Omega) * a for any normalized state.
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto psi = test::random_orthonormal(setup, 5, 3);
+  std::vector<double> occ(5, 2.0);
+  par::SerialComm comm;
+  const grid::Vec3 a{0.01, -0.02, 0.005};
+  const auto j0 = td::compute_current(setup, psi, occ, {0, 0, 0}, comm);
+  const auto ja = td::compute_current(setup, psi, occ, a, comm);
+  const double ne_over_vol = 10.0 / setup.volume();
+  for (int d = 0; d < 3; ++d)
+    EXPECT_NEAR(ja[d] - j0[d], ne_over_vol * a[d], 1e-12);
+}
+
+TEST(ExcitedElectrons, ZeroForIdenticalStates) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto psi = test::random_orthonormal(setup, 6, 5);
+  std::vector<double> occ(6, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(6, 1);
+  EXPECT_NEAR(td::excited_electrons(setup, bands, psi, psi, occ, comm), 0.0, 1e-10);
+}
+
+TEST(ExcitedElectrons, GaugeInvariantUnderOccupiedRotation) {
+  // The PT gauge is exactly such a rotation: n_exc must not see it.
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto psi = test::random_orthonormal(setup, 4, 7);
+  std::vector<double> occ(4, 2.0);
+
+  // Unitary mix of the occupied orbitals.
+  Rng rng(9);
+  CMatrix a(4, 4);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.complex_normal();
+  CMatrix s = linalg::overlap(a, a);
+  linalg::potrf_lower(s);
+  linalg::trsm_right_lower_conj(a, s);  // orthonormal columns => unitary 4x4
+  CMatrix rotated(setup.n_g(), 4);
+  linalg::gemm('N', 'N', Complex{1, 0}, psi, a, Complex{0, 0}, rotated);
+
+  par::SerialComm comm;
+  par::BlockPartition bands(4, 1);
+  EXPECT_NEAR(td::excited_electrons(setup, bands, psi, rotated, occ, comm), 0.0, 1e-9);
+}
+
+TEST(ExcitedElectrons, CountsOrthogonalReplacement) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto all = test::random_orthonormal(setup, 5, 11);
+  CMatrix psi0(setup.n_g(), 2), psi1(setup.n_g(), 2);
+  for (std::size_t i = 0; i < setup.n_g(); ++i) {
+    psi0(i, 0) = all(i, 0);
+    psi0(i, 1) = all(i, 1);
+    psi1(i, 0) = all(i, 0);
+    psi1(i, 1) = all(i, 4);  // band 1 promoted to an orthogonal state
+  }
+  std::vector<double> occ(2, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(2, 1);
+  EXPECT_NEAR(td::excited_electrons(setup, bands, psi0, psi1, occ, comm), 2.0, 1e-9);
+}
+
+TEST(Spectrum, DampedOscillatorPeaksAtItsFrequency) {
+  // Synthetic current j(t) = -kappa*sin(w0 t) e^{-g t} mimics a single
+  // resonance; Im eps must peak near w0.
+  const double w0 = 0.25, g = 0.01, kappa = 1e-3;
+  std::vector<td::TimePoint> trace;
+  for (int i = 0; i <= 4000; ++i) {
+    td::TimePoint p;
+    p.t = i * 0.5;
+    p.current = {0.0, 0.0, -kappa * std::sin(w0 * p.t) * std::exp(-g * p.t)};
+    trace.push_back(p);
+  }
+  auto spec = td::dielectric_from_kick(trace, kappa, 0.005, 0.6, 120);
+  // The synthetic current carries a DC component, so Im eps ~ 1/omega near
+  // zero (a Drude-like tail); search for the resonance away from it.
+  double best_w = 0.0, best = -1e9;
+  for (const auto& s : spec) {
+    if (s.omega < 0.08) continue;
+    if (s.eps_im > best) {
+      best = s.eps_im;
+      best_w = s.omega;
+    }
+  }
+  EXPECT_NEAR(best_w, w0, 0.03);
+  EXPECT_GT(best, 0.0);
+}
+
+TEST(Spectrum, LinearInKickStrength) {
+  auto make_trace = [&](double kappa) {
+    std::vector<td::TimePoint> trace;
+    for (int i = 0; i <= 1000; ++i) {
+      td::TimePoint p;
+      p.t = i * 0.5;
+      p.current = {0.0, 0.0, -kappa * std::sin(0.2 * p.t) * std::exp(-0.02 * p.t)};
+      trace.push_back(p);
+    }
+    return trace;
+  };
+  auto s1 = td::dielectric_from_kick(make_trace(1e-3), 1e-3, 0.01, 0.5, 50);
+  auto s2 = td::dielectric_from_kick(make_trace(2e-3), 2e-3, 0.01, 0.5, 50);
+  for (std::size_t i = 0; i < s1.size(); ++i)
+    EXPECT_NEAR(s1[i].eps_im, s2[i].eps_im, 1e-10 + 1e-9 * std::abs(s1[i].eps_im));
+}
+
+}  // namespace
+}  // namespace pwdft

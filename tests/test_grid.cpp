@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "grid/fftgrid.hpp"
+#include "grid/gsphere.hpp"
+#include "grid/lattice.hpp"
+
+namespace pwdft {
+namespace {
+
+using grid::FftGrid;
+using grid::GSphere;
+using grid::Lattice;
+
+TEST(Lattice, VolumeAndReciprocalDuality) {
+  const Lattice lat = Lattice::orthorhombic(2.0, 3.0, 5.0);
+  EXPECT_NEAR(lat.volume(), 30.0, 1e-12);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(grid::dot(lat.recip()[i], lat.vectors()[j]),
+                  (i == j) ? constants::two_pi : 0.0, 1e-12);
+}
+
+TEST(Lattice, TriclinicReciprocalDuality) {
+  const Lattice lat(grid::Mat3{grid::Vec3{3.0, 0.1, 0.0}, grid::Vec3{0.2, 2.5, 0.3},
+                               grid::Vec3{0.0, 0.4, 4.0}});
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(grid::dot(lat.recip()[i], lat.vectors()[j]),
+                  (i == j) ? constants::two_pi : 0.0, 1e-10);
+}
+
+TEST(Lattice, FractionalCartesianRoundTrip) {
+  const Lattice lat = Lattice::orthorhombic(4.0, 6.0, 9.0);
+  const grid::Vec3 f{0.25, 0.6, 0.9};
+  const auto c = lat.cartesian(f);
+  const auto f2 = lat.fractional(c);
+  for (int d = 0; d < 3; ++d) EXPECT_NEAR(f2[d], f[d], 1e-12);
+}
+
+TEST(FftGrid, GoodSizeIsFiveSmoothAndMinimal) {
+  EXPECT_EQ(FftGrid::good_size(1), 1u);
+  EXPECT_EQ(FftGrid::good_size(7), 8u);
+  EXPECT_EQ(FftGrid::good_size(11), 12u);
+  EXPECT_EQ(FftGrid::good_size(13), 15u);
+  EXPECT_EQ(FftGrid::good_size(15), 15u);
+  EXPECT_EQ(FftGrid::good_size(31), 32u);
+  EXPECT_EQ(FftGrid::good_size(121), 125u);
+}
+
+TEST(FftGrid, PaperGridForSilicon) {
+  // Ecut = 10 Ha, a = 5.43 A per 8-atom cell: 15 points per cell edge.
+  const double a = 5.43 * constants::bohr_per_angstrom;
+  const double gmax = std::sqrt(2.0 * 10.0);
+  {
+    const auto g = FftGrid::for_gmax(Lattice::cubic(a), gmax);
+    EXPECT_EQ(g.dims()[0], 15u);
+    EXPECT_EQ(g.dims()[1], 15u);
+    EXPECT_EQ(g.dims()[2], 15u);
+  }
+  {
+    // The paper's 1536-atom system: 4x6x8 cells -> 60x90x120 = 648000.
+    const auto g = FftGrid::for_gmax(Lattice::orthorhombic(4 * a, 6 * a, 8 * a), gmax);
+    EXPECT_EQ(g.dims()[0], 60u);
+    EXPECT_EQ(g.dims()[1], 90u);
+    EXPECT_EQ(g.dims()[2], 120u);
+    EXPECT_EQ(g.size(), 648000u);
+    // Density grid doubles each dimension: 120x180x240 (paper §4).
+    const auto d = g.refined(2);
+    EXPECT_EQ(d.size(), 5184000u);
+  }
+}
+
+TEST(FftGrid, FreqIndexRoundTrip) {
+  const FftGrid g({8, 9, 5});
+  for (int ax = 0; ax < 3; ++ax) {
+    const int n = static_cast<int>(g.dims()[ax]);
+    for (std::size_t i = 0; i < g.dims()[ax]; ++i) {
+      const int f = g.freq(i, ax);
+      EXPECT_GE(f, -(n / 2));
+      EXPECT_LE(f, (n - 1) / 2);
+    }
+  }
+  EXPECT_EQ(g.index_of(0, 0, 0), 0u);
+  EXPECT_EQ(g.index_of(-1, 0, 0), 7u);
+  EXPECT_EQ(g.index_of(1, -1, 2), 1u + 8u * (8u + 9u * 2u));
+}
+
+TEST(GSphere, CountApproximatesSphereVolume) {
+  const Lattice lat = Lattice::cubic(10.2612);
+  const double ecut = 10.0;
+  const auto grid_ = FftGrid::for_gmax(lat, std::sqrt(2.0 * ecut));
+  const GSphere s(lat, ecut, grid_);
+  const double gmax = std::sqrt(2.0 * ecut);
+  const double expect = 4.0 / 3.0 * constants::pi * gmax * gmax * gmax /
+                        (std::pow(constants::two_pi, 3) / lat.volume());
+  EXPECT_NEAR(static_cast<double>(s.size()), expect, 0.10 * expect);
+}
+
+TEST(GSphere, ContainsGZeroAndInversionPairs) {
+  const Lattice lat = Lattice::cubic(8.0);
+  const auto grid_ = FftGrid::for_gmax(lat, std::sqrt(2.0 * 6.0));
+  const GSphere s(lat, 6.0, grid_);
+  EXPECT_NEAR(s.g2()[s.g0_index()], 0.0, 1e-14);
+  // Every +G has its -G partner (time-reversal symmetry of the basis).
+  for (const auto& m : s.miller()) {
+    bool found = false;
+    for (const auto& m2 : s.miller())
+      if (m2[0] == -m[0] && m2[1] == -m[1] && m2[2] == -m[2]) {
+        found = true;
+        break;
+      }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(GSphere, AllVectorsWithinCutoff) {
+  const Lattice lat = Lattice::orthorhombic(9.0, 7.0, 11.0);
+  const double ecut = 5.0;
+  const auto grid_ = FftGrid::for_gmax(lat, std::sqrt(2.0 * ecut));
+  const GSphere s(lat, ecut, grid_);
+  for (double g2 : s.g2()) EXPECT_LE(0.5 * g2, ecut + 1e-9);
+}
+
+TEST(GSphere, MapToDenseGridPreservesFrequencies) {
+  const Lattice lat = Lattice::cubic(8.0);
+  const auto wfc = FftGrid::for_gmax(lat, std::sqrt(2.0 * 5.0));
+  const auto dense = wfc.refined(2);
+  const GSphere s(lat, 5.0, wfc);
+  const auto map_w = s.map_to(wfc);
+  const auto map_d = s.map_to(dense);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto& m = s.miller()[i];
+    EXPECT_EQ(map_w[i], wfc.index_of(m[0], m[1], m[2]));
+    EXPECT_EQ(map_d[i], dense.index_of(m[0], m[1], m[2]));
+  }
+}
+
+TEST(GSphere, ScatterGatherRoundTrip) {
+  const Lattice lat = Lattice::cubic(8.0);
+  const auto wfc = FftGrid::for_gmax(lat, std::sqrt(2.0 * 5.0));
+  const GSphere s(lat, 5.0, wfc);
+  const auto map = s.map_to(wfc);
+  Rng rng(3);
+  std::vector<Complex> coeffs(s.size()), grid_data(wfc.size()), back(s.size());
+  for (auto& c : coeffs) c = rng.complex_normal();
+  GSphere::scatter(coeffs, map, grid_data);
+  // Everything off the sphere is zero.
+  double off_norm = 0.0;
+  for (const auto& v : grid_data) off_norm += std::norm(v);
+  double on_norm = 0.0;
+  for (const auto& c : coeffs) on_norm += std::norm(c);
+  EXPECT_NEAR(off_norm, on_norm, 1e-12);
+  GSphere::gather(grid_data, map, 2.0, back);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_NEAR(std::abs(back[i] - 2.0 * coeffs[i]), 0.0, 1e-14);
+}
+
+TEST(GSphere, ThrowsWithoutPlanewaves) {
+  const Lattice lat = Lattice::cubic(1.0);
+  const auto g = FftGrid({2, 2, 2});
+  EXPECT_NO_THROW(GSphere(lat, 1.0, g));  // G=0 always inside
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/checkpoint.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+struct TempPath {
+  explicit TempPath(const char* name) : path(std::string("/tmp/pwdft_ckpt_") + name) {}
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Checkpoint, WavefunctionRoundTripPreservesBits) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 6, 3);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 6, 1.25, 17);
+
+  TempPath p("psi.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+  CMatrix loaded;
+  const auto got = io::load_wavefunctions(p.path, loaded, &meta);
+  EXPECT_EQ(got.step, 17u);
+  EXPECT_DOUBLE_EQ(got.time_au, 1.25);
+  ASSERT_EQ(loaded.rows(), psi.rows());
+  ASSERT_EQ(loaded.cols(), psi.cols());
+  EXPECT_EQ(test::max_abs_diff(loaded, psi), 0.0);
+}
+
+TEST(Checkpoint, DensityRoundTrip) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  Rng rng(5);
+  std::vector<double> rho(setup.n_dense());
+  for (auto& v : rho) v = rng.uniform(0.0, 1.0);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 6, 0.0, 0);
+
+  TempPath p("rho.bin");
+  io::save_density(p.path, meta, rho);
+  std::vector<double> loaded;
+  io::load_density(p.path, loaded, &meta);
+  ASSERT_EQ(loaded.size(), rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) EXPECT_EQ(loaded[i], rho[i]);
+}
+
+TEST(Checkpoint, RejectsWrongMagic) {
+  TempPath p("bad.bin");
+  std::ofstream f(p.path, std::ios::binary);
+  f << "NOTACKPTxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+  f.close();
+  CMatrix psi;
+  EXPECT_THROW(io::load_wavefunctions(p.path, psi), Error);
+}
+
+TEST(Checkpoint, RejectsTruncatedPayload) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 4, 7);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 4, 0.0, 0);
+  TempPath p("trunc.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+  // Chop the file.
+  std::ifstream in(p.path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(p.path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  CMatrix loaded;
+  EXPECT_THROW(io::load_wavefunctions(p.path, loaded), Error);
+}
+
+TEST(Checkpoint, RejectsIncompatibleRun) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 4, 9);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 4, 0.0, 0);
+  TempPath p("mismatch.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+
+  io::CheckpointMeta other = meta;
+  other.n_bands = 8;  // restart with a different band count
+  CMatrix loaded;
+  EXPECT_THROW(io::load_wavefunctions(p.path, loaded, &other), Error);
+  other = meta;
+  other.ecut = 5.0;
+  EXPECT_THROW(io::load_wavefunctions(p.path, loaded, &other), Error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  CMatrix psi;
+  EXPECT_THROW(io::load_wavefunctions("/tmp/pwdft_does_not_exist.bin", psi), Error);
+}
+
+TEST(Checkpoint, MetadataShapeMismatchOnSaveThrows) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 4, 11);
+  auto meta = io::CheckpointMeta::from_setup(setup, 6, 0.0, 0);  // wrong band count
+  TempPath p("shape.bin");
+  EXPECT_THROW(io::save_wavefunctions(p.path, meta, psi), Error);
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/heig.hpp"
+#include "linalg/lsq.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+CMatrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  CMatrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.complex_normal();
+  return m;
+}
+
+CMatrix random_hpd(std::size_t n, std::uint64_t seed) {
+  CMatrix a = random_matrix(n + 4, n, seed);
+  CMatrix g = linalg::overlap(a, a);
+  for (std::size_t i = 0; i < n; ++i) g(i, i) += 0.1;
+  return g;
+}
+
+Complex op_elem(char op, const CMatrix& m, std::size_t i, std::size_t j) {
+  if (op == 'N') return m(i, j);
+  if (op == 'T') return m(j, i);
+  return std::conj(m(j, i));
+}
+
+void check_gemm(char opa, char opb, std::size_t m, std::size_t n, std::size_t k) {
+  const CMatrix a = (opa == 'N') ? random_matrix(m, k, 1) : random_matrix(k, m, 1);
+  const CMatrix b = (opb == 'N') ? random_matrix(k, n, 2) : random_matrix(n, k, 2);
+  CMatrix c = random_matrix(m, n, 3);
+  const CMatrix c0 = c;
+  const Complex alpha{1.3, -0.2}, beta{0.4, 0.9};
+  linalg::gemm(opa, opb, alpha, a, b, beta, c);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      Complex acc{0, 0};
+      for (std::size_t l = 0; l < k; ++l) acc += op_elem(opa, a, i, l) * op_elem(opb, b, l, j);
+      const Complex expect = alpha * acc + beta * c0(i, j);
+      EXPECT_NEAR(std::abs(c(i, j) - expect), 0.0, 1e-10 * (1.0 + std::abs(expect)))
+          << opa << opb << " (" << i << "," << j << ")";
+    }
+  }
+}
+
+struct GemmCase {
+  char opa, opb;
+  std::size_t m, n, k;
+};
+
+class GemmOps : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmOps, MatchesNaiveTripleLoop) {
+  const auto p = GetParam();
+  check_gemm(p.opa, p.opb, p.m, p.n, p.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GemmOps,
+                         ::testing::Values(GemmCase{'N', 'N', 5, 7, 4}, GemmCase{'C', 'N', 6, 3, 9},
+                                           GemmCase{'N', 'C', 4, 4, 5}, GemmCase{'T', 'N', 3, 8, 6},
+                                           GemmCase{'C', 'C', 5, 5, 5}, GemmCase{'N', 'N', 1, 1, 1},
+                                           GemmCase{'C', 'N', 16, 16, 64},
+                                           GemmCase{'N', 'T', 2, 9, 3}));
+
+TEST(Blas, OverlapIsConjugateTransposeSymmetric) {
+  CMatrix x = random_matrix(40, 6, 11);
+  CMatrix s = linalg::overlap(x, x);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(std::abs(s(i, j) - std::conj(s(j, i))), 0.0, 1e-12);
+  // Diagonal = squared column norms.
+  for (std::size_t j = 0; j < 6; ++j) {
+    const double n2 = linalg::nrm2({x.col(j), x.rows()});
+    EXPECT_NEAR(s(j, j).real(), n2 * n2, 1e-10);
+  }
+}
+
+TEST(Blas, Level1Operations) {
+  Rng rng(3);
+  std::vector<Complex> x(17), y(17);
+  for (auto& v : x) v = rng.complex_normal();
+  for (auto& v : y) v = rng.complex_normal();
+  const auto y0 = y;
+  const Complex a{0.3, -1.2};
+  linalg::axpy(a, x, y);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(y[i] - (y0[i] + a * x[i])), 0.0, 1e-13);
+
+  Complex d{0, 0};
+  for (std::size_t i = 0; i < x.size(); ++i) d += std::conj(x[i]) * y[i];
+  EXPECT_NEAR(std::abs(linalg::dotc(x, y) - d), 0.0, 1e-12);
+
+  linalg::scal(Complex{2.0, 0.0}, y);
+  EXPECT_NEAR(std::abs(y[3] - 2.0 * (y0[3] + a * x[3])), 0.0, 1e-12);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  const std::size_t n = 12;
+  CMatrix a = random_hpd(n, 21);
+  CMatrix l = a;
+  linalg::potrf_lower(l);
+  // Check L L^H == A and the strict upper triangle is zero.
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < j; ++i) EXPECT_EQ(l(i, j), (Complex{0, 0}));
+  CMatrix rec(n, n);
+  linalg::gemm('N', 'C', Complex{1, 0}, l, l, Complex{0, 0}, rec);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(rec(i, j) - a(i, j)), 0.0, 1e-9);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  CMatrix a(3, 3);
+  a(0, 0) = Complex{1, 0};
+  a(1, 1) = Complex{-2, 0};
+  a(2, 2) = Complex{1, 0};
+  EXPECT_THROW(linalg::potrf_lower(a), Error);
+}
+
+TEST(Cholesky, TrsmOrthonormalizes) {
+  CMatrix x = random_matrix(50, 8, 31);
+  CMatrix s = linalg::overlap(x, x);
+  linalg::potrf_lower(s);
+  linalg::trsm_right_lower_conj(x, s);
+  CMatrix q = linalg::overlap(x, x);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_NEAR(std::abs(q(i, j) - (i == j ? Complex{1, 0} : Complex{0, 0})), 0.0, 1e-10);
+}
+
+TEST(Cholesky, TriangularSolves) {
+  const std::size_t n = 9;
+  CMatrix a = random_hpd(n, 41);
+  CMatrix l = a;
+  linalg::potrf_lower(l);
+  Rng rng(5);
+  std::vector<Complex> b(n), x(n);
+  for (auto& v : b) v = rng.complex_normal();
+  x = b;
+  linalg::solve_lower(l, x.data());
+  // L x' == b
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc{0, 0};
+    for (std::size_t k2 = 0; k2 <= i; ++k2) acc += l(i, k2) * x[k2];
+    EXPECT_NEAR(std::abs(acc - b[i]), 0.0, 1e-10);
+  }
+  auto y = b;
+  linalg::solve_lower_conj(l, y.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc{0, 0};
+    for (std::size_t k2 = i; k2 < n; ++k2) acc += std::conj(l(k2, i)) * y[k2];
+    EXPECT_NEAR(std::abs(acc - b[i]), 0.0, 1e-10);
+  }
+}
+
+class HeigSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HeigSizes, DiagonalizesRandomHermitian) {
+  const std::size_t n = GetParam();
+  const CMatrix raw = random_matrix(n, n, 50 + n);
+  // Hermitize into a fresh matrix (in place would mix updated entries).
+  CMatrix a(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) a(i, j) = 0.5 * (raw(i, j) + std::conj(raw(j, i)));
+  std::vector<double> ev;
+  CMatrix v;
+  linalg::heig(a, ev, v);
+
+  // Sorted ascending.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(ev[i - 1], ev[i] + 1e-12);
+  // Unitary eigenvectors.
+  CMatrix vv = linalg::overlap(v, v);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(std::abs(vv(i, j) - (i == j ? Complex{1, 0} : Complex{0, 0})), 0.0, 1e-9);
+  // A V == V diag(ev).
+  CMatrix av(n, n);
+  linalg::gemm('N', 'N', Complex{1, 0}, a, v, Complex{0, 0}, av);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(std::abs(av(i, j) - ev[j] * v(i, j)), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HeigSizes, ::testing::Values(1, 2, 3, 5, 8, 13, 24, 48));
+
+TEST(Heig, HandlesDegenerateSpectrum) {
+  const std::size_t n = 6;
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = Complex{(i < 3) ? 1.0 : 2.0, 0.0};
+  std::vector<double> ev;
+  CMatrix v;
+  linalg::heig(a, ev, v);
+  EXPECT_NEAR(ev[0], 1.0, 1e-12);
+  EXPECT_NEAR(ev[2], 1.0, 1e-12);
+  EXPECT_NEAR(ev[3], 2.0, 1e-12);
+  EXPECT_NEAR(ev[5], 2.0, 1e-12);
+}
+
+TEST(Lsq, SolvesConsistentSystemExactly) {
+  CMatrix a = random_matrix(10, 4, 71);
+  Rng rng(8);
+  std::vector<Complex> xtrue(4);
+  for (auto& v : xtrue) v = rng.complex_normal();
+  std::vector<Complex> b(10, Complex{0, 0});
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 10; ++i) b[i] += a(i, j) * xtrue[j];
+  auto x = linalg::lsq_solve(a, b, 0.0);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(std::abs(x[j] - xtrue[j]), 0.0, 1e-8);
+}
+
+TEST(Lsq, ResidualOrthogonalToColumnSpace) {
+  CMatrix a = random_matrix(12, 3, 81);
+  Rng rng(9);
+  std::vector<Complex> b(12);
+  for (auto& v : b) v = rng.complex_normal();
+  auto x = linalg::lsq_solve(a, b, 0.0);
+  std::vector<Complex> r = b;
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = 0; i < 12; ++i) r[i] -= a(i, j) * x[j];
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(std::abs(linalg::dotc({a.col(j), 12}, r)), 0.0, 1e-9);
+}
+
+TEST(Lsq, RegularizationShrinksSolution) {
+  CMatrix a = random_matrix(8, 4, 91);
+  Rng rng(10);
+  std::vector<Complex> b(8);
+  for (auto& v : b) v = rng.complex_normal();
+  auto x0 = linalg::lsq_solve(a, b, 1e-12);
+  auto x1 = linalg::lsq_solve(a, b, 10.0);
+  double n0 = 0, n1 = 0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    n0 += std::norm(x0[j]);
+    n1 += std::norm(x1[j]);
+  }
+  EXPECT_LT(n1, n0);
+}
+
+TEST(Lsq, GramVariantMatchesDirect) {
+  CMatrix a = random_matrix(9, 3, 101);
+  Rng rng(11);
+  std::vector<Complex> b(9);
+  for (auto& v : b) v = rng.complex_normal();
+  auto x_direct = linalg::lsq_solve(a, b, 1e-10);
+  CMatrix gram = linalg::overlap(a, a);
+  std::vector<Complex> rhs(3);
+  for (std::size_t j = 0; j < 3; ++j) rhs[j] = linalg::dotc({a.col(j), 9}, b);
+  auto x_gram = linalg::lsq_solve_gram(gram, rhs, 1e-10);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(std::abs(x_direct[j] - x_gram[j]), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "ham/density.hpp"
+#include "linalg/heig.hpp"
+#include "scf/lobpcg.hpp"
+#include "scf/scf.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+TEST(Lobpcg, FindsLowestEigenpairsOfDenseHermitian) {
+  const std::size_t n = 60, nb = 4;
+  Rng rng(3);
+  CMatrix h(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i <= j; ++i) {
+      const Complex v = rng.complex_normal();
+      h(i, j) = v;
+      h(j, i) = std::conj(v);
+    }
+    h(j, j) = Complex{h(j, j).real() + double(j) * 0.5, 0.0};
+  }
+
+  std::vector<double> ev_ref;
+  CMatrix v_ref;
+  linalg::heig(h, ev_ref, v_ref);
+
+  auto apply = [&](const CMatrix& x, CMatrix& y) {
+    y.resize(n, x.cols());
+    linalg::gemm('N', 'N', Complex{1, 0}, h, x, Complex{0, 0}, y);
+  };
+  CMatrix x(n, nb);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.complex_normal();
+
+  scf::LobpcgOptions opt;
+  opt.max_iter = 200;
+  opt.tol = 1e-9;
+  auto res = scf::lobpcg(apply, {}, x, opt);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t j = 0; j < nb; ++j) EXPECT_NEAR(res.eigenvalues[j], ev_ref[j], 1e-6);
+}
+
+TEST(Lobpcg, ResultColumnsAreOrthonormalRitzVectors) {
+  const std::size_t n = 40, nb = 3;
+  Rng rng(5);
+  CMatrix h(n, n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i <= j; ++i) {
+      const Complex v = (i == j) ? Complex{double(j), 0.0} : 0.05 * rng.complex_normal();
+      h(i, j) = v;
+      h(j, i) = std::conj(v);
+    }
+  auto apply = [&](const CMatrix& x, CMatrix& y) {
+    y.resize(n, x.cols());
+    linalg::gemm('N', 'N', Complex{1, 0}, h, x, Complex{0, 0}, y);
+  };
+  CMatrix x(n, nb);
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.complex_normal();
+  scf::LobpcgOptions opt;
+  opt.max_iter = 100;
+  opt.tol = 1e-10;
+  auto res = scf::lobpcg(apply, {}, x, opt);
+  ASSERT_TRUE(res.converged);
+  CMatrix s = linalg::overlap(x, x);
+  for (std::size_t i = 0; i < nb; ++i)
+    for (std::size_t j = 0; j < nb; ++j)
+      EXPECT_NEAR(std::abs(s(i, j) - (i == j ? Complex{1, 0} : Complex{0, 0})), 0.0, 1e-8);
+  // Eigenvalues of this near-diagonal matrix: close to 0,1,2.
+  for (std::size_t j = 0; j < nb; ++j) EXPECT_NEAR(res.eigenvalues[j], double(j), 0.1);
+}
+
+TEST(Lobpcg, PreconditionerAcceleratesPlanewaveProblem) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  auto opt_h = test::fast_hybrid_options();
+  opt_h.hybrid.enabled = false;
+  ham::Hamiltonian hamiltonian(setup, species, opt_h);
+  std::vector<double> rho(setup.n_dense(), 32.0 / setup.volume());
+  hamiltonian.update_density(rho);
+
+  par::SerialComm comm;
+  auto apply = [&](const CMatrix& x, CMatrix& y) { hamiltonian.apply(x, y, comm); };
+
+  scf::LobpcgOptions opt;
+  opt.max_iter = 40;
+  opt.tol = 1e-6;
+
+  CMatrix x1 = test::random_orthonormal(setup, 8, 3);
+  auto res_pre = scf::lobpcg(apply, hamiltonian.kinetic(), x1, opt);
+  CMatrix x2 = test::random_orthonormal(setup, 8, 3);
+  auto res_no = scf::lobpcg(apply, {}, x2, opt);
+
+  // Preconditioned runs should reach a (much) smaller residual in the same
+  // iteration budget.
+  EXPECT_LT(res_pre.max_residual, res_no.max_residual * 1.01);
+  EXPECT_LT(res_pre.max_residual, 5e-4);
+}
+
+class ScfFixture : public ::testing::Test {
+ protected:
+  scf::ScfOptions fast_options(double tol = 1e-7) const {
+    scf::ScfOptions opt;
+    opt.max_iter = 40;
+    opt.tol_rho = tol;
+    opt.mix_beta = 0.5;
+    opt.lobpcg.max_iter = 6;
+    opt.lobpcg.tol = 1e-9;
+    opt.hybrid_outer_max = 6;
+    opt.hybrid_outer_tol = 1e-6;
+    return opt;
+  }
+};
+
+TEST_F(ScfFixture, LdaGroundStateConverges) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  auto opt_h = test::fast_hybrid_options();
+  opt_h.hybrid.enabled = false;
+  ham::Hamiltonian hamiltonian(setup, species, opt_h);
+  scf::GroundStateSolver solver(setup, hamiltonian);
+  auto psi = solver.initial_guess(16, 42);
+  std::vector<double> occ(16, 2.0);
+  auto res = solver.solve(psi, occ, fast_options());
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.rho_error, 1e-6);
+  EXPECT_TRUE(std::isfinite(res.energy.total()));
+  // Valence eigenvalues of bulk Si sit well below the vacuum level.
+  EXPECT_LT(res.eigenvalues.front(), 0.0);
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < res.eigenvalues.size(); ++i)
+    EXPECT_LE(res.eigenvalues[i - 1], res.eigenvalues[i] + 1e-10);
+}
+
+TEST_F(ScfFixture, GroundStateDeterministicAcrossRuns) {
+  auto run = [&]() {
+    auto setup = test::make_si8_setup(4.0, 1);
+    auto species = pseudo::PseudoSpecies::silicon(true);
+    auto opt_h = test::fast_hybrid_options();
+    opt_h.hybrid.enabled = false;
+    ham::Hamiltonian hamiltonian(setup, species, opt_h);
+    scf::GroundStateSolver solver(setup, hamiltonian);
+    auto psi = solver.initial_guess(16, 42);
+    std::vector<double> occ(16, 2.0);
+    auto res = solver.solve(psi, occ, fast_options());
+    return res.energy.total();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST_F(ScfFixture, HybridGroundStateConvergesAndLowersGap) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  ham::Hamiltonian hamiltonian(setup, species, test::fast_hybrid_options());
+  scf::GroundStateSolver solver(setup, hamiltonian);
+  auto psi = solver.initial_guess(16, 42);
+  std::vector<double> occ(16, 2.0);
+  auto res = solver.solve(psi, occ, fast_options(1e-6));
+  EXPECT_GT(res.outer_iterations, 0);
+  EXPECT_LT(res.energy.fock, 0.0);
+  EXPECT_TRUE(std::isfinite(res.energy.total()));
+}
+
+TEST_F(ScfFixture, EnergyExtensiveAcrossSupercells) {
+  auto energy_per_atom = [&](int nz) {
+    auto setup =
+        ham::PlanewaveSetup(crystal::Crystal::silicon_supercell(1, 1, nz), 3.0, 1);
+    auto species = pseudo::PseudoSpecies::silicon(true);
+    auto opt_h = test::fast_hybrid_options();
+    opt_h.hybrid.enabled = false;
+    ham::Hamiltonian hamiltonian(setup, species, opt_h);
+    scf::GroundStateSolver solver(setup, hamiltonian);
+    auto psi = solver.initial_guess(setup.n_bands(), 42);
+    std::vector<double> occ(setup.n_bands(), 2.0);
+    auto res = solver.solve(psi, occ, fast_options(1e-6));
+    return res.energy.total() / static_cast<double>(setup.crystal.n_atoms());
+  };
+  const double e1 = energy_per_atom(1);
+  const double e2 = energy_per_atom(2);
+  // Gamma-only sampling differs between cells; allow a few percent.
+  EXPECT_NEAR(e1, e2, 0.05 * std::abs(e1));
+}
+
+TEST_F(ScfFixture, InitialGuessIsOrthonormal) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  auto opt_h = test::fast_hybrid_options();
+  ham::Hamiltonian hamiltonian(setup, species, opt_h);
+  scf::GroundStateSolver solver(setup, hamiltonian);
+  auto psi = solver.initial_guess(10, 7);
+  CMatrix s = linalg::overlap(psi, psi);
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 10; ++j)
+      EXPECT_NEAR(std::abs(s(i, j) - (i == j ? Complex{1, 0} : Complex{0, 0})), 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace pwdft

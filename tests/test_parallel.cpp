@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "parallel/comm.hpp"
+#include "parallel/distribution.hpp"
+#include "parallel/thread_comm.hpp"
+#include "parallel/transpose.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+using par::BlockPartition;
+using par::Comm;
+using par::CommOp;
+using par::ThreadGroup;
+
+class RankCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankCounts, RanksSeeCorrectIdentity) {
+  const int np = GetParam();
+  std::vector<int> seen(np, -1);
+  ThreadGroup::run(np, [&](Comm& c) {
+    EXPECT_EQ(c.size(), np);
+    seen[c.rank()] = c.rank();
+  });
+  for (int r = 0; r < np; ++r) EXPECT_EQ(seen[r], r);
+}
+
+TEST_P(RankCounts, BcastDeliversFromEveryRoot) {
+  const int np = GetParam();
+  ThreadGroup::run(np, [&](Comm& c) {
+    for (int root = 0; root < np; ++root) {
+      std::vector<double> buf(16, c.rank() == root ? 3.25 * root : -1.0);
+      c.bcast(buf.data(), buf.size(), root);
+      for (double v : buf) EXPECT_EQ(v, 3.25 * root);
+    }
+  });
+}
+
+TEST_P(RankCounts, AllreduceSumsDoubles) {
+  const int np = GetParam();
+  ThreadGroup::run(np, [&](Comm& c) {
+    std::vector<double> v(8);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = c.rank() + double(i);
+    c.allreduce_sum(v.data(), v.size());
+    const double rank_sum = np * (np - 1) / 2.0;
+    for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(v[i], rank_sum + np * double(i));
+  });
+}
+
+TEST_P(RankCounts, AllreduceSumsComplex) {
+  const int np = GetParam();
+  ThreadGroup::run(np, [&](Comm& c) {
+    Complex v{1.0, double(c.rank())};
+    c.allreduce_sum(&v, 1);
+    EXPECT_DOUBLE_EQ(v.real(), double(np));
+    EXPECT_DOUBLE_EQ(v.imag(), np * (np - 1) / 2.0);
+  });
+}
+
+TEST_P(RankCounts, AlltoallvRoutesBlocks) {
+  const int np = GetParam();
+  ThreadGroup::run(np, [&](Comm& c) {
+    const int me = c.rank();
+    // Rank r sends one byte-tagged double to every rank.
+    std::vector<double> send(np), recv(np);
+    for (int r = 0; r < np; ++r) send[r] = 100.0 * me + r;
+    std::vector<std::size_t> counts(np, sizeof(double)), displs(np);
+    for (int r = 0; r < np; ++r) displs[r] = r * sizeof(double);
+    c.alltoallv_bytes(reinterpret_cast<unsigned char*>(send.data()), counts.data(),
+                      displs.data(), reinterpret_cast<unsigned char*>(recv.data()), counts.data(),
+                      displs.data());
+    for (int r = 0; r < np; ++r) EXPECT_DOUBLE_EQ(recv[r], 100.0 * r + me);
+  });
+}
+
+TEST_P(RankCounts, AllgathervConcatenates) {
+  const int np = GetParam();
+  ThreadGroup::run(np, [&](Comm& c) {
+    const int me = c.rank();
+    std::vector<double> mine(static_cast<std::size_t>(me) + 1, double(me));
+    std::vector<std::size_t> counts(np), displs(np);
+    std::size_t off = 0;
+    for (int r = 0; r < np; ++r) {
+      counts[r] = (r + 1) * sizeof(double);
+      displs[r] = off;
+      off += counts[r];
+    }
+    std::vector<double> all(off / sizeof(double));
+    c.allgatherv_bytes(reinterpret_cast<unsigned char*>(mine.data()), mine.size() * sizeof(double),
+                       reinterpret_cast<unsigned char*>(all.data()), counts.data(), displs.data());
+    std::size_t k = 0;
+    for (int r = 0; r < np; ++r)
+      for (int i = 0; i <= r; ++i) EXPECT_DOUBLE_EQ(all[k++], double(r));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Np, RankCounts, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(ThreadComm, SendRecvPingPong) {
+  ThreadGroup::run(2, [&](Comm& c) {
+    double v = 0.0;
+    if (c.rank() == 0) {
+      v = 42.5;
+      c.send_bytes(&v, sizeof(v), 1, 7);
+      c.recv_bytes(&v, sizeof(v), 1, 8);
+      EXPECT_DOUBLE_EQ(v, 43.5);
+    } else {
+      c.recv_bytes(&v, sizeof(v), 0, 7);
+      EXPECT_DOUBLE_EQ(v, 42.5);
+      v += 1.0;
+      c.send_bytes(&v, sizeof(v), 0, 8);
+    }
+  });
+}
+
+TEST(ThreadComm, StatsCountReceiveSideBytes) {
+  auto stats = ThreadGroup::run(3, [&](Comm& c) {
+    std::vector<double> buf(100, double(c.rank()));
+    c.bcast(buf.data(), buf.size(), 0);
+  });
+  EXPECT_EQ(stats[0].get(CommOp::kBcast).bytes, 0u);  // root sends
+  EXPECT_EQ(stats[1].get(CommOp::kBcast).bytes, 800u);
+  EXPECT_EQ(stats[2].get(CommOp::kBcast).bytes, 800u);
+  EXPECT_EQ(stats[1].get(CommOp::kBcast).calls, 1u);
+}
+
+TEST(ThreadComm, ExceptionFromRankPropagates) {
+  EXPECT_THROW(ThreadGroup::run(2,
+                                [&](Comm& c) {
+                                  // Both ranks throw before any collective, so
+                                  // no rank is left waiting at a barrier.
+                                  if (c.size() == 2) throw Error("rank failure");
+                                }),
+               Error);
+}
+
+TEST(SerialComm, CollectivesAreLocal) {
+  par::SerialComm c;
+  EXPECT_EQ(c.size(), 1);
+  std::vector<double> v(4, 2.0);
+  c.allreduce_sum(v.data(), v.size());
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  c.bcast(v.data(), v.size(), 0);
+  EXPECT_DOUBLE_EQ(v[3], 2.0);
+  EXPECT_THROW(c.send_bytes(v.data(), 8, 0, 0), Error);
+}
+
+TEST(BlockPartition, CountsAndOffsetsAreConsistent) {
+  for (std::size_t total : {0ul, 1ul, 7ul, 16ul, 33ul}) {
+    for (int parts : {1, 2, 3, 5, 8}) {
+      BlockPartition p(total, parts);
+      std::size_t acc = 0;
+      for (int r = 0; r < parts; ++r) {
+        EXPECT_EQ(p.offset(r), acc);
+        acc += p.count(r);
+      }
+      EXPECT_EQ(acc, total);
+      // Near-equal: max-min <= 1.
+      std::size_t mn = total + 1, mx = 0;
+      for (int r = 0; r < parts; ++r) {
+        mn = std::min(mn, p.count(r));
+        mx = std::max(mx, p.count(r));
+      }
+      EXPECT_LE(mx - mn, 1u);
+    }
+  }
+}
+
+TEST(BlockPartition, OwnerInvertsOffsets) {
+  BlockPartition p(29, 4);
+  for (std::size_t i = 0; i < 29; ++i) {
+    const int r = p.owner(i);
+    EXPECT_GE(i, p.offset(r));
+    EXPECT_LT(i, p.offset(r) + p.count(r));
+  }
+}
+
+class TransposeRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeRanks, BandToGAndBackIsIdentity) {
+  const int np = GetParam();
+  const std::size_t ng = 37, nb = 10;
+  CMatrix full(ng, nb);
+  Rng rng(13);
+  for (std::size_t i = 0; i < full.size(); ++i) full.data()[i] = rng.complex_normal();
+
+  ThreadGroup::run(np, [&](Comm& c) {
+    BlockPartition bands(nb, np), gvecs(ng, np);
+    par::WavefunctionTranspose tr(gvecs, bands);
+    CMatrix band_local = test::band_slice(full, bands, c.rank());
+
+    CMatrix g_local;
+    tr.band_to_g(c, band_local, g_local, /*single_precision=*/false);
+    // The G layout must hold every band's rows in this rank's row range.
+    EXPECT_EQ(g_local.rows(), gvecs.count(c.rank()));
+    EXPECT_EQ(g_local.cols(), nb);
+    for (std::size_t j = 0; j < nb; ++j)
+      for (std::size_t i = 0; i < g_local.rows(); ++i)
+        EXPECT_EQ(g_local(i, j), full(gvecs.offset(c.rank()) + i, j));
+
+    CMatrix back;
+    tr.g_to_band(c, g_local, back, /*single_precision=*/false);
+    EXPECT_NEAR(test::max_abs_diff(back, band_local), 0.0, 0.0);
+  });
+}
+
+TEST_P(TransposeRanks, SinglePrecisionRoundTripWithinFloatEps) {
+  const int np = GetParam();
+  const std::size_t ng = 24, nb = 6;
+  CMatrix full(ng, nb);
+  Rng rng(14);
+  for (std::size_t i = 0; i < full.size(); ++i) full.data()[i] = rng.complex_normal();
+  ThreadGroup::run(np, [&](Comm& c) {
+    BlockPartition bands(nb, np), gvecs(ng, np);
+    par::WavefunctionTranspose tr(gvecs, bands);
+    CMatrix band_local = test::band_slice(full, bands, c.rank());
+    CMatrix g_local, back;
+    tr.band_to_g(c, band_local, g_local, true);
+    tr.g_to_band(c, g_local, back, true);
+    EXPECT_LT(test::max_abs_diff(back, band_local), 1e-6);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Np, TransposeRanks, ::testing::Values(1, 2, 3, 4));
+
+TEST(Transpose, AlltoallvVolumeMatchesFormula) {
+  // Paper §3.3: the residual-related transposes move NG*Ne coefficients
+  // split across ranks; each rank receives the complement of its own block.
+  const int np = 3;
+  const std::size_t ng = 30, nb = 6;
+  CMatrix full(ng, nb, Complex{1.0, 0.0});
+  auto stats = ThreadGroup::run(np, [&](Comm& c) {
+    BlockPartition bands(nb, np), gvecs(ng, np);
+    par::WavefunctionTranspose tr(gvecs, bands);
+    CMatrix band_local = test::band_slice(full, bands, c.rank());
+    CMatrix g_local;
+    tr.band_to_g(c, band_local, g_local, false);
+  });
+  for (int r = 0; r < np; ++r) {
+    BlockPartition bands(nb, np), gvecs(ng, np);
+    const std::size_t expect =
+        (nb - bands.count(r)) * gvecs.count(r) * sizeof(Complex) +
+        bands.count(r) * (ng - gvecs.count(r)) * 0;  // receive side counts rows it gets
+    // Received bytes = sum over other ranks of (their bands x my rows).
+    std::size_t recv = 0;
+    for (int s = 0; s < np; ++s)
+      if (s != r) recv += bands.count(s) * gvecs.count(r) * sizeof(Complex);
+    (void)expect;
+    EXPECT_EQ(stats[r].get(CommOp::kAlltoallv).bytes, recv);
+  }
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "perf/machine.hpp"
+#include "perf/model.hpp"
+#include "perf/report.hpp"
+#include "perf/workload.hpp"
+
+namespace pwdft {
+namespace {
+
+using perf::SummitMachine;
+using perf::SummitModel;
+using perf::Workload;
+
+SummitModel paper_model() {
+  return SummitModel(SummitMachine::defaults(), Workload::silicon(1536));
+}
+
+TEST(Machine, PerRankNicBandwidthMatchesMeasurement) {
+  // Paper §7: "the MPI communication speed is 15.36GB/7s = 2.2 GB/s".
+  const SummitMachine m = SummitMachine::defaults();
+  EXPECT_NEAR(m.nic_rank_bw(), 2.2e9, 0.05e9);
+}
+
+TEST(Workload, SiliconSizesMatchPaperSection4) {
+  const Workload w = Workload::silicon(1536);
+  EXPECT_EQ(w.ne, 3072u);                    // 3072 occupied wavefunctions
+  EXPECT_NEAR(w.ng, 648000.0, 1.0);          // 60x90x120
+  EXPECT_NEAR(w.ndense, 5184000.0, 1.0);     // 120x180x240
+  // One wavefunction on the wire: 5.0 MB single precision (paper §7).
+  EXPECT_NEAR(w.wfc_bytes(true), 5.18e6, 0.01e6);
+  // Per-rank receive volume per Fock application: 15.36 GB (paper §7,
+  // computed there with the rounded 5.0 MB figure).
+  EXPECT_NEAR(w.fock_bcast_bytes_per_rank(true), 15.9e9, 0.6e9);
+}
+
+TEST(Workload, ScalesAcrossPaperSystems) {
+  for (std::size_t n : {48u, 96u, 192u, 384u, 768u, 1536u}) {
+    const Workload w = Workload::silicon(n);
+    EXPECT_EQ(w.ne, 2 * n);
+    EXPECT_NEAR(w.ng / static_cast<double>(n), 421.875, 1e-9);
+  }
+}
+
+TEST(Model, Table1AnchorsWithinTolerance) {
+  const SummitModel m = paper_model();
+  // Paper Table 1 anchors (seconds). The model is calibrated at 36 GPUs and
+  // must track the full row within generous bands.
+  const auto b36 = m.scf_breakdown(36);
+  EXPECT_NEAR(b36.fock_comp, 90.99, 0.15 * 90.99);
+  EXPECT_NEAR(b36.fock_mpi, 0.71, 0.5 * 0.71);
+  EXPECT_NEAR(b36.per_scf(), 101.36, 0.15 * 101.36);
+  EXPECT_NEAR(m.ptcn_step_total(36), 2453.8, 0.15 * 2453.8);
+
+  const auto b768 = m.scf_breakdown(768);
+  EXPECT_NEAR(b768.fock_comp, 4.38, 0.5 * 4.38);
+  EXPECT_NEAR(m.ptcn_step_total(768), 260.9, 0.30 * 260.9);
+
+  EXPECT_NEAR(m.ptcn_step_total(3072), 286.6, 0.35 * 286.6);
+}
+
+TEST(Model, ComputeScalesInverselyWithGpus) {
+  const SummitModel m = paper_model();
+  const double c36 = m.fock_compute_per_apply(36);
+  const double c288 = m.fock_compute_per_apply(288);
+  EXPECT_NEAR(c36 / c288, 8.0, 0.8);  // ~1/P with a small fixed part
+}
+
+TEST(Model, CpuReferenceMatchesPaper) {
+  const SummitModel m = paper_model();
+  // Paper: 8874 s per PT-CN step with 3072 CPU cores.
+  EXPECT_NEAR(m.cpu_step_total(3072), 8874.0, 0.15 * 8874.0);
+}
+
+TEST(Model, SpeedupCurveShapeMatchesPaper) {
+  const SummitModel m = paper_model();
+  const double cpu = m.cpu_step_total(3072);
+  // Paper: 3.6x at 36 GPUs rising to ~34x at 768, then saturating.
+  const double s36 = cpu / m.ptcn_step_total(36);
+  const double s768 = cpu / m.ptcn_step_total(768);
+  const double s3072 = cpu / m.ptcn_step_total(3072);
+  EXPECT_GT(s36, 2.5);
+  EXPECT_LT(s36, 5.0);
+  EXPECT_GT(s768, 25.0);
+  EXPECT_LT(s768, 45.0);
+  // Saturation: going 768 -> 3072 does not help.
+  EXPECT_LT(s3072, s768 * 1.1);
+}
+
+TEST(Model, StrongScalingStopsNear768Gpus) {
+  // Paper §6: "After 768 GPUs, the MPI communication dominates ... which
+  // prevents the code to scale".
+  const SummitModel m = paper_model();
+  EXPECT_LT(m.ptcn_step_total(768), m.ptcn_step_total(384));
+  EXPECT_GT(m.ptcn_step_total(3072), m.ptcn_step_total(768) * 0.9);
+}
+
+TEST(Model, HpsiDominatesPerScfTime) {
+  // Paper Table 1: HPsi is 74-90% of the per-SCF time.
+  const SummitModel m = paper_model();
+  for (int g : perf::paper_gpu_counts()) {
+    const auto b = m.scf_breakdown(g);
+    const double frac = b.hpsi_total() / b.per_scf();
+    EXPECT_GT(frac, 0.60) << g;
+    EXPECT_LT(frac, 0.95) << g;
+  }
+}
+
+TEST(Model, OthersShareGrowsWithGpuCount) {
+  // Paper: "others" is 2.6% of an SCF at 36 GPUs and ~15% at 768.
+  const SummitModel m = paper_model();
+  const auto b36 = m.scf_breakdown(36);
+  const auto b768 = m.scf_breakdown(768);
+  EXPECT_LT(b36.others / b36.per_scf(), 0.05);
+  EXPECT_GT(b768.others / b768.per_scf(), 0.10);
+}
+
+TEST(Model, BcastGrowsAndDominatesCommAtScale) {
+  const SummitModel m = paper_model();
+  double prev = 0.0;
+  for (int g : perf::paper_gpu_counts()) {
+    const auto c = m.comm_breakdown(g);
+    EXPECT_GE(c.bcast, prev * 0.95) << g;  // monotone growth (some slack)
+    prev = c.bcast;
+  }
+  const auto c768 = m.comm_breakdown(768);
+  EXPECT_GT(c768.bcast, c768.alltoallv);
+  EXPECT_GT(c768.bcast, c768.allgatherv);
+}
+
+TEST(Model, Table2AnchorsWithinTolerance) {
+  const SummitModel m = paper_model();
+  const auto c36 = m.comm_breakdown(36);
+  EXPECT_NEAR(c36.bcast, 18.78, 0.5 * 18.78);
+  EXPECT_NEAR(c36.alltoallv, 20.97, 0.5 * 20.97);
+  EXPECT_NEAR(c36.memcpy, 60.80, 0.4 * 60.80);
+  EXPECT_NEAR(c36.compute, 2341.4, 0.2 * 2341.4);
+  const auto c3072 = m.comm_breakdown(3072);
+  EXPECT_NEAR(c3072.bcast, 193.89, 0.5 * 193.89);
+  EXPECT_NEAR(c3072.memcpy, 2.24, 1.5);
+}
+
+TEST(Model, AllreduceIsRoughlyFlat) {
+  // Ring allreduce volume is independent of P (paper Table 2: 11.5-21.3 s).
+  const SummitModel m = paper_model();
+  const double a36 = m.comm_breakdown(36).allreduce;
+  const double a3072 = m.comm_breakdown(3072).allreduce;
+  EXPECT_LT(std::max(a36, a3072) / std::min(a36, a3072), 2.0);
+}
+
+TEST(Model, Rk4VsPtcnSpeedupInPaperRange) {
+  // Paper Fig. 6: PT-CN is ~20x faster at 36 GPUs, ~30x at 768.
+  const SummitModel m = paper_model();
+  const double r36 = m.rk4_50as_total(36) / m.ptcn_step_total(36);
+  const double r768 = m.rk4_50as_total(768) / m.ptcn_step_total(768);
+  EXPECT_GT(r36, 10.0);
+  EXPECT_LT(r36, 35.0);
+  EXPECT_GT(r768, 15.0);
+  EXPECT_LT(r768, 45.0);
+  EXPECT_GT(r768, r36);  // the speedup grows with GPU count (paper §6)
+}
+
+TEST(Model, Rk4At36GpusMatchesFig6Magnitude) {
+  // Fig. 6 shows ~40000 s for RK4 at 36 GPUs.
+  const SummitModel m = paper_model();
+  EXPECT_NEAR(m.rk4_50as_total(36), 40000.0, 0.35 * 40000.0);
+}
+
+TEST(Model, WeakScalingCloseToIdealButBetterForSmallSystems) {
+  // Paper Fig. 8: ideal is O(N^2) anchored at the large end; small systems
+  // run *above* that line (growth from small to large is slower than N^2).
+  const SummitMachine mach = SummitMachine::defaults();
+  SummitModel m192(mach, Workload::silicon(192));
+  SummitModel m1536(mach, Workload::silicon(1536));
+  const double t192 = m192.ptcn_step_total(96);
+  const double t1536 = m1536.ptcn_step_total(768);
+  const double growth = t1536 / t192;
+  const double ideal = 64.0;  // (1536/192)^2
+  EXPECT_LT(growth, ideal);
+  EXPECT_GT(growth, 5.0);
+  // Paper quotes ~16 s for 192 atoms on 96 GPUs.
+  EXPECT_NEAR(t192, 16.0, 0.6 * 16.0);
+}
+
+TEST(Model, TotalFlopMatchesNvprofCount) {
+  // Paper §7: 3.87e16 FLOP per TDDFT step, 93% from the Fock operator.
+  const SummitModel m = paper_model();
+  const double flop = m.total_flop_per_step();
+  EXPECT_NEAR(flop, 3.87e16, 0.2 * 3.87e16);
+}
+
+TEST(Model, PowerComparisonMatchesSection6) {
+  const SummitModel m = paper_model();
+  // 73 CPU nodes x 380 W = 27740 W; 12 GPU nodes x 2180 W = 26160 W.
+  EXPECT_EQ(m.cpu_nodes(3072), 73);
+  EXPECT_NEAR(m.cpu_power_w(3072), 27740.0, 1.0);
+  EXPECT_NEAR(m.gpu_power_w(72), 26160.0, 1.0);
+  // At iso-power the GPU version is ~7x faster (paper §6).
+  const double speedup = m.cpu_step_total(3072) / m.ptcn_step_total(72);
+  EXPECT_GT(speedup, 5.0);
+  EXPECT_LT(speedup, 10.0);
+}
+
+TEST(Model, AndersonMemoryFitsSummitNode) {
+  // Paper §7: < 20 GB per MPI rank at 36 GPUs, fits the 512 GB node.
+  const SummitModel m = paper_model();
+  const double gb = m.anderson_memory_gb_per_rank(36);
+  EXPECT_GT(gb, 10.0);
+  EXPECT_LT(gb, 32.0);
+  const double node_gb = gb * 6.0;
+  EXPECT_LT(node_gb, 512.0);
+}
+
+TEST(Model, Fig3StagesDecreaseMonotonically) {
+  const SummitModel m = paper_model();
+  const auto stages = m.fock_stages(72, 3072);
+  ASSERT_EQ(stages.size(), 6u);
+  for (std::size_t i = 1; i < stages.size(); ++i)
+    EXPECT_LE(stages[i].seconds, stages[i - 1].seconds * 1.001) << stages[i].name;
+  // Final GPU vs CPU: ~7x (paper §3.2 / Fig. 3).
+  const double ratio = stages.front().seconds / stages.back().seconds;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(Report, TablesHaveExpectedShape) {
+  const SummitModel m = paper_model();
+  const auto gpus = perf::paper_gpu_counts();
+  EXPECT_EQ(perf::table1(m, gpus).header().size(), gpus.size() + 1);
+  EXPECT_EQ(perf::table2(m, gpus).num_rows(), 7u);
+  EXPECT_EQ(perf::fig6(m, {36, 72}).num_rows(), 2u);
+  EXPECT_EQ(perf::fig8(SummitMachine::defaults(), {48, 96, 192}).num_rows(), 3u);
+  EXPECT_GE(perf::fig3(m).num_rows(), 6u);
+}
+
+TEST(Model, CommBreakdownSumsToTotal) {
+  const SummitModel m = paper_model();
+  for (int g : {36, 768}) {
+    const auto c = m.comm_breakdown(g);
+    EXPECT_NEAR(c.compute + c.mpi_total() + c.memcpy, m.ptcn_step_total(g),
+                1e-6 * m.ptcn_step_total(g));
+  }
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include "ham/density.hpp"
+#include "ham/energy.hpp"
+#include "linalg/blas.hpp"
+#include "scf/scf.hpp"
+#include "td/field.hpp"
+#include "td/observables.hpp"
+#include "td/ptcn.hpp"
+#include "td/rk4.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+constexpr double kDt50as = 50.0 / constants::as_per_au_time;
+
+struct TdFixture {
+  explicit TdFixture(double ecut = 3.0, bool hybrid = true, std::size_t nb = 16)
+      : setup(test::make_si8_setup(ecut, 1)),
+        species(pseudo::PseudoSpecies::silicon(true)),
+        options(make_opt(hybrid)),
+        hamiltonian(setup, species, options),
+        bands(nb, 1),
+        occ(nb, 2.0) {}
+
+  static ham::HamiltonianOptions make_opt(bool hybrid) {
+    auto o = test::fast_hybrid_options();
+    o.hybrid.enabled = hybrid;
+    return o;
+  }
+
+  /// Converged ground state (cached per fixture instance).
+  CMatrix ground_state(double tol = 1e-8) {
+    scf::GroundStateSolver solver(setup, hamiltonian);
+    CMatrix psi = solver.initial_guess(occ.size(), 42);
+    scf::ScfOptions opt;
+    opt.max_iter = 60;
+    opt.tol_rho = tol;
+    opt.lobpcg.max_iter = 6;
+    opt.hybrid_outer_max = 6;
+    opt.hybrid_outer_tol = 1e-8;
+    solver.solve(psi, occ, opt);
+    return psi;
+  }
+
+  double total_energy(const CMatrix& psi) {
+    par::SerialComm comm;
+    auto rho = ham::compute_density(setup, hamiltonian.fft_dense(), psi, occ, comm);
+    hamiltonian.update_density(rho);
+    if (hamiltonian.hybrid_enabled())
+      hamiltonian.set_exchange_orbitals(psi, occ, bands, comm);
+    return ham::compute_energy(hamiltonian, psi, occ, rho, comm).total();
+  }
+
+  std::vector<double> density(const CMatrix& psi) {
+    par::SerialComm comm;
+    return ham::compute_density(setup, hamiltonian.fft_dense(), psi, occ, comm);
+  }
+
+  ham::PlanewaveSetup setup;
+  pseudo::PseudoSpecies species;
+  ham::HamiltonianOptions options;
+  ham::Hamiltonian hamiltonian;
+  par::BlockPartition bands;
+  std::vector<double> occ;
+};
+
+double orthonormality_defect(const CMatrix& psi) {
+  CMatrix s = linalg::overlap(psi, psi);
+  double d = 0.0;
+  for (std::size_t i = 0; i < s.rows(); ++i)
+    for (std::size_t j = 0; j < s.cols(); ++j)
+      d = std::max(d, std::abs(s(i, j) - (i == j ? Complex{1, 0} : Complex{0, 0})));
+  return d;
+}
+
+TEST(PtResidual, MatchesDirectFormula) {
+  TdFixture f(3.0, false, 6);
+  auto psi = test::random_orthonormal(f.setup, 6, 3);
+  auto hpsi = test::random_orthonormal(f.setup, 6, 5);
+  auto half = test::random_orthonormal(f.setup, 6, 7);
+  par::SerialComm comm;
+  par::WavefunctionTranspose tr(par::BlockPartition(f.setup.n_g(), 1),
+                                par::BlockPartition(6, 1));
+  const Complex c_h{0.0, 1.0};
+  CMatrix r = td::pt_residual(tr, comm, psi, hpsi, &half, Complex{1, 0}, c_h, Complex{1, 0},
+                              /*sp_comm=*/false);
+
+  CMatrix s = linalg::overlap(psi, hpsi);
+  CMatrix rot(f.setup.n_g(), 6);
+  linalg::gemm('N', 'N', Complex{1, 0}, psi, s, Complex{0, 0}, rot);
+  CMatrix expect(f.setup.n_g(), 6);
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    expect.data()[i] = psi.data()[i] + c_h * (hpsi.data()[i] - rot.data()[i]) - half.data()[i];
+  EXPECT_LT(test::max_abs_diff(r, expect), 1e-11);
+}
+
+TEST(Orthonormalize, ProducesOrthonormalBlockAndPreservesSpan) {
+  TdFixture f(3.0, false, 5);
+  auto psi = test::random_orthonormal(f.setup, 5, 9);
+  // Perturb away from orthonormality.
+  for (std::size_t i = 0; i < f.setup.n_g(); ++i) psi(i, 1) += 0.2 * psi(i, 0);
+  par::SerialComm comm;
+  par::WavefunctionTranspose tr(par::BlockPartition(f.setup.n_g(), 1),
+                                par::BlockPartition(5, 1));
+  const CMatrix before = psi;
+  td::orthonormalize(tr, comm, psi, false);
+  EXPECT_LT(orthonormality_defect(psi), 1e-10);
+  // Span is preserved: projection of new onto old has full rank (Cholesky
+  // transform is triangular, so column k mixes only bands <= k).
+  CMatrix mix = linalg::overlap(before, psi);
+  EXPECT_GT(std::abs(mix(0, 0)), 0.5);
+}
+
+TEST(PtCn, StationaryOnGroundState) {
+  TdFixture f(3.0, true);
+  CMatrix psi = f.ground_state(1e-9);
+  const CMatrix psi0 = psi;
+  const double e0 = f.total_energy(psi);
+
+  td::PtCnOptions opt;
+  opt.dt = kDt50as;
+  opt.rho_tol = 1e-9;
+  opt.max_scf = 40;
+  td::PtCnPropagator prop(f.hamiltonian, f.bands, opt, 1);
+  td::ZeroField field;
+  par::SerialComm comm;
+  for (int s = 0; s < 3; ++s) {
+    auto rep = prop.step(psi, f.occ, s * opt.dt, field, comm);
+    EXPECT_TRUE(rep.converged);
+  }
+  // Eigenstates only pick up phases; density and energy are unchanged and
+  // no electrons are excited.
+  const double e1 = f.total_energy(psi);
+  EXPECT_NEAR(e1, e0, 5e-6 * std::abs(e0));
+  par::SerialComm comm2;
+  EXPECT_NEAR(td::excited_electrons(f.setup, f.bands, psi0, psi, f.occ, comm2), 0.0, 1e-4);
+  // The default single-precision transposes (paper §3.3) bound the
+  // orthonormalization accuracy at the float level.
+  EXPECT_LT(orthonormality_defect(psi), 1e-6);
+}
+
+TEST(PtCn, ConservesEnergyWithoutFieldFromExcitedState) {
+  TdFixture f(3.0, true);
+  CMatrix psi = f.ground_state(1e-9);
+  // Kick the system once, then propagate with no field: after the kick the
+  // total energy must be conserved by the integrator.
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);  // constant a for all t >= 0
+  td::PtCnOptions opt;
+  opt.dt = kDt50as / 2.0;
+  opt.rho_tol = 1e-9;
+  opt.max_scf = 60;
+  td::PtCnPropagator prop(f.hamiltonian, f.bands, opt, 1);
+  par::SerialComm comm;
+
+  // Energy in the kicked frame at t=0+ (a enters via the kinetic term).
+  f.hamiltonian.set_vector_potential(kick.vector_potential(0.0));
+  auto rho = f.density(psi);
+  f.hamiltonian.update_density(rho);
+  f.hamiltonian.set_exchange_orbitals(psi, f.occ, f.bands, comm);
+  const double e0 = ham::compute_energy(f.hamiltonian, psi, f.occ, rho, comm).total();
+
+  double t = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    prop.step(psi, f.occ, t, kick, comm);
+    t += opt.dt;
+  }
+  f.hamiltonian.set_vector_potential(kick.vector_potential(t));
+  rho = f.density(psi);
+  f.hamiltonian.update_density(rho);
+  f.hamiltonian.set_exchange_orbitals(psi, f.occ, f.bands, comm);
+  const double e1 = ham::compute_energy(f.hamiltonian, psi, f.occ, rho, comm).total();
+  EXPECT_NEAR(e1, e0, 2e-4 * std::abs(e0));
+}
+
+TEST(PtCn, MatchesRk4ReferenceDynamics) {
+  // The headline algorithmic claim (paper §6): PT-CN with a ~100x larger
+  // step reproduces the RK4 dynamics. Drive Si8 with a kick and compare
+  // densities and currents at t = 24 as.
+  TdFixture f_pt(3.0, true);
+  TdFixture f_rk(3.0, true);
+  CMatrix psi_pt = f_pt.ground_state(1e-9);
+  CMatrix psi_rk = psi_pt;
+
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  const double t_final = 1.0;  // a.u. ~ 24 as
+
+  td::PtCnOptions popt;
+  popt.dt = t_final / 2.0;  // two PT-CN steps (~12 as each)
+  popt.rho_tol = 1e-9;
+  popt.max_scf = 80;
+  popt.sp_comm = false;  // keep the comparison limited by time discretization
+  td::PtCnPropagator pt(f_pt.hamiltonian, f_pt.bands, popt, 1);
+  par::SerialComm comm;
+  double t = 0.0;
+  for (int s = 0; s < 2; ++s) {
+    pt.step(psi_pt, f_pt.occ, t, kick, comm);
+    t += popt.dt;
+  }
+
+  td::Rk4Propagator rk(f_rk.hamiltonian, f_rk.bands, td::Rk4Options{t_final / 50.0});
+  t = 0.0;
+  for (int s = 0; s < 50; ++s) {
+    rk.step(psi_rk, f_rk.occ, t, kick, comm);
+    t += t_final / 50.0;
+  }
+
+  // Densities agree although the orbitals live in different gauges.
+  auto rho_pt = f_pt.density(psi_pt);
+  auto rho_rk = f_rk.density(psi_rk);
+  EXPECT_LT(ham::density_error(f_pt.setup, rho_pt, rho_rk), 5e-5);
+
+  const grid::Vec3 a = kick.vector_potential(t_final);
+  const auto j_pt = td::compute_current(f_pt.setup, psi_pt, f_pt.occ, a, comm);
+  const auto j_rk = td::compute_current(f_rk.setup, psi_rk, f_rk.occ, a, comm);
+  EXPECT_NEAR(j_pt[2], j_rk[2], 5e-6 + 0.02 * std::abs(j_rk[2]));
+
+  // ... while the orbitals themselves differ: that IS the PT gauge.
+  CMatrix s_cross = linalg::overlap(psi_pt, psi_rk);
+  double offdiag = 0.0;
+  for (std::size_t i = 0; i < s_cross.rows(); ++i)
+    for (std::size_t j = 0; j < s_cross.cols(); ++j)
+      if (i != j) offdiag = std::max(offdiag, std::abs(s_cross(i, j)));
+  double diag_dev = 0.0;
+  for (std::size_t i = 0; i < s_cross.rows(); ++i)
+    diag_dev = std::max(diag_dev, std::abs(std::abs(s_cross(i, i)) - 1.0));
+  EXPECT_GT(offdiag + diag_dev, 1e-6);
+}
+
+TEST(PtCn, SecondOrderConvergenceInTimeStep) {
+  TdFixture base(3.0, false);  // semi-local only keeps the sweep cheap
+  CMatrix psi0 = base.ground_state(1e-9);
+  td::DeltaKick kick({0.0, 0.0, 0.03}, -1.0);
+  const double t_final = 2.0;
+  par::SerialComm comm;
+
+  auto run_ptcn = [&](double dt) {
+    TdFixture f(3.0, false);
+    CMatrix psi = psi0;
+    td::PtCnOptions opt;
+    opt.dt = dt;
+    opt.rho_tol = 1e-12;
+    opt.max_scf = 100;
+    td::PtCnPropagator prop(f.hamiltonian, f.bands, opt, 1);
+    double t = 0.0;
+    while (t < t_final - 1e-9) {
+      prop.step(psi, f.occ, t, kick, comm);
+      t += dt;
+    }
+    return f.density(psi);
+  };
+
+  // RK4 reference with a tiny step.
+  TdFixture fr(3.0, false);
+  CMatrix psi_ref = psi0;
+  td::Rk4Propagator rk(fr.hamiltonian, fr.bands, td::Rk4Options{0.02});
+  for (int s = 0; s < 100; ++s) rk.step(psi_ref, fr.occ, s * 0.02, kick, comm);
+  auto rho_ref = fr.density(psi_ref);
+
+  const double e_coarse = ham::density_error(base.setup, run_ptcn(1.0), rho_ref);
+  const double e_fine = ham::density_error(base.setup, run_ptcn(0.5), rho_ref);
+  // Crank-Nicolson: halving dt should reduce the error ~4x; accept [2.5, 8].
+  EXPECT_GT(e_coarse / e_fine, 2.5);
+  EXPECT_LT(e_coarse / e_fine, 8.0);
+}
+
+TEST(PtCn, ScfCountAndFockAppliesAreReported) {
+  TdFixture f(3.0, true);
+  CMatrix psi = f.ground_state(1e-8);
+  td::DeltaKick kick({0.0, 0.0, 0.01}, -1.0);
+  td::PtCnOptions opt;
+  opt.dt = kDt50as;
+  opt.rho_tol = 1e-7;
+  opt.max_scf = 40;
+  td::PtCnPropagator prop(f.hamiltonian, f.bands, opt, 1);
+  par::SerialComm comm;
+  auto rep = prop.step(psi, f.occ, 0.0, kick, comm);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_GE(rep.scf_iterations, 1);
+  EXPECT_LT(rep.scf_iterations, opt.max_scf);
+  EXPECT_EQ(rep.fock_applies, rep.scf_iterations + 1);
+  EXPECT_LT(rep.rho_error, opt.rho_tol);
+}
+
+TEST(Rk4, PreservesOrthonormalityForSmallSteps) {
+  TdFixture f(3.0, false);
+  CMatrix psi = f.ground_state(1e-8);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  td::Rk4Propagator rk(f.hamiltonian, f.bands, td::Rk4Options{0.02});
+  par::SerialComm comm;
+  for (int s = 0; s < 20; ++s) rk.step(psi, f.occ, s * 0.02, kick, comm);
+  EXPECT_LT(orthonormality_defect(psi), 1e-6);
+}
+
+TEST(Rk4, UnstableForLargeTimeStep) {
+  // The stability constraint that motivates PT-CN (paper §2): pushing RK4
+  // to tens of attoseconds diverges. dt=1.2 a.u. ~ 29 as.
+  TdFixture f(3.0, false);
+  CMatrix psi = f.ground_state(1e-7);
+  td::Rk4Propagator rk(f.hamiltonian, f.bands, td::Rk4Options{1.2});
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  par::SerialComm comm;
+  for (int s = 0; s < 12; ++s) rk.step(psi, f.occ, s * 1.2, kick, comm);
+  // Norm blow-up signals instability. Divergence to non-finite values also
+  // counts (and NaNs would otherwise be masked by max() comparisons).
+  const double norm = linalg::nrm2({psi.data(), psi.size()});
+  const double defect = orthonormality_defect(psi);
+  EXPECT_TRUE(!std::isfinite(norm) || defect > 1e-2)
+      << "norm = " << norm << ", defect = " << defect;
+}
+
+TEST(PtCn, StableAtFiftyAttosecondSteps) {
+  // Same step-size regime where RK4 explodes: PT-CN stays bounded
+  // (paper: PT-CN runs at 50 as). Use the kicked system and check
+  // orthonormality and density positivity after several steps.
+  TdFixture f(3.0, false);
+  CMatrix psi = f.ground_state(1e-8);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  td::PtCnOptions opt;
+  opt.dt = kDt50as;  // 2.07 a.u.
+  opt.rho_tol = 1e-8;
+  opt.max_scf = 60;
+  td::PtCnPropagator prop(f.hamiltonian, f.bands, opt, 1);
+  par::SerialComm comm;
+  double t = 0.0;
+  for (int s = 0; s < 5; ++s) {
+    auto rep = prop.step(psi, f.occ, t, kick, comm);
+    EXPECT_TRUE(rep.converged) << "step " << s;
+    t += opt.dt;
+  }
+  EXPECT_LT(orthonormality_defect(psi), 1e-6);  // float-level: SP transposes
+  auto rho = f.density(psi);
+  for (double v : rho) EXPECT_GE(v, -1e-12);
+}
+
+}  // namespace
+}  // namespace pwdft

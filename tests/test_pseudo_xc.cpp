@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "fft/fft3d.hpp"
+#include "pseudo/local_pot.hpp"
+#include "pseudo/nonlocal.hpp"
+#include "pseudo/pseudopotential.hpp"
+#include "test_helpers.hpp"
+#include "xc/hybrid.hpp"
+#include "xc/lda.hpp"
+
+namespace pwdft {
+namespace {
+
+using pseudo::LocalParams;
+using pseudo::PseudoSpecies;
+
+TEST(LocalPseudo, FormFactorLimitMatchesG0Value) {
+  const LocalParams p;
+  // The G=0 convention removes the *bare* Coulomb divergence -4 pi Z/G^2
+  // (it cancels against Hartree + Ewald), so v(G) + 4 pi Z/G^2 -> v(G=0).
+  const double g2 = 1e-6;
+  const double with_coulomb_removed =
+      pseudo::local_form_factor(p, g2) + constants::four_pi * p.zval / g2;
+  EXPECT_NEAR(with_coulomb_removed, pseudo::local_form_factor_g0(p), 1e-4);
+}
+
+TEST(LocalPseudo, RealSpaceFormIsBoundedAndDecays) {
+  const LocalParams p;
+  EXPECT_TRUE(std::isfinite(pseudo::local_potential_r(p, 0.0)));
+  EXPECT_NEAR(pseudo::local_potential_r(p, 50.0), -p.zval / 50.0, 1e-10);
+  // Matches -Z/r at large r (erf -> 1, gaussian -> 0).
+  EXPECT_NEAR(pseudo::local_potential_r(p, 12.0), -p.zval / 12.0, 1e-8);
+}
+
+TEST(LocalPseudo, FormFactorMatchesRadialQuadrature) {
+  // Independent check of the analytic Fourier transform:
+  // v(G) = 4 pi / G * Integral r sin(Gr) v(r) dr (for the full potential,
+  // using the identity on the short-range part plus known erf transform).
+  const LocalParams p;
+  const double g = 1.2, g2 = g * g;
+  // Numerically transform v(r) + Z erf(sqrt(a) r)/r (pure short range).
+  const double dr = 1e-3;
+  double integral = 0.0;
+  for (double r = dr / 2; r < 12.0; r += dr) {
+    const double vsr = (p.v1 + p.v2 * r * r) * std::exp(-p.alpha * r * r);
+    integral += r * std::sin(g * r) * vsr * dr;
+  }
+  const double v_sr = constants::four_pi / g * integral;
+  const double v_analytic = pseudo::local_form_factor(p, g2) +
+                            std::exp(-g2 / (4.0 * p.alpha)) * constants::four_pi * p.zval / g2;
+  EXPECT_NEAR(v_sr, v_analytic, 1e-6 * std::abs(v_analytic) + 1e-9);
+}
+
+TEST(LocalPotential, MeanValueEqualsG0Coefficient) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  const auto species = PseudoSpecies::silicon(false);
+  const auto v = pseudo::build_local_potential(setup.crystal, species, setup.dense_grid);
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  const double expect = pseudo::local_form_factor_g0(species.local) *
+                        static_cast<double>(setup.crystal.n_atoms()) / setup.volume();
+  EXPECT_NEAR(mean, expect, 1e-10 * std::abs(expect) + 1e-12);
+}
+
+TEST(LocalPotential, TranslationByGridPointShiftsValues) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  const auto species = PseudoSpecies::silicon(false);
+  const auto dims = setup.dense_grid.dims();
+  const auto v0 = pseudo::build_local_potential(setup.crystal, species, setup.dense_grid);
+  const grid::Vec3 shift{1.0 / static_cast<double>(dims[0]), 0.0, 0.0};
+  const auto crystal_shifted = setup.crystal.translated(shift);
+  const auto v1 = pseudo::build_local_potential(crystal_shifted, species, setup.dense_grid);
+  // v1(x) == v0(x-1) along the first axis.
+  for (std::size_t z = 0; z < dims[2]; ++z)
+    for (std::size_t y = 0; y < dims[1]; ++y)
+      for (std::size_t x = 0; x < dims[0]; ++x) {
+        const std::size_t i1 = x + dims[0] * (y + dims[1] * z);
+        const std::size_t x0 = (x + dims[0] - 1) % dims[0];
+        const std::size_t i0 = x0 + dims[0] * (y + dims[1] * z);
+        EXPECT_NEAR(v1[i1], v0[i0], 1e-8);
+      }
+}
+
+TEST(LocalPotential, PeriodicImagesSumRealSpaceCheck) {
+  // At a point far from all atoms the potential should be close to the sum
+  // of -Z/r Coulomb tails (plus the uniform G=0 convention offset); here we
+  // just check the potential is attractive (negative) near an atom and
+  // finite everywhere.
+  auto setup = test::make_si8_setup(6.0, 2);
+  const auto species = PseudoSpecies::silicon(false);
+  const auto v = pseudo::build_local_potential(setup.crystal, species, setup.dense_grid);
+  double vmin = 1e9, vmax = -1e9;
+  for (double x : v) {
+    vmin = std::min(vmin, x);
+    vmax = std::max(vmax, x);
+  }
+  EXPECT_LT(vmin, -0.3);  // deep near nuclei
+  EXPECT_TRUE(std::isfinite(vmax));
+}
+
+TEST(Nonlocal, ProjectorsAreNormalized) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  const auto species = PseudoSpecies::silicon(true);
+  pseudo::NonlocalProjectors nl(setup.crystal, species, setup.dense_grid,
+                                setup.crystal.lattice());
+  // 8 atoms x (1 s + 3 p) = 32 projectors.
+  EXPECT_EQ(nl.n_projectors(), 32u);
+  const double w = setup.weight_dense();
+  for (const auto& p : nl.projectors()) {
+    double n2 = 0.0;
+    for (double v : p.val) n2 += v * v;
+    EXPECT_NEAR(n2 * w, 1.0, 1e-10);
+  }
+  EXPECT_GT(nl.storage_bytes(), 0u);
+}
+
+TEST(Nonlocal, ApplyIsHermitian) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  const auto species = PseudoSpecies::silicon(true);
+  pseudo::NonlocalProjectors nl(setup.crystal, species, setup.dense_grid,
+                                setup.crystal.lattice());
+  const std::size_t nd = setup.n_dense();
+  Rng rng(17);
+  std::vector<Complex> a(nd), b(nd), va(nd, Complex{0, 0}), vb(nd, Complex{0, 0});
+  for (auto& v : a) v = rng.complex_normal();
+  for (auto& v : b) v = rng.complex_normal();
+  const double w = setup.weight_dense();
+  nl.apply_add(a, va, w);
+  nl.apply_add(b, vb, w);
+  Complex lhs{0, 0}, rhs{0, 0};
+  for (std::size_t i = 0; i < nd; ++i) {
+    lhs += std::conj(a[i]) * vb[i];
+    rhs += std::conj(va[i]) * b[i];
+  }
+  EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-9 * (1.0 + std::abs(lhs)));
+}
+
+TEST(Nonlocal, EnergyMatchesApplyQuadrature) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  const auto species = PseudoSpecies::silicon(true);
+  pseudo::NonlocalProjectors nl(setup.crystal, species, setup.dense_grid,
+                                setup.crystal.lattice());
+  const std::size_t nd = setup.n_dense();
+  Rng rng(19);
+  std::vector<Complex> a(nd), va(nd, Complex{0, 0});
+  for (auto& v : a) v = rng.complex_normal();
+  const double w = setup.weight_dense();
+  nl.apply_add(a, va, w);
+  Complex quad{0, 0};
+  for (std::size_t i = 0; i < nd; ++i) quad += std::conj(a[i]) * va[i];
+  EXPECT_NEAR(nl.energy_contribution(a, w), (quad * w).real(),
+              1e-9 * (1.0 + std::abs(quad)));
+}
+
+TEST(Nonlocal, PProjectorAnnihilatesConstants) {
+  auto setup = test::make_si8_setup(4.0, 1);
+  PseudoSpecies sp;
+  sp.local = LocalParams{};
+  sp.channels.push_back(pseudo::ProjectorChannel{1, 1.2, 0.4, 4.5});
+  pseudo::NonlocalProjectors nl(setup.crystal, sp, setup.dense_grid, setup.crystal.lattice());
+  const std::size_t nd = setup.n_dense();
+  std::vector<Complex> ones(nd, Complex{1.0, 0.0});
+  // <beta_p | const> ~ 0 by odd parity up to grid discretization (the atoms
+  // do not sit on grid points, so cancellation is not exact).
+  EXPECT_NEAR(nl.energy_contribution(ones, setup.weight_dense()), 0.0, 1e-3);
+}
+
+class LdaDensities : public ::testing::TestWithParam<double> {};
+
+TEST_P(LdaDensities, PotentialIsFunctionalDerivative) {
+  const double rho = GetParam();
+  const double h = 1e-6 * rho;
+  const auto lo = xc::lda_pz(rho - h);
+  const auto hi = xc::lda_pz(rho + h);
+  const double dfdn = ((rho + h) * hi.eps - (rho - h) * lo.eps) / (2.0 * h);
+  EXPECT_NEAR(xc::lda_pz(rho).vxc, dfdn, 1e-5 * std::abs(dfdn));
+}
+
+TEST_P(LdaDensities, ExchangeCorrelationIsNegative) {
+  const auto p = xc::lda_pz(GetParam());
+  EXPECT_LT(p.eps, 0.0);
+  EXPECT_LT(p.vxc, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, LdaDensities,
+                         ::testing::Values(1e-3, 0.01, 0.03, 0.1, 0.3, 1.0, 5.0));
+
+TEST(Lda, ZeroDensityIsSafe) {
+  const auto p = xc::lda_pz(0.0);
+  EXPECT_EQ(p.eps, 0.0);
+  EXPECT_EQ(p.vxc, 0.0);
+}
+
+TEST(Lda, ArrayMatchesScalar) {
+  std::vector<double> rho{0.0, 0.01, 0.2, 2.0};
+  std::vector<double> eps(4), vxc(4);
+  xc::lda_pz(rho, eps, vxc);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto p = xc::lda_pz(rho[i]);
+    EXPECT_DOUBLE_EQ(eps[i], p.eps);
+    EXPECT_DOUBLE_EQ(vxc[i], p.vxc);
+  }
+}
+
+TEST(Lda, KnownExchangeValue) {
+  // At rho corresponding to rs=1 the exchange energy density is
+  // eps_x = -3/(4 pi rs) (9 pi/4)^{1/3} ~ -0.45817 Ha.
+  const double rs = 1.0;
+  const double rho = 3.0 / (constants::four_pi * rs * rs * rs);
+  const double eps_x = -0.75 * std::cbrt(3.0 / constants::pi) * std::cbrt(rho);
+  EXPECT_NEAR(eps_x, -0.45817, 1e-4);
+}
+
+TEST(HybridKernel, ScreenedLimitIsFinite) {
+  const double omega = 0.11;
+  EXPECT_NEAR(xc::exchange_kernel(0.0, omega), constants::pi / (omega * omega), 1e-10);
+  // Continuity near zero.
+  EXPECT_NEAR(xc::exchange_kernel(1e-10, omega), xc::exchange_kernel(0.0, omega), 1e-4);
+}
+
+TEST(HybridKernel, ScreenedBelowBareAndConverging) {
+  const double omega = 0.11;
+  for (double g2 : {0.1, 0.5, 1.0, 4.0, 20.0}) {
+    const double bare = constants::four_pi / g2;
+    const double scr = xc::exchange_kernel(g2, omega);
+    EXPECT_LT(scr, bare + 1e-14);
+    EXPECT_GT(scr, 0.0);
+  }
+  // At large G screening is irrelevant.
+  EXPECT_NEAR(xc::exchange_kernel(100.0, omega), constants::four_pi / 100.0, 1e-8);
+}
+
+TEST(HybridKernel, BareKernelConvention) {
+  EXPECT_EQ(xc::exchange_kernel(0.0, -1.0), 0.0);
+  EXPECT_NEAR(xc::exchange_kernel(2.0, -1.0), constants::four_pi / 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace pwdft {
+namespace {
+
+core::SimulationOptions tiny_options(bool hybrid = true) {
+  core::SimulationOptions opt;
+  opt.cells[0] = opt.cells[1] = opt.cells[2] = 1;
+  opt.ecut = 3.0;
+  opt.dense_factor = 1;
+  opt.hybrid = hybrid;
+  opt.scf.max_iter = 40;
+  opt.scf.tol_rho = 1e-7;
+  opt.scf.lobpcg.max_iter = 6;
+  opt.scf.hybrid_outer_max = 5;
+  opt.scf.hybrid_outer_tol = 1e-6;
+  return opt;
+}
+
+TEST(Simulation, GroundStateThenPtCnWithLaser) {
+  core::Simulation sim(tiny_options());
+  auto gs = sim.ground_state();
+  EXPECT_TRUE(std::isfinite(gs.energy.total()));
+  EXPECT_LT(gs.energy.fock, 0.0);
+  EXPECT_EQ(sim.occupations().size(), 16u);
+
+  const auto pulse = td::LaserPulse::paper_pulse(0.05);
+  core::PropagateOptions popt;
+  popt.integrator = core::Integrator::kPtCn;
+  popt.dt_as = 50.0;
+  popt.steps = 2;
+  popt.field = &pulse;
+  popt.ptcn.rho_tol = 1e-7;
+  popt.ptcn.max_scf = 40;
+  auto trace = sim.propagate(popt);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].t, 0.0);
+  EXPECT_NEAR(trace[1].t, 50.0 / constants::as_per_au_time, 1e-10);
+  for (const auto& p : trace) {
+    EXPECT_TRUE(std::isfinite(p.energy));
+    EXPECT_GE(p.n_excited, -1e-6);
+  }
+  EXPECT_GT(trace[1].scf_iterations, 0);
+}
+
+TEST(Simulation, RequiresGroundStateBeforePropagation) {
+  core::Simulation sim(tiny_options());
+  core::PropagateOptions popt;
+  EXPECT_THROW(sim.propagate(popt), Error);
+}
+
+TEST(Simulation, NoFieldKeepsSystemQuiescent) {
+  core::Simulation sim(tiny_options());
+  sim.ground_state();
+  core::PropagateOptions popt;
+  popt.steps = 1;
+  popt.dt_as = 50.0;
+  popt.ptcn.rho_tol = 1e-8;
+  auto trace = sim.propagate(popt);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_NEAR(trace[1].n_excited, 0.0, 1e-3);
+  EXPECT_NEAR(trace[1].energy, trace[0].energy,
+              1e-4 * std::abs(trace[0].energy));
+}
+
+TEST(Simulation, Rk4PathRuns) {
+  auto opt = tiny_options(false);  // semi-local only keeps RK4 cheap
+  core::Simulation sim(opt);
+  sim.ground_state();
+  const td::DeltaKick kick({0.0, 0.0, 0.01}, -1.0);
+  core::PropagateOptions popt;
+  popt.integrator = core::Integrator::kRk4;
+  popt.dt_as = 0.5;
+  popt.steps = 3;
+  popt.field = &kick;
+  popt.record_energy = false;
+  auto trace = sim.propagate(popt);
+  ASSERT_EQ(trace.size(), 4u);
+  // The kick drives a current.
+  EXPECT_GT(std::abs(trace[3].current[2]), 0.0);
+}
+
+TEST(Simulation, CurrentEnergyIsConsistentWithScfResult) {
+  core::Simulation sim(tiny_options());
+  auto gs = sim.ground_state();
+  const auto e = sim.current_energy();
+  EXPECT_NEAR(e.total(), gs.energy.total(), 1e-6 * std::abs(gs.energy.total()));
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "perf/timeline.hpp"
+
+namespace pwdft {
+namespace {
+
+using perf::PipelineOptions;
+using perf::simulate_fock_pipeline;
+using perf::SummitMachine;
+using perf::Workload;
+
+perf::PipelineResult run(int ngpu, bool overlap, bool sync_staging,
+                         std::size_t bands = 64) {
+  PipelineOptions opt;
+  opt.overlap = overlap;
+  opt.sync_staging = sync_staging;
+  opt.bands = bands;
+  return simulate_fock_pipeline(SummitMachine::defaults(), Workload::silicon(1536), ngpu, opt);
+}
+
+TEST(Timeline, EventsAreWellFormedAndOrdered) {
+  const auto r = run(768, true, false);
+  ASSERT_EQ(r.events.size(), 3u * 64u);
+  for (const auto& e : r.events) {
+    EXPECT_LT(e.start, e.end);
+    EXPECT_GE(e.start, 0.0);
+    EXPECT_LE(e.end, r.total_time + 1e-12);
+  }
+  // Per band: bcast ends before staging ends before compute ends.
+  for (std::size_t b = 0; b < 64; ++b) {
+    const auto& bc = r.events[3 * b];
+    const auto& st = r.events[3 * b + 1];
+    const auto& cp = r.events[3 * b + 2];
+    EXPECT_LE(bc.end, st.start + 1e-12);
+    EXPECT_LE(st.end, cp.start + 1e-12);
+  }
+}
+
+TEST(Timeline, OverlapHidesCommunicationWhenComputeDominates) {
+  // At 36 GPUs compute per band is much longer than the broadcast, so the
+  // overlapped pipeline hides nearly all communication.
+  const auto r = run(36, true, false);
+  EXPECT_GT(r.overlap_efficiency(), 0.9);
+  // Total is essentially compute plus the first band's fill-in.
+  EXPECT_LT(r.total_time, r.compute_busy * 1.05);
+}
+
+TEST(Timeline, NoOverlapSerializesEverything) {
+  const auto r = run(36, false, false);
+  EXPECT_NEAR(r.total_time, r.compute_busy + r.comm_busy, 1e-9 * r.total_time);
+  EXPECT_LT(r.overlap_efficiency(), 0.05);
+}
+
+TEST(Timeline, SyncStagingDisruptsOverlap) {
+  // The paper's Fig. 2 observation: the CUDA-aware MPI staging copies
+  // synchronize with the compute stream, so overlap degrades relative to
+  // explicit asynchronous staging. The effect shows in the
+  // compute-dominated regime (few GPUs), where the synchronized copies
+  // lengthen the critical path band by band.
+  const auto async_staging = run(36, true, false);
+  const auto sync_staging = run(36, true, true);
+  EXPECT_GT(sync_staging.total_time, async_staging.total_time * 1.001);
+  EXPECT_LT(sync_staging.overlap_efficiency(), async_staging.overlap_efficiency());
+}
+
+TEST(Timeline, ExposedCommGrowsWithGpuCount) {
+  // More GPUs -> less compute per band to hide the (constant) broadcast.
+  const auto r36 = run(36, true, false);
+  const auto r3072 = run(3072, true, false);
+  EXPECT_LT(r36.exposed_comm / r36.total_time, r3072.exposed_comm / r3072.total_time);
+}
+
+TEST(Timeline, FullWorkloadMatchesModelScale) {
+  // Full 3072-band pipeline at 768 GPUs: the total should be in the
+  // neighbourhood of the Table 1 Fock total (computation + exposed comm).
+  PipelineOptions opt;
+  opt.overlap = true;
+  opt.sync_staging = false;
+  const auto r = simulate_fock_pipeline(SummitMachine::defaults(), Workload::silicon(1536), 768,
+                                        opt);
+  EXPECT_GT(r.total_time, 4.0);   // paper: 8.1 s Fock total per SCF
+  EXPECT_LT(r.total_time, 20.0);
+}
+
+TEST(Timeline, RenderProducesThreeLanes) {
+  const auto r = run(144, true, false, 8);
+  const std::string txt = perf::render_timeline(r, 8, r.total_time / 60.0);
+  EXPECT_NE(txt.find("net"), std::string::npos);
+  EXPECT_NE(txt.find("gpu"), std::string::npos);
+  EXPECT_NE(txt.find('B'), std::string::npos);
+  EXPECT_NE(txt.find('C'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pwdft
