@@ -6,8 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "common/exec.hpp"
 #include "common/random.hpp"
 #include "fft/fft3d.hpp"
+#include "grid/transforms.hpp"
 #include "ham/fock.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
@@ -36,12 +40,23 @@ void BM_Fft1D(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft1D)->Arg(15)->Arg(60)->Arg(90)->Arg(120);
 
+// Repeated in-place unnormalized forwards overflow to inf/NaN within a few
+// iterations, and non-finite arithmetic runs ~2.5x slower, corrupting the
+// measurement. Rescaling by 1/sqrt(N) after each transform keeps the RMS
+// exactly constant (Parseval) at a cost identical across configurations.
+void rescale(pwdft::Complex* data, std::size_t n, double inv_sqrt_n) {
+  for (std::size_t i = 0; i < n; ++i) data[i] *= inv_sqrt_n;
+}
+
 void BM_Fft3D(benchmark::State& state) {
+  exec::set_num_threads(1);  // serial baseline, independent of suite order
   const std::size_t n = state.range(0);
   fft::Fft3D fft({n, n, n});
   auto data = random_vec(fft.size());
+  const double s = 1.0 / std::sqrt(static_cast<double>(fft.size()));
   for (auto _ : state) {
     fft.forward(data.data());
+    rescale(data.data(), fft.size(), s);
     benchmark::DoNotOptimize(data.data());
   }
   state.SetItemsProcessed(state.iterations() * fft.size());
@@ -52,16 +67,77 @@ void BM_Fft3DBatched(benchmark::State& state) {
   // Batched submission (one plan, contiguous batch) vs the loop in
   // BM_Fft3D; the GPU version gains bandwidth here, the CPU version gains
   // plan reuse.
+  exec::set_num_threads(1);  // serial baseline, independent of suite order
   fft::Fft3D fft({15, 15, 15});
   const std::size_t nb = state.range(0);
   auto data = random_vec(fft.size() * nb);
+  const double s = 1.0 / std::sqrt(static_cast<double>(fft.size()));
   for (auto _ : state) {
     fft.forward_many(data.data(), nb);
+    rescale(data.data(), fft.size() * nb, s);
     benchmark::DoNotOptimize(data.data());
   }
   state.SetItemsProcessed(state.iterations() * fft.size() * nb);
 }
 BENCHMARK(BM_Fft3DBatched)->Arg(1)->Arg(8);
+
+void BM_Fft3DBatchedThreaded(benchmark::State& state) {
+  // The execution-engine sweep: threads x batch on the Si8 wavefunction
+  // grid. Arg(0) = engine width (1 reproduces the serial seed path, the
+  // batch loop then runs inline), Arg(1) = batch size. Compare rows at
+  // equal batch to read off the threading speedup.
+  const std::size_t threads = state.range(0);
+  const std::size_t nb = state.range(1);
+  exec::set_num_threads(threads);
+  fft::Fft3D fft({15, 15, 15});
+  auto data = random_vec(fft.size() * nb);
+  const double s = 1.0 / std::sqrt(static_cast<double>(fft.size()));
+  for (auto _ : state) {
+    fft.forward_many(data.data(), nb);
+    rescale(data.data(), fft.size() * nb, s);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.size() * nb);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["batch"] = static_cast<double>(nb);
+  exec::set_num_threads(1);
+}
+BENCHMARK(BM_Fft3DBatchedThreaded)
+    ->ArgsProduct({{1, 2, 4}, {1, 4, 8, 16}})
+    ->ArgNames({"threads", "batch"});
+
+void BM_SphereToGridTwoStep(benchmark::State& state) {
+  // Baseline conversion: scatter then full inverse FFT (the seed path).
+  exec::set_num_threads(1);
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 10.0, 2);
+  fft::Fft3D fft(setup.dense_grid.dims());
+  auto coeffs = random_vec(setup.n_g());
+  std::vector<Complex> grid(setup.n_dense());
+  for (auto _ : state) {
+    grid::GSphere::scatter(coeffs, setup.map_dense(), grid);
+    fft.inverse(grid.data());
+    benchmark::DoNotOptimize(grid.data());
+  }
+  state.SetItemsProcessed(state.iterations() * setup.n_dense());
+}
+BENCHMARK(BM_SphereToGridTwoStep);
+
+void BM_SphereToGridFused(benchmark::State& state) {
+  // Fused scatter + partial-pass inverse FFT: the axis-0 pass skips x-lines
+  // with no sphere support (~8x fewer on the 2x dense grid).
+  exec::set_num_threads(1);
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 10.0, 2);
+  fft::Fft3D fft(setup.dense_grid.dims());
+  auto coeffs = random_vec(setup.n_g());
+  std::vector<Complex> grid(setup.n_dense());
+  for (auto _ : state) {
+    grid::sphere_to_grid(fft, setup.smap_dense, coeffs, grid);
+    benchmark::DoNotOptimize(grid.data());
+  }
+  state.SetItemsProcessed(state.iterations() * setup.n_dense());
+  state.counters["x_fill"] = setup.smap_dense.x_fill();
+}
+BENCHMARK(BM_SphereToGridFused);
 
 void BM_OverlapGemm(benchmark::State& state) {
   // S = Psi^H Psi for NG x Ne blocks (Alg. 3 step 2).

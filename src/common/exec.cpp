@@ -1,0 +1,243 @@
+#include "common/exec.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace pwdft::exec {
+
+namespace {
+
+/// Set on pool workers so nested parallel_for runs inline instead of
+/// deadlocking on the pool it is already executing on.
+thread_local bool tl_in_worker = false;
+
+/// Set on the thread that currently owns a parallel_for job: try_lock on a
+/// mutex the thread already holds is undefined behavior, so a nested
+/// parallel_for from inside the owning caller's own chunks must bail to the
+/// inline path before touching job_mutex_.
+thread_local bool tl_owns_job = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  PWDFT_CHECK(threads >= 1, "ThreadPool: need at least one thread");
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  {
+    std::lock_guard<std::mutex> lk(async_mutex_);
+    async_stop_ = true;
+  }
+  async_cv_.notify_all();
+  for (auto& t : async_threads_) t.join();
+}
+
+void ThreadPool::run_chunks() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= nchunks_) break;
+    const std::size_t b = i * chunk_;
+    const std::size_t e = std::min(n_, b + chunk_);
+    try {
+      fn_(ctx_, b, e);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(wake_mutex_);
+        if (!job_error_) job_error_ = std::current_exception();
+      }
+      next_.store(nchunks_, std::memory_order_relaxed);  // stop further claims
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tl_in_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(wake_mutex_);
+      wake_cv_.wait(lk, [&] { return stop_ || (job_active_ && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      ++in_flight_;
+    }
+    run_chunks();
+    {
+      std::lock_guard<std::mutex> lk(wake_mutex_);
+      --in_flight_;
+    }
+    idle_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for_raw(std::size_t n, RangeFn fn, void* ctx, std::size_t grain) {
+  if (n == 0) return;
+  // Inline when there is nothing to fork to, when called from inside a
+  // worker (nested), or when another thread currently owns the pool
+  // (concurrent ThreadComm ranks): semantics are identical either way.
+  if (workers_.empty() || tl_in_worker || tl_owns_job || !job_mutex_.try_lock()) {
+    fn(ctx, 0, n);
+    return;
+  }
+  tl_owns_job = true;
+
+  {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    n_ = n;
+    const std::size_t target = std::max<std::size_t>(1, n / (4 * size()));
+    chunk_ = std::max(std::max<std::size_t>(1, grain), target);
+    nchunks_ = (n + chunk_ - 1) / chunk_;
+    next_.store(0, std::memory_order_relaxed);
+    job_error_ = nullptr;
+    ++generation_;
+    job_active_ = true;
+  }
+  wake_cv_.notify_all();
+
+  run_chunks();  // caller participates; chunk errors land in job_error_
+
+  // When run_chunks returns, every chunk has been claimed; workers still
+  // executing a claimed chunk are counted by in_flight_, and their writes
+  // are published by the wake_mutex_ bracket around the decrement.
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(wake_mutex_);
+    idle_cv_.wait(lk, [&] { return in_flight_ == 0; });
+    err = job_error_;
+    job_error_ = nullptr;
+    job_active_ = false;
+  }
+  tl_owns_job = false;
+  job_mutex_.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+std::future<void> ThreadPool::run_async(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lk(async_mutex_);
+    PWDFT_CHECK(!async_stop_, "ThreadPool: run_async after shutdown");
+    async_queue_.push_back(std::move(pt));
+    // Every parked helper can drain exactly one pending task; tasks beyond
+    // that could wait forever behind a *blocking* task (e.g. a collective
+    // broadcast that needs another rank's task to run to complete), so spawn
+    // a helper whenever pending tasks exceed parked helpers.
+    if (async_queue_.size() > async_idle_)
+      async_threads_.emplace_back([this] { async_loop(); });
+  }
+  async_cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::async_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(async_mutex_);
+      ++async_idle_;
+      async_cv_.wait(lk, [&] { return async_stop_ || !async_queue_.empty(); });
+      --async_idle_;
+      if (async_queue_.empty()) return;  // stop requested and drained
+      task = std::move(async_queue_.front());
+      async_queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("PWDFT_NUM_THREADS")) {
+    const long v = std::atol(env);
+    if (v >= 1) return std::min<std::size_t>(static_cast<std::size_t>(v), 64);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 16);
+}
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+// Lock-free fast path for pool(): parallel_for is called from the hottest
+// loops, so reads must not serialize on g_pool_mutex.
+std::atomic<ThreadPool*> g_pool_ptr{nullptr};
+
+}  // namespace
+
+ThreadPool& pool() {
+  if (ThreadPool* p = g_pool_ptr.load(std::memory_order_acquire)) return *p;
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  if (!g_pool) {
+    g_pool = std::make_unique<ThreadPool>(default_threads());
+    g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+  }
+  return *g_pool;
+}
+
+std::size_t num_threads() { return pool().size(); }
+
+void set_num_threads(std::size_t n) {
+  PWDFT_CHECK(n >= 1, "set_num_threads: need at least one thread");
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  g_pool_ptr.store(nullptr, std::memory_order_release);
+  g_pool.reset();  // join old workers before spawning the new pool
+  g_pool = std::make_unique<ThreadPool>(n);
+  g_pool_ptr.store(g_pool.get(), std::memory_order_release);
+}
+
+std::span<Complex> Workspace::cbuf(Slot s, std::size_t n) {
+  auto& v = c_[static_cast<std::size_t>(s)];
+  if (v.size() < n) v.resize(n);
+  return {v.data(), n};
+}
+
+std::span<double> Workspace::rbuf(Slot s, std::size_t n) {
+  auto& v = r_[static_cast<std::size_t>(s)];
+  if (v.size() < n) v.resize(n);
+  return {v.data(), n};
+}
+
+std::span<std::complex<float>> Workspace::fbuf(Slot s, std::size_t n) {
+  auto& v = f_[static_cast<std::size_t>(s)];
+  if (v.size() < n) v.resize(n);
+  return {v.data(), n};
+}
+
+CMatrix& Workspace::cmat(Slot s, std::size_t rows, std::size_t cols) {
+  CMatrix& m = m_[static_cast<std::size_t>(s)];
+  m.reshape(rows, cols);
+  return m;
+}
+
+std::size_t Workspace::bytes_reserved() const {
+  std::size_t b = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    b += c_[i].capacity() * sizeof(Complex);
+    b += r_[i].capacity() * sizeof(double);
+    b += f_[i].capacity() * sizeof(std::complex<float>);
+    b += m_[i].size() * sizeof(Complex);
+  }
+  return b;
+}
+
+Workspace& workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace pwdft::exec

@@ -1,0 +1,208 @@
+#pragma once
+
+/// \file exec.hpp
+/// Process-wide execution engine: a persistent fork-join thread pool plus a
+/// per-thread workspace arena of reusable buffers.
+///
+/// The paper's performance story (§3.2) is batching the O(Ne^2) Poisson-like
+/// FFT solves of the Fock operator and overlapping them with communication.
+/// On this CPU substrate the analogue is (a) executing batch members across a
+/// persistent pool instead of a serial loop and (b) never allocating in the
+/// band loops: every hot-path buffer is drawn from a thread-local arena that
+/// grows monotonically and is reused across calls.
+///
+/// Concurrency contract:
+///   - parallel_for is a blocking fork-join: it returns after fn has covered
+///     [0, n) exactly once. Chunks are claimed dynamically, but every index
+///     is processed by exactly one thread running the same serial code, so
+///     results are bit-identical to a serial loop whenever iterations write
+///     disjoint data.
+///   - parallel_for may be called concurrently from several threads (e.g.
+///     multiple ThreadComm ranks sharing the process): one caller wins the
+///     pool, the others run their loop inline. Nested parallel_for inside a
+///     worker also runs inline. Either way the semantics are unchanged.
+///   - workspace() returns a thread-local arena; buffers are valid until the
+///     same slot is requested again on the same thread. Distinct slots never
+///     alias, so nested routines are safe as long as they use their own slots.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/matrix.hpp"
+
+namespace pwdft::exec {
+
+/// Persistent fork-join pool. `threads` counts the caller: a pool of size 1
+/// has no workers and runs everything inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency including the calling thread (>= 1).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  using RangeFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  /// Runs fn(ctx, begin, end) over a disjoint cover of [0, n). Blocking.
+  /// `grain` is the minimum chunk length (tune so a chunk amortizes the
+  /// dispatch cost). Allocation-free on the hot path. If a chunk throws, the
+  /// first exception is rethrown on the calling thread after all threads
+  /// quiesce (remaining chunks may be skipped).
+  void parallel_for_raw(std::size_t n, RangeFn fn, void* ctx, std::size_t grain = 1);
+
+  template <class F>
+  void parallel_for(std::size_t n, F&& f, std::size_t grain = 1) {
+    using Fn = std::remove_reference_t<F>;
+    parallel_for_raw(
+        n,
+        [](void* ctx, std::size_t b, std::size_t e) { (*static_cast<Fn*>(ctx))(b, e); },
+        const_cast<void*>(static_cast<const void*>(&f)), grain);
+  }
+
+  /// Enqueues a task on the pool's async lane. Used for communication
+  /// prefetch: tasks may block (e.g. on a collective) without starving the
+  /// compute workers. The lane grows one persistent helper thread per
+  /// concurrently pending task (several ThreadComm ranks may each park a
+  /// blocking broadcast here at once), and helpers are cached for reuse, so
+  /// the steady state spawns no threads.
+  std::future<void> run_async(std::function<void()> task);
+
+ private:
+  void worker_loop();
+  void async_loop();
+  void run_chunks();
+
+  // Job descriptor, mutated only under wake_mutex_ while job_active_ is
+  // false; read by workers only between their in_flight_ bracket. A chunk
+  // that throws stores the first exception in job_error_ (under wake_mutex_)
+  // and stops further claims; the caller rethrows it after quiescence.
+  RangeFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 1;
+  std::size_t nchunks_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr job_error_;
+
+  std::mutex job_mutex_;  ///< serializes parallel_for callers
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::uint64_t generation_ = 0;
+  bool job_active_ = false;
+  int in_flight_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+
+  std::vector<std::thread> async_threads_;
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::deque<std::packaged_task<void()>> async_queue_;
+  std::size_t async_idle_ = 0;  ///< helpers parked in wait
+  bool async_stop_ = false;
+};
+
+/// The process-wide engine. Created on first use with num_threads() threads.
+ThreadPool& pool();
+
+/// Current engine width. Defaults to PWDFT_NUM_THREADS if set (honored up
+/// to 64), else std::thread::hardware_concurrency() clamped to [1, 16].
+std::size_t num_threads();
+
+/// Rebuilds the engine with `n` threads (>= 1). Must not be called while any
+/// parallel_for or async task is in flight.
+void set_num_threads(std::size_t n);
+
+/// Convenience: pool().parallel_for.
+template <class F>
+void parallel_for(std::size_t n, F&& f, std::size_t grain = 1) {
+  pool().parallel_for(n, std::forward<F>(f), grain);
+}
+
+/// Named arena slots. Each (thread, slot, element-type) triple is an
+/// independent monotonically-growing buffer; two routines may only share a
+/// slot if their lifetimes never overlap on one thread.
+enum class Slot : std::size_t {
+  // fft: per-line scratch used inside Fft3D axis passes (leaf level).
+  fft_line,
+  fft_work,
+  // grid/ham: dense- and wfc-grid scratch.
+  grid_a,
+  grid_b,
+  coeffs_a,
+  // Fock operator band loop.
+  fock_pair,
+  fock_fetch_a,
+  fock_fetch_b,
+  fock_wire,
+  fock_coeffs,
+  fock_psi_real,
+  fock_acc,
+  // LOBPCG per-iteration blocks.
+  lob_r,
+  lob_w,
+  lob_s,
+  lob_hs,
+  lob_hw,
+  lob_xnew,
+  lob_hxnew,
+  // PT-CN / CN propagators.
+  pt_ga,
+  pt_gb,
+  pt_gc,
+  cn_r,
+  mix_f,
+  // RK4 stages.
+  rk4_k1,
+  rk4_k2,
+  rk4_k3,
+  rk4_k4,
+  rk4_stage,
+  count
+};
+
+/// Per-thread arena. Buffers grow and are never shrunk, so steady-state use
+/// performs zero heap allocations.
+class Workspace {
+ public:
+  /// Complex buffer of exactly n elements (contents unspecified).
+  std::span<Complex> cbuf(Slot s, std::size_t n);
+  /// double buffer of exactly n elements (contents unspecified).
+  std::span<double> rbuf(Slot s, std::size_t n);
+  /// complex<float> buffer (single-precision comm wire, paper §3.2 step 4).
+  std::span<std::complex<float>> fbuf(Slot s, std::size_t n);
+  /// Matrix reshaped to rows x cols, reusing capacity. Only elements the
+  /// caller writes are meaningful.
+  CMatrix& cmat(Slot s, std::size_t rows, std::size_t cols);
+
+  /// Total bytes currently reserved by this arena (instrumentation).
+  std::size_t bytes_reserved() const;
+
+ private:
+  static constexpr std::size_t kSlots = static_cast<std::size_t>(Slot::count);
+  std::vector<Complex> c_[kSlots];
+  std::vector<double> r_[kSlots];
+  std::vector<std::complex<float>> f_[kSlots];
+  CMatrix m_[kSlots];
+};
+
+/// The calling thread's arena.
+Workspace& workspace();
+
+}  // namespace pwdft::exec

@@ -3,70 +3,94 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 
 namespace pwdft::fft {
 
 Fft3D::Fft3D(std::array<std::size_t, 3> dims)
-    : dims_(dims), plan_x_(dims[0]), plan_y_(dims[1]), plan_z_(dims[2]) {
-  const std::size_t nmax = std::max({dims[0], dims[1], dims[2]});
-  line_out_.resize(nmax);
-  work_.resize(nmax);
+    : dims_(dims), plan_x_(dims[0]), plan_y_(dims[1]), plan_z_(dims[2]) {}
+
+void Fft3D::axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
+                           const std::uint32_t* lines, std::size_t nlines) const {
+  const std::size_t n0 = dims_[0], n1 = dims_[1];
+  const std::size_t grid = size();
+  const FftPlan1D& plan = axis == 0 ? plan_x_ : axis == 1 ? plan_y_ : plan_z_;
+  const std::size_t len = dims_[axis];
+  const std::size_t stride = axis == 0 ? 1 : axis == 1 ? n0 : n0 * n1;
+  const std::size_t total = count * nlines;
+  if (total == 0 || len == 0) return;
+
+  // Keep each chunk >= ~32 KiB of line data so dispatch stays negligible.
+  const std::size_t grain = std::max<std::size_t>(1, 2048 / len);
+
+  exec::parallel_for(
+      total,
+      [&](std::size_t b, std::size_t e) {
+        auto& ws = exec::workspace();
+        Complex* line_out = ws.cbuf(exec::Slot::fft_line, len).data();
+        Complex* work = ws.cbuf(exec::Slot::fft_work, len).data();
+        for (std::size_t t = b; t < e; ++t) {
+          const std::size_t batch = t / nlines;
+          const std::size_t li = t - batch * nlines;
+          const std::size_t l = lines ? lines[li] : li;
+          Complex* base;
+          if (axis == 0) {
+            base = data + batch * grid + l * n0;  // l = y + n1*z
+          } else if (axis == 1) {
+            const std::size_t x = l % n0, z = l / n0;
+            base = data + batch * grid + x + n0 * n1 * z;
+          } else {
+            base = data + batch * grid + l;  // l = x + n0*y
+          }
+          plan.execute(base, stride, line_out, work, sign);
+          for (std::size_t k = 0; k < len; ++k) base[k * stride] = line_out[k];
+        }
+      },
+      grain);
 }
 
-void Fft3D::axis_pass(Complex* data, int axis, int sign) {
+void Fft3D::transform_many(Complex* data, std::size_t count, int sign) const {
   const std::size_t n0 = dims_[0], n1 = dims_[1], n2 = dims_[2];
-  if (axis == 0) {
-    const std::size_t nlines = n1 * n2;
-    for (std::size_t l = 0; l < nlines; ++l) {
-      Complex* base = data + l * n0;
-      plan_x_.execute(base, 1, line_out_.data(), work_.data(), sign);
-      std::copy_n(line_out_.data(), n0, base);
-    }
-  } else if (axis == 1) {
-    for (std::size_t z = 0; z < n2; ++z) {
-      for (std::size_t x = 0; x < n0; ++x) {
-        Complex* base = data + x + n0 * n1 * z;
-        plan_y_.execute(base, n0, line_out_.data(), work_.data(), sign);
-        for (std::size_t y = 0; y < n1; ++y) base[y * n0] = line_out_[y];
-      }
-    }
-  } else {
-    const std::size_t stride = n0 * n1;
-    for (std::size_t y = 0; y < n1; ++y) {
-      for (std::size_t x = 0; x < n0; ++x) {
-        Complex* base = data + x + n0 * y;
-        plan_z_.execute(base, stride, line_out_.data(), work_.data(), sign);
-        for (std::size_t z = 0; z < n2; ++z) base[z * stride] = line_out_[z];
-      }
-    }
-  }
+  axis_pass_many(data, count, 0, sign, nullptr, n1 * n2);
+  axis_pass_many(data, count, 1, sign, nullptr, n0 * n2);
+  axis_pass_many(data, count, 2, sign, nullptr, n0 * n1);
 }
 
-void Fft3D::transform(Complex* data, int sign) {
-  axis_pass(data, 0, sign);
-  axis_pass(data, 1, sign);
-  axis_pass(data, 2, sign);
-}
+void Fft3D::forward(Complex* data) const { transform_many(data, 1, -1); }
 
-void Fft3D::forward(Complex* data) { transform(data, -1); }
+void Fft3D::inverse(Complex* data) const { transform_many(data, 1, +1); }
 
-void Fft3D::inverse(Complex* data) { transform(data, +1); }
-
-void Fft3D::inverse_scaled(Complex* data) {
-  transform(data, +1);
+void Fft3D::inverse_scaled(Complex* data) const {
+  transform_many(data, 1, +1);
   const double inv = 1.0 / static_cast<double>(size());
   const std::size_t n = size();
-  for (std::size_t i = 0; i < n; ++i) data[i] *= inv;
+  exec::parallel_for(
+      n, [&](std::size_t b, std::size_t e) { for (std::size_t i = b; i < e; ++i) data[i] *= inv; },
+      4096);
 }
 
-void Fft3D::forward_many(Complex* data, std::size_t count) {
-  const std::size_t n = size();
-  for (std::size_t b = 0; b < count; ++b) transform(data + b * n, -1);
+void Fft3D::forward_many(Complex* data, std::size_t count) const {
+  transform_many(data, count, -1);
 }
 
-void Fft3D::inverse_many(Complex* data, std::size_t count) {
-  const std::size_t n = size();
-  for (std::size_t b = 0; b < count; ++b) transform(data + b * n, +1);
+void Fft3D::inverse_many(Complex* data, std::size_t count) const {
+  transform_many(data, count, +1);
+}
+
+void Fft3D::inverse_many_active(Complex* data, std::size_t count,
+                                std::span<const std::uint32_t> x_lines) const {
+  const std::size_t n0 = dims_[0], n1 = dims_[1], n2 = dims_[2];
+  axis_pass_many(data, count, 0, +1, x_lines.data(), x_lines.size());
+  axis_pass_many(data, count, 1, +1, nullptr, n0 * n2);
+  axis_pass_many(data, count, 2, +1, nullptr, n0 * n1);
+}
+
+void Fft3D::forward_many_active(Complex* data, std::size_t count,
+                                std::span<const std::uint32_t> z_lines) const {
+  const std::size_t n0 = dims_[0], n1 = dims_[1], n2 = dims_[2];
+  axis_pass_many(data, count, 0, -1, nullptr, n1 * n2);
+  axis_pass_many(data, count, 1, -1, nullptr, n0 * n2);
+  axis_pass_many(data, count, 2, -1, z_lines.data(), z_lines.size());
 }
 
 }  // namespace pwdft::fft

@@ -1,19 +1,30 @@
 #pragma once
 
 /// \file fft3d.hpp
-/// 3-D complex FFT on a dense grid, with a batched interface.
+/// 3-D complex FFT on a dense grid, with a batched, thread-parallel interface.
 ///
 /// The batched entry points mirror the "batched cuFFT" optimization of the
 /// paper (§3.2, step 2): the Fock exchange operator solves many Poisson-like
 /// equations per band and submits them as one batch. On this CPU substrate a
-/// batch is a tight loop over transforms sharing one plan and workspace,
-/// which captures the same plan-reuse/latency-amortization structure.
+/// batch is executed as one parallel_for over all 1-D lines of all batch
+/// members on the process-wide exec engine, which captures the same
+/// plan-reuse/latency-amortization structure and adds thread parallelism.
+///
+/// The engine is stateless: per-line scratch comes from the calling thread's
+/// workspace arena (FftPlan1D::execute is documented thread-safe), so one
+/// Fft3D instance may be used concurrently from any number of threads (e.g.
+/// several ThreadComm ranks) and all methods are const.
+///
+/// Determinism: every 1-D line is computed by exactly one thread running the
+/// identical serial kernel, so results are bit-identical to the serial loop
+/// at any thread count.
 ///
 /// Grid layout: linear index i = x + n0*(y + n1*z), x fastest.
 
 #include <array>
 #include <cstddef>
-#include <vector>
+#include <cstdint>
+#include <span>
 
 #include "common/types.hpp"
 #include "fft/fft_plan.hpp"
@@ -29,24 +40,41 @@ class Fft3D {
   std::size_t size() const { return dims_[0] * dims_[1] * dims_[2]; }
 
   /// In-place unnormalized transforms. inverse(forward(x)) == size()*x.
-  void forward(Complex* data);
-  void inverse(Complex* data);
+  void forward(Complex* data) const;
+  void inverse(Complex* data) const;
 
   /// Inverse followed by division by size(): a true inverse of forward().
-  void inverse_scaled(Complex* data);
+  void inverse_scaled(Complex* data) const;
 
   /// Batched transforms over `count` contiguous grids.
-  void forward_many(Complex* data, std::size_t count);
-  void inverse_many(Complex* data, std::size_t count);
+  void forward_many(Complex* data, std::size_t count) const;
+  void inverse_many(Complex* data, std::size_t count) const;
+
+  /// Sphere-masked variants (the fused sphere<->grid path, see
+  /// grid/transforms.hpp).
+  ///
+  /// inverse_many_active: the axis-0 pass runs only over `x_lines` (line
+  /// l = y + n1*z); all other x-lines MUST already be zero (a freshly
+  /// scattered sphere guarantees this), making the result bit-identical to
+  /// inverse_many while skipping the empty lines.
+  void inverse_many_active(Complex* data, std::size_t count,
+                           std::span<const std::uint32_t> x_lines) const;
+  /// forward_many_active: axes 0 and 1 run in full, the final axis-2 pass
+  /// only over `z_lines` (line l = x + n0*y). Grid values on other z-lines
+  /// are left unspecified; values on the listed lines are bit-identical to
+  /// forward_many. Use when only sphere points are gathered afterwards.
+  void forward_many_active(Complex* data, std::size_t count,
+                           std::span<const std::uint32_t> z_lines) const;
 
  private:
-  void transform(Complex* data, int sign);
-  void axis_pass(Complex* data, int axis, int sign);
+  void transform_many(Complex* data, std::size_t count, int sign) const;
+  /// One 1-D pass over `nlines` lines of each of `count` grids. `lines`
+  /// selects line indices (nullptr = all lines 0..nlines-1).
+  void axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
+                      const std::uint32_t* lines, std::size_t nlines) const;
 
   std::array<std::size_t, 3> dims_;
   FftPlan1D plan_x_, plan_y_, plan_z_;
-  std::vector<Complex> line_out_;  ///< per-line output buffer
-  std::vector<Complex> work_;      ///< plan workspace
 };
 
 }  // namespace pwdft::fft

@@ -1,0 +1,80 @@
+#include "grid/transforms.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/exec.hpp"
+#include "grid/gsphere.hpp"
+
+namespace pwdft::grid {
+
+SphereMap::SphereMap(std::vector<std::size_t> map_in, const std::array<std::size_t, 3>& dims_in)
+    : map(std::move(map_in)), dims(dims_in) {
+  const std::size_t n0 = dims[0], n1 = dims[1];
+  PWDFT_CHECK(grid_size() > 0, "SphereMap: empty grid");
+  x_lines.reserve(map.size());
+  z_lines.reserve(map.size());
+  for (const std::size_t m : map) {
+    PWDFT_CHECK(m < grid_size(), "SphereMap: index outside the grid");
+    x_lines.push_back(static_cast<std::uint32_t>(m / n0));          // y + n1*z
+    z_lines.push_back(static_cast<std::uint32_t>(m % (n0 * n1)));   // x + n0*y
+  }
+  auto uniquify = [](std::vector<std::uint32_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    v.shrink_to_fit();
+  };
+  uniquify(x_lines);
+  uniquify(z_lines);
+}
+
+double SphereMap::x_fill() const {
+  const std::size_t total = dims[1] * dims[2];
+  return total == 0 ? 0.0 : static_cast<double>(x_lines.size()) / static_cast<double>(total);
+}
+
+void sphere_to_grid(const fft::Fft3D& fft, const SphereMap& sm, std::span<const Complex> coeffs,
+                    std::span<Complex> grid) {
+  PWDFT_ASSERT(grid.size() == sm.grid_size());
+  GSphere::scatter(coeffs, sm.map, grid);
+  fft.inverse_many_active(grid.data(), 1, sm.x_lines);
+}
+
+void grid_to_sphere(const fft::Fft3D& fft, const SphereMap& sm, std::span<Complex> grid,
+                    double scale, std::span<Complex> coeffs) {
+  PWDFT_ASSERT(grid.size() == sm.grid_size());
+  fft.forward_many_active(grid.data(), 1, sm.z_lines);
+  GSphere::gather(grid, sm.map, scale, coeffs);
+}
+
+void sphere_to_grid_many(const fft::Fft3D& fft, const SphereMap& sm, const CMatrix& coeffs,
+                         CMatrix& grids) {
+  const std::size_t ng = sm.map.size();
+  const std::size_t nw = sm.grid_size();
+  const std::size_t ncol = coeffs.cols();
+  PWDFT_CHECK(coeffs.rows() == ng, "sphere_to_grid_many: coefficient rows mismatch");
+  grids.reshape(nw, ncol);
+  // Scatter all columns in parallel (each column writes disjoint memory),
+  // then run the whole block as one batched partial-pass inverse FFT.
+  exec::parallel_for(ncol, [&](std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e; ++j)
+      GSphere::scatter({coeffs.col(j), ng}, sm.map, {grids.col(j), nw});
+  });
+  fft.inverse_many_active(grids.data(), ncol, sm.x_lines);
+}
+
+void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& grids, double scale,
+                         CMatrix& coeffs) {
+  const std::size_t ng = sm.map.size();
+  const std::size_t nw = sm.grid_size();
+  const std::size_t ncol = grids.cols();
+  PWDFT_CHECK(grids.rows() == nw, "grid_to_sphere_many: grid rows mismatch");
+  coeffs.reshape(ng, ncol);
+  fft.forward_many_active(grids.data(), ncol, sm.z_lines);
+  exec::parallel_for(ncol, [&](std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e; ++j)
+      GSphere::gather({grids.col(j), nw}, sm.map, scale, {coeffs.col(j), ng});
+  });
+}
+
+}  // namespace pwdft::grid

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file transforms.hpp
+/// Fused sphere <-> grid transforms.
+///
+/// A planewave sphere occupies a small corner of its FFT grid (about pi/6 of
+/// the wavefunction grid and 1/8 of that on the 2x dense grid), so after
+/// scattering coefficients most x-lines of the grid are identically zero and
+/// their axis-0 FFT pass is a no-op. Conversely, before gathering only the
+/// z-lines that contain sphere points need their final axis-2 pass. SphereMap
+/// precomputes both line sets once; sphere_to_grid / grid_to_sphere then run
+/// the scatter (or gather) and the partial-pass batched FFT as one call, with
+/// results bit-identical to the two-step scatter + full-FFT path at every
+/// thread count.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fft/fft3d.hpp"
+#include "linalg/matrix.hpp"
+
+namespace pwdft::grid {
+
+/// Sphere -> grid index map plus the FFT line masks for partial passes.
+struct SphereMap {
+  SphereMap() = default;
+  /// `map[i]` is the linear grid index of sphere point i on a grid of the
+  /// given dims (layout x fastest: i = x + n0*(y + n1*z)).
+  SphereMap(std::vector<std::size_t> map_in, const std::array<std::size_t, 3>& dims_in);
+
+  std::vector<std::size_t> map;
+  std::array<std::size_t, 3> dims{0, 0, 0};
+  std::vector<std::uint32_t> x_lines;  ///< sorted active axis-0 lines (l = y + n1*z)
+  std::vector<std::uint32_t> z_lines;  ///< sorted active axis-2 lines (l = x + n0*y)
+
+  std::size_t grid_size() const { return dims[0] * dims[1] * dims[2]; }
+  /// Fraction of x-lines that carry sphere support (instrumentation).
+  double x_fill() const;
+};
+
+/// grid <- inverse_fft(scatter(coeffs)): one fused call. `grid` is fully
+/// overwritten. Bit-identical to GSphere::scatter + Fft3D::inverse.
+void sphere_to_grid(const fft::Fft3D& fft, const SphereMap& sm, std::span<const Complex> coeffs,
+                    std::span<Complex> grid);
+
+/// coeffs <- gather(forward_fft(grid)) * scale: one fused call. `grid` is
+/// clobbered; off-sphere z-lines hold unspecified values afterwards. The
+/// gathered coefficients are bit-identical to Fft3D::forward +
+/// GSphere::gather.
+void grid_to_sphere(const fft::Fft3D& fft, const SphereMap& sm, std::span<Complex> grid,
+                    double scale, std::span<Complex> coeffs);
+
+/// Column-batched variants: column j of `coeffs` (sphere layout) maps to
+/// column j of `grids` (grid layout); all columns are transformed as one
+/// batch on the exec engine.
+void sphere_to_grid_many(const fft::Fft3D& fft, const SphereMap& sm, const CMatrix& coeffs,
+                         CMatrix& grids);
+void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& grids, double scale,
+                         CMatrix& coeffs);
+
+}  // namespace pwdft::grid

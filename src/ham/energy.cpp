@@ -32,7 +32,7 @@ EnergyBreakdown compute_energy(Hamiltonian& hamiltonian, const CMatrix& psi_loca
     band_acc[0] += occ_local[j] * t;
 
     if (hamiltonian.nonlocal()) {
-      grid::GSphere::scatter({c, ng}, setup.map_dense, grid_work);
+      grid::GSphere::scatter({c, ng}, setup.map_dense(), grid_work);
       hamiltonian.fft_dense().inverse(grid_work.data());
       band_acc[1] +=
           occ_local[j] * hamiltonian.nonlocal()->energy_contribution(grid_work, w) * inv_vol;

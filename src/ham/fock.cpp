@@ -4,6 +4,8 @@
 #include <future>
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
+#include "grid/transforms.hpp"
 #include "linalg/blas.hpp"
 
 namespace pwdft::ham {
@@ -38,16 +40,11 @@ void FockOperator::set_orbitals(const CMatrix& phi_local, std::span<const double
   bands_ = bands;
   occ_.assign(occ_global.begin(), occ_global.end());
 
-  const std::size_t nw = setup_.n_wfc();
-  phi_real_.resize(nw, phi_local.cols());
-  for (std::size_t j = 0; j < phi_local.cols(); ++j) {
-    grid::GSphere::scatter({phi_local.col(j), setup_.n_g()}, setup_.map_wfc,
-                           {phi_real_.col(j), nw});
-    fft_wfc_.inverse(phi_real_.col(j));
-  }
+  // All local orbitals to the real-space wfc grid as one fused batch.
+  grid::sphere_to_grid_many(fft_wfc_, setup_.smap_wfc, phi_local, phi_real_);
 }
 
-void FockOperator::fetch_orbital(std::size_t band, par::Comm& comm, std::vector<Complex>& buf) {
+void FockOperator::fetch_orbital(std::size_t band, par::Comm& comm, std::span<Complex> buf) {
   const int owner = bands_.owner(band);
   const std::size_t nw = setup_.n_wfc();
   if (comm.rank() == owner) {
@@ -58,10 +55,13 @@ void FockOperator::fetch_orbital(std::size_t band, par::Comm& comm, std::vector<
   if (comm.size() == 1) return;
   if (opt_.single_precision_comm) {
     // Convert to complex<float> for the wire and back (paper §3.2 step 4).
-    std::vector<std::complex<float>> wire(nw);
+    // The wire buffer lives in the calling thread's arena: when the fetch is
+    // prefetched on the pool's async lane it uses that lane's workspace and
+    // never races the compute thread's buffers.
+    auto* wire = exec::workspace().fbuf(exec::Slot::fock_wire, nw).data();
     if (comm.rank() == owner)
       for (std::size_t i = 0; i < nw; ++i) wire[i] = std::complex<float>(buf[i]);
-    comm.bcast(wire.data(), nw, owner);
+    comm.bcast(wire, nw, owner);
     for (std::size_t i = 0; i < nw; ++i) buf[i] = Complex(wire[i]);
   } else {
     comm.bcast(buf.data(), nw, owner);
@@ -76,81 +76,110 @@ void FockOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Co
   const std::size_t nw = setup_.n_wfc();
   const std::size_t ncol = psi_local.cols();
   const std::size_t nb = bands_.total();
+  auto& ws = exec::workspace();
   if (ncol == 0) {
     // Still participate in the collective broadcasts.
-    std::vector<Complex> buf(nw);
+    auto buf = ws.cbuf(exec::Slot::fock_fetch_a, nw);
     for (std::size_t i = 0; i < nb; ++i) fetch_orbital(i, comm, buf);
     return;
   }
 
-  // psi on the real-space wavefunction grid.
-  CMatrix psi_real(nw, ncol);
-  for (std::size_t j = 0; j < ncol; ++j) {
-    grid::GSphere::scatter({psi_local.col(j), setup_.n_g()}, setup_.map_wfc,
-                           {psi_real.col(j), nw});
-    fft_wfc_.inverse(psi_real.col(j));
-  }
+  // psi on the real-space wavefunction grid: fused scatter + batched FFT.
+  CMatrix& psi_real = ws.cmat(exec::Slot::fock_psi_real, nw, ncol);
+  grid::sphere_to_grid_many(fft_wfc_, setup_.smap_wfc, psi_local, psi_real);
 
-  CMatrix acc(nw, ncol, Complex{0.0, 0.0});
+  CMatrix& acc = ws.cmat(exec::Slot::fock_acc, nw, ncol);
+  acc.fill(Complex{0.0, 0.0});
   const std::size_t bs = opt_.batched ? std::max<std::size_t>(1, opt_.batch_size) : 1;
-  std::vector<Complex> pair(bs * nw);
-  std::vector<Complex> buf_a(nw), buf_b(nw);
+  auto pair = ws.cbuf(exec::Slot::fock_pair, bs * nw);
+  auto buf_a = ws.cbuf(exec::Slot::fock_fetch_a, nw);
+  auto buf_b = ws.cbuf(exec::Slot::fock_fetch_b, nw);
 
   // Prefetch pipeline (paper §3.2 step 5): with overlap enabled the next
-  // band's broadcast runs on a helper thread while this band is computed.
+  // band's broadcast runs on the engine's async lane while this band is
+  // computed (the seed spawned one std::async thread per band here).
   std::future<void> prefetch;
-  std::vector<Complex>* current = &buf_a;
-  std::vector<Complex>* next = &buf_b;
-  fetch_orbital(0, comm, *current);
+  // If the compute section below throws, the in-flight prefetch still holds
+  // `this`, `comm` and `next`; block until it lands before unwinding (the
+  // seed's std::async future joined in its destructor, run_async's doesn't).
+  struct PrefetchGuard {
+    std::future<void>& f;
+    ~PrefetchGuard() {
+      if (f.valid()) f.wait();
+    }
+  } prefetch_guard{prefetch};
+  std::span<Complex> current = buf_a;
+  std::span<Complex> next = buf_b;
+  fetch_orbital(0, comm, current);
 
   for (std::size_t i = 0; i < nb; ++i) {
     if (i + 1 < nb) {
       if (opt_.overlap) {
-        prefetch = std::async(std::launch::async,
-                              [this, i, &comm, next] { fetch_orbital(i + 1, comm, *next); });
+        prefetch = exec::pool().run_async(
+            [this, i, &comm, next] { fetch_orbital(i + 1, comm, next); });
       } else {
-        fetch_orbital(i + 1, comm, *next);
+        fetch_orbital(i + 1, comm, next);
       }
     }
 
     const double f_i = occ_[i];
     if (f_i > 1e-12) {
       const double scale = -hybrid_.alpha * 0.5 * f_i;
-      const Complex* qi = current->data();
+      const Complex* qi = current.data();
       for (std::size_t j0 = 0; j0 < ncol; j0 += bs) {
         const std::size_t jn = std::min(bs, ncol - j0);
-        for (std::size_t b = 0; b < jn; ++b) {
-          const Complex* pj = psi_real.col(j0 + b);
-          Complex* dst = pair.data() + b * nw;
-          for (std::size_t r = 0; r < nw; ++r) dst[r] = std::conj(qi[r]) * pj[r];
-        }
+        // Pair densities, batched kernel multiply and accumulate all write
+        // disjoint elements, so they run on the engine deterministically.
+        // Chunks are walked column-segment-wise: one divide per segment, not
+        // per element (this is the dominant O(Ne^2) loop).
+        auto for_segments = [&](auto&& body) {
+          exec::parallel_for(
+              jn * nw,
+              [&](std::size_t b, std::size_t e) {
+                std::size_t t = b;
+                while (t < e) {
+                  const std::size_t col = t / nw;
+                  const std::size_t r0 = t - col * nw;
+                  const std::size_t len = std::min(nw - r0, e - t);
+                  body(col, r0, len);
+                  t += len;
+                }
+              },
+              4096);
+        };
+        for_segments([&](std::size_t col, std::size_t r0, std::size_t len) {
+          const Complex* pj = psi_real.col(j0 + col) + r0;
+          Complex* dst = pair.data() + col * nw + r0;
+          for (std::size_t k = 0; k < len; ++k) dst[k] = std::conj(qi[r0 + k]) * pj[k];
+        });
         fft_wfc_.forward_many(pair.data(), jn);
-        for (std::size_t b = 0; b < jn; ++b) {
-          Complex* dst = pair.data() + b * nw;
-          for (std::size_t r = 0; r < nw; ++r) dst[r] *= kernel_[r];
-        }
+        for_segments([&](std::size_t col, std::size_t r0, std::size_t len) {
+          Complex* dst = pair.data() + col * nw + r0;
+          const double* kern = kernel_.data() + r0;
+          for (std::size_t k = 0; k < len; ++k) dst[k] *= kern[k];
+        });
         fft_wfc_.inverse_many(pair.data(), jn);
-        for (std::size_t b = 0; b < jn; ++b) {
-          const Complex* v = pair.data() + b * nw;
-          Complex* dst = acc.col(j0 + b);
-          for (std::size_t r = 0; r < nw; ++r) dst[r] += scale * qi[r] * v[r];
-        }
+        for_segments([&](std::size_t col, std::size_t r0, std::size_t len) {
+          const Complex* v = pair.data() + col * nw + r0;
+          Complex* dst = acc.col(j0 + col) + r0;
+          for (std::size_t k = 0; k < len; ++k) dst[k] += scale * qi[r0 + k] * v[k];
+        });
         pair_solves_ += jn;
       }
     }
 
-    if (prefetch.valid()) prefetch.wait();
+    if (prefetch.valid()) prefetch.get();  // rethrows a failed prefetch
     std::swap(current, next);
   }
 
-  // Back to sphere coefficients: c'(G) = forward(acc)(G) / (N * Omega).
+  // Back to sphere coefficients: c'(G) = forward(acc)(G) / (N * Omega), as
+  // one fused batched FFT + gather.
   const double out_scale = 1.0 / (static_cast<double>(nw) * setup_.volume());
-  std::vector<Complex> coeffs(setup_.n_g());
-  for (std::size_t j = 0; j < ncol; ++j) {
-    fft_wfc_.forward(acc.col(j));
-    grid::GSphere::gather({acc.col(j), nw}, setup_.map_wfc, out_scale, coeffs);
-    linalg::axpy(Complex{1.0, 0.0}, coeffs, {y_local.col(j), setup_.n_g()});
-  }
+  CMatrix& coeffs = ws.cmat(exec::Slot::fock_coeffs, setup_.n_g(), ncol);
+  grid::grid_to_sphere_many(fft_wfc_, setup_.smap_wfc, acc, out_scale, coeffs);
+  for (std::size_t j = 0; j < ncol; ++j)
+    linalg::axpy(Complex{1.0, 0.0}, {coeffs.col(j), setup_.n_g()},
+                 {y_local.col(j), setup_.n_g()});
 }
 
 double FockOperator::exchange_energy(const CMatrix& psi_local, std::span<const double> occ_local,

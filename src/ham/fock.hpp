@@ -67,7 +67,11 @@ class FockOperator {
   std::uint64_t broadcasts() const { return broadcasts_; }
 
  private:
-  void fetch_orbital(std::size_t band, par::Comm& comm, std::vector<Complex>& buf);
+  /// Copies (owner) or receives (others) band `band` of the registered
+  /// orbitals into `buf` on the real-space wfc grid. May run on the exec
+  /// engine's async lane when overlap is enabled; the wire buffer comes from
+  /// the executing thread's workspace arena.
+  void fetch_orbital(std::size_t band, par::Comm& comm, std::span<Complex> buf);
 
   const PlanewaveSetup& setup_;
   xc::HybridParams hybrid_;

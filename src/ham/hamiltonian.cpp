@@ -1,6 +1,8 @@
 #include "ham/hamiltonian.hpp"
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
+#include "grid/transforms.hpp"
 #include "ham/hartree.hpp"
 
 namespace pwdft::ham {
@@ -65,9 +67,11 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
     const std::size_t nd = setup_.n_dense();
     const double weight = setup_.weight_dense();
     const double inv_nd = 1.0 / static_cast<double>(nd);
-    std::vector<Complex> grid_work(nd);
-    std::vector<Complex> vloc_part(nd);
-    std::vector<Complex> coeffs(ng);
+    auto& ws = exec::workspace();
+    auto grid_work = ws.cbuf(exec::Slot::grid_a, nd);
+    auto vloc_part = ws.cbuf(exec::Slot::grid_b, nd);
+    auto coeffs = ws.cbuf(exec::Slot::coeffs_a, ng);
+    const double* vt = v_total_.data();
 
     for (std::size_t j = 0; j < psi_local.cols(); ++j) {
       const Complex* c = psi_local.col(j);
@@ -75,13 +79,20 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
       // Kinetic term on the sphere.
       for (std::size_t i = 0; i < ng; ++i) y[i] = kin_[i] * c[i];
 
-      // Local potential + nonlocal projectors in real space (dense grid).
-      grid::GSphere::scatter({c, ng}, setup_.map_dense, grid_work);
-      fft_dense_.inverse(grid_work.data());
-      for (std::size_t i = 0; i < nd; ++i) vloc_part[i] = v_total_[i] * grid_work[i];
+      // Local potential + nonlocal projectors in real space (dense grid):
+      // fused sphere->grid, point-wise V, fused grid->sphere. The forward
+      // pass only completes the z-lines that are gathered afterwards.
+      grid::sphere_to_grid(fft_dense_, setup_.smap_dense, {c, ng}, grid_work);
+      Complex* gw = grid_work.data();
+      Complex* vp = vloc_part.data();
+      exec::parallel_for(
+          nd,
+          [=](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) vp[i] = vt[i] * gw[i];
+          },
+          4096);
       if (nonlocal_) nonlocal_->apply_add(grid_work, vloc_part, weight);
-      fft_dense_.forward(vloc_part.data());
-      grid::GSphere::gather(vloc_part, setup_.map_dense, inv_nd, coeffs);
+      grid::grid_to_sphere(fft_dense_, setup_.smap_dense, vloc_part, inv_nd, coeffs);
       for (std::size_t i = 0; i < ng; ++i) y[i] += coeffs[i];
     }
     if (timers) timers->add("hpsi_local", t.seconds());

@@ -1,6 +1,7 @@
 #include "ham/hartree.hpp"
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 #include "ham/density.hpp"
 
 namespace pwdft::ham {
@@ -10,20 +11,39 @@ std::vector<double> hartree_potential(const PlanewaveSetup& setup, fft::Fft3D& f
   const std::size_t nd = setup.n_dense();
   PWDFT_CHECK(rho.size() == nd, "hartree_potential: density size mismatch");
 
-  std::vector<Complex> work(nd);
-  for (std::size_t i = 0; i < nd; ++i) work[i] = Complex{rho[i], 0.0};
-  fft_dense.forward(work.data());
+  auto work = exec::workspace().cbuf(exec::Slot::grid_b, nd);
+  Complex* w = work.data();
+  const double* rho_p = rho.data();
+  exec::parallel_for(
+      nd,
+      [=](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) w[i] = Complex{rho_p[i], 0.0};
+      },
+      4096);
+  fft_dense.forward(w);
 
   // rho(G) = forward(rho)/N; V(G) = 4 pi rho(G)/G^2; V(r) = inverse(V(G)).
   const double inv_n = 1.0 / static_cast<double>(nd);
-  for (std::size_t i = 0; i < nd; ++i) {
-    const double g2 = setup.dense_g2[i];
-    work[i] *= (g2 < 1e-12) ? 0.0 : constants::four_pi * inv_n / g2;
-  }
-  fft_dense.inverse(work.data());
+  const double* g2_p = setup.dense_g2.data();
+  exec::parallel_for(
+      nd,
+      [=](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const double g2 = g2_p[i];
+          w[i] *= (g2 < 1e-12) ? 0.0 : constants::four_pi * inv_n / g2;
+        }
+      },
+      4096);
+  fft_dense.inverse(w);
 
   std::vector<double> vh(nd);
-  for (std::size_t i = 0; i < nd; ++i) vh[i] = work[i].real();
+  double* vh_p = vh.data();
+  exec::parallel_for(
+      nd,
+      [=](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) vh_p[i] = w[i].real();
+      },
+      4096);
   return vh;
 }
 

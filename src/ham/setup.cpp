@@ -14,8 +14,8 @@ PlanewaveSetup::PlanewaveSetup(crystal::Crystal c, double ecut_ha, int dense_fac
       dense_grid(wfc_grid.refined(dense_factor_in)),
       sphere(crystal.lattice(), ecut_ha, wfc_grid) {
   PWDFT_CHECK(dense_factor >= 1, "PlanewaveSetup: dense_factor must be >= 1");
-  map_wfc = sphere.map_to(wfc_grid);
-  map_dense = sphere.map_to(dense_grid);
+  smap_wfc = grid::SphereMap(sphere.map_to(wfc_grid), wfc_grid.dims());
+  smap_dense = grid::SphereMap(sphere.map_to(dense_grid), dense_grid.dims());
 
   dense_g2.resize(dense_grid.size());
   const auto dims = dense_grid.dims();

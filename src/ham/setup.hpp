@@ -11,6 +11,7 @@
 #include "crystal/crystal.hpp"
 #include "grid/fftgrid.hpp"
 #include "grid/gsphere.hpp"
+#include "grid/transforms.hpp"
 
 namespace pwdft::ham {
 
@@ -25,9 +26,14 @@ struct PlanewaveSetup {
   grid::FftGrid wfc_grid;
   grid::FftGrid dense_grid;
   grid::GSphere sphere;
-  std::vector<std::size_t> map_wfc;    ///< sphere -> wfc grid linear index
-  std::vector<std::size_t> map_dense;  ///< sphere -> dense grid linear index
-  std::vector<double> dense_g2;        ///< |G|^2 at every dense-grid point
+  /// Sphere -> grid index maps plus the FFT line masks used by the fused
+  /// transforms (grid/transforms.hpp). The raw index map is smap_*.map.
+  grid::SphereMap smap_wfc;
+  grid::SphereMap smap_dense;
+  /// Convenience views of the raw index maps.
+  const std::vector<std::size_t>& map_wfc() const { return smap_wfc.map; }
+  const std::vector<std::size_t>& map_dense() const { return smap_dense.map; }
+  std::vector<double> dense_g2;  ///< |G|^2 at every dense-grid point
 
   double volume() const { return crystal.lattice().volume(); }
   std::size_t n_g() const { return sphere.size(); }

@@ -51,6 +51,14 @@ class Matrix {
     cols_ = cols;
     d_.assign(rows * cols, T{});
   }
+  /// Sets the shape reusing capacity. Surviving elements keep their raw
+  /// values reinterpreted in the new shape — callers must overwrite them.
+  /// Unlike resize(), does not zero-fill (used by the workspace arena).
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    d_.resize(rows * cols);
+  }
   void fill(T v) { std::fill(d_.begin(), d_.end(), v); }
 
   friend bool operator==(const Matrix& a, const Matrix& b) {

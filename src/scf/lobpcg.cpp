@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/heig.hpp"
@@ -49,10 +50,15 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
   CMatrix p, hp;  // empty until the second iteration
   std::vector<double> theta(nb, 0.0);
 
+  auto& ws = exec::workspace();
+
   for (int it = 0; it < opt.max_iter; ++it) {
-    // Ritz values within X and residuals R = HX - X (X^H HX).
+    // Ritz values within X and residuals R = HX - X (X^H HX). All per-
+    // iteration blocks are drawn from the workspace arena: after the first
+    // iteration the solver performs no heap allocation for them.
     CMatrix xhx = linalg::overlap(x, hx);
-    CMatrix r = hx;
+    CMatrix& r = ws.cmat(exec::Slot::lob_r, n, nb);
+    std::copy_n(hx.data(), hx.size(), r.data());
     linalg::gemm('N', 'N', Complex{-1.0, 0.0}, x, xhx, Complex{1.0, 0.0}, r);
     for (std::size_t j = 0; j < nb; ++j) theta[j] = xhx(j, j).real();
 
@@ -68,16 +74,21 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
       break;
     }
 
-    // Preconditioned residuals.
-    CMatrix w = r;
+    // Preconditioned residuals; bands are independent, so the Teter scaling
+    // runs band-parallel on the engine.
+    CMatrix& w = ws.cmat(exec::Slot::lob_w, n, nb);
+    std::copy_n(r.data(), r.size(), w.data());
     if (!precond_kin.empty()) {
-      for (std::size_t j = 0; j < nb; ++j) {
-        double ek = 1e-12;
-        const Complex* cx = x.col(j);
-        for (std::size_t i = 0; i < n; ++i) ek += precond_kin[i] * std::norm(cx[i]);
-        Complex* cw = w.col(j);
-        for (std::size_t i = 0; i < n; ++i) cw[i] *= teter(precond_kin[i] / ek);
-      }
+      const double* pk = precond_kin.data();
+      exec::parallel_for(nb, [&](std::size_t jb, std::size_t je) {
+        for (std::size_t j = jb; j < je; ++j) {
+          double ek = 1e-12;
+          const Complex* cx = x.col(j);
+          for (std::size_t i = 0; i < n; ++i) ek += pk[i] * std::norm(cx[i]);
+          Complex* cw = w.col(j);
+          for (std::size_t i = 0; i < n; ++i) cw[i] *= teter(pk[i] / ek);
+        }
+      });
     }
 
     // Assemble the trial subspace S = [X W P] and orthonormalize; HS is
@@ -85,7 +96,8 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
     // recomputing only H W (and reusing HX / HP).
     const bool have_p = p.cols() == nb;
     const std::size_t ns = nb * (have_p ? 3 : 2);
-    CMatrix s(n, ns), hs(n, ns);
+    CMatrix& s = ws.cmat(exec::Slot::lob_s, n, ns);
+    CMatrix& hs = ws.cmat(exec::Slot::lob_hs, n, ns);
     auto put = [&](std::size_t col0, const CMatrix& src, CMatrix& dst) {
       for (std::size_t j = 0; j < src.cols(); ++j) std::copy_n(src.col(j), n, dst.col(col0 + j));
     };
@@ -104,7 +116,7 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
       // Drop P and retry; if that still fails the block has converged to
       // numerical rank deficiency and we stop.
       if (!have_p) break;
-      s.resize(n, 2 * nb);
+      s.reshape(n, 2 * nb);
       put(0, x, s);
       put(nb, w, s);
       g = linalg::overlap(s, s);
@@ -116,9 +128,9 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
     }
     linalg::trsm_right_lower_conj(s, g);
 
-    CMatrix hw(n, nb);
+    CMatrix& hw = ws.cmat(exec::Slot::lob_hw, n, nb);
     apply_h(w, hw);
-    hs.resize(n, s.cols());
+    hs.reshape(n, s.cols());
     put(0, hx, hs);
     put(nb, hw, hs);
     if (s.cols() == 3 * nb) put(2 * nb, hp, hs);
@@ -134,7 +146,8 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
     for (std::size_t j = 0; j < nb; ++j)
       for (std::size_t i = 0; i < s.cols(); ++i) c_min(i, j) = c(i, j);
 
-    CMatrix x_new(n, nb), hx_new(n, nb);
+    CMatrix& x_new = ws.cmat(exec::Slot::lob_xnew, n, nb);
+    CMatrix& hx_new = ws.cmat(exec::Slot::lob_hxnew, n, nb);
     linalg::gemm('N', 'N', Complex{1.0, 0.0}, s, c_min, Complex{0.0, 0.0}, x_new);
     linalg::gemm('N', 'N', Complex{1.0, 0.0}, hs, c_min, Complex{0.0, 0.0}, hx_new);
 
@@ -147,8 +160,10 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
     linalg::gemm('N', 'N', Complex{1.0, 0.0}, s, c_tail, Complex{0.0, 0.0}, p);
     linalg::gemm('N', 'N', Complex{1.0, 0.0}, hs, c_tail, Complex{0.0, 0.0}, hp);
 
-    x = std::move(x_new);
-    hx = std::move(hx_new);
+    // x_new/hx_new live in the arena: copy out instead of moving so the
+    // arena keeps its capacity for the next iteration.
+    std::copy_n(x_new.data(), x_new.size(), x.data());
+    std::copy_n(hx_new.data(), hx_new.size(), hx.data());
   }
 
   // Final Ritz values.

@@ -1,6 +1,7 @@
 #include "td/cn.hpp"
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 #include "ham/density.hpp"
 #include "linalg/blas.hpp"
 
@@ -60,7 +61,7 @@ CnStepReport CnPropagator::step(CMatrix& psi_local, std::span<const double> occ_
 
     // R = Psi_f + i dt/2 H Psi_f - Psi_half — entirely band-local: the plain
     // CN residual needs no overlap matrix and hence no transpose/Allreduce.
-    CMatrix rf(ng, nb_loc);
+    CMatrix& rf = exec::workspace().cmat(exec::Slot::cn_r, ng, nb_loc);
     for (std::size_t i = 0; i < rf.size(); ++i)
       rf.data()[i] = psi_f.data()[i] + i_half_dt * hpsi.data()[i] - psi_half.data()[i];
 
@@ -70,7 +71,7 @@ CnStepReport CnPropagator::step(CMatrix& psi_local, std::span<const double> occ_
     comm.allreduce_sum(&rmax, 1);  // cheap aggregate (sum as an upper proxy)
     report.max_residual_norm = std::max(report.max_residual_norm, rmax);
 
-    std::vector<Complex> f(ng);
+    auto f = exec::workspace().cbuf(exec::Slot::mix_f, ng);
     for (std::size_t j = 0; j < nb_loc; ++j) {
       const Complex* rj = rf.col(j);
       for (std::size_t i = 0; i < ng; ++i) f[i] = -rj[i];

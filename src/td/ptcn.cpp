@@ -1,6 +1,7 @@
 #include "td/ptcn.hpp"
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 #include "ham/density.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
@@ -12,8 +13,13 @@ CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm
                     const CMatrix* psi_half_band, Complex c_psi, Complex c_h, Complex c_half,
                     bool sp_comm) {
   // Alg. 3: convert to the G-space layout, form the overlap matrix with a
-  // local GEMM + Allreduce, rotate, combine, convert back.
-  CMatrix psi_g, hpsi_g, half_g;
+  // local GEMM + Allreduce, rotate, combine, convert back. The G-layout
+  // blocks come from the rank's workspace arena (each ThreadComm rank is its
+  // own thread, so arenas never collide across ranks).
+  auto& ws = exec::workspace();
+  CMatrix& psi_g = ws.cmat(exec::Slot::pt_ga, 0, 0);
+  CMatrix& hpsi_g = ws.cmat(exec::Slot::pt_gb, 0, 0);
+  CMatrix& half_g = ws.cmat(exec::Slot::pt_gc, 0, 0);
   transpose.band_to_g(comm, psi_band, psi_g, sp_comm);
   transpose.band_to_g(comm, hpsi_band, hpsi_g, sp_comm);
   if (psi_half_band) transpose.band_to_g(comm, *psi_half_band, half_g, sp_comm);
@@ -21,15 +27,24 @@ CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm
   CMatrix s = linalg::overlap(psi_g, hpsi_g);
   comm.allreduce_sum(s.data(), s.size());
 
-  // R_g = c_psi Psi + c_h (HPsi - Psi S) - c_half Psi_half.
-  CMatrix r_g = hpsi_g;
+  // R_g = c_psi Psi + c_h (HPsi - Psi S) - c_half Psi_half; computed in
+  // place in the HPsi block.
+  CMatrix& r_g = hpsi_g;
   linalg::gemm('N', 'N', Complex{-1.0, 0.0}, psi_g, s, Complex{1.0, 0.0}, r_g);
   const std::size_t n = r_g.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    Complex v = c_h * r_g.data()[i] + c_psi * psi_g.data()[i];
-    if (psi_half_band) v -= c_half * half_g.data()[i];
-    r_g.data()[i] = v;
-  }
+  Complex* r = r_g.data();
+  const Complex* pg = psi_g.data();
+  const Complex* hg = psi_half_band ? half_g.data() : nullptr;
+  exec::parallel_for(
+      n,
+      [=](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          Complex v = c_h * r[i] + c_psi * pg[i];
+          if (hg) v -= c_half * hg[i];
+          r[i] = v;
+        }
+      },
+      4096);
 
   CMatrix r_band;
   transpose.g_to_band(comm, r_g, r_band, sp_comm);
@@ -38,7 +53,7 @@ CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm
 
 void orthonormalize(const par::WavefunctionTranspose& transpose, par::Comm& comm,
                     CMatrix& psi_band, bool sp_comm) {
-  CMatrix psi_g;
+  CMatrix& psi_g = exec::workspace().cmat(exec::Slot::pt_ga, 0, 0);
   transpose.band_to_g(comm, psi_band, psi_g, sp_comm);
   CMatrix s = linalg::overlap(psi_g, psi_g);
   comm.allreduce_sum(s.data(), s.size());
@@ -139,7 +154,7 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
       // Fixed point x = g(x) with g(x) = x - Rf, so the Anderson residual
       // input is f = -Rf, mixed independently per band.
       ScopedTimer st(*timers, "anderson");
-      std::vector<Complex> f(ng);
+      auto f = exec::workspace().cbuf(exec::Slot::mix_f, ng);
       for (std::size_t j = 0; j < nb_loc; ++j) {
         const Complex* rj = rf.col(j);
         for (std::size_t i = 0; i < ng; ++i) f[i] = -rj[i];

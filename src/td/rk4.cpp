@@ -1,6 +1,7 @@
 #include "td/rk4.hpp"
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 #include "ham/density.hpp"
 
 namespace pwdft::td {
@@ -42,8 +43,14 @@ void Rk4Propagator::step(CMatrix& psi_local, std::span<const double> occ_global,
   const double h = opt_.dt;
   const std::size_t n = psi_local.size();
 
-  CMatrix k1, k2, k3, k4;
-  CMatrix stage(psi_local.rows(), psi_local.cols());
+  // Stage blocks live in the workspace arena: repeated steps allocate
+  // nothing (Hamiltonian::apply resizes them in place, capacity retained).
+  auto& ws = exec::workspace();
+  CMatrix& k1 = ws.cmat(exec::Slot::rk4_k1, 0, 0);
+  CMatrix& k2 = ws.cmat(exec::Slot::rk4_k2, 0, 0);
+  CMatrix& k3 = ws.cmat(exec::Slot::rk4_k3, 0, 0);
+  CMatrix& k4 = ws.cmat(exec::Slot::rk4_k4, 0, 0);
+  CMatrix& stage = ws.cmat(exec::Slot::rk4_stage, psi_local.rows(), psi_local.cols());
 
   derivative(psi_local, occ_local, occ_global, t, field, k1, comm, timers);
 

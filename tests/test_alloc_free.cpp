@@ -1,0 +1,133 @@
+// Verifies the workspace-arena contract: after a warm-up call, the hot paths
+// (FockOperator::apply_add band loop, compute_density, hartree_potential,
+// Hamiltonian::apply) perform no per-call heap allocations beyond their
+// documented return values. Allocation counting works by overriding the
+// global operator new for this test binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/exec.hpp"
+#include "common/random.hpp"
+#include "ham/density.hpp"
+#include "ham/fock.hpp"
+#include "ham/hamiltonian.hpp"
+#include "ham/hartree.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "parallel/comm.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t sz) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace pwdft {
+namespace {
+
+class AllocFreeHotPaths : public ::testing::Test {
+ protected:
+  AllocFreeHotPaths()
+      : setup_(crystal::Crystal::silicon_supercell(1, 1, 1), 4.0, 1),
+        species_(pseudo::PseudoSpecies::silicon(false)) {}
+
+  static void SetUpTestSuite() { exec::set_num_threads(1); }
+
+  /// Allocations performed by fn().
+  template <class Fn>
+  static std::size_t allocations(Fn&& fn) {
+    const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+    fn();
+    return g_alloc_count.load(std::memory_order_relaxed) - before;
+  }
+
+  CMatrix orthonormal_block(std::size_t nb, std::uint64_t seed) {
+    Rng rng(seed);
+    CMatrix phi(setup_.n_g(), nb);
+    for (std::size_t i = 0; i < phi.size(); ++i) phi.data()[i] = rng.complex_normal();
+    CMatrix s = linalg::overlap(phi, phi);
+    linalg::potrf_lower(s);
+    linalg::trsm_right_lower_conj(phi, s);
+    return phi;
+  }
+
+  ham::PlanewaveSetup setup_;
+  pseudo::PseudoSpecies species_;
+};
+
+TEST_F(AllocFreeHotPaths, FockApplyAddAllocatesNothingAfterWarmup) {
+  const std::size_t nb = 4;
+  par::SerialComm comm;
+  ham::FockOperator fock(setup_, xc::HybridParams{true, 0.25, 0.11});
+  CMatrix phi = orthonormal_block(nb, 11);
+  std::vector<double> occ(nb, 2.0);
+  fock.set_orbitals(phi, occ, par::BlockPartition(nb, 1), comm);
+  CMatrix y(setup_.n_g(), nb, Complex{0.0, 0.0});
+
+  fock.apply_add(phi, y, comm);  // warm up every arena slot
+  fock.apply_add(phi, y, comm);
+  const std::size_t n_alloc = allocations([&] { fock.apply_add(phi, y, comm); });
+  EXPECT_EQ(n_alloc, 0u) << "FockOperator::apply_add must draw all band-loop "
+                            "buffers from the workspace arena";
+}
+
+TEST_F(AllocFreeHotPaths, ComputeDensityAllocatesOnlyTheResult) {
+  const std::size_t nb = 4;
+  par::SerialComm comm;
+  CMatrix psi = orthonormal_block(nb, 13);
+  std::vector<double> occ(nb, 2.0);
+  fft::Fft3D fft_dense(setup_.dense_grid.dims());
+
+  (void)ham::compute_density(setup_, fft_dense, psi, occ, comm);  // warm up
+  const std::size_t n_alloc = allocations(
+      [&] { (void)ham::compute_density(setup_, fft_dense, psi, occ, comm); });
+  // The returned rho vector is the only permitted allocation.
+  EXPECT_LE(n_alloc, 1u);
+}
+
+TEST_F(AllocFreeHotPaths, HartreePotentialAllocatesOnlyTheResult) {
+  par::SerialComm comm;
+  CMatrix psi = orthonormal_block(2, 17);
+  std::vector<double> occ(2, 2.0);
+  fft::Fft3D fft_dense(setup_.dense_grid.dims());
+  auto rho = ham::compute_density(setup_, fft_dense, psi, occ, comm);
+
+  (void)ham::hartree_potential(setup_, fft_dense, rho);  // warm up
+  const std::size_t n_alloc =
+      allocations([&] { (void)ham::hartree_potential(setup_, fft_dense, rho); });
+  EXPECT_LE(n_alloc, 1u);
+}
+
+TEST_F(AllocFreeHotPaths, HamiltonianLocalApplyIsArenaBacked) {
+  par::SerialComm comm;
+  ham::HamiltonianOptions opt;
+  opt.hybrid.enabled = false;
+  opt.use_nonlocal = false;
+  ham::Hamiltonian h(setup_, species_, opt);
+  CMatrix psi = orthonormal_block(4, 19);
+  std::vector<double> occ(4, 2.0);
+  auto rho = ham::compute_density(setup_, h.fft_dense(), psi, occ, comm);
+  h.update_density(rho);
+
+  CMatrix y;
+  h.apply(psi, y, comm);  // warm up (y sized here)
+  h.apply(psi, y, comm);
+  const std::size_t n_alloc = allocations([&] { h.apply(psi, y, comm); });
+  EXPECT_EQ(n_alloc, 0u);
+}
+
+}  // namespace
+}  // namespace pwdft

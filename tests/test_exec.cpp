@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/exec.hpp"
+
+namespace pwdft {
+namespace {
+
+/// Restores the engine width on scope exit so tests compose.
+struct ThreadGuard {
+  ~ThreadGuard() { exec::set_num_threads(1); }
+};
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadGuard guard;
+  for (std::size_t nt : {1u, 2u, 4u}) {
+    exec::set_num_threads(nt);
+    const std::size_t n = 10007;  // prime: exercises ragged chunking
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    exec::parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " nt=" << nt;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  exec::parallel_for(0, [&](std::size_t, std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, GrainIsRespected) {
+  ThreadGuard guard;
+  exec::set_num_threads(4);
+  std::atomic<int> bad{0};
+  const std::size_t n = 1000, grain = 64;
+  exec::parallel_for(
+      n,
+      [&](std::size_t b, std::size_t e) {
+        // Every chunk except the ragged tail must have >= grain elements.
+        if (e - b < grain && e != n) bad.fetch_add(1);
+      },
+      grain);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadGuard guard;
+  exec::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(256);
+  for (auto& h : hits) h.store(0);
+  exec::parallel_for(16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      exec::parallel_for(16, [&](std::size_t ib, std::size_t ie) {
+        for (std::size_t k = ib; k < ie; ++k) hits[i * 16 + k].fetch_add(1);
+      });
+    }
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionInChunkPropagatesAndPoolSurvives) {
+  ThreadGuard guard;
+  for (std::size_t nt : {1u, 4u}) {
+    exec::set_num_threads(nt);
+    EXPECT_THROW(
+        exec::parallel_for(100,
+                           [&](std::size_t b, std::size_t) {
+                             if (b == 0) throw std::runtime_error("chunk failed");
+                           }),
+        std::runtime_error);
+    // The engine must be reusable afterwards.
+    std::atomic<int> sum{0};
+    exec::parallel_for(10, [&](std::size_t b, std::size_t e) {
+      sum.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(sum.load(), 10);
+  }
+}
+
+TEST(ThreadPool, ConcurrentCallersBothComplete) {
+  // Two external threads (the ThreadComm-ranks scenario) race for the pool;
+  // the loser runs inline. Both must see full coverage.
+  ThreadGuard guard;
+  exec::set_num_threads(4);
+  constexpr std::size_t n = 5000;
+  std::vector<int> a(n, 0), b(n, 0);
+  auto body = [n](std::vector<int>& v) {
+    exec::parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) v[i] += 1;
+    });
+  };
+  std::thread ta([&] { for (int rep = 0; rep < 50; ++rep) body(a); });
+  std::thread tb([&] { for (int rep = 0; rep < 50; ++rep) body(b); });
+  ta.join();
+  tb.join();
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(a[i], 50);
+    ASSERT_EQ(b[i], 50);
+  }
+}
+
+TEST(ThreadPool, RunAsyncExecutesAndBlockingTasksDoNotStarveEachOther) {
+  // Two tasks that can only finish together (a rendezvous) must run
+  // concurrently — this is the prefetch-broadcast pattern of the Fock
+  // operator across ThreadComm ranks.
+  std::atomic<int> arrived{0};
+  auto rendezvous = [&] {
+    arrived.fetch_add(1);
+    while (arrived.load() < 2) std::this_thread::yield();
+  };
+  auto f1 = exec::pool().run_async(rendezvous);
+  auto f2 = exec::pool().run_async(rendezvous);
+  f1.wait();
+  f2.wait();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ThreadPool, SetNumThreadsChangesSize) {
+  ThreadGuard guard;
+  exec::set_num_threads(3);
+  EXPECT_EQ(exec::pool().size(), 3u);
+  exec::set_num_threads(1);
+  EXPECT_EQ(exec::pool().size(), 1u);
+}
+
+TEST(Workspace, BuffersAreStableAndReused) {
+  auto& ws = exec::workspace();
+  auto a = ws.cbuf(exec::Slot::grid_a, 1000);
+  const Complex* p0 = a.data();
+  a[999] = Complex{1.0, 2.0};
+  // Same slot, same or smaller size: same storage, no allocation.
+  auto b = ws.cbuf(exec::Slot::grid_a, 500);
+  EXPECT_EQ(b.data(), p0);
+  // Growth may move, but content capacity never shrinks.
+  auto c = ws.cbuf(exec::Slot::grid_a, 2000);
+  EXPECT_GE(c.size(), 2000u);
+  auto d = ws.cbuf(exec::Slot::grid_a, 1000);
+  EXPECT_EQ(d.data(), c.data());
+}
+
+TEST(Workspace, SlotsNeverAlias) {
+  auto& ws = exec::workspace();
+  auto a = ws.cbuf(exec::Slot::grid_a, 64);
+  auto b = ws.cbuf(exec::Slot::grid_b, 64);
+  EXPECT_NE(a.data(), b.data());
+  auto ra = ws.rbuf(exec::Slot::grid_a, 64);
+  EXPECT_NE(static_cast<const void*>(ra.data()), static_cast<const void*>(a.data()));
+}
+
+TEST(Workspace, CmatKeepsCapacityAcrossReshape) {
+  auto& ws = exec::workspace();
+  CMatrix& m = ws.cmat(exec::Slot::cn_r, 100, 10);
+  m(99, 9) = Complex{3.0, 0.0};
+  const Complex* p0 = m.data();
+  CMatrix& m2 = ws.cmat(exec::Slot::cn_r, 10, 100);  // same element count
+  EXPECT_EQ(&m, &m2);
+  EXPECT_EQ(m2.data(), p0);
+  EXPECT_EQ(m2.rows(), 10u);
+  EXPECT_EQ(m2.cols(), 100u);
+}
+
+TEST(Workspace, PerThreadIsolation) {
+  auto& main_ws = exec::workspace();
+  auto main_buf = main_ws.cbuf(exec::Slot::coeffs_a, 128);
+  const void* other = nullptr;
+  std::thread t([&] { other = exec::workspace().cbuf(exec::Slot::coeffs_a, 128).data(); });
+  t.join();
+  EXPECT_NE(other, static_cast<const void*>(main_buf.data()));
+}
+
+TEST(Workspace, BytesReservedGrowsMonotonically) {
+  auto& ws = exec::workspace();
+  const std::size_t before = ws.bytes_reserved();
+  ws.cbuf(exec::Slot::fock_pair, 1 << 16);
+  EXPECT_GE(ws.bytes_reserved(), before + (1 << 16) * sizeof(Complex));
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -1,0 +1,233 @@
+// Regression tests for the thread-parallel batched FFT engine:
+//  - batched transforms bit-identical to the serial per-grid path at every
+//    thread count (1, 2, 4) and for odd batch sizes,
+//  - fused sphere<->grid transforms bit-identical to the two-step
+//    scatter + full-FFT path,
+//  - one shared Fft3D instance used concurrently by several ThreadComm
+//    ranks (the seed's latent line_out_/work_ corruption hazard).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/exec.hpp"
+#include "common/random.hpp"
+#include "fft/fft3d.hpp"
+#include "grid/gsphere.hpp"
+#include "grid/lattice.hpp"
+#include "grid/transforms.hpp"
+#include "parallel/thread_comm.hpp"
+
+namespace pwdft {
+namespace {
+
+using fft::Fft3D;
+
+std::vector<Complex> random_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = rng.complex_normal();
+  return v;
+}
+
+struct ThreadGuard {
+  ~ThreadGuard() { exec::set_num_threads(1); }
+};
+
+bool bitwise_equal(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) return false;  // -0.0 == 0.0 is fine; any rounding drift is not
+  return true;
+}
+
+TEST(FftEngine, BatchedBitIdenticalAcrossThreadCountsAndOddBatches) {
+  ThreadGuard guard;
+  Fft3D fft({12, 10, 6});
+  for (std::size_t nb : {1u, 3u, 5u, 7u}) {
+    const auto input = random_vec(fft.size() * nb, 40 + nb);
+
+    // Serial per-grid reference at one thread.
+    exec::set_num_threads(1);
+    auto ref = input;
+    for (std::size_t b = 0; b < nb; ++b) fft.forward(ref.data() + b * fft.size());
+
+    for (std::size_t nt : {1u, 2u, 4u}) {
+      exec::set_num_threads(nt);
+      auto batch = input;
+      fft.forward_many(batch.data(), nb);
+      EXPECT_TRUE(bitwise_equal(batch, ref)) << "forward nb=" << nb << " nt=" << nt;
+
+      auto inv = ref;
+      fft.inverse_many(inv.data(), nb);
+      exec::set_num_threads(1);
+      auto inv_ref = ref;
+      for (std::size_t b = 0; b < nb; ++b) fft.inverse(inv_ref.data() + b * fft.size());
+      EXPECT_TRUE(bitwise_equal(inv, inv_ref)) << "inverse nb=" << nb << " nt=" << nt;
+    }
+  }
+}
+
+TEST(FftEngine, SingleTransformBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  Fft3D fft({15, 15, 15});
+  const auto input = random_vec(fft.size(), 77);
+  exec::set_num_threads(1);
+  auto ref = input;
+  fft.forward(ref.data());
+  for (std::size_t nt : {2u, 4u}) {
+    exec::set_num_threads(nt);
+    auto x = input;
+    fft.forward(x.data());
+    EXPECT_TRUE(bitwise_equal(x, ref)) << "nt=" << nt;
+  }
+}
+
+class FusedTransforms : public ::testing::Test {
+ protected:
+  FusedTransforms()
+      : lat_(grid::Lattice::orthorhombic(7.0, 8.0, 9.0)),
+        wfc_grid_(grid::FftGrid::for_gmax(lat_, std::sqrt(2.0 * 4.0))),
+        sphere_(lat_, 4.0, wfc_grid_),
+        smap_(sphere_.map_to(wfc_grid_), wfc_grid_.dims()),
+        fft_(wfc_grid_.dims()) {}
+
+  grid::Lattice lat_;
+  grid::FftGrid wfc_grid_;
+  grid::GSphere sphere_;
+  grid::SphereMap smap_;
+  Fft3D fft_;
+};
+
+TEST_F(FusedTransforms, SphereMapMasksAreConsistent) {
+  const auto dims = wfc_grid_.dims();
+  EXPECT_EQ(smap_.map.size(), sphere_.size());
+  EXPECT_FALSE(smap_.x_lines.empty());
+  EXPECT_FALSE(smap_.z_lines.empty());
+  EXPECT_LE(smap_.x_lines.size(), dims[1] * dims[2]);
+  EXPECT_LE(smap_.z_lines.size(), dims[0] * dims[1]);
+  EXPECT_GT(smap_.x_fill(), 0.0);
+  EXPECT_LE(smap_.x_fill(), 1.0);
+  for (auto m : smap_.map) {
+    const std::uint32_t xl = static_cast<std::uint32_t>(m / dims[0]);
+    EXPECT_TRUE(std::binary_search(smap_.x_lines.begin(), smap_.x_lines.end(), xl));
+    const std::uint32_t zl = static_cast<std::uint32_t>(m % (dims[0] * dims[1]));
+    EXPECT_TRUE(std::binary_search(smap_.z_lines.begin(), smap_.z_lines.end(), zl));
+  }
+}
+
+TEST_F(FusedTransforms, SphereToGridMatchesTwoStepBitwise) {
+  ThreadGuard guard;
+  const std::size_t ng = sphere_.size(), nw = wfc_grid_.size();
+  const auto coeffs = random_vec(ng, 3);
+
+  exec::set_num_threads(1);
+  std::vector<Complex> two_step(nw);
+  grid::GSphere::scatter(coeffs, smap_.map, two_step);
+  fft_.inverse(two_step.data());
+
+  for (std::size_t nt : {1u, 2u, 4u}) {
+    exec::set_num_threads(nt);
+    std::vector<Complex> fused(nw);
+    grid::sphere_to_grid(fft_, smap_, coeffs, fused);
+    EXPECT_TRUE(bitwise_equal(fused, two_step)) << "nt=" << nt;
+  }
+}
+
+TEST_F(FusedTransforms, GridToSphereMatchesTwoStepBitwise) {
+  ThreadGuard guard;
+  const std::size_t ng = sphere_.size(), nw = wfc_grid_.size();
+  const auto grid_data = random_vec(nw, 4);
+  const double scale = 1.0 / static_cast<double>(nw);
+
+  exec::set_num_threads(1);
+  auto work = grid_data;
+  fft_.forward(work.data());
+  std::vector<Complex> two_step(ng);
+  grid::GSphere::gather(work, smap_.map, scale, two_step);
+
+  for (std::size_t nt : {1u, 2u, 4u}) {
+    exec::set_num_threads(nt);
+    auto scratch = grid_data;
+    std::vector<Complex> fused(ng);
+    grid::grid_to_sphere(fft_, smap_, scratch, scale, fused);
+    ASSERT_EQ(fused.size(), two_step.size());
+    for (std::size_t i = 0; i < ng; ++i)
+      EXPECT_EQ(fused[i], two_step[i]) << "nt=" << nt << " i=" << i;
+  }
+}
+
+TEST_F(FusedTransforms, BatchedColumnsMatchPerColumn) {
+  ThreadGuard guard;
+  exec::set_num_threads(2);
+  const std::size_t ng = sphere_.size(), nw = wfc_grid_.size(), ncol = 3;
+  CMatrix coeffs(ng, ncol);
+  Rng rng(9);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) coeffs.data()[i] = rng.complex_normal();
+
+  CMatrix grids;
+  grid::sphere_to_grid_many(fft_, smap_, coeffs, grids);
+  ASSERT_EQ(grids.rows(), nw);
+  ASSERT_EQ(grids.cols(), ncol);
+  for (std::size_t j = 0; j < ncol; ++j) {
+    std::vector<Complex> one(nw);
+    grid::sphere_to_grid(fft_, smap_, {coeffs.col(j), ng}, one);
+    for (std::size_t i = 0; i < nw; ++i) ASSERT_EQ(grids.col(j)[i], one[i]);
+  }
+
+  // Round trip through the batched gather: recovers coeffs * nw / nw.
+  CMatrix back;
+  grid::grid_to_sphere_many(fft_, smap_, grids, 1.0 / static_cast<double>(nw), back);
+  ASSERT_EQ(back.rows(), ng);
+  for (std::size_t j = 0; j < ncol; ++j)
+    for (std::size_t i = 0; i < ng; ++i)
+      EXPECT_NEAR(std::abs(back.col(j)[i] - coeffs.col(j)[i]), 0.0, 1e-10);
+}
+
+TEST(FftEngine, SharedInstanceAcrossThreadCommRanksIsSafe) {
+  // The seed's Fft3D had mutable per-instance scratch: two ranks sharing one
+  // instance would corrupt each other's lines. The engine is now stateless;
+  // run the exact hazard scenario and demand bit-exact results.
+  ThreadGuard guard;
+  exec::set_num_threads(2);
+  Fft3D shared_fft({12, 10, 8});
+  const int nranks = 4;
+  const std::size_t n = shared_fft.size();
+
+  std::vector<std::vector<Complex>> inputs(nranks), expected(nranks), outputs(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    inputs[r] = random_vec(n, 500 + r);
+    expected[r] = inputs[r];
+  }
+  {
+    exec::set_num_threads(1);
+    Fft3D ref_fft({12, 10, 8});
+    for (int r = 0; r < nranks; ++r) {
+      for (int rep = 0; rep < 3; ++rep) {
+        ref_fft.forward(expected[r].data());
+        ref_fft.inverse_scaled(expected[r].data());
+      }
+      ref_fft.forward(expected[r].data());
+    }
+  }
+
+  exec::set_num_threads(2);
+  par::ThreadGroup::run(nranks, [&](par::Comm& comm) {
+    const int r = comm.rank();
+    outputs[r] = inputs[r];
+    for (int rep = 0; rep < 3; ++rep) {
+      shared_fft.forward(outputs[r].data());
+      shared_fft.inverse_scaled(outputs[r].data());
+    }
+    shared_fft.forward(outputs[r].data());
+  });
+
+  for (int r = 0; r < nranks; ++r) {
+    ASSERT_EQ(outputs[r].size(), expected[r].size());
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(outputs[r][i], expected[r][i]) << "rank " << r << " i " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pwdft

@@ -21,7 +21,7 @@ double exchange_energy_reference(const ham::PlanewaveSetup& setup, const CMatrix
   // Real-space orbitals including the 1/sqrt(Omega) normalization.
   CMatrix pr(nw, psi.cols());
   for (std::size_t j = 0; j < psi.cols(); ++j) {
-    grid::GSphere::scatter({psi.col(j), setup.n_g()}, setup.map_wfc, {pr.col(j), nw});
+    grid::GSphere::scatter({psi.col(j), setup.n_g()}, setup.map_wfc(), {pr.col(j), nw});
     fft.inverse(pr.col(j));
     linalg::scal(Complex{1.0 / std::sqrt(setup.volume()), 0.0}, {pr.col(j), nw});
   }
