@@ -20,6 +20,12 @@ thread_local bool tl_in_worker = false;
 /// inline path before touching job_mutex_.
 thread_local bool tl_owns_job = false;
 
+/// Set on async-lane helpers: a background task (broadcast prefetch,
+/// overlapped transpose pack) must never win the fork-join pool away from
+/// the main compute it is overlapping with, so its parallel_for runs
+/// inline.
+thread_local bool tl_in_async = false;
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -87,7 +93,8 @@ void ThreadPool::parallel_for_raw(std::size_t n, RangeFn fn, void* ctx, std::siz
   // Inline when there is nothing to fork to, when called from inside a
   // worker (nested), or when another thread currently owns the pool
   // (concurrent ThreadComm ranks): semantics are identical either way.
-  if (workers_.empty() || tl_in_worker || tl_owns_job || !job_mutex_.try_lock()) {
+  if (workers_.empty() || tl_in_worker || tl_owns_job || tl_in_async ||
+      !job_mutex_.try_lock()) {
     fn(ctx, 0, n);
     return;
   }
@@ -145,6 +152,7 @@ std::future<void> ThreadPool::run_async(std::function<void()> task) {
 }
 
 void ThreadPool::async_loop() {
+  tl_in_async = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -158,6 +166,35 @@ void ThreadPool::async_loop() {
     }
     task();
   }
+}
+
+TaskGroup::~TaskGroup() {
+  for (auto& f : futures_) {
+    if (!f.valid()) continue;
+    try {
+      f.get();
+    } catch (...) {
+      // Destructor path: the owner is already unwinding (or forgot to call
+      // wait()); the error must not escape.
+    }
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  futures_.push_back(pool().run_async(std::move(task)));
+}
+
+void TaskGroup::wait() {
+  std::exception_ptr first;
+  for (auto& f : futures_) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  futures_.clear();
+  if (first) std::rethrow_exception(first);
 }
 
 namespace {

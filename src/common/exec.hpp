@@ -11,7 +11,9 @@
 /// band loops: every hot-path buffer is drawn from a thread-local arena that
 /// grows monotonically and is reused across calls.
 ///
-/// Concurrency contract:
+/// Concurrency contract (the full contract, including the determinism
+/// guarantee and the fixed reduction orders used by the band loops, is
+/// documented in docs/threading.md):
 ///   - parallel_for is a blocking fork-join: it returns after fn has covered
 ///     [0, n) exactly once. Chunks are claimed dynamically, but every index
 ///     is processed by exactly one thread running the same serial code, so
@@ -21,9 +23,21 @@
 ///     multiple ThreadComm ranks sharing the process): one caller wins the
 ///     pool, the others run their loop inline. Nested parallel_for inside a
 ///     worker also runs inline. Either way the semantics are unchanged.
+///   - Reductions must never accumulate in chunk-claim order (which depends
+///     on scheduling): band loops write per-band or per-chunk partials into
+///     disjoint buffers and reduce them in a fixed, thread-count-independent
+///     order, keeping results bit-identical at any engine width.
+///   - run_async / TaskGroup submit tasks to an elastic helper lane that may
+///     block (collectives) without starving compute workers; used to overlap
+///     communication (orbital broadcasts, wavefunction transposes) with the
+///     Fock band loop (paper §3.2 step 5). A parallel_for issued from an
+///     async task always runs inline: background work never wins the pool
+///     away from the compute it overlaps with.
 ///   - workspace() returns a thread-local arena; buffers are valid until the
 ///     same slot is requested again on the same thread. Distinct slots never
 ///     alias, so nested routines are safe as long as they use their own slots.
+///     A task submitted to the async lane sees the *helper thread's* arena,
+///     never the submitter's.
 
 #include <atomic>
 #include <condition_variable>
@@ -118,6 +132,43 @@ class ThreadPool {
   bool async_stop_ = false;
 };
 
+/// Dependency handle over tasks submitted to the engine's async lane: the
+/// unit of pipelining for communication/compute overlap (paper §3.2 step 5).
+/// Typical shape:
+///
+///   exec::TaskGroup tg;
+///   tg.run([&] { transpose.band_to_g(overlap_comm, psi, psi_g, sp); });
+///   ham.apply(psi, hpsi, comm);   // Fock band loop runs concurrently
+///   tg.wait();                    // psi_g is ready past this point
+///
+/// Tasks run on the elastic async lane, so they may block (e.g. on a
+/// collective) without starving the fork-join workers. wait() joins every
+/// submitted task and rethrows the first stored exception; the destructor
+/// joins too (discarding errors), so a TaskGroup can never leak a running
+/// task past its scope. Not thread-safe: one owner thread submits and waits.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  /// Blocks until all tasks finish; errors are swallowed (call wait() first
+  /// if you need them).
+  ~TaskGroup();
+
+  /// Submits `task` to the pool's async lane.
+  void run(std::function<void()> task);
+
+  /// Joins all submitted tasks, then rethrows the first exception any of
+  /// them stored. Afterwards the group is empty and reusable.
+  void wait();
+
+  /// True when no submitted task is outstanding.
+  bool empty() const { return futures_.empty(); }
+
+ private:
+  std::vector<std::future<void>> futures_;
+};
+
 /// The process-wide engine. Created on first use with num_threads() threads.
 ThreadPool& pool();
 
@@ -146,14 +197,22 @@ enum class Slot : std::size_t {
   grid_a,
   grid_b,
   coeffs_a,
+  // Density band loop: chunk-indexed partial accumulators (deterministic
+  // reduction, see docs/threading.md).
+  rho_part,
   // Fock operator band loop.
   fock_pair,
-  fock_fetch_a,
-  fock_fetch_b,
+  fock_fetch,  ///< 2x band_window ping-pong broadcast buffers
   fock_wire,
   fock_coeffs,
   fock_psi_real,
   fock_acc,
+  fock_win,  ///< per-band window contributions before the ordered reduction
+  // Wavefunction transpose pack/unpack wire buffers.
+  trans_send,
+  trans_recv,
+  // Per-band norm/scalar slots (LOBPCG residuals, CN residual norms).
+  band_norms,
   // LOBPCG per-iteration blocks.
   lob_r,
   lob_w,

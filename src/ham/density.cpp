@@ -13,25 +13,61 @@ std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft
                                     par::Comm& comm) {
   PWDFT_CHECK(psi_local.cols() == occ_local.size(), "compute_density: occupations mismatch");
   const std::size_t nd = setup.n_dense();
+  const std::size_t nb = psi_local.cols();
   std::vector<double> rho(nd, 0.0);
-  auto work = exec::workspace().cbuf(exec::Slot::grid_a, nd);
   const double inv_vol = 1.0 / setup.volume();
-
-  // Band loop stays serial (rho accumulation order is part of the bitwise
-  // contract); each band's transform and the point-wise accumulate run on
-  // the engine. No per-call heap allocation beyond the returned density.
-  for (std::size_t j = 0; j < psi_local.cols(); ++j) {
-    grid::sphere_to_grid(fft_dense, setup.smap_dense, {psi_local.col(j), setup.n_g()}, work);
-    const double f = occ_local[j] * inv_vol;
-    double* rho_p = rho.data();
-    const Complex* w = work.data();
-    exec::parallel_for(
-        nd,
-        [=](std::size_t b, std::size_t e) {
-          for (std::size_t i = b; i < e; ++i) rho_p[i] += f * std::norm(w[i]);
-        },
-        4096);
+  if (nb == 0) {
+    comm.allreduce_sum(rho.data(), rho.size());
+    return rho;
   }
+
+  // Band-parallel with a deterministic reduction: bands are grouped into a
+  // fixed number of chunks (independent of the engine width), each chunk
+  // accumulates its bands serially in band order into its own partial
+  // density, and the partials are reduced in chunk order. The summation
+  // tree therefore never depends on how chunks were scheduled, so the
+  // result is bit-identical at any thread count. No per-call heap
+  // allocation beyond the returned density.
+  //
+  // kMaxChunks is part of the bitwise contract (changing it changes the
+  // rounding pattern once and for all) and trades parallelism against
+  // arena memory: the partials pin min(nb, kMaxChunks) * nd doubles, while
+  // engines wider than kMaxChunks idle through the per-band FFT phase.
+  constexpr std::size_t kMaxChunks = 32;
+  const std::size_t bper = (nb + kMaxChunks - 1) / kMaxChunks;
+  const std::size_t nchunks = (nb + bper - 1) / bper;
+  auto parts = exec::workspace().rbuf(exec::Slot::rho_part, nchunks * nd);
+
+  exec::parallel_for(nchunks, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      double* part = parts.data() + c * nd;
+      std::fill_n(part, nd, 0.0);
+      // Per-band transform scratch comes from the executing thread's arena.
+      auto work = exec::workspace().cbuf(exec::Slot::grid_a, nd);
+      const std::size_t j1 = std::min(nb, (c + 1) * bper);
+      for (std::size_t j = c * bper; j < j1; ++j) {
+        grid::sphere_to_grid(fft_dense, setup.smap_dense, {psi_local.col(j), setup.n_g()},
+                             work);
+        const double f = occ_local[j] * inv_vol;
+        const Complex* w = work.data();
+        for (std::size_t i = 0; i < nd; ++i) part[i] += f * std::norm(w[i]);
+      }
+    }
+  });
+
+  // Ordered reduction over chunks; grid points are disjoint across tasks.
+  double* rho_p = rho.data();
+  const double* parts_p = parts.data();
+  exec::parallel_for(
+      nd,
+      [=](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          double acc = 0.0;
+          for (std::size_t c = 0; c < nchunks; ++c) acc += parts_p[c * nd + i];
+          rho_p[i] = acc;
+        }
+      },
+      4096);
 
   comm.allreduce_sum(rho.data(), rho.size());
   return rho;

@@ -1,7 +1,6 @@
 #include "ham/fock.hpp"
 
 #include <algorithm>
-#include <future>
 
 #include "common/check.hpp"
 #include "common/exec.hpp"
@@ -78,8 +77,8 @@ void FockOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Co
   const std::size_t nb = bands_.total();
   auto& ws = exec::workspace();
   if (ncol == 0) {
-    // Still participate in the collective broadcasts.
-    auto buf = ws.cbuf(exec::Slot::fock_fetch_a, nw);
+    // Still participate in the collective broadcasts (band order).
+    auto buf = ws.cbuf(exec::Slot::fock_fetch, nw);
     for (std::size_t i = 0; i < nb; ++i) fetch_orbital(i, comm, buf);
     return;
   }
@@ -91,84 +90,106 @@ void FockOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Co
   CMatrix& acc = ws.cmat(exec::Slot::fock_acc, nw, ncol);
   acc.fill(Complex{0.0, 0.0});
   const std::size_t bs = opt_.batched ? std::max<std::size_t>(1, opt_.batch_size) : 1;
-  auto pair = ws.cbuf(exec::Slot::fock_pair, bs * nw);
-  auto buf_a = ws.cbuf(exec::Slot::fock_fetch_a, nw);
-  auto buf_b = ws.cbuf(exec::Slot::fock_fetch_b, nw);
+  const std::size_t nblocks = (ncol + bs - 1) / bs;
+  const std::size_t win = std::max<std::size_t>(1, opt_.band_window);
 
-  // Prefetch pipeline (paper §3.2 step 5): with overlap enabled the next
-  // band's broadcast runs on the engine's async lane while this band is
-  // computed (the seed spawned one std::async thread per band here).
-  std::future<void> prefetch;
-  // If the compute section below throws, the in-flight prefetch still holds
-  // `this`, `comm` and `next`; block until it lands before unwinding (the
-  // seed's std::async future joined in its destructor, run_async's doesn't).
-  struct PrefetchGuard {
-    std::future<void>& f;
-    ~PrefetchGuard() {
-      if (f.valid()) f.wait();
-    }
-  } prefetch_guard{prefetch};
-  std::span<Complex> current = buf_a;
-  std::span<Complex> next = buf_b;
-  fetch_orbital(0, comm, current);
+  // Window pipeline (paper §3.2 steps 2+5): broadcast `win` bands, then
+  // distribute the window's (band x batch) pair solves across the engine
+  // while the next window's broadcasts run on the async lane. Every pair
+  // task writes its contribution into its own slice of `contrib`; the
+  // window is then reduced into `acc` in exact band order, so the result is
+  // independent of the engine width AND of the window size.
+  auto contrib = ws.cbuf(exec::Slot::fock_win, win * ncol * nw);
+  auto fetch_bufs = ws.cbuf(exec::Slot::fock_fetch, 2 * win * nw);
+  std::span<Complex> current = fetch_bufs.subspan(0, win * nw);
+  std::span<Complex> next = fetch_bufs.subspan(win * nw, win * nw);
 
-  for (std::size_t i = 0; i < nb; ++i) {
-    if (i + 1 < nb) {
+  // Fetches a window of orbital broadcasts, in band order (all ranks issue
+  // the same bcast sequence whether or not they compute).
+  auto fetch_window = [this, &comm, nb, nw](std::size_t b0, std::size_t n,
+                                            std::span<Complex> bufs) {
+    const std::size_t bn = std::min(n, nb - b0);
+    for (std::size_t k = 0; k < bn; ++k)
+      fetch_orbital(b0 + k, comm, bufs.subspan(k * nw, nw));
+  };
+
+  // The TaskGroup joins in-flight prefetches even if the compute section
+  // throws, so a parked broadcast can never outlive `this` or `comm`.
+  exec::TaskGroup prefetch;
+  fetch_window(0, win, current);
+
+  for (std::size_t w0 = 0; w0 < nb; w0 += win) {
+    const std::size_t wn = std::min(win, nb - w0);
+    if (w0 + win < nb) {
       if (opt_.overlap) {
-        prefetch = exec::pool().run_async(
-            [this, i, &comm, next] { fetch_orbital(i + 1, comm, next); });
+        prefetch.run([=] { fetch_window(w0 + win, win, next); });
       } else {
-        fetch_orbital(i + 1, comm, next);
+        fetch_window(w0 + win, win, next);
       }
     }
 
-    const double f_i = occ_[i];
-    if (f_i > 1e-12) {
-      const double scale = -hybrid_.alpha * 0.5 * f_i;
-      const Complex* qi = current.data();
-      for (std::size_t j0 = 0; j0 < ncol; j0 += bs) {
+    // One task per (band-in-window, column block): the dominant O(Ne^2)
+    // loop. Each task forms its pair densities in its own thread's arena,
+    // runs the batched Poisson solve inline (nested FFT parallel_for runs
+    // inline on a worker), and writes scale * q_i * v into its disjoint
+    // slice of `contrib`.
+    const Complex* cur_p = current.data();
+    Complex* contrib_p = contrib.data();
+    exec::parallel_for(wn * nblocks, [&](std::size_t tb, std::size_t te) {
+      for (std::size_t t = tb; t < te; ++t) {
+        const std::size_t il = t / nblocks;
+        const double f_i = occ_[w0 + il];
+        if (f_i <= 1e-12) continue;
+        const std::size_t j0 = (t % nblocks) * bs;
         const std::size_t jn = std::min(bs, ncol - j0);
-        // Pair densities, batched kernel multiply and accumulate all write
-        // disjoint elements, so they run on the engine deterministically.
-        // Chunks are walked column-segment-wise: one divide per segment, not
-        // per element (this is the dominant O(Ne^2) loop).
-        auto for_segments = [&](auto&& body) {
-          exec::parallel_for(
-              jn * nw,
-              [&](std::size_t b, std::size_t e) {
-                std::size_t t = b;
-                while (t < e) {
-                  const std::size_t col = t / nw;
-                  const std::size_t r0 = t - col * nw;
-                  const std::size_t len = std::min(nw - r0, e - t);
-                  body(col, r0, len);
-                  t += len;
-                }
-              },
-              4096);
-        };
-        for_segments([&](std::size_t col, std::size_t r0, std::size_t len) {
-          const Complex* pj = psi_real.col(j0 + col) + r0;
-          Complex* dst = pair.data() + col * nw + r0;
-          for (std::size_t k = 0; k < len; ++k) dst[k] = std::conj(qi[r0 + k]) * pj[k];
-        });
+        const double scale = -hybrid_.alpha * 0.5 * f_i;
+        const Complex* qi = cur_p + il * nw;
+        auto pair = exec::workspace().cbuf(exec::Slot::fock_pair, bs * nw);
+        for (std::size_t col = 0; col < jn; ++col) {
+          const Complex* pj = psi_real.col(j0 + col);
+          Complex* dst = pair.data() + col * nw;
+          for (std::size_t k = 0; k < nw; ++k) dst[k] = std::conj(qi[k]) * pj[k];
+        }
         fft_wfc_.forward_many(pair.data(), jn);
-        for_segments([&](std::size_t col, std::size_t r0, std::size_t len) {
-          Complex* dst = pair.data() + col * nw + r0;
-          const double* kern = kernel_.data() + r0;
-          for (std::size_t k = 0; k < len; ++k) dst[k] *= kern[k];
-        });
+        const double* kern = kernel_.data();
+        for (std::size_t col = 0; col < jn; ++col) {
+          Complex* dst = pair.data() + col * nw;
+          for (std::size_t k = 0; k < nw; ++k) dst[k] *= kern[k];
+        }
         fft_wfc_.inverse_many(pair.data(), jn);
-        for_segments([&](std::size_t col, std::size_t r0, std::size_t len) {
-          const Complex* v = pair.data() + col * nw + r0;
-          Complex* dst = acc.col(j0 + col) + r0;
-          for (std::size_t k = 0; k < len; ++k) dst[k] += scale * qi[r0 + k] * v[k];
-        });
-        pair_solves_ += jn;
+        for (std::size_t col = 0; col < jn; ++col) {
+          const Complex* v = pair.data() + col * nw;
+          Complex* dst = contrib_p + (il * ncol + j0 + col) * nw;
+          for (std::size_t k = 0; k < nw; ++k) dst[k] = scale * qi[k] * v[k];
+        }
       }
-    }
+    });
+    for (std::size_t il = 0; il < wn; ++il)
+      if (occ_[w0 + il] > 1e-12) pair_solves_ += ncol;
 
-    if (prefetch.valid()) prefetch.get();  // rethrows a failed prefetch
+    // Deterministic reduction: every element accumulates the window's bands
+    // in band order; elements are disjoint across chunks.
+    Complex* acc_p = acc.data();
+    exec::parallel_for(
+        ncol * nw,
+        [&](std::size_t b, std::size_t e) {
+          std::size_t t = b;
+          while (t < e) {
+            const std::size_t col = t / nw;
+            const std::size_t r0 = t - col * nw;
+            const std::size_t len = std::min(nw - r0, e - t);
+            for (std::size_t il = 0; il < wn; ++il) {
+              if (occ_[w0 + il] <= 1e-12) continue;
+              const Complex* src = contrib_p + (il * ncol + col) * nw + r0;
+              Complex* dst = acc_p + col * nw + r0;
+              for (std::size_t k = 0; k < len; ++k) dst[k] += src[k];
+            }
+            t += len;
+          }
+        },
+        4096);
+
+    prefetch.wait();  // rethrows a failed prefetch
     std::swap(current, next);
   }
 

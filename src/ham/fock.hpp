@@ -11,8 +11,11 @@
 /// paper's optimization steps (§3.2):
 ///   - batched:               batch the pair-density FFTs (step 2)
 ///   - single_precision_comm: broadcast wavefunctions as complex<float> (step 4)
-///   - overlap:               prefetch the next band's broadcast on a helper
-///                            thread while computing the current band (step 5)
+///   - overlap:               prefetch the next window's broadcasts on the
+///                            engine's async lane while the current window
+///                            computes (step 5)
+///   - band_window:           bands whose (band x batch) pair solves are
+///                            distributed across the engine as one window
 /// All options are numerically equivalent except single_precision_comm,
 /// whose rounding is bounded by tests (paper: "negligible changes").
 
@@ -34,6 +37,17 @@ struct FockOptions {
   std::size_t batch_size = 8;
   bool single_precision_comm = false;
   bool overlap = false;
+  /// Bands per compute window: the band loop broadcasts a window of
+  /// orbitals, then distributes the (band x batch) pair solves of the whole
+  /// window across the exec engine. Each pair writes its contribution into
+  /// a window-indexed buffer and the window is reduced in exact band order,
+  /// so the result is independent of both the window size and the engine
+  /// width (bit-identical at any thread count; docs/threading.md).
+  /// Memory: the window buffer pins band_window * ncol * n_wfc complex
+  /// doubles in the applying thread's arena (band_window extra copies of
+  /// the block being applied to) — raise it for wide engines, lower it
+  /// when memory-bound.
+  std::size_t band_window = 4;
 };
 
 class FockOperator {

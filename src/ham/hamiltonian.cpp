@@ -67,34 +67,35 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
     const std::size_t nd = setup_.n_dense();
     const double weight = setup_.weight_dense();
     const double inv_nd = 1.0 / static_cast<double>(nd);
-    auto& ws = exec::workspace();
-    auto grid_work = ws.cbuf(exec::Slot::grid_a, nd);
-    auto vloc_part = ws.cbuf(exec::Slot::grid_b, nd);
-    auto coeffs = ws.cbuf(exec::Slot::coeffs_a, ng);
     const double* vt = v_total_.data();
 
-    for (std::size_t j = 0; j < psi_local.cols(); ++j) {
-      const Complex* c = psi_local.col(j);
-      Complex* y = y_local.col(j);
-      // Kinetic term on the sphere.
-      for (std::size_t i = 0; i < ng; ++i) y[i] = kin_[i] * c[i];
+    // Band-parallel: each band writes only its own column of y, so the loop
+    // runs on the engine with bit-identical results at any thread count.
+    // Per-band scratch is drawn from the executing thread's arena inside
+    // the task (two bands on one thread reuse the same buffers serially).
+    exec::parallel_for(psi_local.cols(), [&](std::size_t jb, std::size_t je) {
+      auto& ws = exec::workspace();
+      auto grid_work = ws.cbuf(exec::Slot::grid_a, nd);
+      auto vloc_part = ws.cbuf(exec::Slot::grid_b, nd);
+      auto coeffs = ws.cbuf(exec::Slot::coeffs_a, ng);
+      for (std::size_t j = jb; j < je; ++j) {
+        const Complex* c = psi_local.col(j);
+        Complex* y = y_local.col(j);
+        // Kinetic term on the sphere.
+        for (std::size_t i = 0; i < ng; ++i) y[i] = kin_[i] * c[i];
 
-      // Local potential + nonlocal projectors in real space (dense grid):
-      // fused sphere->grid, point-wise V, fused grid->sphere. The forward
-      // pass only completes the z-lines that are gathered afterwards.
-      grid::sphere_to_grid(fft_dense_, setup_.smap_dense, {c, ng}, grid_work);
-      Complex* gw = grid_work.data();
-      Complex* vp = vloc_part.data();
-      exec::parallel_for(
-          nd,
-          [=](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i) vp[i] = vt[i] * gw[i];
-          },
-          4096);
-      if (nonlocal_) nonlocal_->apply_add(grid_work, vloc_part, weight);
-      grid::grid_to_sphere(fft_dense_, setup_.smap_dense, vloc_part, inv_nd, coeffs);
-      for (std::size_t i = 0; i < ng; ++i) y[i] += coeffs[i];
-    }
+        // Local potential + nonlocal projectors in real space (dense grid):
+        // fused sphere->grid, point-wise V, fused grid->sphere. The forward
+        // pass only completes the z-lines that are gathered afterwards.
+        grid::sphere_to_grid(fft_dense_, setup_.smap_dense, {c, ng}, grid_work);
+        Complex* gw = grid_work.data();
+        Complex* vp = vloc_part.data();
+        for (std::size_t i = 0; i < nd; ++i) vp[i] = vt[i] * gw[i];
+        if (nonlocal_) nonlocal_->apply_add(grid_work, vloc_part, weight);
+        grid::grid_to_sphere(fft_dense_, setup_.smap_dense, vloc_part, inv_nd, coeffs);
+        for (std::size_t i = 0; i < ng; ++i) y[i] += coeffs[i];
+      }
+    });
     if (timers) timers->add("hpsi_local", t.seconds());
   }
 

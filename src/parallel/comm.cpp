@@ -63,4 +63,6 @@ void SerialComm::recv_bytes(void*, std::size_t, int, int) {
   PWDFT_CHECK(false, "SerialComm: point-to-point recv on a 1-rank communicator");
 }
 
+std::unique_ptr<Comm> SerialComm::dup() { return std::make_unique<SerialComm>(); }
+
 }  // namespace pwdft::par

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstddef>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/types.hpp"
@@ -51,6 +52,15 @@ class CommStats {
     s.seconds += seconds;
   }
   const OpStats& get(CommOp op) const { return ops_[static_cast<int>(op)]; }
+  /// Folds another rank-local record into this one (used to account traffic
+  /// carried by a dup()'ed overlap communicator on its parent).
+  void merge(const CommStats& other) {
+    for (int op = 0; op < static_cast<int>(CommOp::kCount); ++op) {
+      ops_[op].calls += other.ops_[op].calls;
+      ops_[op].bytes += other.ops_[op].bytes;
+      ops_[op].seconds += other.ops_[op].seconds;
+    }
+  }
   std::size_t total_bytes() const {
     std::size_t t = 0;
     for (const auto& s : ops_) t += s.bytes;
@@ -86,6 +96,15 @@ class Comm {
   virtual void send_bytes(const void* data, std::size_t bytes, int dest, int tag) = 0;
   virtual void recv_bytes(void* data, std::size_t bytes, int src, int tag) = 0;
 
+  /// Collective: every rank obtains a communicator with the same ranks but
+  /// an independent rendezvous domain (MPI_Comm_dup). Collectives on the
+  /// duplicate never interleave with collectives on the parent, which is
+  /// what makes it safe to run a transpose on the exec engine's async lane
+  /// while the Fock band loop broadcasts on the parent (paper §3.2 step 5).
+  /// The duplicate records its own CommStats; merge() them into the parent
+  /// if the traffic should be accounted together.
+  virtual std::unique_ptr<Comm> dup() = 0;
+
   /// Typed broadcast convenience.
   template <typename T>
   void bcast(T* data, std::size_t count, int root) {
@@ -115,6 +134,7 @@ class SerialComm final : public Comm {
                         const std::size_t* recv_counts, const std::size_t* recv_displs) override;
   void send_bytes(const void* data, std::size_t bytes, int dest, int tag) override;
   void recv_bytes(void* data, std::size_t bytes, int src, int tag) override;
+  std::unique_ptr<Comm> dup() override;
 };
 
 }  // namespace pwdft::par

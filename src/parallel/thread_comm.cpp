@@ -159,6 +159,20 @@ void ThreadComm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
   stats_.add(CommOp::kSendRecv, bytes, t.seconds());
 }
 
+std::unique_ptr<Comm> ThreadComm::dup() {
+  // Rank 0 allocates the new rendezvous area and publishes the shared_ptr's
+  // address through the parent's publish/barrier protocol; everyone copies
+  // it (ref-count keeps it alive for all ranks).
+  std::shared_ptr<SharedState> next;
+  if (rank_ == 0) next = std::make_shared<SharedState>(shared_->nranks);
+  shared_->ptrs[rank_] = &next;
+  shared_->sync.arrive_and_wait();
+  if (rank_ != 0)
+    next = *static_cast<const std::shared_ptr<SharedState>*>(shared_->ptrs[0]);
+  shared_->sync.arrive_and_wait();
+  return std::make_unique<ThreadComm>(std::move(next), rank_);
+}
+
 std::vector<CommStats> ThreadGroup::run(int nranks, const RankFn& fn) {
   PWDFT_CHECK(nranks >= 1, "ThreadGroup: need at least one rank");
   auto shared = std::make_shared<SharedState>(nranks);

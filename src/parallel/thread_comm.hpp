@@ -45,6 +45,10 @@ class ThreadComm final : public Comm {
                         const std::size_t* recv_counts, const std::size_t* recv_displs) override;
   void send_bytes(const void* data, std::size_t bytes, int dest, int tag) override;
   void recv_bytes(void* data, std::size_t bytes, int src, int tag) override;
+  /// Collective: all ranks must call dup() at the same point. The duplicate
+  /// shares the rank set but owns a fresh rendezvous area, so its
+  /// collectives never interleave with the parent's.
+  std::unique_ptr<Comm> dup() override;
 
  private:
   template <typename T>

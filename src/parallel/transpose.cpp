@@ -1,9 +1,10 @@
 #include "parallel/transpose.hpp"
 
 #include <complex>
-#include <vector>
+#include <span>
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 
 namespace pwdft::par {
 
@@ -11,8 +12,20 @@ namespace {
 
 using ComplexF = std::complex<float>;
 
+template <typename Wire>
+std::span<Wire> wire_buf(exec::Slot slot, std::size_t n) {
+  if constexpr (std::is_same_v<Wire, Complex>)
+    return exec::workspace().cbuf(slot, n);
+  else
+    return exec::workspace().fbuf(slot, n);
+}
+
 /// Runs one alltoallv where block (dst <- src) carries the sub-matrix of
-/// src's local bands restricted to dst's G rows, in band-major order.
+/// src's local bands restricted to dst's G rows, in band-major order. The
+/// wire buffers live in the calling thread's workspace arena (steady state
+/// allocates nothing) and the pack/unpack column copies run on the exec
+/// engine: every column is written by exactly one task, so the result is
+/// bit-identical at any thread count.
 template <typename Wire>
 void transpose_impl(Comm& comm, const BlockPartition& gvecs, const BlockPartition& bands,
                     const CMatrix& band_local, CMatrix* g_out, const CMatrix* g_in,
@@ -21,6 +34,7 @@ void transpose_impl(Comm& comm, const BlockPartition& gvecs, const BlockPartitio
   const int me = comm.rank();
   const std::size_t nb_loc = bands.count(me);
   const std::size_t ng_loc = gvecs.count(me);
+  const std::size_t nb_tot = bands.total();
   const bool to_g = (g_out != nullptr);
 
   std::vector<std::size_t> scounts(np), sdispls(np), rcounts(np), rdispls(np);
@@ -37,59 +51,66 @@ void transpose_impl(Comm& comm, const BlockPartition& gvecs, const BlockPartitio
     roff += rcounts[r];
   }
 
-  std::vector<Wire> sendbuf(soff / sizeof(Wire));
-  std::vector<Wire> recvbuf(roff / sizeof(Wire));
+  auto sendbuf = wire_buf<Wire>(exec::Slot::trans_send, soff / sizeof(Wire));
+  auto recvbuf = wire_buf<Wire>(exec::Slot::trans_recv, roff / sizeof(Wire));
 
-  // Pack.
+  // Pack: one task per (destination rank, local band) or per global band.
   if (to_g) {
     PWDFT_CHECK(band_local.rows() == gvecs.total() && band_local.cols() == nb_loc,
                 "band_to_g: bad band-local shape");
-    std::size_t p = 0;
-    for (int r = 0; r < np; ++r) {
-      const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
-      for (std::size_t j = 0; j < nb_loc; ++j) {
-        const Complex* cj = band_local.col(j) + g0;
-        for (std::size_t i = 0; i < gn; ++i) sendbuf[p++] = Wire(cj[i]);
+    exec::parallel_for(static_cast<std::size_t>(np) * nb_loc, [&](std::size_t b, std::size_t e) {
+      for (std::size_t t = b; t < e; ++t) {
+        const int r = static_cast<int>(t / nb_loc);
+        const std::size_t j = t % nb_loc;
+        const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
+        const Complex* src = band_local.col(j) + g0;
+        Wire* dst = sendbuf.data() + sdispls[r] / sizeof(Wire) + j * gn;
+        for (std::size_t i = 0; i < gn; ++i) dst[i] = Wire(src[i]);
       }
-    }
+    });
   } else {
-    PWDFT_CHECK(g_in->rows() == ng_loc && g_in->cols() == bands.total(),
+    PWDFT_CHECK(g_in->rows() == ng_loc && g_in->cols() == nb_tot,
                 "g_to_band: bad G-local shape");
-    std::size_t p = 0;
-    for (int r = 0; r < np; ++r) {
-      const std::size_t b0 = bands.offset(r), bn = bands.count(r);
-      for (std::size_t j = 0; j < bn; ++j) {
-        const Complex* cj = g_in->col(b0 + j);
-        for (std::size_t i = 0; i < ng_loc; ++i) sendbuf[p++] = Wire(cj[i]);
+    exec::parallel_for(nb_tot, [&](std::size_t b, std::size_t e) {
+      for (std::size_t j = b; j < e; ++j) {
+        const int r = bands.owner(j);
+        const Complex* src = g_in->col(j);
+        Wire* dst =
+            sendbuf.data() + sdispls[r] / sizeof(Wire) + (j - bands.offset(r)) * ng_loc;
+        for (std::size_t i = 0; i < ng_loc; ++i) dst[i] = Wire(src[i]);
       }
-    }
+    });
   }
 
   comm.alltoallv_bytes(reinterpret_cast<const unsigned char*>(sendbuf.data()), scounts.data(),
                        sdispls.data(), reinterpret_cast<unsigned char*>(recvbuf.data()),
                        rcounts.data(), rdispls.data());
 
-  // Unpack.
+  // Unpack: each task owns a full output column (or a disjoint row range of
+  // one), so writes never race.
   if (to_g) {
-    g_out->resize(ng_loc, bands.total());
-    std::size_t p = 0;
-    for (int r = 0; r < np; ++r) {
-      const std::size_t b0 = bands.offset(r), bn = bands.count(r);
-      for (std::size_t j = 0; j < bn; ++j) {
-        Complex* cj = g_out->col(b0 + j);
-        for (std::size_t i = 0; i < ng_loc; ++i) cj[i] = Complex(recvbuf[p++]);
+    g_out->resize(ng_loc, nb_tot);
+    exec::parallel_for(nb_tot, [&](std::size_t b, std::size_t e) {
+      for (std::size_t j = b; j < e; ++j) {
+        const int r = bands.owner(j);
+        const Wire* src =
+            recvbuf.data() + rdispls[r] / sizeof(Wire) + (j - bands.offset(r)) * ng_loc;
+        Complex* dst = g_out->col(j);
+        for (std::size_t i = 0; i < ng_loc; ++i) dst[i] = Complex(src[i]);
       }
-    }
+    });
   } else {
     band_out->resize(gvecs.total(), nb_loc);
-    std::size_t p = 0;
-    for (int r = 0; r < np; ++r) {
-      const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
-      for (std::size_t j = 0; j < nb_loc; ++j) {
-        Complex* cj = band_out->col(j) + g0;
-        for (std::size_t i = 0; i < gn; ++i) cj[i] = Complex(recvbuf[p++]);
+    exec::parallel_for(static_cast<std::size_t>(np) * nb_loc, [&](std::size_t b, std::size_t e) {
+      for (std::size_t t = b; t < e; ++t) {
+        const int r = static_cast<int>(t / nb_loc);
+        const std::size_t j = t % nb_loc;
+        const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
+        const Wire* src = recvbuf.data() + rdispls[r] / sizeof(Wire) + j * gn;
+        Complex* dst = band_out->col(j) + g0;
+        for (std::size_t i = 0; i < gn; ++i) dst[i] = Complex(src[i]);
       }
-    }
+    });
   }
 }
 

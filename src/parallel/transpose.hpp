@@ -10,6 +10,14 @@
 /// for the wire (paper §3.2 optimization 4 / §3.3), mirroring the
 /// communication-volume halving on Summit; data is converted back to double
 /// on arrival.
+///
+/// Wire buffers come from the calling thread's workspace arena (steady-state
+/// calls allocate nothing) and the pack/unpack column copies run on the exec
+/// engine (bit-identical at any thread count). Both methods are collectives
+/// on `comm`; to overlap a transpose with compute that itself communicates
+/// (the Fock band loop), run it on the engine's async lane against a
+/// Comm::dup()'ed communicator — see exec::TaskGroup and
+/// td::PtCnPropagator::step for the idiom.
 
 #include "linalg/matrix.hpp"
 #include "parallel/comm.hpp"

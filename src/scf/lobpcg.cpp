@@ -62,11 +62,16 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
     linalg::gemm('N', 'N', Complex{-1.0, 0.0}, x, xhx, Complex{1.0, 0.0}, r);
     for (std::size_t j = 0; j < nb; ++j) theta[j] = xhx(j, j).real();
 
+    // Per-band norms run band-parallel into disjoint slots; the max is
+    // taken serially afterwards (max is exact, but the per-band norms must
+    // each be computed by one thread to stay bit-identical).
+    auto norms = ws.rbuf(exec::Slot::band_norms, nb);
+    exec::parallel_for(nb, [&](std::size_t jb, std::size_t je) {
+      for (std::size_t j = jb; j < je; ++j)
+        norms[j] = linalg::nrm2({r.col(j), n}) / std::max(1.0, std::abs(theta[j]));
+    });
     double max_res = 0.0;
-    for (std::size_t j = 0; j < nb; ++j) {
-      const double rn = linalg::nrm2({r.col(j), n}) / std::max(1.0, std::abs(theta[j]));
-      max_res = std::max(max_res, rn);
-    }
+    for (std::size_t j = 0; j < nb; ++j) max_res = std::max(max_res, norms[j]);
     res.max_residual = max_res;
     res.iterations = it;
     if (max_res < opt.tol) {
@@ -98,8 +103,11 @@ LobpcgResult lobpcg(const ApplyFn& apply_h, const std::vector<double>& precond_k
     const std::size_t ns = nb * (have_p ? 3 : 2);
     CMatrix& s = ws.cmat(exec::Slot::lob_s, n, ns);
     CMatrix& hs = ws.cmat(exec::Slot::lob_hs, n, ns);
+    // Column copies are independent: run them band-parallel on the engine.
     auto put = [&](std::size_t col0, const CMatrix& src, CMatrix& dst) {
-      for (std::size_t j = 0; j < src.cols(); ++j) std::copy_n(src.col(j), n, dst.col(col0 + j));
+      exec::parallel_for(src.cols(), [&](std::size_t jb, std::size_t je) {
+        for (std::size_t j = jb; j < je; ++j) std::copy_n(src.col(j), n, dst.col(col0 + j));
+      });
     };
     put(0, x, s);
     put(nb, w, s);

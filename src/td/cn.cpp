@@ -4,6 +4,7 @@
 #include "common/exec.hpp"
 #include "ham/density.hpp"
 #include "linalg/blas.hpp"
+#include "td/band_ops.hpp"
 
 namespace pwdft::td {
 
@@ -47,8 +48,7 @@ CnStepReport CnPropagator::step(CMatrix& psi_local, std::span<const double> occ_
   ham_.apply(psi_local, hpsi, comm, timers);
 
   CMatrix psi_half = psi_local;
-  for (std::size_t i = 0; i < psi_half.size(); ++i)
-    psi_half.data()[i] -= i_half_dt * hpsi.data()[i];
+  detail::add_scaled(-i_half_dt, hpsi, psi_half);
   CMatrix psi_f = psi_half;
 
   auto rho_f = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_f, occ_local, comm);
@@ -61,22 +61,32 @@ CnStepReport CnPropagator::step(CMatrix& psi_local, std::span<const double> occ_
 
     // R = Psi_f + i dt/2 H Psi_f - Psi_half — entirely band-local: the plain
     // CN residual needs no overlap matrix and hence no transpose/Allreduce.
+    // The residual, the per-band norms, and the per-band Anderson mixes all
+    // run band-parallel with disjoint writes (bit-identical at any width).
     CMatrix& rf = exec::workspace().cmat(exec::Slot::cn_r, ng, nb_loc);
-    for (std::size_t i = 0; i < rf.size(); ++i)
-      rf.data()[i] = psi_f.data()[i] + i_half_dt * hpsi.data()[i] - psi_half.data()[i];
+    {
+      Complex* r = rf.data();
+      const Complex* pf = psi_f.data();
+      const Complex* hp = hpsi.data();
+      const Complex* ph = psi_half.data();
+      exec::parallel_for(
+          rf.size(),
+          [=](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) r[i] = pf[i] + i_half_dt * hp[i] - ph[i];
+          },
+          4096);
+    }
 
+    auto norms = exec::workspace().rbuf(exec::Slot::band_norms, nb_loc);
+    exec::parallel_for(nb_loc, [&](std::size_t jb, std::size_t je) {
+      for (std::size_t j = jb; j < je; ++j) norms[j] = linalg::nrm2({rf.col(j), ng});
+    });
     double rmax = 0.0;
-    for (std::size_t j = 0; j < nb_loc; ++j)
-      rmax = std::max(rmax, linalg::nrm2({rf.col(j), ng}));
+    for (std::size_t j = 0; j < nb_loc; ++j) rmax = std::max(rmax, norms[j]);
     comm.allreduce_sum(&rmax, 1);  // cheap aggregate (sum as an upper proxy)
     report.max_residual_norm = std::max(report.max_residual_norm, rmax);
 
-    auto f = exec::workspace().cbuf(exec::Slot::mix_f, ng);
-    for (std::size_t j = 0; j < nb_loc; ++j) {
-      const Complex* rj = rf.col(j);
-      for (std::size_t i = 0; i < ng; ++i) f[i] = -rj[i];
-      mixers_[j]->mix({psi_f.col(j), ng}, f, {psi_f.col(j), ng});
-    }
+    detail::anderson_mix_bands(mixers_, rf, psi_f);
 
     auto rho_new = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_f, occ_local, comm);
     report.rho_error = ham::density_error(ham_.setup(), rho_new, rho_f);

@@ -5,24 +5,22 @@
 #include "ham/density.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
+#include "td/band_ops.hpp"
 
 namespace pwdft::td {
 
-CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm,
-                    const CMatrix& psi_band, const CMatrix& hpsi_band,
-                    const CMatrix* psi_half_band, Complex c_psi, Complex c_h, Complex c_half,
-                    bool sp_comm) {
-  // Alg. 3: convert to the G-space layout, form the overlap matrix with a
-  // local GEMM + Allreduce, rotate, combine, convert back. The G-layout
-  // blocks come from the rank's workspace arena (each ThreadComm rank is its
-  // own thread, so arenas never collide across ranks).
+CMatrix pt_residual_from_g(const par::WavefunctionTranspose& transpose, par::Comm& comm,
+                           const CMatrix& psi_g, const CMatrix& hpsi_band,
+                           const CMatrix* half_g, Complex c_psi, Complex c_h, Complex c_half,
+                           bool sp_comm) {
+  // Alg. 3 with Psi (and Psi_half) already in the G-space layout: transpose
+  // H Psi, form the overlap matrix with a local GEMM + Allreduce, rotate,
+  // combine, convert back. The H Psi block comes from the rank's workspace
+  // arena (each ThreadComm rank is its own thread, so arenas never collide
+  // across ranks).
   auto& ws = exec::workspace();
-  CMatrix& psi_g = ws.cmat(exec::Slot::pt_ga, 0, 0);
   CMatrix& hpsi_g = ws.cmat(exec::Slot::pt_gb, 0, 0);
-  CMatrix& half_g = ws.cmat(exec::Slot::pt_gc, 0, 0);
-  transpose.band_to_g(comm, psi_band, psi_g, sp_comm);
   transpose.band_to_g(comm, hpsi_band, hpsi_g, sp_comm);
-  if (psi_half_band) transpose.band_to_g(comm, *psi_half_band, half_g, sp_comm);
 
   CMatrix s = linalg::overlap(psi_g, hpsi_g);
   comm.allreduce_sum(s.data(), s.size());
@@ -34,7 +32,7 @@ CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm
   const std::size_t n = r_g.size();
   Complex* r = r_g.data();
   const Complex* pg = psi_g.data();
-  const Complex* hg = psi_half_band ? half_g.data() : nullptr;
+  const Complex* hg = half_g ? half_g->data() : nullptr;
   exec::parallel_for(
       n,
       [=](std::size_t b, std::size_t e) {
@@ -49,6 +47,19 @@ CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm
   CMatrix r_band;
   transpose.g_to_band(comm, r_g, r_band, sp_comm);
   return r_band;
+}
+
+CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm,
+                    const CMatrix& psi_band, const CMatrix& hpsi_band,
+                    const CMatrix* psi_half_band, Complex c_psi, Complex c_h, Complex c_half,
+                    bool sp_comm) {
+  auto& ws = exec::workspace();
+  CMatrix& psi_g = ws.cmat(exec::Slot::pt_ga, 0, 0);
+  CMatrix& half_g = ws.cmat(exec::Slot::pt_gc, 0, 0);
+  transpose.band_to_g(comm, psi_band, psi_g, sp_comm);
+  if (psi_half_band) transpose.band_to_g(comm, *psi_half_band, half_g, sp_comm);
+  return pt_residual_from_g(transpose, comm, psi_g, hpsi_band,
+                            psi_half_band ? &half_g : nullptr, c_psi, c_h, c_half, sp_comm);
 }
 
 void orthonormalize(const par::WavefunctionTranspose& transpose, par::Comm& comm,
@@ -94,6 +105,25 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
   }
   for (auto& m : mixers_) m->reset();
 
+  // Communicator for the overlapped transposes: an independent rendezvous
+  // domain, so a transpose parked on the async lane can never interleave
+  // with the Fock broadcasts running on `comm` (collective: all ranks
+  // reach this dup() together on their first step).
+  const bool ovl = opt_.overlap_transpose;
+  if (ovl && !ocomm_) ocomm_ = comm.dup();
+
+  // Starts the Psi -> G transpose of `src`: on the async lane against the
+  // dup()'ed comm when overlap is on (caller computes H Psi meanwhile and
+  // then waits), else inline on `comm`. Math is identical either way.
+  exec::TaskGroup tg;
+  auto start_psi_transpose = [&](const CMatrix& src) {
+    if (ovl) {
+      tg.run([this, &src] { transpose_.band_to_g(*ocomm_, src, psi_g_, opt_.sp_comm); });
+    } else {
+      transpose_.band_to_g(comm, src, psi_g_, opt_.sp_comm);
+    }
+  };
+
   PtCnStepReport report;
   const Complex i_half_dt = imag_unit * (0.5 * opt_.dt);
 
@@ -109,6 +139,7 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
     ham_.update_density(rho);
   }
   if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_local, occ_global, bands_, comm);
+  start_psi_transpose(psi_local);
   CMatrix hpsi;
   ham_.apply(psi_local, hpsi, comm, timers);
   ++report.fock_applies;
@@ -116,15 +147,22 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
   CMatrix rn;
   {
     ScopedTimer st(*timers, "residual");
-    rn = pt_residual(transpose_, comm, psi_local, hpsi, nullptr, Complex{0.0, 0.0},
-                     Complex{1.0, 0.0}, Complex{0.0, 0.0}, opt_.sp_comm);
+    tg.wait();
+    rn = pt_residual_from_g(transpose_, comm, psi_g_, hpsi, nullptr, Complex{0.0, 0.0},
+                            Complex{1.0, 0.0}, Complex{0.0, 0.0}, opt_.sp_comm);
   }
 
   // --- Psi_{n+1/2} = Psi_n - i dt/2 Rn; initial guess Psi_f = Psi_{n+1/2}.
   CMatrix psi_half = psi_local;
-  for (std::size_t i = 0; i < psi_half.size(); ++i)
-    psi_half.data()[i] -= i_half_dt * rn.data()[i];
+  detail::add_scaled(-i_half_dt, rn, psi_half);
   CMatrix psi_f = psi_half;
+
+  // The Psi_half transpose is invariant across the SCF loop: pay it once
+  // here instead of once per residual evaluation (Alg. 3 line 1).
+  {
+    ScopedTimer st(*timers, "residual");
+    transpose_.band_to_g(comm, psi_half, half_g_, opt_.sp_comm);
+  }
 
   std::vector<double> rho_f;
   {
@@ -140,26 +178,23 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
       ham_.update_density(rho_f);
     }
     if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_f, occ_global, bands_, comm);
+    start_psi_transpose(psi_f);
     ham_.apply(psi_f, hpsi, comm, timers);
     ++report.fock_applies;
 
     CMatrix rf;
     {
       ScopedTimer st(*timers, "residual");
-      rf = pt_residual(transpose_, comm, psi_f, hpsi, &psi_half, Complex{1.0, 0.0}, i_half_dt,
-                       Complex{1.0, 0.0}, opt_.sp_comm);
+      tg.wait();
+      rf = pt_residual_from_g(transpose_, comm, psi_g_, hpsi, &half_g_, Complex{1.0, 0.0},
+                              i_half_dt, Complex{1.0, 0.0}, opt_.sp_comm);
     }
 
     {
       // Fixed point x = g(x) with g(x) = x - Rf, so the Anderson residual
-      // input is f = -Rf, mixed independently per band.
+      // input is f = -Rf.
       ScopedTimer st(*timers, "anderson");
-      auto f = exec::workspace().cbuf(exec::Slot::mix_f, ng);
-      for (std::size_t j = 0; j < nb_loc; ++j) {
-        const Complex* rj = rf.col(j);
-        for (std::size_t i = 0; i < ng; ++i) f[i] = -rj[i];
-        mixers_[j]->mix({psi_f.col(j), ng}, f, {psi_f.col(j), ng});
-      }
+      detail::anderson_mix_bands(mixers_, rf, psi_f);
     }
 
     std::vector<double> rho_new;
@@ -182,6 +217,14 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
     orthonormalize(transpose_, comm, psi_f, opt_.sp_comm);
   }
   psi_local = std::move(psi_f);
+
+  // Fold the overlap lane's traffic into the caller-visible record so the
+  // comm-volume accounting (bench/real_comm_volume, perf model validation)
+  // sees one total regardless of which domain carried the transpose.
+  if (ocomm_) {
+    comm.stats().merge(ocomm_->stats());
+    ocomm_->stats().reset();
+  }
   return report;
 }
 

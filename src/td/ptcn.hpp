@@ -31,6 +31,11 @@ struct PtCnOptions {
   std::size_t anderson_depth = 20;  ///< paper §3.4
   double anderson_beta = 1.0;
   bool sp_comm = true;           ///< single-precision Alltoallv payloads (§3.3)
+  /// Runs the Psi -> G transpose of each residual evaluation on the exec
+  /// engine's async lane, on a dup()'ed communicator, while H Psi (the Fock
+  /// band loop) computes on the parent (paper §3.2 step 5 applied to Alg. 3).
+  /// Results are bit-identical to the serialized path.
+  bool overlap_transpose = true;
 };
 
 struct PtCnStepReport {
@@ -60,6 +65,15 @@ class PtCnPropagator {
   PtCnOptions opt_;
   par::WavefunctionTranspose transpose_;
   std::vector<std::unique_ptr<scf::AndersonMixer>> mixers_;  ///< one per local band
+  /// Independent rendezvous domain for the overlapped transposes (created
+  /// lazily by the first step(); step() must always be called with the same
+  /// communicator). Its traffic is merged into the parent's stats per step.
+  std::unique_ptr<par::Comm> ocomm_;
+  /// G-layout blocks written by the (possibly async) transposes. Plain
+  /// members rather than arena slots: the async task runs on a helper
+  /// thread whose arena the main thread must not depend on.
+  CMatrix psi_g_;
+  CMatrix half_g_;
 };
 
 /// Computes R = c_psi * Psi + c_h * (H Psi - Psi S) - c_half * Psi_half with
@@ -69,6 +83,16 @@ CMatrix pt_residual(const par::WavefunctionTranspose& transpose, par::Comm& comm
                     const CMatrix& psi_band, const CMatrix& hpsi_band,
                     const CMatrix* psi_half_band, Complex c_psi, Complex c_h, Complex c_half,
                     bool sp_comm);
+
+/// pt_residual with Psi (and optionally Psi_half) already transposed to the
+/// G layout: the form the propagator uses so those transposes can run on
+/// the async lane concurrently with H Psi, and so the loop-invariant
+/// Psi_half transpose is paid once per step instead of once per SCF
+/// iteration. Only H Psi is transposed here (on `comm`).
+CMatrix pt_residual_from_g(const par::WavefunctionTranspose& transpose, par::Comm& comm,
+                           const CMatrix& psi_g, const CMatrix& hpsi_band,
+                           const CMatrix* half_g, Complex c_psi, Complex c_h, Complex c_half,
+                           bool sp_comm);
 
 /// Cholesky re-orthonormalization of a band-distributed block (paper §3.4).
 void orthonormalize(const par::WavefunctionTranspose& transpose, par::Comm& comm,

@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/exec.hpp"
 #include "ham/density.hpp"
+#include "td/band_ops.hpp"
 
 namespace pwdft::td {
 
@@ -29,7 +30,12 @@ void Rk4Propagator::derivative(const CMatrix& psi, std::span<const double> occ_l
   // k = -i H psi.
   const std::size_t n = k.size();
   Complex* d = k.data();
-  for (std::size_t i = 0; i < n; ++i) d[i] *= Complex{0.0, -1.0};
+  exec::parallel_for(
+      n,
+      [=](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) d[i] *= Complex{0.0, -1.0};
+      },
+      4096);
 }
 
 void Rk4Propagator::step(CMatrix& psi_local, std::span<const double> occ_global, double t,
@@ -54,19 +60,29 @@ void Rk4Propagator::step(CMatrix& psi_local, std::span<const double> occ_global,
 
   derivative(psi_local, occ_local, occ_global, t, field, k1, comm, timers);
 
-  for (std::size_t i = 0; i < n; ++i) stage.data()[i] = psi_local.data()[i] + 0.5 * h * k1.data()[i];
+  detail::assign_sum_scaled(psi_local, 0.5 * h, k1, stage);
   derivative(stage, occ_local, occ_global, t + 0.5 * h, field, k2, comm, timers);
 
-  for (std::size_t i = 0; i < n; ++i) stage.data()[i] = psi_local.data()[i] + 0.5 * h * k2.data()[i];
+  detail::assign_sum_scaled(psi_local, 0.5 * h, k2, stage);
   derivative(stage, occ_local, occ_global, t + 0.5 * h, field, k3, comm, timers);
 
-  for (std::size_t i = 0; i < n; ++i) stage.data()[i] = psi_local.data()[i] + h * k3.data()[i];
+  detail::assign_sum_scaled(psi_local, h, k3, stage);
   derivative(stage, occ_local, occ_global, t + h, field, k4, comm, timers);
 
   const double w = h / 6.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    psi_local.data()[i] +=
-        w * (k1.data()[i] + 2.0 * k2.data()[i] + 2.0 * k3.data()[i] + k4.data()[i]);
+  {
+    Complex* p = psi_local.data();
+    const Complex* d1 = k1.data();
+    const Complex* d2 = k2.data();
+    const Complex* d3 = k3.data();
+    const Complex* d4 = k4.data();
+    exec::parallel_for(
+        n,
+        [=](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i)
+            p[i] += w * (d1[i] + 2.0 * d2[i] + 2.0 * d3[i] + d4[i]);
+        },
+        4096);
   }
 }
 

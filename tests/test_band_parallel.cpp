@@ -1,0 +1,249 @@
+// Proves the band-parallel determinism contract (docs/threading.md): the
+// Fock apply, the density accumulation, the Hamiltonian apply, LOBPCG, and a
+// full PT-CN step are bit-identical at 1/2/4 engine threads, and the
+// overlapped transpose path of the PT-CN propagator produces exactly the
+// same orbitals as the serialized one.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "common/exec.hpp"
+#include "ham/density.hpp"
+#include "ham/fock.hpp"
+#include "ham/hamiltonian.hpp"
+#include "parallel/thread_comm.hpp"
+#include "scf/lobpcg.hpp"
+#include "td/field.hpp"
+#include "td/ptcn.hpp"
+#include "test_helpers.hpp"
+
+namespace pwdft {
+namespace {
+
+/// Restores the engine width on scope exit so tests compose.
+struct ThreadGuard {
+  ~ThreadGuard() { exec::set_num_threads(1); }
+};
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 4};
+
+TEST(BandParallel, FockApplyBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 6;
+  CMatrix phi = test::random_orthonormal(setup, nb, 31);
+  std::vector<double> occ(nb, 2.0);
+  occ[nb - 1] = 0.0;  // exercise the unoccupied-band skip in the reduction
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (std::size_t nt : kThreadCounts) {
+    exec::set_num_threads(nt);
+    ham::FockOperator fock(setup, xc::HybridParams{true, 0.25, 0.11});
+    fock.set_orbitals(phi, occ, bands, comm);
+    CMatrix y(setup.n_g(), nb, Complex{0.0, 0.0});
+    fock.apply_add(phi, y, comm);
+    if (nt == 1) {
+      ref = y;
+    } else {
+      EXPECT_EQ(test::max_abs_diff(y, ref), 0.0) << "nt=" << nt;
+    }
+  }
+}
+
+TEST(BandParallel, FockApplyIndependentOfBandWindowAndBatchGrouping) {
+  // The windowed reduction accumulates in exact band order, so the result
+  // must not depend on the window size (and batch grouping only changes
+  // which FFTs share a batch, never their math).
+  ThreadGuard guard;
+  exec::set_num_threads(4);
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 6;
+  CMatrix phi = test::random_orthonormal(setup, nb, 33);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (std::size_t window : {1u, 3u, 8u}) {
+    ham::FockOptions fopt;
+    fopt.band_window = window;
+    ham::FockOperator fock(setup, xc::HybridParams{true, 0.25, 0.11}, fopt);
+    fock.set_orbitals(phi, occ, bands, comm);
+    CMatrix y(setup.n_g(), nb, Complex{0.0, 0.0});
+    fock.apply_add(phi, y, comm);
+    if (window == 1) {
+      ref = y;
+    } else {
+      EXPECT_EQ(test::max_abs_diff(y, ref), 0.0) << "window=" << window;
+    }
+  }
+}
+
+TEST(BandParallel, DensityBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 7;  // ragged against the chunk count
+  CMatrix psi = test::random_orthonormal(setup, nb, 37);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  fft::Fft3D fft_dense(setup.dense_grid.dims());
+
+  std::vector<double> ref;
+  for (std::size_t nt : kThreadCounts) {
+    exec::set_num_threads(nt);
+    auto rho = ham::compute_density(setup, fft_dense, psi, occ, comm);
+    if (nt == 1) {
+      ref = rho;
+    } else {
+      ASSERT_EQ(rho.size(), ref.size());
+      for (std::size_t i = 0; i < rho.size(); ++i)
+        ASSERT_EQ(rho[i], ref[i]) << "i=" << i << " nt=" << nt;
+    }
+  }
+}
+
+TEST(BandParallel, HamiltonianApplyBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  auto options = test::fast_hybrid_options();
+  const std::size_t nb = 6;
+  CMatrix psi = test::random_orthonormal(setup, nb, 41);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (std::size_t nt : kThreadCounts) {
+    exec::set_num_threads(nt);
+    ham::Hamiltonian h(setup, species, options);
+    auto rho = ham::compute_density(setup, h.fft_dense(), psi, occ, comm);
+    h.update_density(rho);
+    h.set_exchange_orbitals(psi, occ, bands, comm);
+    CMatrix y;
+    h.apply(psi, y, comm);
+    if (nt == 1) {
+      ref = y;
+    } else {
+      EXPECT_EQ(test::max_abs_diff(y, ref), 0.0) << "nt=" << nt;
+    }
+  }
+}
+
+TEST(BandParallel, LobpcgBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  ham::HamiltonianOptions options;  // semi-local keeps the solve cheap
+  options.hybrid.enabled = false;
+  const std::size_t nb = 4;
+  CMatrix x0 = test::random_orthonormal(setup, nb, 43);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+
+  CMatrix ref;
+  std::vector<double> ref_evals;
+  for (std::size_t nt : kThreadCounts) {
+    exec::set_num_threads(nt);
+    ham::Hamiltonian h(setup, species, options);
+    auto rho = ham::compute_density(setup, h.fft_dense(), x0, occ, comm);
+    h.update_density(rho);
+    scf::ApplyFn apply = [&](const CMatrix& in, CMatrix& out) { h.apply(in, out, comm); };
+    std::vector<double> precond(setup.n_g());
+    for (std::size_t i = 0; i < setup.n_g(); ++i) precond[i] = 0.5 * setup.sphere.g2()[i];
+    CMatrix x = x0;
+    scf::LobpcgOptions lopt;
+    lopt.max_iter = 5;
+    lopt.tol = 0.0;  // fixed iteration count: identical work at every width
+    auto res = scf::lobpcg(apply, precond, x, lopt);
+    if (nt == 1) {
+      ref = x;
+      ref_evals = res.eigenvalues;
+    } else {
+      EXPECT_EQ(test::max_abs_diff(x, ref), 0.0) << "nt=" << nt;
+      ASSERT_EQ(res.eigenvalues.size(), ref_evals.size());
+      for (std::size_t j = 0; j < nb; ++j) ASSERT_EQ(res.eigenvalues[j], ref_evals[j]);
+    }
+  }
+}
+
+TEST(BandParallel, PtCnStepBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const std::size_t nb = 8;
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  td::PtCnOptions opt;
+  opt.dt = 1.0;
+  opt.rho_tol = 1e-8;
+  opt.max_scf = 8;
+  par::SerialComm comm;
+
+  CMatrix ref;
+  int ref_iters = -1;
+  for (std::size_t nt : kThreadCounts) {
+    exec::set_num_threads(nt);
+    auto setup = test::make_si8_setup(3.0, 1);
+    auto species = pseudo::PseudoSpecies::silicon(true);
+    ham::Hamiltonian h(setup, species, test::fast_hybrid_options());
+    CMatrix psi = test::random_orthonormal(setup, nb, 47);
+    std::vector<double> occ(nb, 2.0);
+    td::PtCnPropagator prop(h, par::BlockPartition(nb, 1), opt, 1);
+    auto rep = prop.step(psi, occ, 0.0, kick, comm);
+    if (nt == 1) {
+      ref = psi;
+      ref_iters = rep.scf_iterations;
+    } else {
+      EXPECT_EQ(rep.scf_iterations, ref_iters) << "nt=" << nt;
+      EXPECT_EQ(test::max_abs_diff(psi, ref), 0.0) << "nt=" << nt;
+    }
+  }
+}
+
+TEST(BandParallel, OverlappedTransposeMatchesSerializedPath) {
+  // Two thread-backed ranks, engine at 4 threads, Fock broadcast prefetch
+  // AND the async-lane transposes all in flight: the overlapped step must
+  // be bit-identical to the serialized one on every rank.
+  ThreadGuard guard;
+  exec::set_num_threads(4);
+  const int np = 2;
+  const std::size_t nb = 8;
+  auto setup = test::make_si8_setup(3.0, 1);
+  CMatrix psi_init = test::random_orthonormal(setup, nb, 53);
+  std::vector<double> occ(nb, 2.0);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+
+  td::PtCnOptions opt;
+  opt.dt = 1.0;
+  opt.rho_tol = 1e-8;
+  opt.max_scf = 6;
+
+  auto run = [&](bool overlap) {
+    std::vector<CMatrix> per_rank(np);
+    par::ThreadGroup::run(np, [&](par::Comm& c) {
+      auto setup_loc = test::make_si8_setup(3.0, 1);
+      auto species = pseudo::PseudoSpecies::silicon(true);
+      auto options = test::fast_hybrid_options();
+      options.fock.overlap = true;  // broadcast prefetch on the async lane
+      ham::Hamiltonian h(setup_loc, species, options);
+      par::BlockPartition bands(nb, np);
+      CMatrix psi_loc = test::band_slice(psi_init, bands, c.rank());
+      td::PtCnOptions o = opt;
+      o.overlap_transpose = overlap;
+      td::PtCnPropagator prop(h, bands, o, np);
+      prop.step(psi_loc, occ, 0.0, kick, c);
+      per_rank[c.rank()] = std::move(psi_loc);
+    });
+    return per_rank;
+  };
+
+  auto serialized = run(false);
+  auto overlapped = run(true);
+  for (int r = 0; r < np; ++r)
+    EXPECT_EQ(test::max_abs_diff(overlapped[r], serialized[r]), 0.0) << "rank " << r;
+}
+
+}  // namespace
+}  // namespace pwdft

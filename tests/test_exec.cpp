@@ -120,6 +120,62 @@ TEST(ThreadPool, RunAsyncExecutesAndBlockingTasksDoNotStarveEachOther) {
   EXPECT_EQ(arrived.load(), 2);
 }
 
+TEST(TaskGroup, WaitJoinsAllTasks) {
+  std::atomic<int> done{0};
+  exec::TaskGroup tg;
+  for (int i = 0; i < 8; ++i) tg.run([&] { done.fetch_add(1); });
+  tg.wait();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_TRUE(tg.empty());
+  // The group is reusable after wait().
+  tg.run([&] { done.fetch_add(1); });
+  tg.wait();
+  EXPECT_EQ(done.load(), 9);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstErrorAfterJoiningEverything) {
+  std::atomic<int> done{0};
+  exec::TaskGroup tg;
+  tg.run([&] { done.fetch_add(1); });
+  tg.run([] { throw std::runtime_error("task failed"); });
+  tg.run([&] { done.fetch_add(1); });
+  EXPECT_THROW(tg.wait(), std::runtime_error);
+  // Every non-throwing task ran to completion before wait() returned.
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_TRUE(tg.empty());
+}
+
+TEST(TaskGroup, DestructorJoinsAndSwallowsErrors) {
+  std::atomic<bool> ran{false};
+  {
+    exec::TaskGroup tg;
+    tg.run([&] {
+      ran.store(true);
+      throw std::runtime_error("ignored by the destructor");
+    });
+  }  // must not terminate
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskGroup, OverlapsWithParallelForOnTheCaller) {
+  // The pipelining shape used by the Fock/transpose overlap: a blocking
+  // async task in flight while the caller drives a fork-join loop.
+  ThreadGuard guard;
+  exec::set_num_threads(4);
+  std::atomic<bool> release{false};
+  std::atomic<int> sum{0};
+  exec::TaskGroup tg;
+  tg.run([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  exec::parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    sum.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(sum.load(), 1000);
+  release.store(true);
+  tg.wait();
+}
+
 TEST(ThreadPool, SetNumThreadsChangesSize) {
   ThreadGuard guard;
   exec::set_num_threads(3);

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "common/exec.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/distribution.hpp"
 #include "parallel/thread_comm.hpp"
@@ -135,6 +136,48 @@ TEST(ThreadComm, ExceptionFromRankPropagates) {
                                   if (c.size() == 2) throw Error("rank failure");
                                 }),
                Error);
+}
+
+TEST(ThreadComm, DupCreatesIndependentRendezvousDomain) {
+  // Collectives on the duplicate must not interleave with collectives on
+  // the parent even when each rank issues them from two different threads
+  // concurrently (the transpose-overlap shape of the PT-CN propagator).
+  const int np = 3;
+  ThreadGroup::run(np, [&](Comm& c) {
+    auto dup = c.dup();
+    EXPECT_EQ(dup->rank(), c.rank());
+    EXPECT_EQ(dup->size(), c.size());
+    for (int rep = 0; rep < 20; ++rep) {
+      std::vector<double> a(64, double(c.rank() + 1));
+      std::vector<double> b(64, 10.0 * (c.rank() + 1));
+      exec::TaskGroup tg;
+      tg.run([&] { dup->allreduce_sum(a.data(), a.size()); });
+      c.allreduce_sum(b.data(), b.size());
+      tg.wait();
+      EXPECT_DOUBLE_EQ(a[0], 1.0 + 2.0 + 3.0);
+      EXPECT_DOUBLE_EQ(b[0], 10.0 + 20.0 + 30.0);
+    }
+  });
+}
+
+TEST(SerialComm, DupIsSerial) {
+  par::SerialComm c;
+  auto dup = c.dup();
+  EXPECT_EQ(dup->size(), 1);
+  std::vector<double> v(4, 2.0);
+  dup->allreduce_sum(v.data(), v.size());
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+}
+
+TEST(CommStats, MergeFoldsCounts) {
+  par::CommStats a, b;
+  a.add(CommOp::kBcast, 100, 0.5);
+  b.add(CommOp::kBcast, 50, 0.25);
+  b.add(CommOp::kAlltoallv, 10, 0.1);
+  a.merge(b);
+  EXPECT_EQ(a.get(CommOp::kBcast).calls, 2u);
+  EXPECT_EQ(a.get(CommOp::kBcast).bytes, 150u);
+  EXPECT_EQ(a.get(CommOp::kAlltoallv).bytes, 10u);
 }
 
 TEST(SerialComm, CollectivesAreLocal) {
