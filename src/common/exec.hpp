@@ -186,6 +186,47 @@ void parallel_for(std::size_t n, F&& f, std::size_t grain = 1) {
   pool().parallel_for(n, std::forward<F>(f), grain);
 }
 
+/// parallel_for over the flattened column-major domain [0, ncols*col_len),
+/// re-split at column boundaries: `f(col, r0, len)` covers rows
+/// [r0, r0+len) of column `col`, with every flat index visited exactly
+/// once. Centralizes the chunk/column index arithmetic so the bit-identity
+/// argument of each caller rests only on its own per-element loop.
+template <class F>
+void parallel_for_cols(std::size_t ncols, std::size_t col_len, F&& f,
+                       std::size_t grain = 4096) {
+  parallel_for(
+      ncols * col_len,
+      [&](std::size_t b, std::size_t e) {
+        std::size_t t = b;
+        while (t < e) {
+          const std::size_t col = t / col_len;
+          const std::size_t r0 = t - col * col_len;
+          const std::size_t len = std::min(col_len - r0, e - t);
+          f(col, r0, len);
+          t += len;
+        }
+      },
+      grain);
+}
+
+/// Nested-split decision for hybrid band×line scheduling (docs/threading.md).
+///
+/// A band loop whose per-band body runs its FFTs through nested (inline)
+/// parallel_for calls saturates the engine only while it has at least one
+/// band per thread. When `outer_tasks` (bands, or band×batch pairs) is below
+/// the engine width, the caller should switch to its line-parallel
+/// formulation: either batch all bands' FFT lines into one joint
+/// (band × line) parallel_for, or run the band loop serially so each nested
+/// batched FFT wins the whole pool.
+///
+/// The decision depends on the engine width, so the two formulations MUST
+/// be bit-identical (same per-line kernels, same per-element operation
+/// order, same reduction trees) — enforced by tests/test_band_parallel.cpp,
+/// which pins both paths against each other.
+inline bool prefer_line_split(std::size_t outer_tasks) {
+  return outer_tasks < pool().size();
+}
+
 /// Named arena slots. Each (thread, slot, element-type) triple is an
 /// independent monotonically-growing buffer; two routines may only share a
 /// slot if their lifetimes never overlap on one thread.
@@ -198,8 +239,14 @@ enum class Slot : std::size_t {
   grid_b,
   coeffs_a,
   // Density band loop: chunk-indexed partial accumulators (deterministic
-  // reduction, see docs/threading.md).
+  // reduction, see docs/threading.md) and the batched real-space grids of
+  // the hybrid band×line path.
   rho_part,
+  rho_grids,
+  // Hamiltonian::apply hybrid band×line path: batched dense-grid blocks.
+  ham_grids,
+  ham_vlocs,
+  ham_coeffs,
   // Fock operator band loop.
   fock_pair,
   fock_fetch,  ///< 2x band_window ping-pong broadcast buffers
@@ -227,6 +274,11 @@ enum class Slot : std::size_t {
   pt_gc,
   cn_r,
   mix_f,
+  // AndersonMixer::mix internals (Gram system + real-vector staging), so a
+  // whole SCF iteration stays allocation-free (tests/test_alloc_free.cpp).
+  mix_gram,
+  mix_rhs,
+  mix_real,
   // RK4 stages.
   rk4_k1,
   rk4_k2,

@@ -7,8 +7,11 @@
 
 namespace pwdft::fft {
 
-Fft3D::Fft3D(std::array<std::size_t, 3> dims)
-    : dims_(dims), plan_x_(dims[0]), plan_y_(dims[1]), plan_z_(dims[2]) {}
+Fft3D::Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel)
+    : dims_(dims),
+      plan_x_(dims[0], kernel),
+      plan_y_(dims[1], kernel),
+      plan_z_(dims[2], kernel) {}
 
 void Fft3D::axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
                            const std::uint32_t* lines, std::size_t nlines) const {
@@ -78,18 +81,20 @@ void Fft3D::inverse_many(Complex* data, std::size_t count) const {
 }
 
 void Fft3D::inverse_many_active(Complex* data, std::size_t count,
-                                std::span<const std::uint32_t> x_lines) const {
-  const std::size_t n0 = dims_[0], n1 = dims_[1], n2 = dims_[2];
+                                std::span<const std::uint32_t> x_lines,
+                                std::span<const std::uint32_t> y_lines) const {
+  const std::size_t n0 = dims_[0], n1 = dims_[1];
   axis_pass_many(data, count, 0, +1, x_lines.data(), x_lines.size());
-  axis_pass_many(data, count, 1, +1, nullptr, n0 * n2);
+  axis_pass_many(data, count, 1, +1, y_lines.data(), y_lines.size());
   axis_pass_many(data, count, 2, +1, nullptr, n0 * n1);
 }
 
 void Fft3D::forward_many_active(Complex* data, std::size_t count,
+                                std::span<const std::uint32_t> y_lines,
                                 std::span<const std::uint32_t> z_lines) const {
-  const std::size_t n0 = dims_[0], n1 = dims_[1], n2 = dims_[2];
+  const std::size_t n1 = dims_[1], n2 = dims_[2];
   axis_pass_many(data, count, 0, -1, nullptr, n1 * n2);
-  axis_pass_many(data, count, 1, -1, nullptr, n0 * n2);
+  axis_pass_many(data, count, 1, -1, y_lines.data(), y_lines.size());
   axis_pass_many(data, count, 2, -1, z_lines.data(), z_lines.size());
 }
 

@@ -17,7 +17,8 @@
 ///
 /// Determinism: every 1-D line is computed by exactly one thread running the
 /// identical serial kernel, so results are bit-identical to the serial loop
-/// at any thread count.
+/// at any thread count. The inner radix kernel (scalar or SIMD,
+/// fft_plan.hpp) is fixed at construction and never depends on the width.
 ///
 /// Grid layout: linear index i = x + n0*(y + n1*z), x fastest.
 
@@ -33,11 +34,13 @@ namespace pwdft::fft {
 
 class Fft3D {
  public:
-  explicit Fft3D(std::array<std::size_t, 3> dims);
+  explicit Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel = RadixKernel::kAuto);
 
   const std::array<std::size_t, 3>& dims() const { return dims_; }
   /// Total number of grid points.
   std::size_t size() const { return dims_[0] * dims_[1] * dims_[2]; }
+  /// The resolved radix kernel shared by the three axis plans.
+  RadixKernel kernel() const { return plan_x_.kernel(); }
 
   /// In-place unnormalized transforms. inverse(forward(x)) == size()*x.
   void forward(Complex* data) const;
@@ -51,19 +54,27 @@ class Fft3D {
   void inverse_many(Complex* data, std::size_t count) const;
 
   /// Sphere-masked variants (the fused sphere<->grid path, see
-  /// grid/transforms.hpp).
+  /// grid/transforms.hpp). All three axes run masked.
   ///
   /// inverse_many_active: the axis-0 pass runs only over `x_lines` (line
-  /// l = y + n1*z); all other x-lines MUST already be zero (a freshly
-  /// scattered sphere guarantees this), making the result bit-identical to
-  /// inverse_many while skipping the empty lines.
+  /// l = y + n1*z) and the axis-1 pass only over `y_lines` (line
+  /// l = x + n0*z). All other x-lines MUST already be zero (a freshly
+  /// scattered sphere guarantees this) and `y_lines` must cover every
+  /// z-plane that carries an active x-line; skipped axis-1 lines are then
+  /// all-zero and their transform is the identity, making the result
+  /// bit-identical to inverse_many while skipping the empty lines.
   void inverse_many_active(Complex* data, std::size_t count,
-                           std::span<const std::uint32_t> x_lines) const;
-  /// forward_many_active: axes 0 and 1 run in full, the final axis-2 pass
-  /// only over `z_lines` (line l = x + n0*y). Grid values on other z-lines
-  /// are left unspecified; values on the listed lines are bit-identical to
-  /// forward_many. Use when only sphere points are gathered afterwards.
+                           std::span<const std::uint32_t> x_lines,
+                           std::span<const std::uint32_t> y_lines) const;
+  /// forward_many_active: the axis-0 pass runs in full, the axis-1 pass
+  /// only over `y_lines` (line l = x + n0*z) and the final axis-2 pass only
+  /// over `z_lines` (line l = x + n0*y). `y_lines` must cover every x that
+  /// appears in `z_lines` (SphereMap::y_lines_fwd does). Grid values on
+  /// skipped axis-1 and axis-2 lines are left unspecified; values on the
+  /// listed z-lines are bit-identical to forward_many. Use when only sphere
+  /// points are gathered afterwards.
   void forward_many_active(Complex* data, std::size_t count,
+                           std::span<const std::uint32_t> y_lines,
                            std::span<const std::uint32_t> z_lines) const;
 
  private:

@@ -1,8 +1,21 @@
 #include "fft/fft_plan.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/check.hpp"
+
+// Vectorization hint for the SIMD kernels below. The loops are written so
+// that plain -O2/-O3 auto-vectorization already applies (contiguous double
+// lanes, no aliasing through distinct restrict-qualified pointers); the
+// pragma additionally licenses the reassociation-free lane split when the
+// compiler honors it (-fopenmp-simd, set in CMakeLists for GCC/Clang).
+#if defined(__GNUC__) || defined(__clang__)
+#define PWDFT_SIMD_LOOP _Pragma("omp simd")
+#else
+#define PWDFT_SIMD_LOOP
+#endif
 
 namespace pwdft::fft {
 
@@ -33,6 +46,174 @@ Complex unit_root(double num, double den) {
   return {std::cos(ang), std::sin(ang)};
 }
 
+// ---- SIMD kernels -------------------------------------------------------
+//
+// Each Complex is viewed as two adjacent doubles (guaranteed layout of
+// std::complex<double>). The combine/twiddle loops perform the scalar
+// expressions' real/imaginary operations in the same order, just over raw
+// lanes so the vectorizer can pack them; together with the exact butterfly
+// leaves below, the kernel agrees with the scalar one to final-bit
+// rounding (no reassociation — only FMA contraction and the leaves'
+// exact constants differ), bounded by tests/test_fft_oracle.cpp.
+
+/// w[i] *= tw[i] (conj_tw: multiply by conj(tw[i]) instead), n complexes.
+void twiddle_mul_simd(Complex* w_c, const Complex* tw_c, std::size_t n, bool conj_tw) {
+  double* __restrict__ w = reinterpret_cast<double*>(w_c);
+  const double* __restrict__ tw = reinterpret_cast<const double*>(tw_c);
+  const double s = conj_tw ? -1.0 : 1.0;
+  PWDFT_SIMD_LOOP
+  for (std::size_t k = 0; k < n; ++k) {
+    const double wr = w[2 * k], wi = w[2 * k + 1];
+    const double tr = tw[2 * k], ti = s * tw[2 * k + 1];
+    w[2 * k] = wr * tr - wi * ti;
+    w[2 * k + 1] = wr * ti + wi * tr;
+  }
+}
+
+/// Radix-2 combine: out[k] = a + b, out[n1+k] = a - b over the contiguous k
+/// index. Real/imag lanes are independent, so the loop runs over 2*n1 flat
+/// doubles and vectorizes without any shuffle.
+void radix2_combine_simd(const Complex* work_c, Complex* out_c, std::size_t n1) {
+  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
+  double* __restrict__ o = reinterpret_cast<double*>(out_c);
+  const std::size_t m = 2 * n1;
+  PWDFT_SIMD_LOOP
+  for (std::size_t i = 0; i < m; ++i) {
+    const double a = w[i];
+    const double b = w[m + i];
+    o[i] = a + b;
+    o[m + i] = a - b;
+  }
+}
+
+/// Radix-4 combine with the W_4 = -i (sign=-1) / +i (sign=+1) butterfly:
+/// the +-i multiply is a lane swap plus sign flip, done explicitly.
+void radix4_combine_simd(const Complex* work_c, Complex* out_c, std::size_t n1, int sign) {
+  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
+  double* __restrict__ o = reinterpret_cast<double*>(out_c);
+  // mi*(b-d) with mi = -i (forward): re = im(b-d), im = -re(b-d); s = +1.
+  // mi = +i (inverse): re = -im(b-d), im = re(b-d); s = -1.
+  const double s = (sign < 0) ? 1.0 : -1.0;
+  const std::size_t m = 2 * n1;
+  PWDFT_SIMD_LOOP
+  for (std::size_t k = 0; k < n1; ++k) {
+    const double ar = w[2 * k], ai = w[2 * k + 1];
+    const double br = w[m + 2 * k], bi = w[m + 2 * k + 1];
+    const double cr = w[2 * m + 2 * k], ci = w[2 * m + 2 * k + 1];
+    const double dr = w[3 * m + 2 * k], di = w[3 * m + 2 * k + 1];
+    const double acp_r = ar + cr, acp_i = ai + ci;
+    const double acm_r = ar - cr, acm_i = ai - ci;
+    const double bdp_r = br + dr, bdp_i = bi + di;
+    const double bdm_r = s * (bi - di), bdm_i = -s * (br - dr);
+    o[2 * k] = acp_r + bdp_r;
+    o[2 * k + 1] = acp_i + bdp_i;
+    o[m + 2 * k] = acm_r + bdm_r;
+    o[m + 2 * k + 1] = acm_i + bdm_i;
+    o[2 * m + 2 * k] = acp_r - bdp_r;
+    o[2 * m + 2 * k + 1] = acp_i - bdp_i;
+    o[3 * m + 2 * k] = acm_r - bdm_r;
+    o[3 * m + 2 * k + 1] = acm_i - bdm_i;
+  }
+}
+
+/// Generic radix-r combine (r = 3, 5, odd primes) with the q-accumulation
+/// hoisted outside a vectorizable k loop: out_j += w_hat_q * W_r^{jq},
+/// accumulating over q in the same ascending order as the scalar kernel.
+void generic_combine_simd(const Complex* work_c, Complex* out_c, const Complex* cb,
+                          std::size_t r, std::size_t n1, bool conj_cb) {
+  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
+  double* __restrict__ o = reinterpret_cast<double*>(out_c);
+  const double s = conj_cb ? -1.0 : 1.0;
+  for (std::size_t j = 0; j < r; ++j) {
+    double* oj = o + 2 * j * n1;
+    const Complex* row = cb + j * r;
+    {
+      const double cr = row[0].real(), ci = s * row[0].imag();
+      PWDFT_SIMD_LOOP
+      for (std::size_t k = 0; k < n1; ++k) {
+        const double wr = w[2 * k], wi = w[2 * k + 1];
+        oj[2 * k] = wr * cr - wi * ci;
+        oj[2 * k + 1] = wr * ci + wi * cr;
+      }
+    }
+    for (std::size_t q = 1; q < r; ++q) {
+      const double cr = row[q].real(), ci = s * row[q].imag();
+      const double* wq = w + 2 * q * n1;
+      PWDFT_SIMD_LOOP
+      for (std::size_t k = 0; k < n1; ++k) {
+        const double wr = wq[2 * k], wi = wq[2 * k + 1];
+        oj[2 * k] += wr * cr - wi * ci;
+        oj[2 * k + 1] += wr * ci + wi * cr;
+      }
+    }
+  }
+}
+
+/// Exact butterfly leaves for the SIMD kernel: lengths 2 and 4 need no
+/// twiddle table at all (roots are +-1, +-i), saving the naive-DFT table
+/// walk at the bottom of every recursion. More accurate than the table
+/// path (the table stores cos(pi/2) ~ 6e-17, the butterfly uses the exact
+/// zero); the FFT oracle bounds both against the reference DFT.
+inline void leaf2_butterfly(const Complex* in, std::size_t stride, Complex* out) {
+  const Complex a = in[0], b = in[stride];
+  out[0] = a + b;
+  out[1] = a - b;
+}
+
+inline void leaf4_butterfly(const Complex* in, std::size_t stride, Complex* out, int sign) {
+  const Complex a = in[0], b = in[stride], c = in[2 * stride], d = in[3 * stride];
+  const Complex ac_p = a + c, ac_m = a - c;
+  const Complex bd_p = b + d;
+  const Complex bd = b - d;
+  // -i*(b-d) for sign=-1, +i*(b-d) for sign=+1, as an exact lane swizzle.
+  const Complex bd_m = (sign < 0) ? Complex{bd.imag(), -bd.real()}
+                                  : Complex{-bd.imag(), bd.real()};
+  out[0] = ac_p + bd_p;
+  out[1] = ac_m + bd_m;
+  out[2] = ac_p - bd_p;
+  out[3] = ac_m - bd_m;
+}
+
+/// Winograd-style length-3 DFT: 1 real multiply pair instead of 4 complex
+/// table multiplies.
+inline void leaf3_butterfly(const Complex* in, std::size_t stride, Complex* out, int sign) {
+  constexpr double kSin3 = 0.86602540378443864676;  // sin(2*pi/3)
+  const Complex a = in[0], b = in[stride], c = in[2 * stride];
+  const Complex bc_p = b + c, bc_m = b - c;
+  const Complex t = a - 0.5 * bc_p;
+  // -i*sin(2pi/3)*(b-c) for sign=-1, conjugated for +1.
+  const Complex rot = (sign < 0) ? Complex{kSin3 * bc_m.imag(), -kSin3 * bc_m.real()}
+                                 : Complex{-kSin3 * bc_m.imag(), kSin3 * bc_m.real()};
+  out[0] = a + bc_p;
+  out[1] = t + rot;
+  out[2] = t - rot;
+}
+
+/// Winograd-style length-5 DFT: 4 real-scaled combinations instead of 16
+/// complex table multiplies.
+inline void leaf5_butterfly(const Complex* in, std::size_t stride, Complex* out, int sign) {
+  constexpr double kC1 = 0.30901699437494742410;   // cos(2*pi/5)
+  constexpr double kC2 = -0.80901699437494742410;  // cos(4*pi/5)
+  constexpr double kS1 = 0.95105651629515357212;   // sin(2*pi/5)
+  constexpr double kS2 = 0.58778525229247312917;   // sin(4*pi/5)
+  const Complex a = in[0], b = in[stride], c = in[2 * stride], d = in[3 * stride],
+                e = in[4 * stride];
+  const Complex t1 = b + e, t2 = c + d, t3 = b - e, t4 = c - d;
+  const Complex p1 = a + kC1 * t1 + kC2 * t2;
+  const Complex p2 = a + kC2 * t1 + kC1 * t2;
+  const Complex u1 = kS1 * t3 + kS2 * t4;
+  const Complex u2 = kS2 * t3 - kS1 * t4;
+  const Complex r1 = (sign < 0) ? Complex{u1.imag(), -u1.real()}
+                                : Complex{-u1.imag(), u1.real()};
+  const Complex r2 = (sign < 0) ? Complex{u2.imag(), -u2.real()}
+                                : Complex{-u2.imag(), u2.real()};
+  out[0] = a + t1 + t2;
+  out[1] = p1 + r1;
+  out[2] = p2 + r2;
+  out[3] = p2 - r2;
+  out[4] = p1 - r1;
+}
+
 }  // namespace
 
 bool FftPlan1D::fast_size(std::size_t n) {
@@ -42,7 +223,23 @@ bool FftPlan1D::fast_size(std::size_t n) {
   return n == 1;
 }
 
-FftPlan1D::FftPlan1D(std::size_t n) : n_(n) {
+RadixKernel FftPlan1D::env_default() {
+  static const RadixKernel k = [] {
+    if (const char* e = std::getenv("PWDFT_FFT_KERNEL")) {
+      const std::string_view v(e);
+      if (v == "scalar") return RadixKernel::kScalar;
+      if (v == "simd") return RadixKernel::kSimd;
+      // Fail fast: silently falling back would let a typo (=Scalar, =SIMD)
+      // run the wrong kernel through an entire validation experiment.
+      PWDFT_CHECK(false, "PWDFT_FFT_KERNEL must be 'scalar' or 'simd'");
+    }
+    return RadixKernel::kSimd;
+  }();
+  return k;
+}
+
+FftPlan1D::FftPlan1D(std::size_t n, RadixKernel kernel)
+    : n_(n), kernel_(kernel == RadixKernel::kAuto ? env_default() : kernel) {
   PWDFT_CHECK(n >= 1, "FFT length must be positive");
   std::size_t m = n;
   while (true) {
@@ -91,6 +288,24 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
       out[0] = in[0];
       return;
     }
+    if (kernel_ == RadixKernel::kSimd) {
+      if (n == 2) {
+        leaf2_butterfly(in, stride, out);
+        return;
+      }
+      if (n == 3) {
+        leaf3_butterfly(in, stride, out, sign);
+        return;
+      }
+      if (n == 4) {
+        leaf4_butterfly(in, stride, out, sign);
+        return;
+      }
+      if (n == 5) {
+        leaf5_butterfly(in, stride, out, sign);
+        return;
+      }
+    }
     for (std::size_t k = 0; k < n; ++k) {
       Complex acc = in[0];
       std::size_t idx = 0;
@@ -107,6 +322,7 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
 
   const std::size_t r = lv.r;
   const std::size_t n1 = lv.n1;
+  const bool simd = kernel_ == RadixKernel::kSimd;
 
   // Decimation in time: child q transforms the subsequence in[q::r].
   // Child results land in work[q*n1 .. ), using out[q*n1 ..) as scratch.
@@ -114,7 +330,9 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
     exec_level(li + 1, in + q * stride, stride * r, work + q * n1, out + q * n1, sign);
 
   // Twiddle multiply in place: w_hat[q*n1+k] = work[q*n1+k] * W_n^{qk}.
-  if (sign < 0) {
+  if (simd) {
+    twiddle_mul_simd(work, tw, r * n1, sign > 0);
+  } else if (sign < 0) {
     for (std::size_t i = 0; i < r * n1; ++i) work[i] *= tw[i];
   } else {
     for (std::size_t i = 0; i < r * n1; ++i) work[i] *= std::conj(tw[i]);
@@ -122,6 +340,10 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
 
   // Combine: out[j*n1+k] = sum_q w_hat[q*n1+k] * W_r^{jq}.
   if (r == 2) {
+    if (simd) {
+      radix2_combine_simd(work, out, n1);
+      return;
+    }
     for (std::size_t k = 0; k < n1; ++k) {
       const Complex a = work[k];
       const Complex b = work[n1 + k];
@@ -131,6 +353,10 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
     return;
   }
   if (r == 4) {
+    if (simd) {
+      radix4_combine_simd(work, out, n1, sign);
+      return;
+    }
     // W_4 = -i for sign=-1, +i for sign=+1.
     const Complex mi = (sign < 0) ? Complex{0.0, -1.0} : Complex{0.0, 1.0};
     for (std::size_t k = 0; k < n1; ++k) {
@@ -148,6 +374,10 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
     return;
   }
   const Complex* cb = comb_.data() + lv.cb_off;
+  if (simd) {
+    generic_combine_simd(work, out, cb, r, n1, sign > 0);
+    return;
+  }
   for (std::size_t k = 0; k < n1; ++k) {
     for (std::size_t j = 0; j < r; ++j) {
       Complex acc{0.0, 0.0};

@@ -26,6 +26,26 @@ SphereMap::SphereMap(std::vector<std::size_t> map_in, const std::array<std::size
   };
   uniquify(x_lines);
   uniquify(z_lines);
+
+  // Axis-1 masks (line l = x + n0*z). Forward: the masked axis-2 pass reads
+  // whole z-columns at (x, y) in z_lines, so axis-1 output is needed at
+  // every z for each x with sphere support. Inverse: after the masked
+  // axis-0 pass, data is nonzero only on x_lines (y, z), so a z-plane with
+  // no active x-line contributes all-zero axis-1 lines, skipped exactly.
+  const std::size_t n2 = dims[2];
+  std::vector<char> x_active(n0, 0);
+  for (const std::uint32_t zl : z_lines) x_active[zl % n0] = 1;
+  std::vector<char> z_active(n2, 0);
+  for (const std::uint32_t xl : x_lines) z_active[xl / n1] = 1;
+  y_lines_fwd.reserve(n0 * n2);
+  y_lines_inv.reserve(n0 * n2);
+  for (std::size_t z = 0; z < n2; ++z)
+    for (std::size_t x = 0; x < n0; ++x) {
+      if (x_active[x]) y_lines_fwd.push_back(static_cast<std::uint32_t>(x + n0 * z));
+      if (z_active[z]) y_lines_inv.push_back(static_cast<std::uint32_t>(x + n0 * z));
+    }
+  y_lines_fwd.shrink_to_fit();
+  y_lines_inv.shrink_to_fit();
 }
 
 double SphereMap::x_fill() const {
@@ -33,17 +53,23 @@ double SphereMap::x_fill() const {
   return total == 0 ? 0.0 : static_cast<double>(x_lines.size()) / static_cast<double>(total);
 }
 
+double SphereMap::y_fill_fwd() const {
+  const std::size_t total = dims[0] * dims[2];
+  return total == 0 ? 0.0
+                    : static_cast<double>(y_lines_fwd.size()) / static_cast<double>(total);
+}
+
 void sphere_to_grid(const fft::Fft3D& fft, const SphereMap& sm, std::span<const Complex> coeffs,
                     std::span<Complex> grid) {
   PWDFT_ASSERT(grid.size() == sm.grid_size());
   GSphere::scatter(coeffs, sm.map, grid);
-  fft.inverse_many_active(grid.data(), 1, sm.x_lines);
+  fft.inverse_many_active(grid.data(), 1, sm.x_lines, sm.y_lines_inv);
 }
 
 void grid_to_sphere(const fft::Fft3D& fft, const SphereMap& sm, std::span<Complex> grid,
                     double scale, std::span<Complex> coeffs) {
   PWDFT_ASSERT(grid.size() == sm.grid_size());
-  fft.forward_many_active(grid.data(), 1, sm.z_lines);
+  fft.forward_many_active(grid.data(), 1, sm.y_lines_fwd, sm.z_lines);
   GSphere::gather(grid, sm.map, scale, coeffs);
 }
 
@@ -60,7 +86,7 @@ void sphere_to_grid_many(const fft::Fft3D& fft, const SphereMap& sm, const CMatr
     for (std::size_t j = b; j < e; ++j)
       GSphere::scatter({coeffs.col(j), ng}, sm.map, {grids.col(j), nw});
   });
-  fft.inverse_many_active(grids.data(), ncol, sm.x_lines);
+  fft.inverse_many_active(grids.data(), ncol, sm.x_lines, sm.y_lines_inv);
 }
 
 void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& grids, double scale,
@@ -70,7 +96,7 @@ void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& gr
   const std::size_t ncol = grids.cols();
   PWDFT_CHECK(grids.rows() == nw, "grid_to_sphere_many: grid rows mismatch");
   coeffs.reshape(ng, ncol);
-  fft.forward_many_active(grids.data(), ncol, sm.z_lines);
+  fft.forward_many_active(grids.data(), ncol, sm.y_lines_fwd, sm.z_lines);
   exec::parallel_for(ncol, [&](std::size_t b, std::size_t e) {
     for (std::size_t j = b; j < e; ++j)
       GSphere::gather({grids.col(j), nw}, sm.map, scale, {coeffs.col(j), ng});

@@ -7,11 +7,18 @@
 /// the wavefunction grid and 1/8 of that on the 2x dense grid), so after
 /// scattering coefficients most x-lines of the grid are identically zero and
 /// their axis-0 FFT pass is a no-op. Conversely, before gathering only the
-/// z-lines that contain sphere points need their final axis-2 pass. SphereMap
-/// precomputes both line sets once; sphere_to_grid / grid_to_sphere then run
-/// the scatter (or gather) and the partial-pass batched FFT as one call, with
-/// results bit-identical to the two-step scatter + full-FFT path at every
-/// thread count.
+/// z-lines that contain sphere points need their final axis-2 pass. The
+/// middle (axis-1) pass is masked too, in both directions:
+///  - inverse: a z-plane with no active x-line holds only zeros after the
+///    masked axis-0 pass, so every axis-1 line in it transforms to zero and
+///    is skipped exactly (y_lines_inv);
+///  - forward: the masked axis-2 pass only reads columns whose x appears in
+///    some active z-line, so axis-1 lines at other x are never consumed and
+///    are skipped (y_lines_fwd).
+/// SphereMap precomputes all four line sets once; sphere_to_grid /
+/// grid_to_sphere then run the scatter (or gather) and the partial-pass
+/// batched FFT as one call, with results bit-identical to the two-step
+/// scatter + full-FFT path at every thread count.
 
 #include <array>
 #include <cstddef>
@@ -36,10 +43,18 @@ struct SphereMap {
   std::array<std::size_t, 3> dims{0, 0, 0};
   std::vector<std::uint32_t> x_lines;  ///< sorted active axis-0 lines (l = y + n1*z)
   std::vector<std::uint32_t> z_lines;  ///< sorted active axis-2 lines (l = x + n0*y)
+  /// Axis-1 lines (l = x + n0*z) needed by the forward pass: all z for every
+  /// x that appears in z_lines.
+  std::vector<std::uint32_t> y_lines_fwd;
+  /// Axis-1 lines (l = x + n0*z) with nonzero input in the inverse pass: all
+  /// x for every z that appears in x_lines.
+  std::vector<std::uint32_t> y_lines_inv;
 
   std::size_t grid_size() const { return dims[0] * dims[1] * dims[2]; }
   /// Fraction of x-lines that carry sphere support (instrumentation).
   double x_fill() const;
+  /// Fraction of axis-1 lines the forward pass runs (instrumentation).
+  double y_fill_fwd() const;
 };
 
 /// grid <- inverse_fft(scatter(coeffs)): one fused call. `grid` is fully

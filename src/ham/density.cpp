@@ -10,7 +10,7 @@ namespace pwdft::ham {
 
 std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft_dense,
                                     const CMatrix& psi_local, std::span<const double> occ_local,
-                                    par::Comm& comm) {
+                                    par::Comm& comm, bool band_line_split) {
   PWDFT_CHECK(psi_local.cols() == occ_local.size(), "compute_density: occupations mismatch");
   const std::size_t nd = setup.n_dense();
   const std::size_t nb = psi_local.cols();
@@ -38,18 +38,36 @@ std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft
   const std::size_t nchunks = (nb + bper - 1) / bper;
   auto parts = exec::workspace().rbuf(exec::Slot::rho_part, nchunks * nd);
 
+  // Hybrid band×line schedule: with fewer bands than engine threads the
+  // chunk loop cannot fill the engine, so the transforms are hoisted into
+  // one batched (band × FFT line) pass first and the chunk loop below reads
+  // the precomputed grids. The accumulation statement is the same compiled
+  // loop in either mode and the FFT per line is the identical serial
+  // kernel, so the reduction tree — and every bit of rho — is unchanged.
+  const CMatrix* pregrids = nullptr;
+  if (band_line_split && exec::prefer_line_split(nb)) {
+    CMatrix& grids = exec::workspace().cmat(exec::Slot::rho_grids, nd, nb);
+    grid::sphere_to_grid_many(fft_dense, setup.smap_dense, psi_local, grids);
+    pregrids = &grids;
+  }
+
   exec::parallel_for(nchunks, [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
       double* part = parts.data() + c * nd;
       std::fill_n(part, nd, 0.0);
-      // Per-band transform scratch comes from the executing thread's arena.
-      auto work = exec::workspace().cbuf(exec::Slot::grid_a, nd);
       const std::size_t j1 = std::min(nb, (c + 1) * bper);
       for (std::size_t j = c * bper; j < j1; ++j) {
-        grid::sphere_to_grid(fft_dense, setup.smap_dense, {psi_local.col(j), setup.n_g()},
-                             work);
+        const Complex* w;
+        if (pregrids) {
+          w = pregrids->col(j);
+        } else {
+          // Per-band transform scratch from the executing thread's arena.
+          auto work = exec::workspace().cbuf(exec::Slot::grid_a, nd);
+          grid::sphere_to_grid(fft_dense, setup.smap_dense, {psi_local.col(j), setup.n_g()},
+                               work);
+          w = work.data();
+        }
         const double f = occ_local[j] * inv_vol;
-        const Complex* w = work.data();
         for (std::size_t i = 0; i < nd; ++i) part[i] += f * std::norm(w[i]);
       }
     }

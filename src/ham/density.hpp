@@ -17,9 +17,15 @@ namespace pwdft::ham {
 
 /// rho(r) on the dense grid from band-distributed orbitals; occ_local are
 /// the occupations of the local bands. Collective over `comm`.
+///
+/// `band_line_split` enables the hybrid band×line schedule: when the local
+/// band count is below the engine width, the per-band transforms run as one
+/// batched (band × FFT line) pass before the fixed-chunk accumulation.
+/// Bit-identical to the band-parallel path at any width (docs/threading.md);
+/// tests force both values to pin the equivalence.
 std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft_dense,
                                     const CMatrix& psi_local, std::span<const double> occ_local,
-                                    par::Comm& comm);
+                                    par::Comm& comm, bool band_line_split = true);
 
 /// Integral of a dense-grid function: (Omega/N) * sum_r f(r).
 double integrate_dense(const PlanewaveSetup& setup, std::span<const double> f);

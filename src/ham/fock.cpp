@@ -135,7 +135,7 @@ void FockOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Co
     // slice of `contrib`.
     const Complex* cur_p = current.data();
     Complex* contrib_p = contrib.data();
-    exec::parallel_for(wn * nblocks, [&](std::size_t tb, std::size_t te) {
+    auto pair_block = [&](std::size_t tb, std::size_t te) {
       for (std::size_t t = tb; t < te; ++t) {
         const std::size_t il = t / nblocks;
         const double f_i = occ_[w0 + il];
@@ -163,31 +163,32 @@ void FockOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Co
           for (std::size_t k = 0; k < nw; ++k) dst[k] = scale * qi[k] * v[k];
         }
       }
-    });
+    };
+    // Hybrid band×line schedule: a window narrower than the engine runs
+    // its tasks serially here so each task's batched pair FFTs fork over
+    // the joint (batch × FFT line) domain instead of running inline inside
+    // an underfilled band loop. Identical per-task operations either way,
+    // so the choice never changes results (docs/threading.md).
+    if (opt_.band_line_split && exec::prefer_line_split(wn * nblocks)) {
+      pair_block(0, wn * nblocks);
+    } else {
+      exec::parallel_for(wn * nblocks, pair_block);
+    }
     for (std::size_t il = 0; il < wn; ++il)
       if (occ_[w0 + il] > 1e-12) pair_solves_ += ncol;
 
     // Deterministic reduction: every element accumulates the window's bands
     // in band order; elements are disjoint across chunks.
     Complex* acc_p = acc.data();
-    exec::parallel_for(
-        ncol * nw,
-        [&](std::size_t b, std::size_t e) {
-          std::size_t t = b;
-          while (t < e) {
-            const std::size_t col = t / nw;
-            const std::size_t r0 = t - col * nw;
-            const std::size_t len = std::min(nw - r0, e - t);
-            for (std::size_t il = 0; il < wn; ++il) {
-              if (occ_[w0 + il] <= 1e-12) continue;
-              const Complex* src = contrib_p + (il * ncol + col) * nw + r0;
-              Complex* dst = acc_p + col * nw + r0;
-              for (std::size_t k = 0; k < len; ++k) dst[k] += src[k];
-            }
-            t += len;
+    exec::parallel_for_cols(
+        ncol, nw, [&](std::size_t col, std::size_t r0, std::size_t len) {
+          for (std::size_t il = 0; il < wn; ++il) {
+            if (occ_[w0 + il] <= 1e-12) continue;
+            const Complex* src = contrib_p + (il * ncol + col) * nw + r0;
+            Complex* dst = acc_p + col * nw + r0;
+            for (std::size_t k = 0; k < len; ++k) dst[k] += src[k];
           }
-        },
-        4096);
+        });
 
     prefetch.wait();  // rethrows a failed prefetch
     std::swap(current, next);

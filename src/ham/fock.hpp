@@ -48,6 +48,12 @@ struct FockOptions {
   /// the block being applied to) — raise it for wide engines, lower it
   /// when memory-bound.
   std::size_t band_window = 4;
+  /// Hybrid band×line scheduling: a window whose (band x batch) task count
+  /// is below the engine width runs its tasks serially on the applying
+  /// thread so each task's batched pair FFTs win the whole pool (line-level
+  /// parallelism) instead of executing inline inside an underfilled band
+  /// loop. Bit-identical either way (docs/threading.md).
+  bool band_line_split = true;
 };
 
 class FockOperator {

@@ -65,37 +65,90 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
   {
     WallTimer t;
     const std::size_t nd = setup_.n_dense();
+    const std::size_t ncol = psi_local.cols();
     const double weight = setup_.weight_dense();
     const double inv_nd = 1.0 / static_cast<double>(nd);
     const double* vt = v_total_.data();
 
-    // Band-parallel: each band writes only its own column of y, so the loop
-    // runs on the engine with bit-identical results at any thread count.
-    // Per-band scratch is drawn from the executing thread's arena inside
-    // the task (two bands on one thread reuse the same buffers serially).
-    exec::parallel_for(psi_local.cols(), [&](std::size_t jb, std::size_t je) {
+    if (options_.band_line_split && ncol > 0 && exec::prefer_line_split(ncol)) {
+      // Hybrid band×line schedule: fewer bands than engine threads, so the
+      // band-parallel loop below would leave threads idle through every
+      // FFT. Run the identical math as three batched stages instead — the
+      // fused transforms parallelize over the joint (band × FFT line)
+      // domain, the point-wise stages over all elements. Every per-line
+      // kernel and per-element operation matches the band path exactly, so
+      // results are bit-identical whichever path the width selects
+      // (docs/threading.md).
       auto& ws = exec::workspace();
-      auto grid_work = ws.cbuf(exec::Slot::grid_a, nd);
-      auto vloc_part = ws.cbuf(exec::Slot::grid_b, nd);
-      auto coeffs = ws.cbuf(exec::Slot::coeffs_a, ng);
-      for (std::size_t j = jb; j < je; ++j) {
-        const Complex* c = psi_local.col(j);
-        Complex* y = y_local.col(j);
-        // Kinetic term on the sphere.
-        for (std::size_t i = 0; i < ng; ++i) y[i] = kin_[i] * c[i];
-
-        // Local potential + nonlocal projectors in real space (dense grid):
-        // fused sphere->grid, point-wise V, fused grid->sphere. The forward
-        // pass only completes the z-lines that are gathered afterwards.
-        grid::sphere_to_grid(fft_dense_, setup_.smap_dense, {c, ng}, grid_work);
-        Complex* gw = grid_work.data();
-        Complex* vp = vloc_part.data();
-        for (std::size_t i = 0; i < nd; ++i) vp[i] = vt[i] * gw[i];
-        if (nonlocal_) nonlocal_->apply_add(grid_work, vloc_part, weight);
-        grid::grid_to_sphere(fft_dense_, setup_.smap_dense, vloc_part, inv_nd, coeffs);
-        for (std::size_t i = 0; i < ng; ++i) y[i] += coeffs[i];
+      CMatrix& grids = ws.cmat(exec::Slot::ham_grids, nd, ncol);
+      CMatrix& vlocs = ws.cmat(exec::Slot::ham_vlocs, nd, ncol);
+      CMatrix& coeffs = ws.cmat(exec::Slot::ham_coeffs, ng, ncol);
+      grid::sphere_to_grid_many(fft_dense_, setup_.smap_dense, psi_local, grids);
+      const Complex* gw = grids.data();
+      Complex* vp = vlocs.data();
+      exec::parallel_for_cols(ncol, nd, [=](std::size_t col, std::size_t r0, std::size_t len) {
+        const double* v = vt + r0;
+        const Complex* g = gw + col * nd + r0;
+        Complex* p = vp + col * nd + r0;
+        for (std::size_t k = 0; k < len; ++k) p[k] = v[k] * g[k];
+      });
+      if (nonlocal_) {
+        exec::parallel_for(ncol, [&](std::size_t jb, std::size_t je) {
+          for (std::size_t j = jb; j < je; ++j)
+            nonlocal_->apply_add({grids.col(j), nd}, {vlocs.col(j), nd}, weight);
+        });
       }
-    });
+      grid::grid_to_sphere_many(fft_dense_, setup_.smap_dense, vlocs, inv_nd, coeffs);
+      // Two separate stages (pure multiply, then pure add) exactly like the
+      // band path — a single fused expression could contract to FMA and
+      // break bit-identity between the two schedules.
+      const double* kin = kin_.data();
+      const Complex* co = coeffs.data();
+      const Complex* ps = psi_local.data();
+      Complex* yp = y_local.data();
+      exec::parallel_for_cols(ncol, ng, [=](std::size_t col, std::size_t r0, std::size_t len) {
+        const double* kk = kin + r0;
+        const Complex* p = ps + col * ng + r0;
+        Complex* y = yp + col * ng + r0;
+        for (std::size_t k = 0; k < len; ++k) y[k] = kk[k] * p[k];
+      });
+      exec::parallel_for(
+          ncol * ng,
+          [=](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) yp[i] += co[i];
+          },
+          4096);
+    } else {
+      // Band-parallel: each band writes only its own column of y, so the
+      // loop runs on the engine with bit-identical results at any thread
+      // count. Per-band scratch is drawn from the executing thread's arena
+      // inside the task (two bands on one thread reuse the same buffers
+      // serially).
+      exec::parallel_for(ncol, [&](std::size_t jb, std::size_t je) {
+        auto& ws = exec::workspace();
+        auto grid_work = ws.cbuf(exec::Slot::grid_a, nd);
+        auto vloc_part = ws.cbuf(exec::Slot::grid_b, nd);
+        auto coeffs = ws.cbuf(exec::Slot::coeffs_a, ng);
+        for (std::size_t j = jb; j < je; ++j) {
+          const Complex* c = psi_local.col(j);
+          Complex* y = y_local.col(j);
+          // Kinetic term on the sphere.
+          for (std::size_t i = 0; i < ng; ++i) y[i] = kin_[i] * c[i];
+
+          // Local potential + nonlocal projectors in real space (dense
+          // grid): fused sphere->grid, point-wise V, fused grid->sphere.
+          // The forward pass only completes the z-lines that are gathered
+          // afterwards.
+          grid::sphere_to_grid(fft_dense_, setup_.smap_dense, {c, ng}, grid_work);
+          Complex* gw = grid_work.data();
+          Complex* vp = vloc_part.data();
+          for (std::size_t i = 0; i < nd; ++i) vp[i] = vt[i] * gw[i];
+          if (nonlocal_) nonlocal_->apply_add(grid_work, vloc_part, weight);
+          grid::grid_to_sphere(fft_dense_, setup_.smap_dense, vloc_part, inv_nd, coeffs);
+          for (std::size_t i = 0; i < ng; ++i) y[i] += coeffs[i];
+        }
+      });
+    }
     if (timers) timers->add("hpsi_local", t.seconds());
   }
 

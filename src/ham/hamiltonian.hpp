@@ -28,6 +28,13 @@ struct HamiltonianOptions {
   bool use_nonlocal = true;
   /// Apply exchange through the ACE compression instead of direct Alg. 2.
   bool use_ace = false;
+  /// Hybrid band×line scheduling: when the local band count is below the
+  /// engine width, apply() switches from the band-parallel loop (per-band
+  /// FFTs inline) to one batched formulation whose FFT passes parallelize
+  /// over the joint (band × FFT line) domain. Bit-identical to the band
+  /// path at any width (docs/threading.md); costs ~3 * ncol * n_dense
+  /// complex doubles of arena in the narrow-band case.
+  bool band_line_split = true;
 };
 
 class Hamiltonian {

@@ -18,6 +18,13 @@ std::vector<Complex> lsq_solve(const CMatrix& a, std::span<const Complex> b, dou
 
 std::vector<Complex> lsq_solve_gram(const CMatrix& gram, std::span<const Complex> rhs,
                                     double lam) {
+  CMatrix m = gram;
+  std::vector<Complex> x(rhs.begin(), rhs.end());
+  lsq_solve_gram_inplace(m, x, lam);
+  return x;
+}
+
+void lsq_solve_gram_inplace(CMatrix& gram, std::span<Complex> rhs, double lam) {
   PWDFT_CHECK(gram.rows() == gram.cols(), "lsq: Gram matrix must be square");
   PWDFT_CHECK(gram.rows() == rhs.size(), "lsq: rhs size mismatch");
   const std::size_t n = gram.rows();
@@ -29,17 +36,20 @@ std::vector<Complex> lsq_solve_gram(const CMatrix& gram, std::span<const Complex
   diag_mean = (n > 0) ? diag_mean / static_cast<double>(n) : 1.0;
   if (diag_mean <= 0.0) diag_mean = 1.0;
 
-  CMatrix m(n, n);
-  for (std::size_t j = 0; j < n; ++j)
-    for (std::size_t i = 0; i < n; ++i)
-      m(i, j) = 0.5 * (gram(i, j) + std::conj(gram(j, i)));
-  for (std::size_t i = 0; i < n; ++i) m(i, i) += lam * diag_mean;
+  // Hermitian average in place (pairwise, diagonal made exactly real),
+  // then the Tikhonov shift.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const Complex a = gram(i, j), b = gram(j, i);
+      gram(i, j) = 0.5 * (a + std::conj(b));
+      gram(j, i) = 0.5 * (b + std::conj(a));
+    }
+    gram(j, j) = Complex{gram(j, j).real() + lam * diag_mean, 0.0};
+  }
 
-  std::vector<Complex> x(rhs.begin(), rhs.end());
-  potrf_lower(m);
-  solve_lower(m, x.data());
-  solve_lower_conj(m, x.data());
-  return x;
+  potrf_lower(gram);
+  solve_lower(gram, rhs.data());
+  solve_lower_conj(gram, rhs.data());
 }
 
 }  // namespace pwdft::linalg

@@ -22,4 +22,11 @@ std::vector<Complex> lsq_solve(const CMatrix& a, std::span<const Complex> b, dou
 std::vector<Complex> lsq_solve_gram(const CMatrix& gram, std::span<const Complex> rhs,
                                     double lam);
 
+/// Allocation-free variant: conditions `gram` IN PLACE (Hermitian average +
+/// mean-diagonal-relative Tikhonov shift, then its Cholesky factor) and
+/// overwrites `rhs` with the solution. The single source of the
+/// regularization recipe — lsq_solve_gram and AndersonMixer::mix (which
+/// passes arena-backed storage) both call it.
+void lsq_solve_gram_inplace(CMatrix& gram, std::span<Complex> rhs, double lam);
+
 }  // namespace pwdft::linalg

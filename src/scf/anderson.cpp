@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/exec.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/lsq.hpp"
 
@@ -52,22 +53,33 @@ void AndersonMixer::mix(std::span<const Complex> x, std::span<const Complex> f,
   }
 
   // Solve min_gamma ||f - dF gamma|| over the active history columns.
-  CMatrix df_active(n_, n_hist_);
-  CMatrix dx_active(n_, n_hist_);
-  for (std::size_t k = 0; k < n_hist_; ++k) {
-    // Oldest-to-newest order is irrelevant for the LSQ solution.
-    std::copy_n(df_.col(k), n_, df_active.col(k));
-    std::copy_n(dx_.col(k), n_, dx_active.col(k));
+  //
+  // The ring buffer keeps the active set in slots 0..n_hist-1, so the
+  // regularized normal equations are built directly on the history columns
+  // — no per-call copies. The Gram system lives in the executing thread's
+  // arena, keeping the band-parallel PT-CN mixing loop (and the whole SCF
+  // iteration around it) allocation-free (tests/test_alloc_free.cpp).
+  auto& ws = exec::workspace();
+  CMatrix& m = ws.cmat(exec::Slot::mix_gram, n_hist_, n_hist_);
+  auto gamma = ws.cbuf(exec::Slot::mix_rhs, n_hist_);
+  for (std::size_t j = 0; j < n_hist_; ++j) {
+    // The Gram matrix is exactly Hermitian (dotc(a,b) == conj(dotc(b,a)),
+    // term for term), so only the lower triangle is computed.
+    for (std::size_t i = j; i < n_hist_; ++i) {
+      m(i, j) = linalg::dotc({df_.col(i), n_}, {df_.col(j), n_});
+      if (i != j) m(j, i) = std::conj(m(i, j));
+    }
+    gamma[j] = linalg::dotc({df_.col(j), n_}, f);
   }
-  const std::vector<Complex> gamma = linalg::lsq_solve(df_active, f, reg_);
+  linalg::lsq_solve_gram_inplace(m, gamma, reg_);
 
   // out = (x - dX gamma) + beta (f - dF gamma).
   for (std::size_t i = 0; i < n_; ++i) out[i] = x[i] + beta_ * f[i];
   for (std::size_t k = 0; k < n_hist_; ++k) {
     const Complex g = gamma[k];
     if (g == Complex{0.0, 0.0}) continue;
-    const Complex* dxc = dx_active.col(k);
-    const Complex* dfc = df_active.col(k);
+    const Complex* dxc = dx_.col(k);
+    const Complex* dfc = df_.col(k);
     for (std::size_t i = 0; i < n_; ++i) out[i] -= g * (dxc[i] + beta_ * dfc[i]);
   }
 }
@@ -76,7 +88,10 @@ void AndersonMixer::mix_real(std::span<const double> x, std::span<const double> 
                              std::span<double> out) {
   PWDFT_CHECK(x.size() == n_ && f.size() == n_ && out.size() == n_,
               "AndersonMixer: size mismatch");
-  std::vector<Complex> xc(n_), fc(n_), oc(n_);
+  auto buf = exec::workspace().cbuf(exec::Slot::mix_real, 3 * n_);
+  const std::span<Complex> xc = buf.subspan(0, n_);
+  const std::span<Complex> fc = buf.subspan(n_, n_);
+  const std::span<Complex> oc = buf.subspan(2 * n_, n_);
   for (std::size_t i = 0; i < n_; ++i) {
     xc[i] = Complex{x[i], 0.0};
     fc[i] = Complex{f[i], 0.0};

@@ -29,7 +29,10 @@ class AndersonMixer {
   AndersonMixer(std::size_t n, std::size_t depth, double beta, double regularization = 1e-12);
 
   /// Computes the next iterate from (x, f = g(x) - x) into `out`
-  /// (out may alias x). Updates the internal history.
+  /// (out may alias x). Updates the internal history. Allocation-free after
+  /// warm-up: the Gram system is built directly on the ring-buffer columns
+  /// in the executing thread's workspace arena, so the band-parallel PT-CN
+  /// mixing loop never touches the heap (tests/test_alloc_free.cpp).
   void mix(std::span<const Complex> x, std::span<const Complex> f, std::span<Complex> out);
 
   /// Convenience for real vectors (density mixing).

@@ -1,13 +1,15 @@
 // Verifies the workspace-arena contract: after a warm-up call, the hot paths
 // (FockOperator::apply_add band loop, compute_density, hartree_potential,
-// Hamiltonian::apply) perform no per-call heap allocations beyond their
-// documented return values. Allocation counting works by overriding the
-// global operator new for this test binary.
+// Hamiltonian::apply, AndersonMixer::mix and the per-band PT-CN mixing loop)
+// perform no per-call heap allocations beyond their documented return
+// values. Allocation counting works by overriding the global operator new
+// for this test binary.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
 #include "common/exec.hpp"
@@ -19,6 +21,8 @@
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "parallel/comm.hpp"
+#include "scf/anderson.hpp"
+#include "td/band_ops.hpp"
 
 namespace {
 std::atomic<std::size_t> g_alloc_count{0};
@@ -109,6 +113,44 @@ TEST_F(AllocFreeHotPaths, HartreePotentialAllocatesOnlyTheResult) {
   const std::size_t n_alloc =
       allocations([&] { (void)ham::hartree_potential(setup_, fft_dense, rho); });
   EXPECT_LE(n_alloc, 1u);
+}
+
+TEST_F(AllocFreeHotPaths, AndersonMixAllocatesNothingAfterWarmup) {
+  // The mixer's Gram system and update loop run directly on the ring-buffer
+  // history columns with arena scratch — the last allocating step of a PT-CN
+  // SCF iteration (ROADMAP follow-up).
+  const std::size_t n = 256, depth = 4;
+  scf::AndersonMixer mixer(n, depth, 0.4);
+  Rng rng(23);
+  std::vector<Complex> x(n), f(n);
+  for (auto& v : x) v = rng.complex_normal();
+  for (auto& v : f) v = rng.complex_normal();
+  // Warm until the history ring and the arena Gram system reach full depth.
+  for (std::size_t it = 0; it < depth + 2; ++it) {
+    mixer.mix(x, f, x);
+    for (auto& v : f) v *= 0.9;  // keep difference columns nonzero
+  }
+  const std::size_t n_alloc = allocations([&] { mixer.mix(x, f, x); });
+  EXPECT_EQ(n_alloc, 0u) << "AndersonMixer::mix must draw its Gram system "
+                            "from the workspace arena";
+}
+
+TEST_F(AllocFreeHotPaths, PerBandAndersonMixingLoopIsAllocationFree) {
+  const std::size_t ng = setup_.n_g(), nb = 4;
+  std::vector<std::unique_ptr<scf::AndersonMixer>> mixers;
+  for (std::size_t j = 0; j < nb; ++j)
+    mixers.push_back(std::make_unique<scf::AndersonMixer>(ng, 8, 0.2));
+  Rng rng(29);
+  CMatrix r(ng, nb), x(ng, nb);
+  for (std::size_t i = 0; i < r.size(); ++i) r.data()[i] = rng.complex_normal();
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.complex_normal();
+  for (int it = 0; it < 10; ++it) {
+    td::detail::anderson_mix_bands(mixers, r, x);
+    for (std::size_t i = 0; i < r.size(); ++i) r.data()[i] *= 0.9;
+  }
+  const std::size_t n_alloc =
+      allocations([&] { td::detail::anderson_mix_bands(mixers, r, x); });
+  EXPECT_EQ(n_alloc, 0u);
 }
 
 TEST_F(AllocFreeHotPaths, HamiltonianLocalApplyIsArenaBacked) {

@@ -202,6 +202,101 @@ TEST(BandParallel, PtCnStepBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(BandParallel, DensityLineSplitBitIdenticalToBandPath) {
+  // Hybrid band×line schedule: with fewer bands than threads the transforms
+  // run as one batched (band × line) pass. Same per-line kernels, same
+  // fixed-chunk reduction — byte-identical to the band path at any width.
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 3;  // below the widest engine in the sweep
+  CMatrix psi = test::random_orthonormal(setup, nb, 59);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  fft::Fft3D fft_dense(setup.dense_grid.dims());
+
+  std::vector<double> ref;
+  for (bool split : {false, true}) {
+    for (std::size_t nt : kThreadCounts) {
+      exec::set_num_threads(nt);
+      auto rho = ham::compute_density(setup, fft_dense, psi, occ, comm, split);
+      if (ref.empty()) {
+        ref = rho;
+      } else {
+        ASSERT_EQ(rho.size(), ref.size());
+        for (std::size_t i = 0; i < rho.size(); ++i)
+          ASSERT_EQ(rho[i], ref[i]) << "i=" << i << " nt=" << nt << " split=" << split;
+      }
+    }
+  }
+}
+
+TEST(BandParallel, HamiltonianApplyLineSplitBitIdenticalToBandPath) {
+  // Narrow block (2 bands) with the hybrid split forced on and off at every
+  // width: the batched (band × line) formulation must reproduce the
+  // band-parallel loop byte for byte, including the Fock term whose narrow
+  // windows switch to the band-serial/line-parallel schedule.
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  const std::size_t nb = 2;
+  CMatrix psi = test::random_orthonormal(setup, nb, 61);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (bool split : {false, true}) {
+    for (std::size_t nt : kThreadCounts) {
+      exec::set_num_threads(nt);
+      auto options = test::fast_hybrid_options();
+      options.band_line_split = split;
+      options.fock.band_line_split = split;
+      ham::Hamiltonian h(setup, species, options);
+      auto rho = ham::compute_density(setup, h.fft_dense(), psi, occ, comm, split);
+      h.update_density(rho);
+      h.set_exchange_orbitals(psi, occ, bands, comm);
+      CMatrix y;
+      h.apply(psi, y, comm);
+      if (ref.empty()) {
+        ref = y;
+      } else {
+        EXPECT_EQ(test::max_abs_diff(y, ref), 0.0) << "nt=" << nt << " split=" << split;
+      }
+    }
+  }
+}
+
+TEST(BandParallel, FockNarrowWindowLineSplitBitIdentical) {
+  // band_window = 1 makes every window a single task — the extreme case for
+  // the band-serial/line-parallel Fock schedule.
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 4;
+  CMatrix phi = test::random_orthonormal(setup, nb, 67);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (bool split : {false, true}) {
+    for (std::size_t nt : kThreadCounts) {
+      exec::set_num_threads(nt);
+      ham::FockOptions fopt;
+      fopt.band_window = 1;
+      fopt.band_line_split = split;
+      ham::FockOperator fock(setup, xc::HybridParams{true, 0.25, 0.11}, fopt);
+      fock.set_orbitals(phi, occ, bands, comm);
+      CMatrix y(setup.n_g(), nb, Complex{0.0, 0.0});
+      fock.apply_add(phi, y, comm);
+      if (ref.empty()) {
+        ref = y;
+      } else {
+        EXPECT_EQ(test::max_abs_diff(y, ref), 0.0) << "nt=" << nt << " split=" << split;
+      }
+    }
+  }
+}
+
 TEST(BandParallel, OverlappedTransposeMatchesSerializedPath) {
   // Two thread-backed ranks, engine at 4 threads, Fock broadcast prefetch
   // AND the async-lane transposes all in flight: the overlapped step must

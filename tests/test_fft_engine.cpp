@@ -108,11 +108,27 @@ TEST_F(FusedTransforms, SphereMapMasksAreConsistent) {
   EXPECT_LE(smap_.z_lines.size(), dims[0] * dims[1]);
   EXPECT_GT(smap_.x_fill(), 0.0);
   EXPECT_LE(smap_.x_fill(), 1.0);
+  // Axis-1 masks: the forward mask must cover (x, z) for every sphere x at
+  // every z, the inverse mask every x on every sphere z-plane.
+  EXPECT_GT(smap_.y_fill_fwd(), 0.0);
+  EXPECT_LE(smap_.y_fill_fwd(), 1.0);
+  EXPECT_LE(smap_.y_lines_fwd.size(), dims[0] * dims[2]);
+  EXPECT_LE(smap_.y_lines_inv.size(), dims[0] * dims[2]);
   for (auto m : smap_.map) {
     const std::uint32_t xl = static_cast<std::uint32_t>(m / dims[0]);
     EXPECT_TRUE(std::binary_search(smap_.x_lines.begin(), smap_.x_lines.end(), xl));
     const std::uint32_t zl = static_cast<std::uint32_t>(m % (dims[0] * dims[1]));
     EXPECT_TRUE(std::binary_search(smap_.z_lines.begin(), smap_.z_lines.end(), zl));
+    const std::size_t x = m % dims[0];
+    const std::size_t z = m / (dims[0] * dims[1]);
+    for (std::size_t zz = 0; zz < dims[2]; ++zz) {
+      const std::uint32_t yl = static_cast<std::uint32_t>(x + dims[0] * zz);
+      EXPECT_TRUE(std::binary_search(smap_.y_lines_fwd.begin(), smap_.y_lines_fwd.end(), yl));
+    }
+    for (std::size_t xx = 0; xx < dims[0]; ++xx) {
+      const std::uint32_t yl = static_cast<std::uint32_t>(xx + dims[0] * z);
+      EXPECT_TRUE(std::binary_search(smap_.y_lines_inv.begin(), smap_.y_lines_inv.end(), yl));
+    }
   }
 }
 
