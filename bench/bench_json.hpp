@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file bench_json.hpp
+/// Machine-readable benchmark records shared by the bench harnesses.
+///
+/// Harnesses that support `--json <path>` (micro_kernels,
+/// fig3_fock_optimizations) append records of the schema
+///
+///   [{"benchmark": "...", "config": "...", "wall_s": 1.2e-4,
+///     "throughput": 3.4e7}, ...]
+///
+/// — the same schema as the committed repo-root baseline
+/// (BENCH_taskgraph.json) that bench/compare_bench.py gates the CI
+/// perf-smoke job on. `wall_s` is seconds per iteration (0 for derived
+/// ratio records); `throughput` is items/s, or the dimensionless ratio for
+/// derived records (higher is better in both cases — the comparator only
+/// looks at throughput). Baseline records may additionally carry
+/// "track": true (gated) and "floor": <min throughput> (absolute
+/// acceptance bound); harness output never emits those fields.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pwdft::benchjson {
+
+struct Record {
+  std::string benchmark;  ///< harness-stable kernel name (no arg suffix)
+  std::string config;     ///< "key:value/key:value" argument string
+  double wall_s = 0.0;
+  double throughput = 0.0;
+};
+
+class Writer {
+ public:
+  void add(std::string benchmark, std::string config, double wall_s, double throughput) {
+    records_.push_back(
+        {std::move(benchmark), std::move(config), wall_s, throughput});
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+  void write(const std::string& path) const {
+    std::ofstream f(path);
+    PWDFT_CHECK(f.good(), "bench --json: cannot open " << path);
+    f << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      f << "  {\"benchmark\": \"" << escape(r.benchmark) << "\", \"config\": \""
+        << escape(r.config) << "\", \"wall_s\": " << fmt(r.wall_s)
+        << ", \"throughput\": " << fmt(r.throughput) << "}"
+        << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    f << "]\n";
+    PWDFT_CHECK(f.good(), "bench --json: write to " << path << " failed");
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+  static std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+
+  std::vector<Record> records_;
+};
+
+/// Strips `--json <path>` (or `--json=<path>`) from argv, compacting it in
+/// place and updating *argc. Returns the path, or "" when the flag is
+/// absent. Call before handing argv to any other argument parser.
+inline std::string consume_json_flag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+}  // namespace pwdft::benchjson

@@ -7,9 +7,15 @@
 // option flags of ham::FockOperator (batched / band-by-band, SP comm,
 // overlap) on a small silicon system, demonstrating that every code path
 // is executable and numerically equivalent.
+//
+// `--json <path>` writes the real-ablation rows as bench_json.hpp records
+// (benchmark "fock_ablation", throughput = pair solves per second) for the
+// CI perf-smoke artifact.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "common/random.hpp"
 #include "common/timer.hpp"
 #include "ham/fock.hpp"
@@ -32,8 +38,10 @@ pwdft::CMatrix random_block(const pwdft::ham::PlanewaveSetup& setup, std::size_t
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pwdft;
+  const std::string json_path = benchjson::consume_json_flag(&argc, argv);
+  benchjson::Writer json;
   perf::SummitModel model(perf::SummitMachine::defaults(), perf::Workload::silicon(1536));
   std::printf("== Fig. 3: Fock-exchange optimization stages (model, Si1536, 72 GPUs) ==\n");
   std::printf("(paper: final GPU version ~7x faster than 3072-core CPU at iso-power)\n\n");
@@ -54,12 +62,16 @@ int main() {
     CMatrix y(setup.n_g(), nb, Complex{0, 0});
     fock.apply_add(phi, y, comm);  // warm-up
     y.fill(Complex{0, 0});
+    const std::uint64_t solves_before = fock.pair_solves();
     WallTimer timer;
     fock.apply_add(phi, y, comm);
+    const double secs = timer.seconds();
+    const double solves = static_cast<double>(fock.pair_solves() - solves_before);
     t.add_row();
     t.add_cell(name);
-    t.add_cell(timer.seconds(), 4);
-    t.add_cell(std::to_string(fock.pair_solves()));
+    t.add_cell(secs, 4);
+    t.add_cell(std::to_string(static_cast<std::uint64_t>(solves)));
+    json.add("fock_ablation", name, secs, secs > 0.0 ? solves / secs : 0.0);
   };
   ham::FockOptions band_by_band;
   band_by_band.batched = false;
@@ -78,5 +90,6 @@ int main() {
   std::printf("\n(on one rank the comm options are no-ops; their numerical\n"
               " equivalence is asserted in tests/test_fock.cpp and the\n"
               " distributed behaviour in tests/test_distributed.cpp)\n");
+  if (!json_path.empty()) json.write(json_path);
   return 0;
 }

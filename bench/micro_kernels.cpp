@@ -1,13 +1,23 @@
 // google-benchmark microkernels for the primitives behind the paper's cost
 // model: 1-D/3-D FFTs (the Fock operator is NG-point FFT bound), batched vs
-// band-by-band FFT submission (paper §3.2 step 2), overlap-matrix GEMMs
-// (Alg. 3), single-precision wire conversion (step 4), and one full Fock
-// pair solve.
+// band-by-band FFT submission (paper §3.2 step 2), fork-join vs persistent
+// task-graph dispatch, overlap-matrix GEMMs (Alg. 3), single-precision wire
+// conversion (step 4), and one full Fock pair solve.
+//
+// Carries its own main(): `--json <path>` additionally writes the runs (and
+// derived speedup records such as taskgraph_speedup / simd_speedup) in the
+// bench_json.hpp schema for the CI perf gate (bench/compare_bench.py).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <map>
+#include <string>
+#include <vector>
 
+#include "bench_json.hpp"
 #include "common/exec.hpp"
 #include "common/random.hpp"
 #include "fft/fft3d.hpp"
@@ -148,7 +158,41 @@ void BM_Fft3DBatchedThreaded(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft3DBatchedThreaded)
     ->ArgsProduct({{1, 2, 4}, {1, 4, 8, 16}})
-    ->ArgNames({"threads", "batch"});
+    ->ArgNames({"threads", "batch"})
+    ->UseRealTime();
+
+void BM_Fft3DDispatch(benchmark::State& state) {
+  // Fork-join vs persistent-task-graph dispatch on small batched grids —
+  // the per-call overhead the TaskGraph exists to remove. Fork-join pays
+  // one pool wake plus one full barrier per axis pass (three per
+  // transform); the graph replay pays one wake total, and batch members
+  // pipeline through the passes with no global barrier. Compare graph:1
+  // against graph:0 at equal (threads, n, batch); the derived
+  // taskgraph_speedup records feed the perf gate (BENCH_taskgraph.json:
+  // committed baseline 1.39x on the 16^3 transform at 4 threads, CI floor
+  // 1.0 = never slower than fork-join).
+  const auto path = state.range(0) ? fft::ExecPath::kTaskGraph : fft::ExecPath::kForkJoin;
+  const std::size_t threads = state.range(1);
+  const std::size_t n = state.range(2);
+  const std::size_t nb = state.range(3);
+  exec::set_num_threads(threads);
+  fft::Fft3D fft({n, n, n}, fft::RadixKernel::kAuto, path);
+  auto data = random_vec(fft.size() * nb);
+  const double s = 1.0 / std::sqrt(static_cast<double>(fft.size()));
+  fft.forward_many(data.data(), nb);  // build the cached graph outside timing
+  rescale(data.data(), fft.size() * nb, s);
+  for (auto _ : state) {
+    fft.forward_many(data.data(), nb);
+    rescale(data.data(), fft.size() * nb, s);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.size() * nb);
+  exec::set_num_threads(1);
+}
+BENCHMARK(BM_Fft3DDispatch)
+    ->ArgsProduct({{0, 1}, {1, 4}, {16}, {1, 2, 4, 8}})
+    ->ArgNames({"graph", "threads", "n", "batch"})
+    ->UseRealTime();
 
 void BM_SphereToGridTwoStep(benchmark::State& state) {
   // Baseline conversion: scatter then full inverse FFT (the seed path).
@@ -257,4 +301,102 @@ void BM_FullFockApply(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFockApply);
 
+/// Console reporter that additionally collects every finished run for the
+/// --json writer. Counters are finalized (rates divided by time) before
+/// reporters see them, so items_per_second can be copied through.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(pwdft::benchjson::Writer* w) : writer_(w) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type == Run::RT_Aggregate) continue;  // keep raw runs only
+      std::string name = run.benchmark_name();
+      // Drop the time-modifier suffix ("/real_time") so configs stay stable
+      // keys whether or not a benchmark uses UseRealTime().
+      for (const char* suffix : {"/real_time", "/process_time"}) {
+        const std::size_t at = name.rfind(suffix);
+        if (at != std::string::npos && at + std::strlen(suffix) == name.size())
+          name.resize(at);
+      }
+      const std::size_t slash = name.find('/');
+      const std::string bench = name.substr(0, slash);
+      const std::string config = slash == std::string::npos ? "" : name.substr(slash + 1);
+      const double wall_s =
+          run.iterations > 0 ? run.real_accumulated_time / static_cast<double>(run.iterations)
+                             : 0.0;
+      const auto it = run.counters.find("items_per_second");
+      const double throughput = it != run.counters.end() ? it->second.value : 0.0;
+      writer_->add(bench, config, wall_s, throughput);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  pwdft::benchjson::Writer* writer_;
+};
+
+/// Adds "<out_name>" ratio records: the mean throughput over all
+/// "<bench>/.../<key>:1/..." runs of one config divided by the mean of the
+/// matching "<key>:0" runs. The mean (not median) keeps the occasional
+/// scheduler-thrash spike that IS part of each dispatch path's real cost;
+/// run the harness with --benchmark_repetitions and
+/// --benchmark_enable_random_interleaving so system drift averages into
+/// both sides. The config of the derived record is the shared remainder
+/// ("threads:4/n:16/batch:8").
+void derive_speedups(pwdft::benchjson::Writer& w, const std::string& bench,
+                     const std::string& key, const std::string& out_name) {
+  const std::string on = key + ":1";
+  const std::string off = key + ":0";
+  const auto records = w.records();  // copy: w.add below invalidates views
+  auto strip = [](std::string cfg, const std::string& tok) {
+    const std::size_t p = cfg.find(tok);
+    if (p == std::string::npos) return cfg;
+    std::size_t b = p, e = p + tok.size();
+    if (e < cfg.size() && cfg[e] == '/') ++e;        // "tok/rest" -> "rest"
+    else if (b > 0 && cfg[b - 1] == '/') --b;        // "rest/tok" -> "rest"
+    return cfg.erase(b, e - b);
+  };
+  // config (with the key token stripped) -> {on-walls, off-walls}. Ratios
+  // come from mean wall seconds (not mean throughput, whose reciprocal
+  // weighting would discount the spikes).
+  std::map<std::string, std::array<std::vector<double>, 2>> by_cfg;
+  for (const auto& r : records) {
+    if (r.benchmark != bench || r.wall_s <= 0.0) continue;
+    if (r.config.find(on) != std::string::npos)
+      by_cfg[strip(r.config, on)][1].push_back(r.wall_s);
+    else if (r.config.find(off) != std::string::npos)
+      by_cfg[strip(r.config, off)][0].push_back(r.wall_s);
+  }
+  auto mean = [](const std::vector<double>& v) {
+    double acc = 0.0;
+    for (const double x : v) acc += x;
+    return acc / static_cast<double>(v.size());
+  };
+  for (auto& [cfg, wall] : by_cfg) {
+    if (wall[0].empty() || wall[1].empty()) continue;
+    w.add(out_name, cfg, 0.0, mean(wall[0]) / mean(wall[1]));  // speedup of "on"
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = pwdft::benchjson::consume_json_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (json_path.empty()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    pwdft::benchjson::Writer writer;
+    CollectingReporter reporter(&writer);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    derive_speedups(writer, "BM_Fft3DDispatch", "graph", "taskgraph_speedup");
+    derive_speedups(writer, "BM_RadixKernelSweep", "simd", "simd_speedup");
+    derive_speedups(writer, "BM_Fft3DRadixKernel", "simd", "fft3d_simd_speedup");
+    writer.write(json_path);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,7 +26,14 @@ thread_local bool tl_owns_job = false;
 /// inline.
 thread_local bool tl_in_async = false;
 
+/// See set_graph_serial_when_oversubscribed.
+std::atomic<bool> g_graph_serial_oversub{true};
+
 }  // namespace
+
+void set_graph_serial_when_oversubscribed(bool enabled) {
+  g_graph_serial_oversub.store(enabled, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   PWDFT_CHECK(threads >= 1, "ThreadPool: need at least one thread");
@@ -72,14 +79,20 @@ void ThreadPool::worker_loop() {
   tl_in_worker = true;
   std::uint64_t seen = 0;
   for (;;) {
+    TaskGraph* graph = nullptr;
     {
       std::unique_lock<std::mutex> lk(wake_mutex_);
       wake_cv_.wait(lk, [&] { return stop_ || (job_active_ && generation_ != seen); });
       if (stop_) return;
       seen = generation_;
+      graph = graph_;
       ++in_flight_;
     }
-    run_chunks();
+    if (graph) {
+      graph->work();
+    } else {
+      run_chunks();
+    }
     {
       std::lock_guard<std::mutex> lk(wake_mutex_);
       --in_flight_;
@@ -102,6 +115,7 @@ void ThreadPool::parallel_for_raw(std::size_t n, RangeFn fn, void* ctx, std::siz
 
   {
     std::lock_guard<std::mutex> lk(wake_mutex_);
+    graph_ = nullptr;
     fn_ = fn;
     ctx_ = ctx;
     n_ = n;
@@ -131,6 +145,196 @@ void ThreadPool::parallel_for_raw(std::size_t n, RangeFn fn, void* ctx, std::siz
   tl_owns_job = false;
   job_mutex_.unlock();
   if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::run_graph(TaskGraph& graph, void* ctx) {
+  // Same inline conditions as parallel_for_raw: with no pool available the
+  // serial in-order run (id order is topological) has identical semantics.
+  // A replay additionally knows its whole schedule up front, so it also
+  // chooses the serial run when the pool is oversubscribed (more threads
+  // than the hardware runs concurrently): forking there pays context-switch
+  // and wake costs without adding real parallelism — the dominant effect
+  // for the small-grid replays the graph targets. Results are identical
+  // either way (docs/threading.md).
+  static const std::size_t hw = std::thread::hardware_concurrency();
+  const bool oversubscribed = hw != 0 && size() > hw &&
+                              g_graph_serial_oversub.load(std::memory_order_relaxed);
+  if (workers_.empty() || tl_in_worker || tl_owns_job || tl_in_async || oversubscribed ||
+      !job_mutex_.try_lock()) {
+    graph.run_serial(ctx);
+    return;
+  }
+  tl_owns_job = true;
+  graph.reset_replay(ctx);
+
+  {
+    std::lock_guard<std::mutex> lk(wake_mutex_);
+    graph_ = &graph;
+    ++generation_;
+    job_active_ = true;
+  }
+  // The single wake of this replay — but only as many workers as the graph
+  // can ever feed simultaneously (its widest level); the caller covers one
+  // lane itself.
+  const std::size_t wake =
+      std::min(workers_.size(), graph.max_parallelism() > 0 ? graph.max_parallelism() - 1 : 0);
+  if (wake >= workers_.size()) {
+    wake_cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < wake; ++i) wake_cv_.notify_one();
+  }
+
+  graph.work();  // caller participates; node errors land in the graph
+
+  {
+    std::unique_lock<std::mutex> lk(wake_mutex_);
+    idle_cv_.wait(lk, [&] { return in_flight_ == 0; });
+    graph_ = nullptr;
+    job_active_ = false;
+  }
+  tl_owns_job = false;
+  job_mutex_.unlock();
+  if (std::exception_ptr err = graph.take_error()) std::rethrow_exception(err);
+}
+
+TaskGraph::NodeId TaskGraph::add_node(NodeFn fn) {
+  PWDFT_CHECK(!sealed_, "TaskGraph: add_node after seal()");
+  PWDFT_CHECK(fn, "TaskGraph: node callable must be non-empty");
+  PWDFT_CHECK(nodes_.size() + 1 < kEmpty, "TaskGraph: too many nodes");
+  nodes_.push_back(Node{std::move(fn), 0, 0, 0});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void TaskGraph::add_edge(NodeId before, NodeId after) {
+  PWDFT_CHECK(!sealed_, "TaskGraph: add_edge after seal()");
+  PWDFT_CHECK(after < nodes_.size(), "TaskGraph: edge endpoint out of range");
+  PWDFT_CHECK(before < after,
+              "TaskGraph: edges must go from a lower to a higher node id "
+              "(ids are the topological order)");
+  edges_.emplace_back(before, after);
+}
+
+void TaskGraph::seal() {
+  PWDFT_CHECK(!sealed_, "TaskGraph: seal() called twice");
+  // Duplicate edges would double-count a dependency and leave the successor
+  // waiting on a decrement that never comes.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint32_t> out_count(n, 0);
+  for (const auto& [b, a] : edges_) {
+    ++out_count[b];
+    ++nodes_[a].deps;
+  }
+  succ_.resize(edges_.size());
+  std::uint32_t off = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_[i].succ_begin = off;
+    nodes_[i].succ_end = off;
+    off += out_count[i];
+  }
+  for (const auto& [b, a] : edges_) succ_[nodes_[b].succ_end++] = a;
+  for (std::size_t i = 0; i < n; ++i)
+    if (nodes_[i].deps == 0) roots_.push_back(static_cast<std::uint32_t>(i));
+  // Widest dependency level: level(i) = 1 + max level over predecessors,
+  // computable in one pass since ids are already topologically ordered.
+  {
+    std::vector<std::uint32_t> level(n, 0);
+    for (const auto& [b, a] : edges_) level[a] = std::max(level[a], level[b] + 1);
+    std::vector<std::size_t> width;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level[i] >= width.size()) width.resize(level[i] + 1, 0);
+      max_parallelism_ = std::max(max_parallelism_, ++width[level[i]]);
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+  if (n > 0) {
+    remaining_ = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+    ready_ = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+  }
+  sealed_ = true;
+}
+
+void TaskGraph::replay(void* ctx) {
+  PWDFT_CHECK(sealed_, "TaskGraph: seal() before replay()");
+  if (nodes_.empty()) return;
+  pool().run_graph(*this, ctx);
+}
+
+void TaskGraph::reset_replay(void* ctx) {
+  // Serialized by the pool's job mutex: at most one pool-backed replay of
+  // any graph is in flight (serial fallback runs touch none of this state).
+  const std::uint32_t n = static_cast<std::uint32_t>(nodes_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    remaining_[i].store(nodes_[i].deps, std::memory_order_relaxed);
+    ready_[i].store(kEmpty, std::memory_order_relaxed);
+  }
+  cancel_.store(false, std::memory_order_relaxed);
+  claim_.store(0, std::memory_order_relaxed);
+  ctx_ = ctx;
+  std::uint32_t p = 0;
+  for (const std::uint32_t r : roots_) ready_[p++].store(r, std::memory_order_relaxed);
+  push_.store(p, std::memory_order_relaxed);
+  // Workers observe all of the above through the wake_mutex_ bracket that
+  // publishes the job.
+}
+
+void TaskGraph::work() {
+  const auto total = static_cast<std::uint32_t>(nodes_.size());
+  for (;;) {
+    const std::uint32_t slot = claim_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= total) return;
+    // Every replay pushes exactly `total` entries (each node once, when its
+    // counter drains), so slot < total is eventually published — its
+    // publisher is a node already claimed by another thread. Spin-wait; the
+    // acyclicity of the graph rules out a cycle of waiters (see the no-
+    // deadlock argument in docs/threading.md). A cancelled replay (node
+    // threw) stops publishing, so bail out on the flag instead.
+    std::uint32_t id;
+    while ((id = ready_[slot].load(std::memory_order_acquire)) == kEmpty) {
+      if (cancel_.load(std::memory_order_relaxed)) return;
+      std::this_thread::yield();
+    }
+    exec_node(id);
+  }
+}
+
+void TaskGraph::exec_node(std::uint32_t id) {
+  Node& nd = nodes_[id];
+  if (cancel_.load(std::memory_order_relaxed)) return;  // error path: skip bodies
+  try {
+    nd.fn(ctx_);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    cancel_.store(true, std::memory_order_release);
+    return;  // successors are never pushed; waiters exit via cancel_
+  }
+  for (std::uint32_t s = nd.succ_begin; s < nd.succ_end; ++s) {
+    const std::uint32_t succ = succ_[s];
+    // acq_rel: the final decrement observes every predecessor's writes and
+    // the release-publish below carries them to whichever thread claims the
+    // slot.
+    if (remaining_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::uint32_t slot = push_.fetch_add(1, std::memory_order_relaxed);
+      ready_[slot].store(succ, std::memory_order_release);
+    }
+  }
+}
+
+void TaskGraph::run_serial(void* ctx) {
+  for (Node& nd : nodes_) nd.fn(ctx);
+}
+
+std::exception_ptr TaskGraph::take_error() {
+  std::lock_guard<std::mutex> lk(error_mutex_);
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  return err;
 }
 
 std::future<void> ThreadPool::run_async(std::function<void()> task) {

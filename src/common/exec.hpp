@@ -58,6 +58,8 @@
 
 namespace pwdft::exec {
 
+class TaskGraph;
+
 /// Persistent fork-join pool. `threads` counts the caller: a pool of size 1
 /// has no workers and runs everything inline.
 class ThreadPool {
@@ -96,15 +98,26 @@ class ThreadPool {
   /// the steady state spawns no threads.
   std::future<void> run_async(std::function<void()> task);
 
+  /// Executes a sealed TaskGraph: one wake of the pool, workers claim ready
+  /// nodes until the graph drains. Falls back to a serial in-order run in
+  /// exactly the situations parallel_for runs inline (no workers, nested,
+  /// async lane, another caller owns the pool). Normally called through
+  /// TaskGraph::replay.
+  void run_graph(TaskGraph& graph, void* ctx);
+
  private:
   void worker_loop();
   void async_loop();
   void run_chunks();
 
   // Job descriptor, mutated only under wake_mutex_ while job_active_ is
-  // false; read by workers only between their in_flight_ bracket. A chunk
-  // that throws stores the first exception in job_error_ (under wake_mutex_)
-  // and stops further claims; the caller rethrows it after quiescence.
+  // false; read by workers only between their in_flight_ bracket. A job is
+  // either a chunked range (fn_/ctx_/n_, graph_ == nullptr) or a task-graph
+  // replay (graph_ != nullptr). A chunk that throws stores the first
+  // exception in job_error_ (under wake_mutex_) and stops further claims;
+  // the caller rethrows it after quiescence (graph jobs store errors in the
+  // graph itself).
+  TaskGraph* graph_ = nullptr;
   RangeFn fn_ = nullptr;
   void* ctx_ = nullptr;
   std::size_t n_ = 0;
@@ -130,6 +143,112 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> async_queue_;
   std::size_t async_idle_ = 0;  ///< helpers parked in wait
   bool async_stop_ = false;
+};
+
+/// A persistent, replayable DAG of fixed work nodes — the dispatch engine
+/// for pipelines that re-execute an identical stage structure many times
+/// (the batched FFT axis passes, the fused sphere<->grid transforms).
+///
+/// Motivation: a multi-stage pipeline built from parallel_for calls pays one
+/// pool wake plus one full barrier per stage, every call. A TaskGraph is
+/// built once (nodes + edges), sealed, and then replayed arbitrarily often:
+/// each replay wakes the pool exactly once, workers claim nodes from a
+/// pre-sized ready ring as their dependency counters drain, and successive
+/// stages of independent chains overlap instead of meeting at global
+/// barriers. Replay performs no heap allocation and no range partitioning —
+/// the node layout is fixed at seal() time.
+///
+/// Build phase (single-threaded):
+///   - add_node(fn) appends a node; ids are assigned in call order.
+///   - add_edge(before, after) requires before < after, so the id order is a
+///     topological order by construction (no cycles possible) and the serial
+///     fallback can simply run nodes in id order.
+///   - seal() freezes the graph (dedupes edges, builds the successor table,
+///     allocates the replay state). After seal() the graph is immutable.
+///
+/// Replay:
+///   - replay(ctx) executes every node exactly once, respecting edges; `ctx`
+///     is passed to each node, so one graph serves many data sets.
+///   - Determinism: like parallel_for, every node is the same serial code at
+///     any engine width; nodes that run concurrently must write disjoint
+///     data. Scheduling order varies, results do not (docs/threading.md).
+///   - Re-entrancy matches parallel_for: a replay from inside a worker, from
+///     the async lane, or while another thread owns the pool runs the nodes
+///     serially in id order — identical results either way. Two threads may
+///     replay the *same* graph concurrently (with their own ctx): at most
+///     one wins the pool, the rest run serially; node callables must
+///     therefore be stateless apart from ctx and thread-local workspace.
+///   - A node that throws: remaining nodes may be skipped, the first
+///     exception is rethrown on the replaying caller, and the graph stays
+///     reusable (the next replay resets all state).
+class TaskGraph {
+ public:
+  using NodeId = std::uint32_t;
+  using NodeFn = std::function<void(void* ctx)>;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Appends a node (build phase). Returns its id.
+  NodeId add_node(NodeFn fn);
+  /// Declares that `before` must complete before `after` starts (build
+  /// phase). Requires before < after; duplicate edges are deduped at seal().
+  void add_edge(NodeId before, NodeId after);
+  /// Freezes the graph and allocates the replay state. Required before
+  /// replay(); no further add_node/add_edge afterwards.
+  void seal();
+  bool sealed() const { return sealed_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  /// Width of the widest dependency level (computed at seal()): an upper
+  /// bound on how many nodes can ever be runnable at once, used to cap how
+  /// many workers a replay wakes.
+  std::size_t max_parallelism() const { return max_parallelism_; }
+
+  /// Executes every node once, respecting edges. Blocking; see class docs.
+  void replay(void* ctx = nullptr);
+
+ private:
+  friend class ThreadPool;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  /// Resets counters/ring and publishes the roots (caller of a pool-backed
+  /// replay, before waking workers).
+  void reset_replay(void* ctx);
+  /// Claim-execute loop run by the replaying caller and every woken worker.
+  void work();
+  void exec_node(std::uint32_t id);
+  /// Serial fallback: runs nodes in id order (a topological order) against
+  /// `ctx` without touching the shared replay state.
+  void run_serial(void* ctx);
+  std::exception_ptr take_error();
+
+  struct Node {
+    NodeFn fn;
+    std::uint32_t deps = 0;        ///< in-edge count (init value of remaining_)
+    std::uint32_t succ_begin = 0;  ///< CSR range into succ_
+    std::uint32_t succ_end = 0;
+  };
+  std::vector<Node> nodes_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;  ///< build buffer
+  std::vector<std::uint32_t> succ_;
+  std::vector<std::uint32_t> roots_;
+  // Replay state (valid only during a pool-backed replay, which the pool's
+  // job mutex serializes): remaining_ holds per-node outstanding dependency
+  // counts; ready_ is a one-shot MPMC ring — every node is pushed exactly
+  // once when its count drains, so capacity num_nodes() suffices, claim
+  // slots are handed out by fetch_add, and a claimed-but-unpublished slot is
+  // awaited by spinning (bounded: its publisher is already executing).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> remaining_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> ready_;
+  std::atomic<std::uint32_t> push_{0};
+  std::atomic<std::uint32_t> claim_{0};
+  std::atomic<bool> cancel_{false};
+  void* ctx_ = nullptr;
+  std::exception_ptr error_;  ///< guarded by error_mutex_
+  std::mutex error_mutex_;
+  std::size_t max_parallelism_ = 0;
+  bool sealed_ = false;
 };
 
 /// Dependency handle over tasks submitted to the engine's async lane: the
@@ -179,6 +298,13 @@ std::size_t num_threads();
 /// Rebuilds the engine with `n` threads (>= 1). Must not be called while any
 /// parallel_for or async task is in flight.
 void set_num_threads(std::size_t n);
+
+/// Scheduling-policy hook: when true (the default), TaskGraph::replay runs
+/// serially on an oversubscribed pool (engine width > hardware
+/// concurrency) instead of waking workers that have no CPU to run on.
+/// Tests disable it so the parallel replay machinery is exercised — and
+/// TSan-checked — even on single-core CI boxes. Never changes results.
+void set_graph_serial_when_oversubscribed(bool enabled);
 
 /// Convenience: pool().parallel_for.
 template <class F>

@@ -17,6 +17,7 @@ Simulation::Simulation(const SimulationOptions& opt)
   hopt.fock = opt.fock;
   hopt.use_nonlocal = opt.nonlocal;
   hopt.use_ace = opt.use_ace;
+  hopt.fft_dispatch = opt.fft_dispatch;
   ham_ = std::make_unique<ham::Hamiltonian>(*setup_, species_, hopt);
   occ_.assign(setup_->n_bands(), 2.0);
 }

@@ -30,6 +30,10 @@ struct SimulationOptions {
   xc::HybridParams hybrid_params{};
   ham::FockOptions fock{};
   scf::ScfOptions scf{};
+  /// FFT dispatch for every grid in the simulation (kAuto resolves
+  /// PWDFT_FFT_DISPATCH, default persistent task graphs); results are
+  /// bit-identical across paths.
+  fft::ExecPath fft_dispatch = fft::ExecPath::kAuto;
   std::uint64_t seed = 42;
 };
 

@@ -1,25 +1,113 @@
 #include "fft/fft3d.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/check.hpp"
 #include "common/exec.hpp"
 
 namespace pwdft::fft {
 
-Fft3D::Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel)
+namespace {
+
+/// Replay argument block shared by every node of a cached graph: the batch
+/// base pointer varies per call, the graph structure does not.
+struct ReplayCtx {
+  Complex* data;
+  void* user;  ///< opaque hook state (scatter/gather sources and sinks)
+};
+
+std::uint64_t fnv1a(const std::uint32_t* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Fixed node sizing: at least the fork-join grain's worth of line data per
+/// node (so a node amortizes its scheduling cost) and at most 32 nodes per
+/// pass per batch member. Width-independent — the graph shape affects only
+/// scheduling, never results.
+constexpr std::size_t kMaxNodesPerPass = 32;
+
+/// Defensive bound on cached replay shapes per Fft3D; novel shapes beyond it
+/// fall back to fork-join instead of growing without limit.
+constexpr std::size_t kMaxCachedGraphs = 64;
+
+}  // namespace
+
+/// One cached replay shape: the key fields plus owned copies of the line
+/// masks (the graph's nodes point into them, so the cache never dangles if
+/// the caller's mask storage goes away).
+struct Fft3D::CachedGraph {
+  int sign = 0;
+  std::size_t count = 0;
+  std::array<bool, 3> masked{};
+  std::array<std::size_t, 3> nlines{};
+  std::array<std::uint64_t, 3> hash{};
+  BatchHook prologue = nullptr;
+  BatchHook epilogue = nullptr;
+  std::array<std::vector<std::uint32_t>, 3> lines;
+  exec::TaskGraph graph;
+};
+
+ExecPath Fft3D::path_env_default() {
+  static const ExecPath p = [] {
+    if (const char* e = std::getenv("PWDFT_FFT_DISPATCH")) {
+      const std::string_view v(e);
+      if (v == "forkjoin") return ExecPath::kForkJoin;
+      if (v == "graph") return ExecPath::kTaskGraph;
+      // Fail fast: a typo must not silently select the wrong dispatch path
+      // for an entire experiment.
+      PWDFT_CHECK(false, "PWDFT_FFT_DISPATCH must be 'forkjoin' or 'graph'");
+    }
+    return ExecPath::kTaskGraph;
+  }();
+  return p;
+}
+
+Fft3D::Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel, ExecPath path)
     : dims_(dims),
+      path_(path == ExecPath::kAuto ? path_env_default() : path),
       plan_x_(dims[0], kernel),
       plan_y_(dims[1], kernel),
       plan_z_(dims[2], kernel) {}
 
-void Fft3D::axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
-                           const std::uint32_t* lines, std::size_t nlines) const {
+Fft3D::~Fft3D() = default;
+
+void Fft3D::run_lines(Complex* data, int axis, int sign, const std::uint32_t* lines,
+                      std::size_t li0, std::size_t li1, std::size_t batch) const {
   const std::size_t n0 = dims_[0], n1 = dims_[1];
   const std::size_t grid = size();
   const FftPlan1D& plan = axis == 0 ? plan_x_ : axis == 1 ? plan_y_ : plan_z_;
   const std::size_t len = dims_[axis];
   const std::size_t stride = axis == 0 ? 1 : axis == 1 ? n0 : n0 * n1;
+  auto& ws = exec::workspace();
+  Complex* line_out = ws.cbuf(exec::Slot::fft_line, len).data();
+  Complex* work = ws.cbuf(exec::Slot::fft_work, len).data();
+  Complex* gbase = data + batch * grid;
+  for (std::size_t li = li0; li < li1; ++li) {
+    const std::size_t l = lines ? lines[li] : li;
+    Complex* base;
+    if (axis == 0) {
+      base = gbase + l * n0;  // l = y + n1*z
+    } else if (axis == 1) {
+      const std::size_t x = l % n0, z = l / n0;
+      base = gbase + x + n0 * n1 * z;
+    } else {
+      base = gbase + l;  // l = x + n0*y
+    }
+    plan.execute(base, stride, line_out, work, sign);
+    for (std::size_t k = 0; k < len; ++k) base[k * stride] = line_out[k];
+  }
+}
+
+void Fft3D::axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
+                           const std::uint32_t* lines, std::size_t nlines) const {
+  const std::size_t len = dims_[axis];
   const std::size_t total = count * nlines;
   if (total == 0 || len == 0) return;
 
@@ -29,34 +117,145 @@ void Fft3D::axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
   exec::parallel_for(
       total,
       [&](std::size_t b, std::size_t e) {
-        auto& ws = exec::workspace();
-        Complex* line_out = ws.cbuf(exec::Slot::fft_line, len).data();
-        Complex* work = ws.cbuf(exec::Slot::fft_work, len).data();
-        for (std::size_t t = b; t < e; ++t) {
+        // Split the flattened (batch, line) range at batch boundaries; each
+        // maximal run goes through the same serial kernel as a graph node.
+        std::size_t t = b;
+        while (t < e) {
           const std::size_t batch = t / nlines;
           const std::size_t li = t - batch * nlines;
-          const std::size_t l = lines ? lines[li] : li;
-          Complex* base;
-          if (axis == 0) {
-            base = data + batch * grid + l * n0;  // l = y + n1*z
-          } else if (axis == 1) {
-            const std::size_t x = l % n0, z = l / n0;
-            base = data + batch * grid + x + n0 * n1 * z;
-          } else {
-            base = data + batch * grid + l;  // l = x + n0*y
-          }
-          plan.execute(base, stride, line_out, work, sign);
-          for (std::size_t k = 0; k < len; ++k) base[k * stride] = line_out[k];
+          const std::size_t run = std::min(nlines - li, e - t);
+          run_lines(data, axis, sign, lines, li, li + run, batch);
+          t += run;
         }
       },
       grain);
 }
 
+Fft3D::CachedGraph* Fft3D::graph_for(std::size_t count, int sign,
+                                     const std::array<PassSpec, 3>& passes,
+                                     BatchHook prologue, BatchHook epilogue) const {
+  std::array<std::uint64_t, 3> hash{};
+  for (int a = 0; a < 3; ++a)
+    hash[a] = passes[a].lines ? fnv1a(passes[a].lines, passes[a].nlines) : 0;
+
+  std::lock_guard<std::mutex> lk(cache_mutex_);
+  for (const auto& cg : cache_) {
+    if (cg->sign != sign || cg->count != count || cg->prologue != prologue ||
+        cg->epilogue != epilogue)
+      continue;
+    bool same = true;
+    for (int a = 0; a < 3; ++a) {
+      same = same && cg->masked[a] == (passes[a].lines != nullptr) &&
+             cg->nlines[a] == passes[a].nlines && cg->hash[a] == hash[a];
+      // The hash only prunes; the stored copy makes the match exact (a
+      // 64-bit collision would otherwise replay the wrong line set).
+      if (same && passes[a].lines)
+        same = std::equal(cg->lines[a].begin(), cg->lines[a].end(), passes[a].lines);
+    }
+    if (same) return cg.get();
+  }
+  if (cache_.size() >= kMaxCachedGraphs) return nullptr;
+
+  auto cg = std::make_unique<CachedGraph>();
+  cg->sign = sign;
+  cg->count = count;
+  cg->prologue = prologue;
+  cg->epilogue = epilogue;
+  for (int a = 0; a < 3; ++a) {
+    cg->masked[a] = passes[a].lines != nullptr;
+    cg->nlines[a] = passes[a].nlines;
+    cg->hash[a] = hash[a];
+    if (passes[a].lines)
+      cg->lines[a].assign(passes[a].lines, passes[a].lines + passes[a].nlines);
+  }
+
+  // Per-batch chains: prologue -> pass0 chunks -> gate -> pass1 chunks ->
+  // gate -> pass2 chunks -> epilogue. Gates are empty nodes standing in for
+  // the all-to-all dependency between consecutive passes of one member (a
+  // pass reads every line the previous pass wrote); members share no edges,
+  // so independent batches pipeline through the passes freely.
+  exec::TaskGraph& g = cg->graph;
+  for (std::size_t b = 0; b < count; ++b) {
+    bool has_gate = false;
+    exec::TaskGraph::NodeId gate = 0;
+    if (prologue) {
+      gate = g.add_node([prologue, b](void* p) {
+        prologue(static_cast<const ReplayCtx*>(p)->user, b);
+      });
+      has_gate = true;
+    }
+    for (int a = 0; a < 3; ++a) {
+      const std::size_t nlines = cg->nlines[a];
+      const std::uint32_t* lines = cg->masked[a] ? cg->lines[a].data() : nullptr;
+      const std::size_t len = dims_[a];
+      if (nlines == 0 || len == 0) continue;
+      const std::size_t min_lines = std::max<std::size_t>(1, 2048 / len);
+      const std::size_t per =
+          std::max(min_lines, (nlines + kMaxNodesPerPass - 1) / kMaxNodesPerPass);
+      std::vector<exec::TaskGraph::NodeId> chunk_ids;
+      for (std::size_t l0 = 0; l0 < nlines; l0 += per) {
+        const std::size_t l1 = std::min(nlines, l0 + per);
+        const exec::TaskGraph::NodeId id =
+            g.add_node([this, a, sign, lines, l0, l1, b](void* p) {
+              run_lines(static_cast<const ReplayCtx*>(p)->data, a, sign, lines, l0, l1, b);
+            });
+        if (has_gate) g.add_edge(gate, id);
+        chunk_ids.push_back(id);
+      }
+      if (chunk_ids.size() == 1) {
+        gate = chunk_ids[0];
+      } else {
+        gate = g.add_node([](void*) {});
+        for (const auto id : chunk_ids) g.add_edge(id, gate);
+      }
+      has_gate = true;
+    }
+    if (epilogue) {
+      const exec::TaskGraph::NodeId id = g.add_node([epilogue, b](void* p) {
+        epilogue(static_cast<const ReplayCtx*>(p)->user, b);
+      });
+      if (has_gate) g.add_edge(gate, id);
+    }
+  }
+  g.seal();
+  cache_.push_back(std::move(cg));
+  return cache_.back().get();
+}
+
+void Fft3D::dispatch(Complex* data, std::size_t count, int sign,
+                     const std::array<PassSpec, 3>& passes, BatchHook prologue,
+                     BatchHook epilogue, void* user) const {
+  if (count == 0) return;
+  if (path_ == ExecPath::kTaskGraph) {
+    if (CachedGraph* cg = graph_for(count, sign, passes, prologue, epilogue)) {
+      ReplayCtx ctx{data, user};
+      cg->graph.replay(&ctx);
+      return;
+    }
+    // Cache full: fall through to fork-join (identical results).
+  }
+  // Fork-join path: hooks run as their own batch-parallel stages; every
+  // per-line kernel and per-batch hook is the same serial code as the graph
+  // nodes, so the two paths are bit-identical.
+  if (prologue) {
+    exec::parallel_for(count, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) prologue(user, i);
+    });
+  }
+  for (int a = 0; a < 3; ++a)
+    axis_pass_many(data, count, a, sign, passes[a].lines, passes[a].nlines);
+  if (epilogue) {
+    exec::parallel_for(count, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) epilogue(user, i);
+    });
+  }
+}
+
 void Fft3D::transform_many(Complex* data, std::size_t count, int sign) const {
   const std::size_t n0 = dims_[0], n1 = dims_[1], n2 = dims_[2];
-  axis_pass_many(data, count, 0, sign, nullptr, n1 * n2);
-  axis_pass_many(data, count, 1, sign, nullptr, n0 * n2);
-  axis_pass_many(data, count, 2, sign, nullptr, n0 * n1);
+  dispatch(data, count, sign,
+           {PassSpec{nullptr, n1 * n2}, PassSpec{nullptr, n0 * n2}, PassSpec{nullptr, n0 * n1}},
+           nullptr, nullptr, nullptr);
 }
 
 void Fft3D::forward(Complex* data) const { transform_many(data, 1, -1); }
@@ -82,20 +281,24 @@ void Fft3D::inverse_many(Complex* data, std::size_t count) const {
 
 void Fft3D::inverse_many_active(Complex* data, std::size_t count,
                                 std::span<const std::uint32_t> x_lines,
-                                std::span<const std::uint32_t> y_lines) const {
+                                std::span<const std::uint32_t> y_lines,
+                                BatchHook prologue, void* user) const {
   const std::size_t n0 = dims_[0], n1 = dims_[1];
-  axis_pass_many(data, count, 0, +1, x_lines.data(), x_lines.size());
-  axis_pass_many(data, count, 1, +1, y_lines.data(), y_lines.size());
-  axis_pass_many(data, count, 2, +1, nullptr, n0 * n1);
+  dispatch(data, count, +1,
+           {PassSpec{x_lines.data(), x_lines.size()}, PassSpec{y_lines.data(), y_lines.size()},
+            PassSpec{nullptr, n0 * n1}},
+           prologue, nullptr, user);
 }
 
 void Fft3D::forward_many_active(Complex* data, std::size_t count,
                                 std::span<const std::uint32_t> y_lines,
-                                std::span<const std::uint32_t> z_lines) const {
+                                std::span<const std::uint32_t> z_lines,
+                                BatchHook epilogue, void* user) const {
   const std::size_t n1 = dims_[1], n2 = dims_[2];
-  axis_pass_many(data, count, 0, -1, nullptr, n1 * n2);
-  axis_pass_many(data, count, 1, -1, y_lines.data(), y_lines.size());
-  axis_pass_many(data, count, 2, -1, z_lines.data(), z_lines.size());
+  dispatch(data, count, -1,
+           {PassSpec{nullptr, n1 * n2}, PassSpec{y_lines.data(), y_lines.size()},
+            PassSpec{z_lines.data(), z_lines.size()}},
+           nullptr, epilogue, user);
 }
 
 }  // namespace pwdft::fft

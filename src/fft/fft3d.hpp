@@ -6,18 +6,35 @@
 /// The batched entry points mirror the "batched cuFFT" optimization of the
 /// paper (§3.2, step 2): the Fock exchange operator solves many Poisson-like
 /// equations per band and submits them as one batch. On this CPU substrate a
-/// batch is executed as one parallel_for over all 1-D lines of all batch
-/// members on the process-wide exec engine, which captures the same
-/// plan-reuse/latency-amortization structure and adds thread parallelism.
+/// batch is executed across the process-wide exec engine, which captures the
+/// same plan-reuse/latency-amortization structure and adds thread
+/// parallelism.
 ///
-/// The engine is stateless: per-line scratch comes from the calling thread's
-/// workspace arena (FftPlan1D::execute is documented thread-safe), so one
-/// Fft3D instance may be used concurrently from any number of threads (e.g.
-/// several ThreadComm ranks) and all methods are const.
+/// Dispatch: two execution paths cover every batched transform, selected at
+/// construction (ExecPath) and bit-identical to each other:
+///   - kForkJoin — one exec::parallel_for per axis pass (three pool wakes
+///     and three full barriers per transform).
+///   - kTaskGraph (default) — a persistent exec::TaskGraph per
+///     (sign, batch count, line masks, hooks) shape, built lazily on first
+///     use and replayed afterwards: one pool wake per transform, per-batch
+///     pass chains with no global inter-pass barrier (batch b can run its
+///     axis-2 pass while batch b' is still in axis 0), and per-batch
+///     prologue/epilogue hook nodes that let callers fuse their scatter/
+///     gather stages into the same replay (grid/transforms.hpp). This
+///     removes the dominant dispatch overhead for small grids (< 32³) — the
+///     per-band pair-solve sizes the hybrid Fock loop lives in.
+///
+/// The engine is stateless apart from the internal graph cache (guarded by
+/// a mutex; replay itself is lock-free): per-line scratch comes from the
+/// calling thread's workspace arena (FftPlan1D::execute is documented
+/// thread-safe), so one Fft3D instance may be used concurrently from any
+/// number of threads (e.g. several ThreadComm ranks) and all transform
+/// methods are const.
 ///
 /// Determinism: every 1-D line is computed by exactly one thread running the
-/// identical serial kernel, so results are bit-identical to the serial loop
-/// at any thread count. The inner radix kernel (scalar or SIMD,
+/// identical serial kernel (Fft3D::run_lines, shared by both dispatch
+/// paths), so results are bit-identical to the serial loop at any thread
+/// count and across dispatch paths. The inner radix kernel (scalar or SIMD,
 /// fft_plan.hpp) is fixed at construction and never depends on the width.
 ///
 /// Grid layout: linear index i = x + n0*(y + n1*z), x fastest.
@@ -25,22 +42,49 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "common/types.hpp"
 #include "fft/fft_plan.hpp"
 
 namespace pwdft::fft {
 
+/// Batched-transform dispatch path (see file header).
+///   kAuto resolves at construction via PWDFT_FFT_DISPATCH
+///   ("forkjoin" or "graph"), defaulting to kTaskGraph.
+enum class ExecPath { kAuto, kForkJoin, kTaskGraph };
+
 class Fft3D {
  public:
-  explicit Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel = RadixKernel::kAuto);
+  explicit Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel = RadixKernel::kAuto,
+                 ExecPath path = ExecPath::kAuto);
+  ~Fft3D();
+  Fft3D(const Fft3D&) = delete;
+  Fft3D& operator=(const Fft3D&) = delete;
 
   const std::array<std::size_t, 3>& dims() const { return dims_; }
   /// Total number of grid points.
   std::size_t size() const { return dims_[0] * dims_[1] * dims_[2]; }
   /// The resolved radix kernel shared by the three axis plans.
   RadixKernel kernel() const { return plan_x_.kernel(); }
+  /// The resolved dispatch path (kForkJoin or kTaskGraph, never kAuto).
+  ExecPath path() const { return path_; }
+  /// Process-wide default: PWDFT_FFT_DISPATCH=forkjoin|graph (read once),
+  /// else kTaskGraph.
+  static ExecPath path_env_default();
+
+  /// Per-batch stage hook: runs once per batch member, before (prologue) or
+  /// after (epilogue) that member's axis passes. On the task-graph path the
+  /// hook is a graph node wired into the member's pass chain (one replay
+  /// covers scatter + FFT, or FFT + gather); on the fork-join path it runs
+  /// as its own batch-parallel stage. Must write only batch `b`'s data and
+  /// be safe to run concurrently across batches. A plain function pointer so
+  /// the graph cache can key on hook identity; per-call state arrives
+  /// through `user`.
+  using BatchHook = void (*)(void* user, std::size_t batch);
 
   /// In-place unnormalized transforms. inverse(forward(x)) == size()*x.
   void forward(Complex* data) const;
@@ -62,30 +106,60 @@ class Fft3D {
   /// scattered sphere guarantees this) and `y_lines` must cover every
   /// z-plane that carries an active x-line; skipped axis-1 lines are then
   /// all-zero and their transform is the identity, making the result
-  /// bit-identical to inverse_many while skipping the empty lines.
+  /// bit-identical to inverse_many while skipping the empty lines. An
+  /// optional `prologue` hook (e.g. the per-batch sphere scatter) runs
+  /// before each batch member's passes.
   void inverse_many_active(Complex* data, std::size_t count,
                            std::span<const std::uint32_t> x_lines,
-                           std::span<const std::uint32_t> y_lines) const;
+                           std::span<const std::uint32_t> y_lines,
+                           BatchHook prologue = nullptr, void* user = nullptr) const;
   /// forward_many_active: the axis-0 pass runs in full, the axis-1 pass
   /// only over `y_lines` (line l = x + n0*z) and the final axis-2 pass only
   /// over `z_lines` (line l = x + n0*y). `y_lines` must cover every x that
   /// appears in `z_lines` (SphereMap::y_lines_fwd does). Grid values on
   /// skipped axis-1 and axis-2 lines are left unspecified; values on the
   /// listed z-lines are bit-identical to forward_many. Use when only sphere
-  /// points are gathered afterwards.
+  /// points are gathered afterwards. An optional `epilogue` hook (e.g. the
+  /// per-batch sphere gather) runs after each batch member's passes.
   void forward_many_active(Complex* data, std::size_t count,
                            std::span<const std::uint32_t> y_lines,
-                           std::span<const std::uint32_t> z_lines) const;
+                           std::span<const std::uint32_t> z_lines,
+                           BatchHook epilogue = nullptr, void* user = nullptr) const;
 
  private:
-  void transform_many(Complex* data, std::size_t count, int sign) const;
-  /// One 1-D pass over `nlines` lines of each of `count` grids. `lines`
-  /// selects line indices (nullptr = all lines 0..nlines-1).
+  /// One axis pass selection: `lines` = nullptr means all `nlines` lines.
+  struct PassSpec {
+    const std::uint32_t* lines = nullptr;
+    std::size_t nlines = 0;
+  };
+  struct CachedGraph;
+
+  /// The shared serial kernel of both dispatch paths: transforms lines
+  /// [li0, li1) of `axis` for batch member `batch`.
+  void run_lines(Complex* data, int axis, int sign, const std::uint32_t* lines,
+                 std::size_t li0, std::size_t li1, std::size_t batch) const;
+  /// Fork-join axis pass over all batch members (one parallel_for).
   void axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
                       const std::uint32_t* lines, std::size_t nlines) const;
+  /// Runs the three passes (+ optional hooks) through the configured path.
+  void dispatch(Complex* data, std::size_t count, int sign,
+                const std::array<PassSpec, 3>& passes, BatchHook prologue,
+                BatchHook epilogue, void* user) const;
+  void transform_many(Complex* data, std::size_t count, int sign) const;
+  /// Looks up or lazily builds the cached graph for a replay shape; returns
+  /// nullptr when the cache is full (caller falls back to fork-join).
+  CachedGraph* graph_for(std::size_t count, int sign,
+                         const std::array<PassSpec, 3>& passes, BatchHook prologue,
+                         BatchHook epilogue) const;
 
   std::array<std::size_t, 3> dims_;
+  ExecPath path_;
   FftPlan1D plan_x_, plan_y_, plan_z_;
+  /// Lazily built replay graphs, keyed by (sign, count, per-pass line-mask
+  /// content, hook identity). Entries are never evicted and their addresses
+  /// are stable, so a replay needs the mutex only for the lookup.
+  mutable std::mutex cache_mutex_;
+  mutable std::vector<std::unique_ptr<CachedGraph>> cache_;
 };
 
 }  // namespace pwdft::fft

@@ -49,58 +49,67 @@ Complex unit_root(double num, double den) {
 // ---- SIMD kernels -------------------------------------------------------
 //
 // Each Complex is viewed as two adjacent doubles (guaranteed layout of
-// std::complex<double>). The combine/twiddle loops perform the scalar
-// expressions' real/imaginary operations in the same order, just over raw
-// lanes so the vectorizer can pack them; together with the exact butterfly
-// leaves below, the kernel agrees with the scalar one to final-bit
-// rounding (no reassociation — only FMA contraction and the leaves'
-// exact constants differ), bounded by tests/test_fft_oracle.cpp.
+// std::complex<double>). The combine loops perform the scalar expressions'
+// real/imaginary operations in the same order, just over raw lanes so the
+// vectorizer can pack them; together with the exact butterfly leaves below,
+// the kernel agrees with the scalar one to final-bit rounding (no
+// reassociation — only FMA contraction and the leaves' exact constants
+// differ), bounded by tests/test_fft_oracle.cpp.
+//
+// The per-level twiddle multiply is fused into each combine: one sweep over
+// the work buffer per level instead of two (twiddle sweep + combine sweep).
+// The q = 0 twiddle row is exactly one and is skipped — multiplying by 1.0
+// is the identity — so the fused kernels compute the same values as the
+// former two-sweep pair.
 
-/// w[i] *= tw[i] (conj_tw: multiply by conj(tw[i]) instead), n complexes.
-void twiddle_mul_simd(Complex* w_c, const Complex* tw_c, std::size_t n, bool conj_tw) {
-  double* __restrict__ w = reinterpret_cast<double*>(w_c);
+/// Fused twiddle + radix-2 combine: b' = w[n1+k] * tw[n1+k] (conj_tw:
+/// conjugated), out[k] = a + b', out[n1+k] = a - b'.
+void radix2_combine_tw_simd(const Complex* work_c, Complex* out_c, const Complex* tw_c,
+                            std::size_t n1, bool conj_tw) {
+  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
+  double* __restrict__ o = reinterpret_cast<double*>(out_c);
   const double* __restrict__ tw = reinterpret_cast<const double*>(tw_c);
   const double s = conj_tw ? -1.0 : 1.0;
-  PWDFT_SIMD_LOOP
-  for (std::size_t k = 0; k < n; ++k) {
-    const double wr = w[2 * k], wi = w[2 * k + 1];
-    const double tr = tw[2 * k], ti = s * tw[2 * k + 1];
-    w[2 * k] = wr * tr - wi * ti;
-    w[2 * k + 1] = wr * ti + wi * tr;
-  }
-}
-
-/// Radix-2 combine: out[k] = a + b, out[n1+k] = a - b over the contiguous k
-/// index. Real/imag lanes are independent, so the loop runs over 2*n1 flat
-/// doubles and vectorizes without any shuffle.
-void radix2_combine_simd(const Complex* work_c, Complex* out_c, std::size_t n1) {
-  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
-  double* __restrict__ o = reinterpret_cast<double*>(out_c);
-  const std::size_t m = 2 * n1;
-  PWDFT_SIMD_LOOP
-  for (std::size_t i = 0; i < m; ++i) {
-    const double a = w[i];
-    const double b = w[m + i];
-    o[i] = a + b;
-    o[m + i] = a - b;
-  }
-}
-
-/// Radix-4 combine with the W_4 = -i (sign=-1) / +i (sign=+1) butterfly:
-/// the +-i multiply is a lane swap plus sign flip, done explicitly.
-void radix4_combine_simd(const Complex* work_c, Complex* out_c, std::size_t n1, int sign) {
-  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
-  double* __restrict__ o = reinterpret_cast<double*>(out_c);
-  // mi*(b-d) with mi = -i (forward): re = im(b-d), im = -re(b-d); s = +1.
-  // mi = +i (inverse): re = -im(b-d), im = re(b-d); s = -1.
-  const double s = (sign < 0) ? 1.0 : -1.0;
   const std::size_t m = 2 * n1;
   PWDFT_SIMD_LOOP
   for (std::size_t k = 0; k < n1; ++k) {
     const double ar = w[2 * k], ai = w[2 * k + 1];
     const double br = w[m + 2 * k], bi = w[m + 2 * k + 1];
-    const double cr = w[2 * m + 2 * k], ci = w[2 * m + 2 * k + 1];
-    const double dr = w[3 * m + 2 * k], di = w[3 * m + 2 * k + 1];
+    const double tr = tw[m + 2 * k], ti = s * tw[m + 2 * k + 1];
+    const double wr = br * tr - bi * ti;
+    const double wi = br * ti + bi * tr;
+    o[2 * k] = ar + wr;
+    o[2 * k + 1] = ai + wi;
+    o[m + 2 * k] = ar - wr;
+    o[m + 2 * k + 1] = ai - wi;
+  }
+}
+
+/// Fused twiddle + radix-4 combine with the W_4 = -i (sign=-1) / +i
+/// (sign=+1) butterfly: b, c, d are twiddled on load, the +-i multiply is a
+/// lane swap plus sign flip, done explicitly.
+void radix4_combine_tw_simd(const Complex* work_c, Complex* out_c, const Complex* tw_c,
+                            std::size_t n1, int sign) {
+  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
+  double* __restrict__ o = reinterpret_cast<double*>(out_c);
+  const double* __restrict__ tw = reinterpret_cast<const double*>(tw_c);
+  // mi*(b-d) with mi = -i (forward): re = im(b-d), im = -re(b-d); s = +1.
+  // mi = +i (inverse): re = -im(b-d), im = re(b-d); s = -1. The inverse
+  // transform also conjugates the twiddles: same flag.
+  const double s = (sign < 0) ? 1.0 : -1.0;
+  const std::size_t m = 2 * n1;
+  PWDFT_SIMD_LOOP
+  for (std::size_t k = 0; k < n1; ++k) {
+    const double ar = w[2 * k], ai = w[2 * k + 1];
+    const double b0r = w[m + 2 * k], b0i = w[m + 2 * k + 1];
+    const double c0r = w[2 * m + 2 * k], c0i = w[2 * m + 2 * k + 1];
+    const double d0r = w[3 * m + 2 * k], d0i = w[3 * m + 2 * k + 1];
+    const double tbr = tw[m + 2 * k], tbi = s * tw[m + 2 * k + 1];
+    const double tcr = tw[2 * m + 2 * k], tci = s * tw[2 * m + 2 * k + 1];
+    const double tdr = tw[3 * m + 2 * k], tdi = s * tw[3 * m + 2 * k + 1];
+    const double br = b0r * tbr - b0i * tbi, bi = b0r * tbi + b0i * tbr;
+    const double cr = c0r * tcr - c0i * tci, ci = c0r * tci + c0i * tcr;
+    const double dr = d0r * tdr - d0i * tdi, di = d0r * tdi + d0i * tdr;
     const double acp_r = ar + cr, acp_i = ai + ci;
     const double acm_r = ar - cr, acm_i = ai - ci;
     const double bdp_r = br + dr, bdp_i = bi + di;
@@ -116,34 +125,48 @@ void radix4_combine_simd(const Complex* work_c, Complex* out_c, std::size_t n1, 
   }
 }
 
-/// Generic radix-r combine (r = 3, 5, odd primes) with the q-accumulation
-/// hoisted outside a vectorizable k loop: out_j += w_hat_q * W_r^{jq},
-/// accumulating over q in the same ascending order as the scalar kernel.
-void generic_combine_simd(const Complex* work_c, Complex* out_c, const Complex* cb,
-                          std::size_t r, std::size_t n1, bool conj_cb) {
-  const double* __restrict__ w = reinterpret_cast<const double*>(work_c);
+/// Fused twiddle + generic radix-r combine (r = 3, 5, odd primes): each
+/// w_q (q >= 1) is twiddled in place once, immediately before its
+/// accumulation round, so the former separate twiddle sweep disappears.
+/// Accumulation stays in ascending q per output element — the same order
+/// (and the same twiddled values) as the two-sweep version.
+void generic_combine_tw_simd(Complex* work_c, Complex* out_c, const Complex* cb,
+                             const Complex* tw_c, std::size_t r, std::size_t n1,
+                             bool conj_tw) {
+  double* __restrict__ w = reinterpret_cast<double*>(work_c);
   double* __restrict__ o = reinterpret_cast<double*>(out_c);
-  const double s = conj_cb ? -1.0 : 1.0;
-  for (std::size_t j = 0; j < r; ++j) {
-    double* oj = o + 2 * j * n1;
-    const Complex* row = cb + j * r;
-    {
-      const double cr = row[0].real(), ci = s * row[0].imag();
-      PWDFT_SIMD_LOOP
-      for (std::size_t k = 0; k < n1; ++k) {
-        const double wr = w[2 * k], wi = w[2 * k + 1];
-        oj[2 * k] = wr * cr - wi * ci;
-        oj[2 * k + 1] = wr * ci + wi * cr;
-      }
-    }
-    for (std::size_t q = 1; q < r; ++q) {
-      const double cr = row[q].real(), ci = s * row[q].imag();
-      const double* wq = w + 2 * q * n1;
+  const double* __restrict__ tw = reinterpret_cast<const double*>(tw_c);
+  const double s = conj_tw ? -1.0 : 1.0;
+  for (std::size_t q = 0; q < r; ++q) {
+    double* wq = w + 2 * q * n1;
+    if (q > 0) {
+      const double* twq = tw + 2 * q * n1;
       PWDFT_SIMD_LOOP
       for (std::size_t k = 0; k < n1; ++k) {
         const double wr = wq[2 * k], wi = wq[2 * k + 1];
-        oj[2 * k] += wr * cr - wi * ci;
-        oj[2 * k + 1] += wr * ci + wi * cr;
+        const double tr = twq[2 * k], ti = s * twq[2 * k + 1];
+        wq[2 * k] = wr * tr - wi * ti;
+        wq[2 * k + 1] = wr * ti + wi * tr;
+      }
+    }
+    for (std::size_t j = 0; j < r; ++j) {
+      double* oj = o + 2 * j * n1;
+      const Complex c = cb[j * r + q];
+      const double cr = c.real(), ci = s * c.imag();
+      if (q == 0) {
+        PWDFT_SIMD_LOOP
+        for (std::size_t k = 0; k < n1; ++k) {
+          const double wr = wq[2 * k], wi = wq[2 * k + 1];
+          oj[2 * k] = wr * cr - wi * ci;
+          oj[2 * k + 1] = wr * ci + wi * cr;
+        }
+      } else {
+        PWDFT_SIMD_LOOP
+        for (std::size_t k = 0; k < n1; ++k) {
+          const double wr = wq[2 * k], wi = wq[2 * k + 1];
+          oj[2 * k] += wr * cr - wi * ci;
+          oj[2 * k + 1] += wr * ci + wi * cr;
+        }
       }
     }
   }
@@ -329,10 +352,22 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
   for (std::size_t q = 0; q < r; ++q)
     exec_level(li + 1, in + q * stride, stride * r, work + q * n1, out + q * n1, sign);
 
-  // Twiddle multiply in place: w_hat[q*n1+k] = work[q*n1+k] * W_n^{qk}.
+  // SIMD kernel: the twiddle multiply (w_hat[q*n1+k] = work[q*n1+k] *
+  // W_n^{qk}) is fused into the combine — one sweep over the work buffer
+  // per level (ROADMAP follow-up; values identical to the two-sweep form).
   if (simd) {
-    twiddle_mul_simd(work, tw, r * n1, sign > 0);
-  } else if (sign < 0) {
+    if (r == 2) {
+      radix2_combine_tw_simd(work, out, tw, n1, sign > 0);
+    } else if (r == 4) {
+      radix4_combine_tw_simd(work, out, tw, n1, sign);
+    } else {
+      generic_combine_tw_simd(work, out, comb_.data() + lv.cb_off, tw, r, n1, sign > 0);
+    }
+    return;
+  }
+
+  // Scalar reference kernel: twiddle sweep, then combine.
+  if (sign < 0) {
     for (std::size_t i = 0; i < r * n1; ++i) work[i] *= tw[i];
   } else {
     for (std::size_t i = 0; i < r * n1; ++i) work[i] *= std::conj(tw[i]);
@@ -340,10 +375,6 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
 
   // Combine: out[j*n1+k] = sum_q w_hat[q*n1+k] * W_r^{jq}.
   if (r == 2) {
-    if (simd) {
-      radix2_combine_simd(work, out, n1);
-      return;
-    }
     for (std::size_t k = 0; k < n1; ++k) {
       const Complex a = work[k];
       const Complex b = work[n1 + k];
@@ -353,10 +384,6 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
     return;
   }
   if (r == 4) {
-    if (simd) {
-      radix4_combine_simd(work, out, n1, sign);
-      return;
-    }
     // W_4 = -i for sign=-1, +i for sign=+1.
     const Complex mi = (sign < 0) ? Complex{0.0, -1.0} : Complex{0.0, 1.0};
     for (std::size_t k = 0; k < n1; ++k) {
@@ -374,10 +401,6 @@ void FftPlan1D::exec_level(std::size_t li, const Complex* in, std::size_t stride
     return;
   }
   const Complex* cb = comb_.data() + lv.cb_off;
-  if (simd) {
-    generic_combine_simd(work, out, cb, r, n1, sign > 0);
-    return;
-  }
   for (std::size_t k = 0; k < n1; ++k) {
     for (std::size_t j = 0; j < r; ++j) {
       Complex acc{0.0, 0.0};

@@ -59,18 +59,59 @@ double SphereMap::y_fill_fwd() const {
                     : static_cast<double>(y_lines_fwd.size()) / static_cast<double>(total);
 }
 
+namespace {
+
+// Hook state for the graph-fused paths: the scatter (gather) of each batch
+// member runs as a prologue (epilogue) node of that member's FFT pass chain
+// inside Fft3D's cached replay graph, so one pool wake covers the whole
+// fused conversion. Plain function pointers + a per-call context struct, so
+// the graph cache keys on hook identity while the matrices vary per call.
+struct ScatterCtx {
+  const std::size_t* map;
+  std::size_t ng;
+  const Complex* coeffs;       ///< column-major, column stride coeff_stride
+  std::size_t coeff_stride;
+  Complex* grids;              ///< column-major, column stride nw
+  std::size_t nw;
+};
+
+void scatter_batch(void* user, std::size_t b) {
+  const auto* c = static_cast<const ScatterCtx*>(user);
+  GSphere::scatter({c->coeffs + b * c->coeff_stride, c->ng}, {c->map, c->ng},
+                   {c->grids + b * c->nw, c->nw});
+}
+
+struct GatherCtx {
+  const std::size_t* map;
+  std::size_t ng;
+  const Complex* grids;
+  std::size_t nw;
+  double scale;
+  Complex* coeffs;
+  std::size_t coeff_stride;
+};
+
+void gather_batch(void* user, std::size_t b) {
+  const auto* c = static_cast<const GatherCtx*>(user);
+  GSphere::gather({c->grids + b * c->nw, c->nw}, {c->map, c->ng}, c->scale,
+                  {c->coeffs + b * c->coeff_stride, c->ng});
+}
+
+}  // namespace
+
 void sphere_to_grid(const fft::Fft3D& fft, const SphereMap& sm, std::span<const Complex> coeffs,
                     std::span<Complex> grid) {
   PWDFT_ASSERT(grid.size() == sm.grid_size());
-  GSphere::scatter(coeffs, sm.map, grid);
-  fft.inverse_many_active(grid.data(), 1, sm.x_lines, sm.y_lines_inv);
+  ScatterCtx ctx{sm.map.data(), sm.map.size(), coeffs.data(), 0, grid.data(), grid.size()};
+  fft.inverse_many_active(grid.data(), 1, sm.x_lines, sm.y_lines_inv, &scatter_batch, &ctx);
 }
 
 void grid_to_sphere(const fft::Fft3D& fft, const SphereMap& sm, std::span<Complex> grid,
                     double scale, std::span<Complex> coeffs) {
   PWDFT_ASSERT(grid.size() == sm.grid_size());
-  fft.forward_many_active(grid.data(), 1, sm.y_lines_fwd, sm.z_lines);
-  GSphere::gather(grid, sm.map, scale, coeffs);
+  GatherCtx ctx{sm.map.data(), sm.map.size(), grid.data(), grid.size(),
+                scale,         coeffs.data(), 0};
+  fft.forward_many_active(grid.data(), 1, sm.y_lines_fwd, sm.z_lines, &gather_batch, &ctx);
 }
 
 void sphere_to_grid_many(const fft::Fft3D& fft, const SphereMap& sm, const CMatrix& coeffs,
@@ -80,13 +121,11 @@ void sphere_to_grid_many(const fft::Fft3D& fft, const SphereMap& sm, const CMatr
   const std::size_t ncol = coeffs.cols();
   PWDFT_CHECK(coeffs.rows() == ng, "sphere_to_grid_many: coefficient rows mismatch");
   grids.reshape(nw, ncol);
-  // Scatter all columns in parallel (each column writes disjoint memory),
-  // then run the whole block as one batched partial-pass inverse FFT.
-  exec::parallel_for(ncol, [&](std::size_t b, std::size_t e) {
-    for (std::size_t j = b; j < e; ++j)
-      GSphere::scatter({coeffs.col(j), ng}, sm.map, {grids.col(j), nw});
-  });
-  fft.inverse_many_active(grids.data(), ncol, sm.x_lines, sm.y_lines_inv);
+  // One fused replay: each column's scatter node feeds its own partial-pass
+  // chain, so column j can be deep in its FFT passes while column k is
+  // still scattering (no global scatter barrier).
+  ScatterCtx ctx{sm.map.data(), ng, coeffs.data(), ng, grids.data(), nw};
+  fft.inverse_many_active(grids.data(), ncol, sm.x_lines, sm.y_lines_inv, &scatter_batch, &ctx);
 }
 
 void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& grids, double scale,
@@ -96,11 +135,8 @@ void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& gr
   const std::size_t ncol = grids.cols();
   PWDFT_CHECK(grids.rows() == nw, "grid_to_sphere_many: grid rows mismatch");
   coeffs.reshape(ng, ncol);
-  fft.forward_many_active(grids.data(), ncol, sm.y_lines_fwd, sm.z_lines);
-  exec::parallel_for(ncol, [&](std::size_t b, std::size_t e) {
-    for (std::size_t j = b; j < e; ++j)
-      GSphere::gather({grids.col(j), nw}, sm.map, scale, {coeffs.col(j), ng});
-  });
+  GatherCtx ctx{sm.map.data(), ng, grids.data(), nw, scale, coeffs.data(), ng};
+  fft.forward_many_active(grids.data(), ncol, sm.y_lines_fwd, sm.z_lines, &gather_batch, &ctx);
 }
 
 }  // namespace pwdft::grid

@@ -10,7 +10,10 @@
 namespace pwdft::ham {
 
 FockOperator::FockOperator(const PlanewaveSetup& setup, xc::HybridParams hybrid, FockOptions opt)
-    : setup_(setup), hybrid_(hybrid), opt_(opt), fft_wfc_(setup.wfc_grid.dims()) {
+    : setup_(setup),
+      hybrid_(hybrid),
+      opt_(opt),
+      fft_wfc_(setup.wfc_grid.dims(), fft::RadixKernel::kAuto, opt.fft_dispatch) {
   // Precompute K(G)/N on the wavefunction grid (the paper evaluates the
   // exchange on the wavefunction grid, §4).
   const auto dims = setup_.wfc_grid.dims();
@@ -165,10 +168,12 @@ void FockOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Co
       }
     };
     // Hybrid band×line schedule: a window narrower than the engine runs
-    // its tasks serially here so each task's batched pair FFTs fork over
-    // the joint (batch × FFT line) domain instead of running inline inside
-    // an underfilled band loop. Identical per-task operations either way,
-    // so the choice never changes results (docs/threading.md).
+    // its tasks serially here so each task's batched pair FFTs win the
+    // pool — on the default dispatch path each batched transform replays
+    // the persistent task graph cached for its block shape (one pool wake
+    // per transform) instead of forking per axis pass. Identical per-task
+    // operations either way, so the choice never changes results
+    // (docs/threading.md).
     if (opt_.band_line_split && exec::prefer_line_split(wn * nblocks)) {
       pair_block(0, wn * nblocks);
     } else {

@@ -54,6 +54,12 @@ struct FockOptions {
   /// parallelism) instead of executing inline inside an underfilled band
   /// loop. Bit-identical either way (docs/threading.md).
   bool band_line_split = true;
+  /// Dispatch path of the operator's internal wfc-grid FFTs. With the
+  /// default (kAuto -> task graphs) every pair-solve block replays a cached
+  /// persistent graph keyed by its block shape — one pool wake per batched
+  /// transform instead of one fork-join per axis pass. Bit-identical to
+  /// kForkJoin at any width (tests/test_exec.cpp pins both modes).
+  fft::ExecPath fft_dispatch = fft::ExecPath::kAuto;
 };
 
 class FockOperator {

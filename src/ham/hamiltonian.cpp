@@ -7,12 +7,23 @@
 
 namespace pwdft::ham {
 
+namespace {
+
+/// An unset Fock FFT dispatch inherits the Hamiltonian-level choice, so one
+/// option pins both the dense-grid and the wfc-grid transforms.
+HamiltonianOptions normalize(HamiltonianOptions o) {
+  if (o.fock.fft_dispatch == fft::ExecPath::kAuto) o.fock.fft_dispatch = o.fft_dispatch;
+  return o;
+}
+
+}  // namespace
+
 Hamiltonian::Hamiltonian(const PlanewaveSetup& setup, const pseudo::PseudoSpecies& species,
                          HamiltonianOptions options)
     : setup_(setup),
-      options_(options),
-      fft_dense_(setup.dense_grid.dims()),
-      fock_(setup, options.hybrid, options.fock),
+      options_(normalize(options)),
+      fft_dense_(setup.dense_grid.dims(), fft::RadixKernel::kAuto, options_.fft_dispatch),
+      fock_(setup, options_.hybrid, options_.fock),
       ace_(setup) {
   v_loc_ps_ = pseudo::build_local_potential(setup_.crystal, species, setup_.dense_grid);
   if (options_.use_nonlocal && !species.channels.empty()) {
@@ -75,10 +86,11 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
       // band-parallel loop below would leave threads idle through every
       // FFT. Run the identical math as three batched stages instead — the
       // fused transforms parallelize over the joint (band × FFT line)
-      // domain, the point-wise stages over all elements. Every per-line
-      // kernel and per-element operation matches the band path exactly, so
-      // results are bit-identical whichever path the width selects
-      // (docs/threading.md).
+      // domain (each one a single replay of a cached task graph on the
+      // default dispatch path), the point-wise stages over all elements.
+      // Every per-line kernel and per-element operation matches the band
+      // path exactly, so results are bit-identical whichever path the
+      // width selects (docs/threading.md).
       auto& ws = exec::workspace();
       CMatrix& grids = ws.cmat(exec::Slot::ham_grids, nd, ncol);
       CMatrix& vlocs = ws.cmat(exec::Slot::ham_vlocs, nd, ncol);

@@ -35,6 +35,13 @@ struct HamiltonianOptions {
   /// path at any width (docs/threading.md); costs ~3 * ncol * n_dense
   /// complex doubles of arena in the narrow-band case.
   bool band_line_split = true;
+  /// Dispatch path of the dense-grid FFTs (and, unless fock.fft_dispatch
+  /// overrides it, of the Fock operator's wfc-grid FFTs): kAuto resolves
+  /// PWDFT_FFT_DISPATCH, defaulting to persistent task graphs. The fused
+  /// sphere<->grid stages of apply() then each run as a single cached-graph
+  /// replay instead of re-forking per FFT pass. Bit-identical to kForkJoin
+  /// at any engine width.
+  fft::ExecPath fft_dispatch = fft::ExecPath::kAuto;
 };
 
 class Hamiltonian {

@@ -34,7 +34,11 @@ struct PtCnOptions {
   /// Runs the Psi -> G transpose of each residual evaluation on the exec
   /// engine's async lane, on a dup()'ed communicator, while H Psi (the Fock
   /// band loop) computes on the parent (paper §3.2 step 5 applied to Alg. 3).
-  /// Results are bit-identical to the serialized path.
+  /// Results are bit-identical to the serialized path. The async lane never
+  /// wins the fork-join pool: a parallel_for — or a task-graph replay of
+  /// the Fock loop's batched FFTs — issued from the lane runs inline, so
+  /// the overlapped transpose cannot steal workers from the compute it
+  /// hides behind (docs/threading.md).
   bool overlap_transpose = true;
 };
 

@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "common/exec.hpp"
+#include "common/random.hpp"
+#include "fft/fft3d.hpp"
+#include "ham/fock.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
 
 namespace pwdft {
 namespace {
@@ -184,6 +190,252 @@ TEST(ThreadPool, SetNumThreadsChangesSize) {
   EXPECT_EQ(exec::pool().size(), 1u);
 }
 
+// ---- TaskGraph ----------------------------------------------------------
+
+namespace {
+
+/// Forces the parallel replay path even on single-core CI boxes (the
+/// default policy would run graphs serially there), so the ready-ring and
+/// dependency-counter machinery is actually exercised — and TSan-checked.
+struct ParallelReplayGuard {
+  ParallelReplayGuard() { exec::set_graph_serial_when_oversubscribed(false); }
+  ~ParallelReplayGuard() { exec::set_graph_serial_when_oversubscribed(true); }
+};
+
+/// A three-stage pipeline graph over `lanes` independent chains:
+/// stage 0 writes lane seed, stages 1 and 2 each add a constant reading the
+/// previous stage's value — any dependency violation corrupts the result.
+struct StageCtx {
+  std::vector<int>* v;
+};
+
+void build_stage_graph(exec::TaskGraph& g, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    auto s0 = g.add_node([l](void* p) { (*static_cast<StageCtx*>(p)->v)[l] = int(l); });
+    auto s1 = g.add_node([l](void* p) { (*static_cast<StageCtx*>(p)->v)[l] += 1000; });
+    auto s2 = g.add_node([l](void* p) { (*static_cast<StageCtx*>(p)->v)[l] *= 2; });
+    g.add_edge(s0, s1);
+    g.add_edge(s1, s2);
+  }
+  g.seal();
+}
+
+}  // namespace
+
+TEST(TaskGraph, ExecutesAllNodesRespectingEdgesAtAnyWidth) {
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  for (std::size_t nt : {1u, 2u, 4u}) {
+    exec::set_num_threads(nt);
+    const std::size_t lanes = 97;
+    exec::TaskGraph g;
+    build_stage_graph(g, lanes);
+    std::vector<int> v(lanes, -1);
+    StageCtx ctx{&v};
+    g.replay(&ctx);
+    for (std::size_t l = 0; l < lanes; ++l)
+      ASSERT_EQ(v[l], 2 * (int(l) + 1000)) << "lane " << l << " nt " << nt;
+  }
+}
+
+TEST(TaskGraph, DiamondDependencyJoinsBothBranches) {
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  // a -> {b, c} -> d: d must observe both branch writes.
+  std::atomic<int> a{0}, b{0}, c{0}, join_ok{0};
+  exec::TaskGraph g;
+  auto na = g.add_node([&](void*) { a.store(1); });
+  auto nb = g.add_node([&](void*) { b.store(a.load() + 1); });
+  auto nc = g.add_node([&](void*) { c.store(a.load() + 2); });
+  auto nd = g.add_node([&](void*) { join_ok.store(b.load() == 2 && c.load() == 3); });
+  g.add_edge(na, nb);
+  g.add_edge(na, nc);
+  g.add_edge(nb, nd);
+  g.add_edge(nc, nd);
+  g.seal();
+  for (int rep = 0; rep < 50; ++rep) {
+    a = b = c = join_ok = 0;
+    g.replay(nullptr);
+    ASSERT_EQ(join_ok.load(), 1) << "rep " << rep;
+  }
+}
+
+TEST(TaskGraph, ReplayIsReusableAcrossContextsAndCoexistingShapes) {
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  // Two graphs of different shapes replayed alternately against distinct
+  // contexts — the reuse pattern of the Fft3D graph cache (one graph per
+  // batch shape, many data sets).
+  exec::TaskGraph small, big;
+  build_stage_graph(small, 3);
+  build_stage_graph(big, 64);
+  std::vector<int> va(3), vb(64), vc(3);
+  StageCtx ca{&va}, cb{&vb}, cc{&vc};
+  for (int rep = 0; rep < 10; ++rep) {
+    small.replay(&ca);
+    big.replay(&cb);
+    small.replay(&cc);
+    for (std::size_t l = 0; l < 3; ++l) {
+      ASSERT_EQ(va[l], 2 * (int(l) + 1000));
+      ASSERT_EQ(vc[l], 2 * (int(l) + 1000));
+    }
+    for (std::size_t l = 0; l < 64; ++l) ASSERT_EQ(vb[l], 2 * (int(l) + 1000));
+  }
+}
+
+TEST(TaskGraph, ReplayFromAsyncLaneRunsInlineWithoutStealingThePool) {
+  // The overlap contract extended to graphs: a replay issued from an
+  // async-lane task must not win the pool away from the caller's compute.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  exec::TaskGraph g;
+  build_stage_graph(g, 32);
+  std::vector<int> v_async(32), v_main(32);
+  StageCtx ca{&v_async}, cm{&v_main};
+  exec::TaskGroup tg;
+  std::atomic<bool> release{false};
+  tg.run([&] {
+    while (!release.load()) std::this_thread::yield();
+    g.replay(&ca);  // pool may be busy with the main replay: runs inline
+  });
+  release.store(true);
+  for (int rep = 0; rep < 100; ++rep) g.replay(&cm);
+  tg.wait();
+  for (std::size_t l = 0; l < 32; ++l) {
+    ASSERT_EQ(v_async[l], 2 * (int(l) + 1000));
+    ASSERT_EQ(v_main[l], 2 * (int(l) + 1000));
+  }
+}
+
+TEST(TaskGraph, ConcurrentReplayFromTwoThreadsBothComplete) {
+  // Two external threads (ThreadComm ranks) replay the same graph against
+  // their own contexts: one wins the pool, the other runs serially inline.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  exec::TaskGraph g;
+  build_stage_graph(g, 64);
+  std::vector<int> va(64), vb(64);
+  StageCtx ca{&va}, cb{&vb};
+  std::thread ta([&] { for (int r = 0; r < 50; ++r) g.replay(&ca); });
+  std::thread tb([&] { for (int r = 0; r < 50; ++r) g.replay(&cb); });
+  ta.join();
+  tb.join();
+  for (std::size_t l = 0; l < 64; ++l) {
+    ASSERT_EQ(va[l], 2 * (int(l) + 1000));
+    ASSERT_EQ(vb[l], 2 * (int(l) + 1000));
+  }
+}
+
+TEST(TaskGraph, NodeExceptionPropagatesAndGraphStaysReusable) {
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  for (std::size_t nt : {1u, 4u}) {
+    exec::set_num_threads(nt);
+    std::atomic<int> ran{0};
+    exec::TaskGraph g;
+    auto a = g.add_node([&](void*) { ran.fetch_add(1); });
+    auto b = g.add_node([](void*) { throw std::runtime_error("node failed"); });
+    auto c = g.add_node([&](void*) { ran.fetch_add(1); });
+    g.add_edge(a, b);
+    g.add_edge(b, c);  // never runs: its predecessor throws
+    g.seal();
+    EXPECT_THROW(g.replay(nullptr), std::runtime_error);
+    // Reusable afterwards; the failing node keeps failing deterministically.
+    EXPECT_THROW(g.replay(nullptr), std::runtime_error);
+    EXPECT_GE(ran.load(), 2);  // `a` ran in both replays; `c` never did
+  }
+}
+
+TEST(TaskGraph, BuildValidation) {
+  exec::TaskGraph g;
+  auto a = g.add_node([](void*) {});
+  auto b = g.add_node([](void*) {});
+  EXPECT_ANY_THROW(g.add_edge(b, a));  // edges must go low -> high id
+  EXPECT_ANY_THROW(g.add_edge(a, 99));
+  EXPECT_ANY_THROW(g.replay(nullptr));  // not sealed yet
+  g.add_edge(a, b);
+  g.add_edge(a, b);  // duplicate edges are legal and deduped at seal()
+  g.seal();
+  g.replay(nullptr);
+  EXPECT_ANY_THROW(g.add_node([](void*) {}));  // sealed
+}
+
+// ---- Graph-backed FFT / Fock width sweep --------------------------------
+
+TEST(TaskGraphFft, GraphAndForkJoinBitIdenticalAcrossWidths) {
+  // The dispatch-path contract: the cached-graph replay and the per-pass
+  // fork-join path run the identical serial line kernel, so batched
+  // transforms are byte-for-byte equal across paths and engine widths.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  const std::size_t n = 12, nb = 5;
+  fft::Fft3D graph_fft({n, n, n}, fft::RadixKernel::kAuto, fft::ExecPath::kTaskGraph);
+  fft::Fft3D fork_fft({n, n, n}, fft::RadixKernel::kAuto, fft::ExecPath::kForkJoin);
+  Rng rng(41);
+  std::vector<Complex> init(n * n * n * nb);
+  for (auto& x : init) x = rng.complex_normal();
+
+  std::vector<Complex> ref;
+  for (std::size_t nt : {1u, 2u, 4u}) {
+    exec::set_num_threads(nt);
+    for (const fft::Fft3D* fft : {&graph_fft, &fork_fft}) {
+      std::vector<Complex> data = init;
+      fft->forward_many(data.data(), nb);
+      fft->inverse_many(data.data(), nb);
+      if (ref.empty()) {
+        ref = data;
+      } else {
+        ASSERT_EQ(0, std::memcmp(ref.data(), data.data(), data.size() * sizeof(Complex)))
+            << "path " << (fft->path() == fft::ExecPath::kTaskGraph ? "graph" : "forkjoin")
+            << " nt " << nt;
+      }
+    }
+  }
+}
+
+TEST(TaskGraphFock, DispatchPathsBitIdenticalAcrossWidths) {
+  // End-to-end through the Fock window loop: its batched pair solves replay
+  // cached graphs keyed by block shape; the result must be byte-identical
+  // to the fork-join dispatch at widths 1/2/4.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 4.0, 1);
+  const std::size_t nb = 8;
+  Rng rng(43);
+  CMatrix phi(setup.n_g(), nb);
+  for (std::size_t i = 0; i < phi.size(); ++i) phi.data()[i] = rng.complex_normal();
+  CMatrix s = linalg::overlap(phi, phi);
+  linalg::potrf_lower(s);
+  linalg::trsm_right_lower_conj(phi, s);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (std::size_t nt : {1u, 2u, 4u}) {
+    exec::set_num_threads(nt);
+    for (const auto path : {fft::ExecPath::kTaskGraph, fft::ExecPath::kForkJoin}) {
+      ham::FockOptions fopt;
+      fopt.fft_dispatch = path;
+      ham::FockOperator fock(setup, xc::HybridParams{true, 0.25, 0.11}, fopt);
+      fock.set_orbitals(phi, occ, bands, comm);
+      CMatrix y(setup.n_g(), nb, Complex{0.0, 0.0});
+      fock.apply_add(phi, y, comm);
+      if (ref.empty()) {
+        ref = y;
+      } else {
+        ASSERT_EQ(0, std::memcmp(ref.data(), y.data(), y.size() * sizeof(Complex)))
+            << "path " << (path == fft::ExecPath::kTaskGraph ? "graph" : "forkjoin")
+            << " nt " << nt;
+      }
+    }
+  }
+}
+
 TEST(Workspace, BuffersAreStableAndReused) {
   auto& ws = exec::workspace();
   auto a = ws.cbuf(exec::Slot::grid_a, 1000);
@@ -232,7 +484,9 @@ TEST(Workspace, PerThreadIsolation) {
 TEST(Workspace, BytesReservedGrowsMonotonically) {
   auto& ws = exec::workspace();
   const std::size_t before = ws.bytes_reserved();
-  ws.cbuf(exec::Slot::fock_pair, 1 << 16);
+  // A slot no other test in this binary touches, so the expected growth is
+  // the full request regardless of suite order.
+  ws.cbuf(exec::Slot::rk4_k4, 1 << 16);
   EXPECT_GE(ws.bytes_reserved(), before + (1 << 16) * sizeof(Complex));
 }
 
