@@ -22,7 +22,9 @@
 #include "common/random.hpp"
 #include "fft/fft3d.hpp"
 #include "grid/transforms.hpp"
+#include "ham/density.hpp"
 #include "ham/fock.hpp"
+#include "ham/hamiltonian.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 
@@ -192,6 +194,59 @@ void BM_Fft3DDispatch(benchmark::State& state) {
 BENCHMARK(BM_Fft3DDispatch)
     ->ArgsProduct({{0, 1}, {1, 4}, {16}, {1, 2, 4, 8}})
     ->ArgNames({"graph", "threads", "n", "batch"})
+    ->UseRealTime();
+
+void BM_OperatorPipeline(benchmark::State& state) {
+  // Whole-operator pipelines vs staged dispatch on the narrow-band hot
+  // paths: pipeline:1 runs the operator as ONE cached-graph replay
+  // (Fft3D::run_pipeline), pipeline:0 as the legacy per-stage batched
+  // dispatches. op:0 = semi-local Hamiltonian::apply (scatter → inverse
+  // passes → V·ψ + nonlocal → forward passes → gather → kinetic+add),
+  // op:1 = compute_density (scatter → inverse passes → chained |ψ|²
+  // accumulation → ordered reduction). nb = 2 bands < threads keeps the
+  // block narrow so the band×line split — and with it the pipeline —
+  // engages. Compare pipeline:1 against pipeline:0 at equal (op, threads);
+  // the derived pipeline_speedup records feed the perf gate (floor 1.0:
+  // fusing the stages must never be slower than staging them).
+  const auto mode =
+      state.range(0) ? fft::PipelineMode::kFused : fft::PipelineMode::kStaged;
+  const bool density_op = state.range(1) != 0;
+  const std::size_t threads = state.range(2);
+  exec::set_num_threads(threads);
+  // Small grids (Si8 at reduced cutoff): the regime where per-stage
+  // dispatch overhead is the dominant cost the pipeline removes.
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 4.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  const std::size_t nb = 2;
+  Rng rng(13);
+  CMatrix psi(setup.n_g(), nb);
+  for (std::size_t i = 0; i < psi.size(); ++i) psi.data()[i] = rng.complex_normal();
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  ham::HamiltonianOptions opt;
+  opt.hybrid.enabled = false;  // isolate the local pipeline (Fock has its own)
+  opt.op_pipeline = mode;
+  ham::Hamiltonian h(setup, species, opt);
+  CMatrix y;
+  if (density_op) {
+    (void)ham::compute_density(setup, h.fft_dense(), psi, occ, comm, true, mode);
+    for (auto _ : state) {
+      auto rho = ham::compute_density(setup, h.fft_dense(), psi, occ, comm, true, mode);
+      benchmark::DoNotOptimize(rho.data());
+    }
+  } else {
+    h.apply(psi, y, comm);  // warm-up: builds the cached pipeline graph
+    for (auto _ : state) {
+      h.apply(psi, y, comm);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nb);
+  exec::set_num_threads(1);
+}
+BENCHMARK(BM_OperatorPipeline)
+    ->ArgsProduct({{0, 1}, {0, 1}, {4}})
+    ->ArgNames({"pipeline", "op", "threads"})
     ->UseRealTime();
 
 void BM_SphereToGridTwoStep(benchmark::State& state) {
@@ -395,6 +450,7 @@ int main(int argc, char** argv) {
     derive_speedups(writer, "BM_Fft3DDispatch", "graph", "taskgraph_speedup");
     derive_speedups(writer, "BM_RadixKernelSweep", "simd", "simd_speedup");
     derive_speedups(writer, "BM_Fft3DRadixKernel", "simd", "fft3d_simd_speedup");
+    derive_speedups(writer, "BM_OperatorPipeline", "pipeline", "pipeline_speedup");
     writer.write(json_path);
   }
   benchmark::Shutdown();

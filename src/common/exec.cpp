@@ -112,6 +112,7 @@ void ThreadPool::parallel_for_raw(std::size_t n, RangeFn fn, void* ctx, std::siz
     return;
   }
   tl_owns_job = true;
+  range_jobs_.fetch_add(1, std::memory_order_relaxed);
 
   {
     std::lock_guard<std::mutex> lk(wake_mutex_);
@@ -165,6 +166,7 @@ void ThreadPool::run_graph(TaskGraph& graph, void* ctx) {
     return;
   }
   tl_owns_job = true;
+  graph_jobs_.fetch_add(1, std::memory_order_relaxed);
   graph.reset_replay(ctx);
 
   {
@@ -201,8 +203,22 @@ TaskGraph::NodeId TaskGraph::add_node(NodeFn fn) {
   PWDFT_CHECK(!sealed_, "TaskGraph: add_node after seal()");
   PWDFT_CHECK(fn, "TaskGraph: node callable must be non-empty");
   PWDFT_CHECK(nodes_.size() + 1 < kEmpty, "TaskGraph: too many nodes");
-  nodes_.push_back(Node{std::move(fn), 0, 0, 0});
+  nodes_.push_back(Node{std::move(fn), nullptr, 0, 0, 0, 0});
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+TaskGraph::NodeId TaskGraph::add_node(RawNodeFn fn, std::uint64_t payload) {
+  PWDFT_CHECK(!sealed_, "TaskGraph: add_node after seal()");
+  PWDFT_CHECK(fn != nullptr, "TaskGraph: raw node function must be non-null");
+  PWDFT_CHECK(nodes_.size() + 1 < kEmpty, "TaskGraph: too many nodes");
+  nodes_.push_back(Node{{}, fn, payload, 0, 0, 0});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+TaskGraph::NodeId TaskGraph::add_gate(std::span<const NodeId> preds) {
+  const NodeId gate = add_node([](void*, std::uint64_t) {}, 0);
+  for (const NodeId p : preds) add_edge(p, gate);
+  return gate;
 }
 
 void TaskGraph::add_edge(NodeId before, NodeId after) {
@@ -305,7 +321,7 @@ void TaskGraph::exec_node(std::uint32_t id) {
   Node& nd = nodes_[id];
   if (cancel_.load(std::memory_order_relaxed)) return;  // error path: skip bodies
   try {
-    nd.fn(ctx_);
+    invoke(nd, ctx_);
   } catch (...) {
     {
       std::lock_guard<std::mutex> lk(error_mutex_);
@@ -327,7 +343,7 @@ void TaskGraph::exec_node(std::uint32_t id) {
 }
 
 void TaskGraph::run_serial(void* ctx) {
-  for (Node& nd : nodes_) nd.fn(ctx);
+  for (Node& nd : nodes_) invoke(nd, ctx);
 }
 
 std::exception_ptr TaskGraph::take_error() {

@@ -105,6 +105,13 @@ class ThreadPool {
   /// TaskGraph::replay.
   void run_graph(TaskGraph& graph, void* ctx);
 
+  /// Dispatch instrumentation: pool-backed jobs started since construction
+  /// (inline/serial executions do not count). A fused operator pipeline
+  /// shows up as exactly one graph job and zero range jobs per call —
+  /// tests/test_exec.cpp pins the one-wake contract through these.
+  std::uint64_t range_jobs() const { return range_jobs_.load(std::memory_order_relaxed); }
+  std::uint64_t graph_jobs() const { return graph_jobs_.load(std::memory_order_relaxed); }
+
  private:
   void worker_loop();
   void async_loop();
@@ -124,6 +131,8 @@ class ThreadPool {
   std::size_t chunk_ = 1;
   std::size_t nchunks_ = 0;
   std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> range_jobs_{0};
+  std::atomic<std::uint64_t> graph_jobs_{0};
   std::exception_ptr job_error_;
 
   std::mutex job_mutex_;  ///< serializes parallel_for callers
@@ -147,7 +156,12 @@ class ThreadPool {
 
 /// A persistent, replayable DAG of fixed work nodes — the dispatch engine
 /// for pipelines that re-execute an identical stage structure many times
-/// (the batched FFT axis passes, the fused sphere<->grid transforms).
+/// (the batched FFT axis passes, the fused sphere<->grid transforms, and
+/// the whole-operator pipelines of fft::Fft3D::run_pipeline: Hamiltonian
+/// apply, density accumulation, Fock pair solves). Nodes are general
+/// compute payloads, not FFT-specific: anything expressible as "serial
+/// code against ctx + a fixed payload word" can be a node, including
+/// interior (mid-graph) stages between FFT passes.
 ///
 /// Motivation: a multi-stage pipeline built from parallel_for calls pays one
 /// pool wake plus one full barrier per stage, every call. A TaskGraph is
@@ -185,6 +199,12 @@ class TaskGraph {
  public:
   using NodeId = std::uint32_t;
   using NodeFn = std::function<void(void* ctx)>;
+  /// Raw-pointer node form: fn(ctx, payload) with a fixed 64-bit payload
+  /// frozen at build time. Avoids a std::function allocation per node —
+  /// graph builders that stamp out many homogeneous nodes (per-batch hook
+  /// nodes, gates) pass one static trampoline plus a packed payload
+  /// (e.g. stage << 32 | batch) instead of N closures.
+  using RawNodeFn = void (*)(void* ctx, std::uint64_t payload);
 
   TaskGraph() = default;
   TaskGraph(const TaskGraph&) = delete;
@@ -192,6 +212,11 @@ class TaskGraph {
 
   /// Appends a node (build phase). Returns its id.
   NodeId add_node(NodeFn fn);
+  /// Appends a raw-pointer node carrying `payload` (build phase).
+  NodeId add_node(RawNodeFn fn, std::uint64_t payload);
+  /// Appends an empty gate node depending on every id in `preds`: the
+  /// all-to-all join between consecutive stages of one pipeline chain.
+  NodeId add_gate(std::span<const NodeId> preds);
   /// Declares that `before` must complete before `after` starts (build
   /// phase). Requires before < after; duplicate edges are deduped at seal().
   void add_edge(NodeId before, NodeId after);
@@ -224,11 +249,14 @@ class TaskGraph {
   std::exception_ptr take_error();
 
   struct Node {
-    NodeFn fn;
+    NodeFn fn;                     ///< closure form (empty when raw is set)
+    RawNodeFn raw = nullptr;       ///< raw form: raw(ctx, payload)
+    std::uint64_t payload = 0;
     std::uint32_t deps = 0;        ///< in-edge count (init value of remaining_)
     std::uint32_t succ_begin = 0;  ///< CSR range into succ_
     std::uint32_t succ_end = 0;
   };
+  static void invoke(Node& nd, void* ctx) { nd.raw ? nd.raw(ctx, nd.payload) : nd.fn(ctx); }
   std::vector<Node> nodes_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;  ///< build buffer
   std::vector<std::uint32_t> succ_;

@@ -34,6 +34,11 @@ struct SimulationOptions {
   /// PWDFT_FFT_DISPATCH, default persistent task graphs); results are
   /// bit-identical across paths.
   fft::ExecPath fft_dispatch = fft::ExecPath::kAuto;
+  /// Whole-operator pipeline mode for the narrow-band hot paths
+  /// (Hamiltonian apply, density, Fock pair solves): kAuto resolves
+  /// PWDFT_OPERATOR_PIPELINE, default fused — each narrow operator
+  /// application is one cached-graph replay. Bit-identical across modes.
+  fft::PipelineMode op_pipeline = fft::PipelineMode::kAuto;
   std::uint64_t seed = 42;
 };
 

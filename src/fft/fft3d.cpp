@@ -11,12 +11,29 @@ namespace pwdft::fft {
 
 namespace {
 
-/// Replay argument block shared by every node of a cached graph: the batch
-/// base pointer varies per call, the graph structure does not.
-struct ReplayCtx {
+/// Per-stage replay state: the pointers that vary per call while the graph
+/// shape stays cached. Slot s of the array backs stage s of the pipeline.
+struct StageState {
+  Fft3D::BatchHook hook;
+  void* user;
   Complex* data;
-  void* user;  ///< opaque hook state (scatter/gather sources and sinks)
 };
+
+/// Replay argument block shared by every node of a cached graph.
+struct ReplayCtx {
+  const StageState* st;
+};
+
+/// Shared trampoline of every hook/join node: payload packs
+/// (stage << 32 | batch-or-job), the per-call user pointer comes from the
+/// replay context. One static function for all hook nodes keeps the graph
+/// build allocation-light (exec::TaskGraph raw nodes).
+void run_hook_node(void* ctx, std::uint64_t payload) {
+  const auto* c = static_cast<const ReplayCtx*>(ctx);
+  const std::size_t si = static_cast<std::size_t>(payload >> 32);
+  const std::size_t b = static_cast<std::size_t>(payload & 0xffffffffu);
+  c->st[si].hook(c->st[si].user, b);
+}
 
 std::uint64_t fnv1a(const std::uint32_t* p, std::size_t n) {
   std::uint64_t h = 1469598103934665603ull;
@@ -34,23 +51,32 @@ std::uint64_t fnv1a(const std::uint32_t* p, std::size_t n) {
 constexpr std::size_t kMaxNodesPerPass = 32;
 
 /// Defensive bound on cached replay shapes per Fft3D; novel shapes beyond it
-/// fall back to fork-join instead of growing without limit.
+/// fall back to the staged dispatch instead of growing without limit.
 constexpr std::size_t kMaxCachedGraphs = 64;
+
+/// Pipelines are short stage sequences (the longest in the tree — the fused
+/// Hamiltonian apply — has 6); the replay state array is stack-sized to it.
+constexpr std::size_t kMaxPipelineStages = 8;
 
 }  // namespace
 
-/// One cached replay shape: the key fields plus owned copies of the line
-/// masks (the graph's nodes point into them, so the cache never dangles if
-/// the caller's mask storage goes away).
+/// One cached replay shape: the per-stage key fields plus owned copies of
+/// the line masks (the graph's nodes point into them, so the cache never
+/// dangles if the caller's mask storage goes away).
 struct Fft3D::CachedGraph {
-  int sign = 0;
+  struct StageKey {
+    Stage::Kind kind = Stage::Kind::kHook;
+    BatchHook hook = nullptr;
+    std::size_t chain = 0;
+    std::size_t njobs = 0;
+    int sign = 0;
+    std::array<bool, 3> masked{};
+    std::array<std::size_t, 3> nlines{};
+    std::array<std::uint64_t, 3> hash{};
+    std::array<std::vector<std::uint32_t>, 3> lines;
+  };
   std::size_t count = 0;
-  std::array<bool, 3> masked{};
-  std::array<std::size_t, 3> nlines{};
-  std::array<std::uint64_t, 3> hash{};
-  BatchHook prologue = nullptr;
-  BatchHook epilogue = nullptr;
-  std::array<std::vector<std::uint32_t>, 3> lines;
+  std::vector<StageKey> stages;
   exec::TaskGraph graph;
 };
 
@@ -67,6 +93,19 @@ ExecPath Fft3D::path_env_default() {
     return ExecPath::kTaskGraph;
   }();
   return p;
+}
+
+PipelineMode pipeline_env_default() {
+  static const PipelineMode m = [] {
+    if (const char* e = std::getenv("PWDFT_OPERATOR_PIPELINE")) {
+      const std::string_view v(e);
+      if (v == "fused") return PipelineMode::kFused;
+      if (v == "staged") return PipelineMode::kStaged;
+      PWDFT_CHECK(false, "PWDFT_OPERATOR_PIPELINE must be 'fused' or 'staged'");
+    }
+    return PipelineMode::kFused;
+  }();
+  return m;
 }
 
 Fft3D::Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel, ExecPath path)
@@ -131,90 +170,159 @@ void Fft3D::axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
       grain);
 }
 
-Fft3D::CachedGraph* Fft3D::graph_for(std::size_t count, int sign,
-                                     const std::array<PassSpec, 3>& passes,
-                                     BatchHook prologue, BatchHook epilogue) const {
-  std::array<std::uint64_t, 3> hash{};
-  for (int a = 0; a < 3; ++a)
-    hash[a] = passes[a].lines ? fnv1a(passes[a].lines, passes[a].nlines) : 0;
+namespace {
+
+/// Shared shape validation of run_pipeline (both dispatch paths see the
+/// same contract).
+void validate_stages(std::span<const Fft3D::Stage> stages) {
+  PWDFT_CHECK(!stages.empty() && stages.size() <= kMaxPipelineStages,
+              "run_pipeline: need 1..8 stages");
+  bool joined = false;
+  for (const auto& s : stages) {
+    switch (s.kind) {
+      case Fft3D::Stage::Kind::kHook:
+        PWDFT_CHECK(s.hook != nullptr, "run_pipeline: hook stage needs a hook");
+        PWDFT_CHECK(!joined, "run_pipeline: per-batch stages cannot follow a join");
+        break;
+      case Fft3D::Stage::Kind::kPasses:
+        PWDFT_CHECK(s.data != nullptr, "run_pipeline: pass stage needs data");
+        PWDFT_CHECK(!joined, "run_pipeline: per-batch stages cannot follow a join");
+        break;
+      case Fft3D::Stage::Kind::kJoin:
+        PWDFT_CHECK(s.hook != nullptr && s.njobs > 0,
+                    "run_pipeline: join stage needs a hook and njobs > 0");
+        joined = true;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Fft3D::CachedGraph* Fft3D::graph_for(std::size_t count,
+                                     std::span<const Stage> stages) const {
+  // Hash the line masks outside the lock; contents are compared exactly on
+  // a hash match (a 64-bit collision would otherwise replay the wrong
+  // lines).
+  std::array<std::array<std::uint64_t, 3>, kMaxPipelineStages> hash{};
+  for (std::size_t si = 0; si < stages.size(); ++si)
+    if (stages[si].kind == Stage::Kind::kPasses)
+      for (int a = 0; a < 3; ++a)
+        hash[si][a] = stages[si].passes[a].lines
+                          ? fnv1a(stages[si].passes[a].lines, stages[si].passes[a].nlines)
+                          : 0;
 
   std::lock_guard<std::mutex> lk(cache_mutex_);
   for (const auto& cg : cache_) {
-    if (cg->sign != sign || cg->count != count || cg->prologue != prologue ||
-        cg->epilogue != epilogue)
-      continue;
+    if (cg->count != count || cg->stages.size() != stages.size()) continue;
     bool same = true;
-    for (int a = 0; a < 3; ++a) {
-      same = same && cg->masked[a] == (passes[a].lines != nullptr) &&
-             cg->nlines[a] == passes[a].nlines && cg->hash[a] == hash[a];
-      // The hash only prunes; the stored copy makes the match exact (a
-      // 64-bit collision would otherwise replay the wrong line set).
-      if (same && passes[a].lines)
-        same = std::equal(cg->lines[a].begin(), cg->lines[a].end(), passes[a].lines);
+    for (std::size_t si = 0; same && si < stages.size(); ++si) {
+      const auto& k = cg->stages[si];
+      const auto& s = stages[si];
+      same = k.kind == s.kind && k.hook == s.hook && k.chain == s.chain &&
+             k.njobs == s.njobs && k.sign == s.sign;
+      if (!same || s.kind != Stage::Kind::kPasses) continue;
+      for (int a = 0; same && a < 3; ++a) {
+        same = k.masked[a] == (s.passes[a].lines != nullptr) &&
+               k.nlines[a] == s.passes[a].nlines && k.hash[a] == hash[si][a];
+        if (same && s.passes[a].lines)
+          same = std::equal(k.lines[a].begin(), k.lines[a].end(), s.passes[a].lines);
+      }
     }
     if (same) return cg.get();
   }
   if (cache_.size() >= kMaxCachedGraphs) return nullptr;
 
   auto cg = std::make_unique<CachedGraph>();
-  cg->sign = sign;
   cg->count = count;
-  cg->prologue = prologue;
-  cg->epilogue = epilogue;
-  for (int a = 0; a < 3; ++a) {
-    cg->masked[a] = passes[a].lines != nullptr;
-    cg->nlines[a] = passes[a].nlines;
-    cg->hash[a] = hash[a];
-    if (passes[a].lines)
-      cg->lines[a].assign(passes[a].lines, passes[a].lines + passes[a].nlines);
+  cg->stages.resize(stages.size());
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    auto& k = cg->stages[si];
+    const auto& s = stages[si];
+    k.kind = s.kind;
+    k.hook = s.hook;
+    k.chain = s.chain;
+    k.njobs = s.njobs;
+    k.sign = s.sign;
+    if (s.kind == Stage::Kind::kPasses)
+      for (int a = 0; a < 3; ++a) {
+        k.masked[a] = s.passes[a].lines != nullptr;
+        k.nlines[a] = s.passes[a].nlines;
+        k.hash[a] = hash[si][a];
+        if (s.passes[a].lines)
+          k.lines[a].assign(s.passes[a].lines, s.passes[a].lines + s.passes[a].nlines);
+      }
   }
 
-  // Per-batch chains: prologue -> pass0 chunks -> gate -> pass1 chunks ->
-  // gate -> pass2 chunks -> epilogue. Gates are empty nodes standing in for
-  // the all-to-all dependency between consecutive passes of one member (a
-  // pass reads every line the previous pass wrote); members share no edges,
-  // so independent batches pipeline through the passes freely.
+  // Per-batch chains: each member threads through the per-batch stages in
+  // order. Pass stages expand to line-chunk nodes bracketed by gates (the
+  // all-to-all dependency between consecutive passes of one member — a pass
+  // reads every line the previous pass wrote); hook stages are one raw node
+  // each, optionally chained to the same hook of the previous member in its
+  // `chain` run (the fixed-order-reduction device). Members share no edges
+  // otherwise, so independent batches pipeline through the stages freely.
+  // Trailing join stages gate on every member's tail and then fan out their
+  // job nodes.
   exec::TaskGraph& g = cg->graph;
+  std::vector<exec::TaskGraph::NodeId> tail(count);
+  std::vector<char> has_tail(count, 0);
+  // Last batch member's hook node per stage (valid while building member b
+  // for members < b): the chain predecessor.
+  std::array<exec::TaskGraph::NodeId, kMaxPipelineStages> prev_hook{};
+  std::vector<exec::TaskGraph::NodeId> chunk_ids;
   for (std::size_t b = 0; b < count; ++b) {
-    bool has_gate = false;
-    exec::TaskGraph::NodeId gate = 0;
-    if (prologue) {
-      gate = g.add_node([prologue, b](void* p) {
-        prologue(static_cast<const ReplayCtx*>(p)->user, b);
-      });
-      has_gate = true;
-    }
-    for (int a = 0; a < 3; ++a) {
-      const std::size_t nlines = cg->nlines[a];
-      const std::uint32_t* lines = cg->masked[a] ? cg->lines[a].data() : nullptr;
-      const std::size_t len = dims_[a];
-      if (nlines == 0 || len == 0) continue;
-      const std::size_t min_lines = std::max<std::size_t>(1, 2048 / len);
-      const std::size_t per =
-          std::max(min_lines, (nlines + kMaxNodesPerPass - 1) / kMaxNodesPerPass);
-      std::vector<exec::TaskGraph::NodeId> chunk_ids;
-      for (std::size_t l0 = 0; l0 < nlines; l0 += per) {
-        const std::size_t l1 = std::min(nlines, l0 + per);
-        const exec::TaskGraph::NodeId id =
-            g.add_node([this, a, sign, lines, l0, l1, b](void* p) {
-              run_lines(static_cast<const ReplayCtx*>(p)->data, a, sign, lines, l0, l1, b);
-            });
-        if (has_gate) g.add_edge(gate, id);
-        chunk_ids.push_back(id);
+    for (std::size_t si = 0; si < stages.size(); ++si) {
+      const auto& k = cg->stages[si];
+      if (k.kind == Stage::Kind::kJoin) continue;  // built after the loop
+      if (k.kind == Stage::Kind::kHook) {
+        const auto id = g.add_node(&run_hook_node, (static_cast<std::uint64_t>(si) << 32) | b);
+        if (has_tail[b]) g.add_edge(tail[b], id);
+        if (k.chain > 1 && b % k.chain != 0) g.add_edge(prev_hook[si], id);
+        prev_hook[si] = id;
+        tail[b] = id;
+        has_tail[b] = 1;
+        continue;
       }
-      if (chunk_ids.size() == 1) {
-        gate = chunk_ids[0];
-      } else {
-        gate = g.add_node([](void*) {});
-        for (const auto id : chunk_ids) g.add_edge(id, gate);
+      for (int a = 0; a < 3; ++a) {
+        const std::size_t nlines = k.nlines[a];
+        const std::uint32_t* lines = k.masked[a] ? k.lines[a].data() : nullptr;
+        const int sign = k.sign;
+        const std::size_t len = dims_[a];
+        if (nlines == 0 || len == 0) continue;
+        const std::size_t min_lines = std::max<std::size_t>(1, 2048 / len);
+        const std::size_t per =
+            std::max(min_lines, (nlines + kMaxNodesPerPass - 1) / kMaxNodesPerPass);
+        chunk_ids.clear();
+        for (std::size_t l0 = 0; l0 < nlines; l0 += per) {
+          const std::size_t l1 = std::min(nlines, l0 + per);
+          const exec::TaskGraph::NodeId id =
+              g.add_node([this, si, a, sign, lines, l0, l1, b](void* p) {
+                run_lines(static_cast<const ReplayCtx*>(p)->st[si].data, a, sign, lines,
+                          l0, l1, b);
+              });
+          if (has_tail[b]) g.add_edge(tail[b], id);
+          chunk_ids.push_back(id);
+        }
+        tail[b] = chunk_ids.size() == 1 ? chunk_ids[0] : g.add_gate(chunk_ids);
+        has_tail[b] = 1;
       }
-      has_gate = true;
     }
-    if (epilogue) {
-      const exec::TaskGraph::NodeId id = g.add_node([epilogue, b](void* p) {
-        epilogue(static_cast<const ReplayCtx*>(p)->user, b);
-      });
-      if (has_gate) g.add_edge(gate, id);
+  }
+  // Trailing joins: a gate collects the previous level (all member tails,
+  // or the previous join's jobs), then the job nodes fan out from it.
+  std::vector<exec::TaskGraph::NodeId> level;
+  for (std::size_t b = 0; b < count; ++b)
+    if (has_tail[b]) level.push_back(tail[b]);
+  for (std::size_t si = 0; si < stages.size(); ++si) {
+    const auto& k = cg->stages[si];
+    if (k.kind != Stage::Kind::kJoin) continue;
+    const exec::TaskGraph::NodeId gate =
+        level.size() == 1 ? level[0] : g.add_gate(level);
+    level.clear();
+    for (std::size_t j = 0; j < k.njobs; ++j) {
+      const auto id = g.add_node(&run_hook_node, (static_cast<std::uint64_t>(si) << 32) | j);
+      g.add_edge(gate, id);
+      level.push_back(id);
     }
   }
   g.seal();
@@ -222,33 +330,69 @@ Fft3D::CachedGraph* Fft3D::graph_for(std::size_t count, int sign,
   return cache_.back().get();
 }
 
-void Fft3D::dispatch(Complex* data, std::size_t count, int sign,
-                     const std::array<PassSpec, 3>& passes, BatchHook prologue,
-                     BatchHook epilogue, void* user) const {
+void Fft3D::run_stages(std::size_t count, std::span<const Stage> stages) const {
+  // One batched dispatch per stage; every hook call and per-line kernel is
+  // the same serial code as the corresponding graph node, so this path is
+  // bit-identical to the replay.
+  for (const Stage& s : stages) {
+    switch (s.kind) {
+      case Stage::Kind::kHook:
+        if (s.chain > 1) {
+          // Chained hooks: parallel over runs, serial in batch order inside
+          // a run (the same order the graph edges enforce).
+          const std::size_t ngroups = (count + s.chain - 1) / s.chain;
+          exec::parallel_for(ngroups, [&](std::size_t gb, std::size_t ge) {
+            for (std::size_t gi = gb; gi < ge; ++gi) {
+              const std::size_t b1 = std::min(count, (gi + 1) * s.chain);
+              for (std::size_t b = gi * s.chain; b < b1; ++b) s.hook(s.user, b);
+            }
+          });
+        } else {
+          exec::parallel_for(count, [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) s.hook(s.user, i);
+          });
+        }
+        break;
+      case Stage::Kind::kPasses:
+        for (int a = 0; a < 3; ++a)
+          axis_pass_many(s.data, count, a, s.sign, s.passes[a].lines, s.passes[a].nlines);
+        break;
+      case Stage::Kind::kJoin:
+        exec::parallel_for(s.njobs, [&](std::size_t b, std::size_t e) {
+          for (std::size_t j = b; j < e; ++j) s.hook(s.user, j);
+        });
+        break;
+    }
+  }
+}
+
+void Fft3D::run_pipeline(std::size_t count, std::span<const Stage> stages) const {
   if (count == 0) return;
+  validate_stages(stages);
   if (path_ == ExecPath::kTaskGraph) {
-    if (CachedGraph* cg = graph_for(count, sign, passes, prologue, epilogue)) {
-      ReplayCtx ctx{data, user};
+    if (CachedGraph* cg = graph_for(count, stages)) {
+      std::array<StageState, kMaxPipelineStages> st;
+      for (std::size_t si = 0; si < stages.size(); ++si)
+        st[si] = StageState{stages[si].hook, stages[si].user, stages[si].data};
+      ReplayCtx ctx{st.data()};
       cg->graph.replay(&ctx);
       return;
     }
-    // Cache full: fall through to fork-join (identical results).
+    // Cache full: fall through to the staged execution (identical results).
   }
-  // Fork-join path: hooks run as their own batch-parallel stages; every
-  // per-line kernel and per-batch hook is the same serial code as the graph
-  // nodes, so the two paths are bit-identical.
-  if (prologue) {
-    exec::parallel_for(count, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) prologue(user, i);
-    });
-  }
-  for (int a = 0; a < 3; ++a)
-    axis_pass_many(data, count, a, sign, passes[a].lines, passes[a].nlines);
-  if (epilogue) {
-    exec::parallel_for(count, [&](std::size_t b, std::size_t e) {
-      for (std::size_t i = b; i < e; ++i) epilogue(user, i);
-    });
-  }
+  run_stages(count, stages);
+}
+
+void Fft3D::dispatch(Complex* data, std::size_t count, int sign,
+                     const std::array<PassSpec, 3>& passes, BatchHook prologue,
+                     BatchHook epilogue, void* user) const {
+  // The historical hooked-transform shape as a 1–3 stage pipeline.
+  std::array<Stage, 3> st;
+  std::size_t n = 0;
+  if (prologue) st[n++] = Stage::make_hook(prologue, user);
+  st[n++] = Stage::make_passes(sign, data, passes);
+  if (epilogue) st[n++] = Stage::make_hook(epilogue, user);
+  run_pipeline(count, {st.data(), n});
 }
 
 void Fft3D::transform_many(Complex* data, std::size_t count, int sign) const {

@@ -1,7 +1,8 @@
 #pragma once
 
 /// \file fft3d.hpp
-/// 3-D complex FFT on a dense grid, with a batched, thread-parallel interface.
+/// 3-D complex FFT on a dense grid, with a batched, thread-parallel
+/// interface and a whole-operator pipeline engine.
 ///
 /// The batched entry points mirror the "batched cuFFT" optimization of the
 /// paper (§3.2, step 2): the Fock exchange operator solves many Poisson-like
@@ -14,15 +15,27 @@
 /// construction (ExecPath) and bit-identical to each other:
 ///   - kForkJoin — one exec::parallel_for per axis pass (three pool wakes
 ///     and three full barriers per transform).
-///   - kTaskGraph (default) — a persistent exec::TaskGraph per
-///     (sign, batch count, line masks, hooks) shape, built lazily on first
-///     use and replayed afterwards: one pool wake per transform, per-batch
-///     pass chains with no global inter-pass barrier (batch b can run its
-///     axis-2 pass while batch b' is still in axis 0), and per-batch
-///     prologue/epilogue hook nodes that let callers fuse their scatter/
-///     gather stages into the same replay (grid/transforms.hpp). This
-///     removes the dominant dispatch overhead for small grids (< 32³) — the
-///     per-band pair-solve sizes the hybrid Fock loop lives in.
+///   - kTaskGraph (default) — a persistent exec::TaskGraph per replay
+///     shape, built lazily on first use and replayed afterwards: one pool
+///     wake per call, per-batch chains with no global inter-stage barrier
+///     (batch b can run its axis-2 pass while batch b' is still in axis 0).
+///     This removes the dominant dispatch overhead for small grids (< 32³)
+///     — the per-band pair-solve sizes the hybrid Fock loop lives in.
+///
+/// Whole-operator pipelines (run_pipeline): generalizing the per-batch
+/// prologue/epilogue hooks of PR 4, a caller describes its full operator as
+/// a sequence of stages — per-batch compute hooks, FFT pass sets, and
+/// trailing cross-batch join stages — and the whole pipeline becomes ONE
+/// cached graph replay. The narrow-band `ham::Hamiltonian::apply`
+/// (scatter → inverse passes → V·ψ+nonlocal → forward passes → gather →
+/// kinetic+add), `ham::compute_density` (scatter → inverse passes → |ψ|²
+/// chunk accumulation → ordered reduction join) and the Fock window loop's
+/// batched pair solves (pair multiply → forward → kernel multiply →
+/// inverse → write-out) are built this way, so a whole operator application
+/// costs one pool wake instead of one per stage. On the fork-join path (or
+/// when the graph cache is full) the same stage list executes as one
+/// parallel_for per stage — identical serial code per batch element, so the
+/// two executions are bit-identical.
 ///
 /// The engine is stateless apart from the internal graph cache (guarded by
 /// a mutex; replay itself is lock-free): per-line scratch comes from the
@@ -57,6 +70,19 @@ namespace pwdft::fft {
 ///   ("forkjoin" or "graph"), defaulting to kTaskGraph.
 enum class ExecPath { kAuto, kForkJoin, kTaskGraph };
 
+/// Whole-operator pipeline mode of the narrow-band hot paths
+/// (ham::Hamiltonian::apply, ham::compute_density, the Fock pair solves):
+///   kFused  — the operator runs as one Fft3D::run_pipeline call (a single
+///             cached-graph replay on the task-graph dispatch path);
+///   kStaged — the legacy formulation: one batched dispatch per stage.
+/// Both are bit-identical at any engine width (tests/test_band_parallel.cpp
+/// sweeps mode × dispatch × width). kAuto resolves pipeline_env_default().
+enum class PipelineMode { kAuto, kFused, kStaged };
+
+/// Process-wide default: PWDFT_OPERATOR_PIPELINE=fused|staged (read once),
+/// else kFused.
+PipelineMode pipeline_env_default();
+
 class Fft3D {
  public:
   explicit Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel = RadixKernel::kAuto,
@@ -76,15 +102,92 @@ class Fft3D {
   /// else kTaskGraph.
   static ExecPath path_env_default();
 
-  /// Per-batch stage hook: runs once per batch member, before (prologue) or
-  /// after (epilogue) that member's axis passes. On the task-graph path the
-  /// hook is a graph node wired into the member's pass chain (one replay
-  /// covers scatter + FFT, or FFT + gather); on the fork-join path it runs
-  /// as its own batch-parallel stage. Must write only batch `b`'s data and
-  /// be safe to run concurrently across batches. A plain function pointer so
-  /// the graph cache can key on hook identity; per-call state arrives
-  /// through `user`.
+  /// Per-batch stage hook: runs once per batch member (or once per join
+  /// job). On the task-graph path the hook is a graph node wired into the
+  /// member's stage chain; on the fork-join path it runs as its own
+  /// batch-parallel stage. Must write only batch `b`'s data and be safe to
+  /// run concurrently across batches (except where Stage::chain serializes
+  /// it). A plain function pointer so the graph cache can key on hook
+  /// identity; per-call state arrives through the stage's `user`.
   using BatchHook = void (*)(void* user, std::size_t batch);
+
+  /// One axis-pass line selection: lines == nullptr means all nlines lines.
+  struct PassSpec {
+    const std::uint32_t* lines = nullptr;
+    std::size_t nlines = 0;
+  };
+
+  /// One stage of a whole-operator pipeline (run_pipeline). The *shape*
+  /// fields (kind, hook identity, chain, njobs, sign, line-mask contents)
+  /// key the graph cache; the *state* fields (`user`, `data`) vary freely
+  /// per call against the same cached graph.
+  struct Stage {
+    enum class Kind { kHook, kPasses, kJoin };
+    Kind kind = Kind::kHook;
+    // kHook / kJoin: the node body and its per-call state.
+    BatchHook hook = nullptr;
+    void* user = nullptr;
+    /// kHook only: when > 1, consecutive runs of `chain` batch members
+    /// execute their hooks serially in batch order (batch b waits for
+    /// b-1 unless b is a run boundary). The fixed-order-reduction device:
+    /// ham::compute_density chains the |ψ|² accumulation of each density
+    /// chunk's bands so the summation order never depends on scheduling.
+    std::size_t chain = 0;
+    /// kJoin only: number of job nodes; the hook is called as
+    /// hook(user, job) for job in [0, njobs) after EVERY batch member has
+    /// finished all preceding stages. Join stages must be trailing and
+    /// run after any earlier join stage completes.
+    std::size_t njobs = 0;
+    // kPasses: one batched 3-D transform (three axis passes) over the
+    // contiguous grids at `data`, masked per axis by `passes`.
+    int sign = 0;
+    Complex* data = nullptr;
+    std::array<PassSpec, 3> passes{};
+
+    static Stage make_hook(BatchHook h, void* user, std::size_t chain = 0) {
+      Stage s;
+      s.kind = Kind::kHook;
+      s.hook = h;
+      s.user = user;
+      s.chain = chain;
+      return s;
+    }
+    static Stage make_join(BatchHook h, void* user, std::size_t njobs) {
+      Stage s;
+      s.kind = Kind::kJoin;
+      s.hook = h;
+      s.user = user;
+      s.njobs = njobs;
+      return s;
+    }
+    static Stage make_passes(int sign, Complex* data, const std::array<PassSpec, 3>& p) {
+      Stage s;
+      s.kind = Kind::kPasses;
+      s.sign = sign;
+      s.data = data;
+      s.passes = p;
+      return s;
+    }
+  };
+
+  /// A pass stage covering every line of all three axes (the unmasked
+  /// transform of this engine's grid): the pipeline form of
+  /// forward_many/inverse_many. Keeps the per-axis line-count layout in
+  /// one place — callers must not hand-build the PassSpec triple.
+  Stage full_passes_stage(int sign, Complex* data) const {
+    return Stage::make_passes(sign, data,
+                              {PassSpec{nullptr, dims_[1] * dims_[2]},
+                               PassSpec{nullptr, dims_[0] * dims_[2]},
+                               PassSpec{nullptr, dims_[0] * dims_[1]}});
+  }
+
+  /// Executes a whole-operator pipeline over `count` batch members (at most
+  /// 8 stages). Task-graph path: one replay of a graph cached per
+  /// (count, stage-shape sequence) — one pool wake for the whole operator,
+  /// batch members pipelining through the stages independently. Fork-join
+  /// path (or cache full): one batched dispatch per stage. Both execute the
+  /// identical serial code per (stage, batch) and are bit-identical.
+  void run_pipeline(std::size_t count, std::span<const Stage> stages) const;
 
   /// In-place unnormalized transforms. inverse(forward(x)) == size()*x.
   void forward(Complex* data) const;
@@ -127,11 +230,6 @@ class Fft3D {
                            BatchHook epilogue = nullptr, void* user = nullptr) const;
 
  private:
-  /// One axis pass selection: `lines` = nullptr means all `nlines` lines.
-  struct PassSpec {
-    const std::uint32_t* lines = nullptr;
-    std::size_t nlines = 0;
-  };
   struct CachedGraph;
 
   /// The shared serial kernel of both dispatch paths: transforms lines
@@ -141,23 +239,28 @@ class Fft3D {
   /// Fork-join axis pass over all batch members (one parallel_for).
   void axis_pass_many(Complex* data, std::size_t count, int axis, int sign,
                       const std::uint32_t* lines, std::size_t nlines) const;
-  /// Runs the three passes (+ optional hooks) through the configured path.
+  /// Runs the three passes (+ optional hooks) through the configured path:
+  /// the historical prologue/passes/epilogue shape, now a 2–3 stage
+  /// pipeline.
   void dispatch(Complex* data, std::size_t count, int sign,
                 const std::array<PassSpec, 3>& passes, BatchHook prologue,
                 BatchHook epilogue, void* user) const;
   void transform_many(Complex* data, std::size_t count, int sign) const;
-  /// Looks up or lazily builds the cached graph for a replay shape; returns
-  /// nullptr when the cache is full (caller falls back to fork-join).
-  CachedGraph* graph_for(std::size_t count, int sign,
-                         const std::array<PassSpec, 3>& passes, BatchHook prologue,
-                         BatchHook epilogue) const;
+  /// Executes the stage list as one batched dispatch per stage (fork-join
+  /// path and the cache-full fallback of run_pipeline).
+  void run_stages(std::size_t count, std::span<const Stage> stages) const;
+  /// Looks up or lazily builds the cached graph for a pipeline shape;
+  /// returns nullptr when the cache is full (caller falls back to
+  /// run_stages).
+  CachedGraph* graph_for(std::size_t count, std::span<const Stage> stages) const;
 
   std::array<std::size_t, 3> dims_;
   ExecPath path_;
   FftPlan1D plan_x_, plan_y_, plan_z_;
-  /// Lazily built replay graphs, keyed by (sign, count, per-pass line-mask
-  /// content, hook identity). Entries are never evicted and their addresses
-  /// are stable, so a replay needs the mutex only for the lookup.
+  /// Lazily built replay graphs, keyed by (batch count, per-stage shape:
+  /// kind + hook identity + chain/njobs + sign + line-mask content).
+  /// Entries are never evicted and their addresses are stable, so a replay
+  /// needs the mutex only for the lookup.
   mutable std::mutex cache_mutex_;
   mutable std::vector<std::unique_ptr<CachedGraph>> cache_;
 };

@@ -59,59 +59,56 @@ double SphereMap::y_fill_fwd() const {
                     : static_cast<double>(y_lines_fwd.size()) / static_cast<double>(total);
 }
 
-namespace {
-
-// Hook state for the graph-fused paths: the scatter (gather) of each batch
-// member runs as a prologue (epilogue) node of that member's FFT pass chain
-// inside Fft3D's cached replay graph, so one pool wake covers the whole
-// fused conversion. Plain function pointers + a per-call context struct, so
+// The scatter (gather) of each batch member runs as a prologue (epilogue
+// or interior) node of that member's FFT pass chain inside Fft3D's cached
+// replay graph, so one pool wake covers the whole fused conversion — and
+// whole-operator pipelines (ham/) mount the same hooks around their own
+// compute stages. Plain function pointers + a per-call context struct, so
 // the graph cache keys on hook identity while the matrices vary per call.
-struct ScatterCtx {
-  const std::size_t* map;
-  std::size_t ng;
-  const Complex* coeffs;       ///< column-major, column stride coeff_stride
-  std::size_t coeff_stride;
-  Complex* grids;              ///< column-major, column stride nw
-  std::size_t nw;
-};
 
-void scatter_batch(void* user, std::size_t b) {
-  const auto* c = static_cast<const ScatterCtx*>(user);
+void ScatterHook::run(void* user, std::size_t b) {
+  const auto* c = static_cast<const ScatterHook*>(user);
   GSphere::scatter({c->coeffs + b * c->coeff_stride, c->ng}, {c->map, c->ng},
                    {c->grids + b * c->nw, c->nw});
 }
 
-struct GatherCtx {
-  const std::size_t* map;
-  std::size_t ng;
-  const Complex* grids;
-  std::size_t nw;
-  double scale;
-  Complex* coeffs;
-  std::size_t coeff_stride;
-};
-
-void gather_batch(void* user, std::size_t b) {
-  const auto* c = static_cast<const GatherCtx*>(user);
+void GatherHook::run(void* user, std::size_t b) {
+  const auto* c = static_cast<const GatherHook*>(user);
   GSphere::gather({c->grids + b * c->nw, c->nw}, {c->map, c->ng}, c->scale,
                   {c->coeffs + b * c->coeff_stride, c->ng});
 }
 
-}  // namespace
+fft::Fft3D::Stage inverse_passes_stage(const SphereMap& sm, Complex* grids) {
+  const std::size_t n0 = sm.dims[0], n1 = sm.dims[1];
+  return fft::Fft3D::Stage::make_passes(
+      +1, grids,
+      {fft::Fft3D::PassSpec{sm.x_lines.data(), sm.x_lines.size()},
+       fft::Fft3D::PassSpec{sm.y_lines_inv.data(), sm.y_lines_inv.size()},
+       fft::Fft3D::PassSpec{nullptr, n0 * n1}});
+}
+
+fft::Fft3D::Stage forward_passes_stage(const SphereMap& sm, Complex* grids) {
+  const std::size_t n1 = sm.dims[1], n2 = sm.dims[2];
+  return fft::Fft3D::Stage::make_passes(
+      -1, grids,
+      {fft::Fft3D::PassSpec{nullptr, n1 * n2},
+       fft::Fft3D::PassSpec{sm.y_lines_fwd.data(), sm.y_lines_fwd.size()},
+       fft::Fft3D::PassSpec{sm.z_lines.data(), sm.z_lines.size()}});
+}
 
 void sphere_to_grid(const fft::Fft3D& fft, const SphereMap& sm, std::span<const Complex> coeffs,
                     std::span<Complex> grid) {
   PWDFT_ASSERT(grid.size() == sm.grid_size());
-  ScatterCtx ctx{sm.map.data(), sm.map.size(), coeffs.data(), 0, grid.data(), grid.size()};
-  fft.inverse_many_active(grid.data(), 1, sm.x_lines, sm.y_lines_inv, &scatter_batch, &ctx);
+  ScatterHook ctx{sm.map.data(), sm.map.size(), coeffs.data(), 0, grid.data(), grid.size()};
+  fft.inverse_many_active(grid.data(), 1, sm.x_lines, sm.y_lines_inv, &ScatterHook::run, &ctx);
 }
 
 void grid_to_sphere(const fft::Fft3D& fft, const SphereMap& sm, std::span<Complex> grid,
                     double scale, std::span<Complex> coeffs) {
   PWDFT_ASSERT(grid.size() == sm.grid_size());
-  GatherCtx ctx{sm.map.data(), sm.map.size(), grid.data(), grid.size(),
-                scale,         coeffs.data(), 0};
-  fft.forward_many_active(grid.data(), 1, sm.y_lines_fwd, sm.z_lines, &gather_batch, &ctx);
+  GatherHook ctx{sm.map.data(), sm.map.size(), grid.data(), grid.size(),
+                 scale,         coeffs.data(), 0};
+  fft.forward_many_active(grid.data(), 1, sm.y_lines_fwd, sm.z_lines, &GatherHook::run, &ctx);
 }
 
 void sphere_to_grid_many(const fft::Fft3D& fft, const SphereMap& sm, const CMatrix& coeffs,
@@ -124,8 +121,9 @@ void sphere_to_grid_many(const fft::Fft3D& fft, const SphereMap& sm, const CMatr
   // One fused replay: each column's scatter node feeds its own partial-pass
   // chain, so column j can be deep in its FFT passes while column k is
   // still scattering (no global scatter barrier).
-  ScatterCtx ctx{sm.map.data(), ng, coeffs.data(), ng, grids.data(), nw};
-  fft.inverse_many_active(grids.data(), ncol, sm.x_lines, sm.y_lines_inv, &scatter_batch, &ctx);
+  ScatterHook ctx{sm.map.data(), ng, coeffs.data(), ng, grids.data(), nw};
+  fft.inverse_many_active(grids.data(), ncol, sm.x_lines, sm.y_lines_inv, &ScatterHook::run,
+                          &ctx);
 }
 
 void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& grids, double scale,
@@ -135,8 +133,9 @@ void grid_to_sphere_many(const fft::Fft3D& fft, const SphereMap& sm, CMatrix& gr
   const std::size_t ncol = grids.cols();
   PWDFT_CHECK(grids.rows() == nw, "grid_to_sphere_many: grid rows mismatch");
   coeffs.reshape(ng, ncol);
-  GatherCtx ctx{sm.map.data(), ng, grids.data(), nw, scale, coeffs.data(), ng};
-  fft.forward_many_active(grids.data(), ncol, sm.y_lines_fwd, sm.z_lines, &gather_batch, &ctx);
+  GatherHook ctx{sm.map.data(), ng, grids.data(), nw, scale, coeffs.data(), ng};
+  fft.forward_many_active(grids.data(), ncol, sm.y_lines_fwd, sm.z_lines, &GatherHook::run,
+                          &ctx);
 }
 
 }  // namespace pwdft::grid

@@ -65,6 +65,44 @@ struct SphereMap {
   double y_fill_fwd() const;
 };
 
+/// Per-batch sphere-scatter hook, public so whole-operator pipelines
+/// (fft::Fft3D::run_pipeline) can mount the scatter of column b as an
+/// interior/prologue stage of their own fused graphs: `run(user, b)` with
+/// `user` pointing at a ScatterHook scatters column b of `coeffs` into
+/// column b of `grids` (zero-filling off-sphere points). The struct is the
+/// per-call stage state; `&ScatterHook::run` is the cache-keyed identity.
+struct ScatterHook {
+  const std::size_t* map = nullptr;  ///< sphere -> grid index map
+  std::size_t ng = 0;                ///< sphere points per column
+  const Complex* coeffs = nullptr;   ///< column-major, column stride coeff_stride
+  std::size_t coeff_stride = 0;
+  Complex* grids = nullptr;          ///< column-major, column stride nw
+  std::size_t nw = 0;                ///< grid points per column
+  static void run(void* user, std::size_t b);
+};
+
+/// Per-batch sphere-gather hook (the forward-side counterpart):
+/// `run(user, b)` gathers column b of `grids` into column b of `coeffs`,
+/// scaling by `scale`.
+struct GatherHook {
+  const std::size_t* map = nullptr;
+  std::size_t ng = 0;
+  const Complex* grids = nullptr;
+  std::size_t nw = 0;
+  double scale = 1.0;
+  Complex* coeffs = nullptr;
+  std::size_t coeff_stride = 0;
+  static void run(void* user, std::size_t b);
+};
+
+/// Pipeline pass stages over `sm`'s masks: the inverse (sphere -> grid)
+/// passes expect freshly scattered data at `grids` (off-sphere x-lines
+/// zero); the forward (grid -> sphere) passes complete only the z-lines
+/// that a subsequent gather reads. Same masks — and bit-identical results —
+/// as inverse_many_active / forward_many_active.
+fft::Fft3D::Stage inverse_passes_stage(const SphereMap& sm, Complex* grids);
+fft::Fft3D::Stage forward_passes_stage(const SphereMap& sm, Complex* grids);
+
 /// grid <- inverse_fft(scatter(coeffs)): one fused call. `grid` is fully
 /// overwritten. Bit-identical to GSphere::scatter + Fft3D::inverse.
 void sphere_to_grid(const fft::Fft3D& fft, const SphereMap& sm, std::span<const Complex> coeffs,

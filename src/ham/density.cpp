@@ -8,9 +8,58 @@
 
 namespace pwdft::ham {
 
+namespace {
+
+/// Interior stage of the fused density pipeline: band b's |ψ|² accumulated
+/// into its chunk's partial density. Chained per chunk (Stage::chain =
+/// bands-per-chunk), so a chunk's bands add in exact band order — the same
+/// per-element operation sequence as the chunk loop of the staged and band
+/// paths, keeping all formulations bit-identical.
+struct RhoAccumHook {
+  const double* occ = nullptr;
+  double inv_vol = 0.0;
+  const Complex* grids = nullptr;  ///< batched dense-grid orbitals
+  double* parts = nullptr;         ///< nchunks x nd chunk partials
+  std::size_t nd = 0;
+  std::size_t bper = 0;  ///< bands per chunk (the chain length)
+  static void run(void* user, std::size_t b) {
+    const auto* c = static_cast<const RhoAccumHook*>(user);
+    double* part = c->parts + (b / c->bper) * c->nd;
+    if (b % c->bper == 0) std::fill_n(part, c->nd, 0.0);
+    const Complex* w = c->grids + b * c->nd;
+    const double f = c->occ[b] * c->inv_vol;
+    for (std::size_t i = 0; i < c->nd; ++i) part[i] += f * std::norm(w[i]);
+  }
+};
+
+/// Trailing join stage: job j reduces its slice of the grid over the chunk
+/// partials in chunk order (per-element independent, so the job count only
+/// shapes scheduling, never results).
+struct RhoReduceHook {
+  const double* parts = nullptr;
+  double* rho = nullptr;
+  std::size_t nd = 0;
+  std::size_t nchunks = 0;
+  std::size_t njobs = 0;
+  static void run(void* user, std::size_t job) {
+    const auto* c = static_cast<const RhoReduceHook*>(user);
+    const std::size_t per = (c->nd + c->njobs - 1) / c->njobs;
+    const std::size_t i0 = job * per;
+    const std::size_t i1 = std::min(c->nd, i0 + per);
+    for (std::size_t i = i0; i < i1; ++i) {
+      double acc = 0.0;
+      for (std::size_t ch = 0; ch < c->nchunks; ++ch) acc += c->parts[ch * c->nd + i];
+      c->rho[i] = acc;
+    }
+  }
+};
+
+}  // namespace
+
 std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft_dense,
                                     const CMatrix& psi_local, std::span<const double> occ_local,
-                                    par::Comm& comm, bool band_line_split) {
+                                    par::Comm& comm, bool band_line_split,
+                                    fft::PipelineMode pipeline) {
   PWDFT_CHECK(psi_local.cols() == occ_local.size(), "compute_density: occupations mismatch");
   const std::size_t nd = setup.n_dense();
   const std::size_t nb = psi_local.cols();
@@ -44,9 +93,36 @@ std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft
   // the precomputed grids. The accumulation statement is the same compiled
   // loop in either mode and the FFT per line is the identical serial
   // kernel, so the reduction tree — and every bit of rho — is unchanged.
+  //
+  // In the fused pipeline mode the whole narrow formulation — scatter,
+  // masked inverse passes, chunk accumulation (chained in band order), and
+  // the ordered chunk reduction — is ONE Fft3D::run_pipeline call: a single
+  // cached-graph replay (one pool wake) on the graph dispatch path. Every
+  // hook runs the same per-element statements in the same order as the
+  // staged chunk loop, so all formulations stay bit-identical.
+  if (pipeline == fft::PipelineMode::kAuto) pipeline = fft::pipeline_env_default();
   const CMatrix* pregrids = nullptr;
   if (band_line_split && exec::prefer_line_split(nb)) {
     CMatrix& grids = exec::workspace().cmat(exec::Slot::rho_grids, nd, nb);
+    if (pipeline == fft::PipelineMode::kFused) {
+      // Width-independent job count for the reduction slice nodes (part of
+      // the graph shape, never of the results — each element reduces its
+      // own chunk column independently).
+      const std::size_t njobs = std::min<std::size_t>(32, (nd + 4095) / 4096);
+      const std::size_t ng = setup.n_g();
+      grid::ScatterHook scatter{setup.smap_dense.map.data(), ng, psi_local.data(), ng,
+                                grids.data(),                nd};
+      RhoAccumHook accum{occ_local.data(), inv_vol, grids.data(), parts.data(), nd, bper};
+      RhoReduceHook reduce{parts.data(), rho.data(), nd, nchunks, njobs};
+      const std::array<fft::Fft3D::Stage, 4> stages = {
+          fft::Fft3D::Stage::make_hook(&grid::ScatterHook::run, &scatter),
+          grid::inverse_passes_stage(setup.smap_dense, grids.data()),
+          fft::Fft3D::Stage::make_hook(&RhoAccumHook::run, &accum, bper),
+          fft::Fft3D::Stage::make_join(&RhoReduceHook::run, &reduce, njobs)};
+      fft_dense.run_pipeline(nb, stages);
+      comm.allreduce_sum(rho.data(), rho.size());
+      return rho;
+    }
     grid::sphere_to_grid_many(fft_dense, setup.smap_dense, psi_local, grids);
     pregrids = &grids;
   }

@@ -21,11 +21,18 @@ namespace pwdft::ham {
 /// `band_line_split` enables the hybrid band×line schedule: when the local
 /// band count is below the engine width, the per-band transforms run as one
 /// batched (band × FFT line) pass before the fixed-chunk accumulation.
-/// Bit-identical to the band-parallel path at any width (docs/threading.md);
-/// tests force both values to pin the equivalence.
+/// `pipeline` (kAuto resolves PWDFT_OPERATOR_PIPELINE, default fused)
+/// selects how that narrow formulation executes: kFused runs scatter →
+/// inverse passes → |ψ|² chunk accumulation (chained in band order) →
+/// ordered chunk reduction as ONE Fft3D::run_pipeline call — a single
+/// cached-graph replay / one pool wake on the graph dispatch path — while
+/// kStaged keeps the per-stage batched dispatches. All paths are
+/// bit-identical at any width (docs/threading.md); tests force every
+/// combination to pin the equivalence.
 std::vector<double> compute_density(const PlanewaveSetup& setup, fft::Fft3D& fft_dense,
                                     const CMatrix& psi_local, std::span<const double> occ_local,
-                                    par::Comm& comm, bool band_line_split = true);
+                                    par::Comm& comm, bool band_line_split = true,
+                                    fft::PipelineMode pipeline = fft::PipelineMode::kAuto);
 
 /// Integral of a dense-grid function: (Omega/N) * sum_r f(r).
 double integrate_dense(const PlanewaveSetup& setup, std::span<const double> f);

@@ -60,6 +60,15 @@ struct FockOptions {
   /// transform instead of one fork-join per axis pass. Bit-identical to
   /// kForkJoin at any width (tests/test_exec.cpp pins both modes).
   fft::ExecPath fft_dispatch = fft::ExecPath::kAuto;
+  /// Whole-operator pipeline mode of the batched pair solves: kFused chains
+  /// pair-density multiply → forward passes → kernel multiply → inverse
+  /// passes → write-out into ONE Fft3D::run_pipeline call per (band, block)
+  /// task — a single cached-graph replay instead of two replays plus three
+  /// serial loops — so the interior multiplies parallelize inside the same
+  /// graph as their FFTs. kStaged keeps the per-stage formulation.
+  /// Bit-identical at any width. kAuto resolves PWDFT_OPERATOR_PIPELINE
+  /// (or inherits the Hamiltonian-level choice when owned by one).
+  fft::PipelineMode op_pipeline = fft::PipelineMode::kAuto;
 };
 
 class FockOperator {

@@ -9,12 +9,59 @@ namespace pwdft::ham {
 
 namespace {
 
-/// An unset Fock FFT dispatch inherits the Hamiltonian-level choice, so one
-/// option pins both the dense-grid and the wfc-grid transforms.
+/// An unset Fock FFT dispatch / pipeline mode inherits the
+/// Hamiltonian-level choice, so one option pins both the dense-grid and the
+/// wfc-grid transforms. The pipeline mode itself resolves its env default
+/// here so apply() branches on a fixed value.
 HamiltonianOptions normalize(HamiltonianOptions o) {
   if (o.fock.fft_dispatch == fft::ExecPath::kAuto) o.fock.fft_dispatch = o.fft_dispatch;
+  if (o.op_pipeline == fft::PipelineMode::kAuto) o.op_pipeline = fft::pipeline_env_default();
+  if (o.fock.op_pipeline == fft::PipelineMode::kAuto) o.fock.op_pipeline = o.op_pipeline;
   return o;
 }
+
+/// Interior stage of the fused apply() pipeline: column b of the dense-grid
+/// orbitals multiplied by the total local potential (plus the nonlocal
+/// projectors) into the vlocs block. The same per-element statements as the
+/// staged formulation, so the two schedules are bit-identical.
+struct VmulHook {
+  const double* vt = nullptr;
+  const Complex* grids = nullptr;
+  Complex* vlocs = nullptr;
+  std::size_t nd = 0;
+  const pseudo::NonlocalProjectors* nonlocal = nullptr;
+  double weight = 0.0;
+  static void run(void* user, std::size_t b) {
+    const auto* c = static_cast<const VmulHook*>(user);
+    const Complex* g = c->grids + b * c->nd;
+    Complex* p = c->vlocs + b * c->nd;
+    const double* v = c->vt;
+    for (std::size_t k = 0; k < c->nd; ++k) p[k] = v[k] * g[k];
+    if (c->nonlocal) c->nonlocal->apply_add({g, c->nd}, {p, c->nd}, c->weight);
+  }
+};
+
+/// Tail stage of the fused apply() pipeline: kinetic term plus the gathered
+/// local-potential coefficients for column b. Two separate pure loops
+/// (multiply, then add) exactly like the band and staged paths — a single
+/// fused expression could contract to FMA and break bit-identity between
+/// the schedules.
+struct KineticAddHook {
+  const double* kin = nullptr;
+  const Complex* psi = nullptr;
+  const Complex* coeffs = nullptr;
+  Complex* y = nullptr;
+  std::size_t ng = 0;
+  static void run(void* user, std::size_t b) {
+    const auto* c = static_cast<const KineticAddHook*>(user);
+    const double* kk = c->kin;
+    const Complex* p = c->psi + b * c->ng;
+    const Complex* co = c->coeffs + b * c->ng;
+    Complex* yb = c->y + b * c->ng;
+    for (std::size_t k = 0; k < c->ng; ++k) yb[k] = kk[k] * p[k];
+    for (std::size_t k = 0; k < c->ng; ++k) yb[k] += co[k];
+  }
+};
 
 }  // namespace
 
@@ -95,41 +142,64 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
       CMatrix& grids = ws.cmat(exec::Slot::ham_grids, nd, ncol);
       CMatrix& vlocs = ws.cmat(exec::Slot::ham_vlocs, nd, ncol);
       CMatrix& coeffs = ws.cmat(exec::Slot::ham_coeffs, ng, ncol);
-      grid::sphere_to_grid_many(fft_dense_, setup_.smap_dense, psi_local, grids);
-      const Complex* gw = grids.data();
-      Complex* vp = vlocs.data();
-      exec::parallel_for_cols(ncol, nd, [=](std::size_t col, std::size_t r0, std::size_t len) {
-        const double* v = vt + r0;
-        const Complex* g = gw + col * nd + r0;
-        Complex* p = vp + col * nd + r0;
-        for (std::size_t k = 0; k < len; ++k) p[k] = v[k] * g[k];
-      });
-      if (nonlocal_) {
-        exec::parallel_for(ncol, [&](std::size_t jb, std::size_t je) {
-          for (std::size_t j = jb; j < je; ++j)
-            nonlocal_->apply_add({grids.col(j), nd}, {vlocs.col(j), nd}, weight);
+      if (options_.op_pipeline == fft::PipelineMode::kFused) {
+        // Whole-operator pipeline: the six stages below are ONE
+        // Fft3D::run_pipeline call — a single cached-graph replay (one pool
+        // wake) on the graph dispatch path, with band b free to run its
+        // V·ψ stage while band b' is still scattering. Every hook executes
+        // the same per-element statements as the staged branch, so the two
+        // are bit-identical at any width (tests/test_band_parallel.cpp).
+        grid::ScatterHook scatter{setup_.smap_dense.map.data(), ng,         psi_local.data(),
+                                  ng,                           grids.data(), nd};
+        VmulHook vmul{vt, grids.data(), vlocs.data(), nd, nonlocal_.get(), weight};
+        grid::GatherHook gather{setup_.smap_dense.map.data(), ng,     vlocs.data(), nd,
+                                inv_nd,                       coeffs.data(), ng};
+        KineticAddHook tail{kin_.data(), psi_local.data(), coeffs.data(), y_local.data(), ng};
+        const std::array<fft::Fft3D::Stage, 6> stages = {
+            fft::Fft3D::Stage::make_hook(&grid::ScatterHook::run, &scatter),
+            grid::inverse_passes_stage(setup_.smap_dense, grids.data()),
+            fft::Fft3D::Stage::make_hook(&VmulHook::run, &vmul),
+            grid::forward_passes_stage(setup_.smap_dense, vlocs.data()),
+            fft::Fft3D::Stage::make_hook(&grid::GatherHook::run, &gather),
+            fft::Fft3D::Stage::make_hook(&KineticAddHook::run, &tail)};
+        fft_dense_.run_pipeline(ncol, stages);
+      } else {
+        grid::sphere_to_grid_many(fft_dense_, setup_.smap_dense, psi_local, grids);
+        const Complex* gw = grids.data();
+        Complex* vp = vlocs.data();
+        exec::parallel_for_cols(ncol, nd, [=](std::size_t col, std::size_t r0, std::size_t len) {
+          const double* v = vt + r0;
+          const Complex* g = gw + col * nd + r0;
+          Complex* p = vp + col * nd + r0;
+          for (std::size_t k = 0; k < len; ++k) p[k] = v[k] * g[k];
         });
+        if (nonlocal_) {
+          exec::parallel_for(ncol, [&](std::size_t jb, std::size_t je) {
+            for (std::size_t j = jb; j < je; ++j)
+              nonlocal_->apply_add({grids.col(j), nd}, {vlocs.col(j), nd}, weight);
+          });
+        }
+        grid::grid_to_sphere_many(fft_dense_, setup_.smap_dense, vlocs, inv_nd, coeffs);
+        // Two separate stages (pure multiply, then pure add) exactly like
+        // the band path — a single fused expression could contract to FMA
+        // and break bit-identity between the two schedules.
+        const double* kin = kin_.data();
+        const Complex* co = coeffs.data();
+        const Complex* ps = psi_local.data();
+        Complex* yp = y_local.data();
+        exec::parallel_for_cols(ncol, ng, [=](std::size_t col, std::size_t r0, std::size_t len) {
+          const double* kk = kin + r0;
+          const Complex* p = ps + col * ng + r0;
+          Complex* y = yp + col * ng + r0;
+          for (std::size_t k = 0; k < len; ++k) y[k] = kk[k] * p[k];
+        });
+        exec::parallel_for(
+            ncol * ng,
+            [=](std::size_t b, std::size_t e) {
+              for (std::size_t i = b; i < e; ++i) yp[i] += co[i];
+            },
+            4096);
       }
-      grid::grid_to_sphere_many(fft_dense_, setup_.smap_dense, vlocs, inv_nd, coeffs);
-      // Two separate stages (pure multiply, then pure add) exactly like the
-      // band path — a single fused expression could contract to FMA and
-      // break bit-identity between the two schedules.
-      const double* kin = kin_.data();
-      const Complex* co = coeffs.data();
-      const Complex* ps = psi_local.data();
-      Complex* yp = y_local.data();
-      exec::parallel_for_cols(ncol, ng, [=](std::size_t col, std::size_t r0, std::size_t len) {
-        const double* kk = kin + r0;
-        const Complex* p = ps + col * ng + r0;
-        Complex* y = yp + col * ng + r0;
-        for (std::size_t k = 0; k < len; ++k) y[k] = kk[k] * p[k];
-      });
-      exec::parallel_for(
-          ncol * ng,
-          [=](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i) yp[i] += co[i];
-          },
-          4096);
     } else {
       // Band-parallel: each band writes only its own column of y, so the
       // loop runs on the engine with bit-identical results at any thread

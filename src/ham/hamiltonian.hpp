@@ -42,6 +42,14 @@ struct HamiltonianOptions {
   /// replay instead of re-forking per FFT pass. Bit-identical to kForkJoin
   /// at any engine width.
   fft::ExecPath fft_dispatch = fft::ExecPath::kAuto;
+  /// Whole-operator pipeline mode of the narrow (band×line split) apply():
+  /// kFused runs scatter → inverse passes → V·ψ+nonlocal → forward passes →
+  /// gather → kinetic+add as ONE Fft3D::run_pipeline call (a single
+  /// cached-graph replay / one pool wake on the graph dispatch path);
+  /// kStaged keeps the per-stage batched dispatches. Bit-identical at any
+  /// width. kAuto resolves PWDFT_OPERATOR_PIPELINE (default fused); unless
+  /// fock.op_pipeline overrides, the Fock operator inherits this choice.
+  fft::PipelineMode op_pipeline = fft::PipelineMode::kAuto;
 };
 
 class Hamiltonian {

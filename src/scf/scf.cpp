@@ -41,7 +41,8 @@ ScfResult GroundStateSolver::scf_phase(CMatrix& psi, std::span<const double> occ
   ScfResult res;
 
   std::vector<double> rho =
-      ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm);
+      ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm, true,
+                           ham_.options().op_pipeline);
   ham_.update_density(rho);
 
   AndersonMixer mixer(setup_.n_dense(), opt.anderson_depth, opt.mix_beta);
@@ -61,7 +62,8 @@ ScfResult GroundStateSolver::scf_phase(CMatrix& psi, std::span<const double> occ
     res.eigenvalues = lr.eigenvalues;
 
     std::vector<double> rho_out =
-        ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm);
+        ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm, true,
+                           ham_.options().op_pipeline);
     res.rho_error = ham::density_error(setup_, rho_out, rho);
     res.scf_iterations = it + 1;
     if (opt.verbose) {
@@ -95,7 +97,8 @@ ScfResult GroundStateSolver::solve(CMatrix& psi, std::span<const double> occ,
   ScfResult res = scf_phase(psi, occ, opt, opt.max_iter);
 
   if (!want_hybrid) {
-    std::vector<double> rho = ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm);
+    std::vector<double> rho = ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm, true,
+                           ham_.options().op_pipeline);
     ham_.update_density(rho);
     res.energy = ham::compute_energy(ham_, psi, occ, rho, comm);
     return res;
@@ -114,7 +117,8 @@ ScfResult GroundStateSolver::solve(CMatrix& psi, std::span<const double> occ,
     res.rho_error = inner.rho_error;
     res.outer_iterations = outer + 1;
 
-    std::vector<double> rho = ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm);
+    std::vector<double> rho = ham::compute_density(setup_, ham_.fft_dense(), psi, occ, comm, true,
+                           ham_.options().op_pipeline);
     ham_.update_density(rho);
     ham_.set_exchange_orbitals(psi, occ, bands, comm);
     res.energy = ham::compute_energy(ham_, psi, occ, rho, comm);

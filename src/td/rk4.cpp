@@ -20,7 +20,8 @@ void Rk4Propagator::derivative(const CMatrix& psi, std::span<const double> occ_l
   ham_.set_vector_potential(field.vector_potential(t));
   {
     ScopedTimer st(*timers, "density");
-    auto rho = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi, occ_local, comm);
+    auto rho = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi, occ_local, comm, true,
+                                    ham_.options().op_pipeline);
     ham_.update_density(rho);
   }
   if (ham_.hybrid_enabled()) {

@@ -297,6 +297,112 @@ TEST(BandParallel, FockNarrowWindowLineSplitBitIdentical) {
   }
 }
 
+TEST(BandParallel, DensityPipelineModesBitIdenticalAcrossDispatchAndWidth) {
+  // The whole-operator density pipeline (one cached-graph replay) against
+  // the staged formulation, on both FFT dispatch paths, at widths 1/2/4 —
+  // every combination must produce the same bytes. nb = 3 keeps the block
+  // narrow at width 4 so the pipeline actually engages.
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 3;
+  CMatrix psi = test::random_orthonormal(setup, nb, 71);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+
+  std::vector<double> ref;
+  for (const auto path : {fft::ExecPath::kTaskGraph, fft::ExecPath::kForkJoin}) {
+    fft::Fft3D fft_dense(setup.dense_grid.dims(), fft::RadixKernel::kAuto, path);
+    for (const auto mode : {fft::PipelineMode::kStaged, fft::PipelineMode::kFused}) {
+      for (std::size_t nt : kThreadCounts) {
+        exec::set_num_threads(nt);
+        auto rho = ham::compute_density(setup, fft_dense, psi, occ, comm, true, mode);
+        if (ref.empty()) {
+          ref = rho;
+        } else {
+          ASSERT_EQ(rho.size(), ref.size());
+          for (std::size_t i = 0; i < rho.size(); ++i)
+            ASSERT_EQ(rho[i], ref[i]) << "i=" << i << " nt=" << nt;
+        }
+      }
+    }
+  }
+}
+
+TEST(BandParallel, HamiltonianPipelineModesBitIdenticalAcrossDispatchAndWidth) {
+  // Fused vs staged whole-operator pipelines through the full hybrid
+  // Hamiltonian (the Fock pair solves run their own fused pipelines), on
+  // both dispatch paths at widths 1/2/4: byte equality everywhere.
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  const std::size_t nb = 2;
+  CMatrix psi = test::random_orthonormal(setup, nb, 73);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (const auto path : {fft::ExecPath::kTaskGraph, fft::ExecPath::kForkJoin}) {
+    for (const auto mode : {fft::PipelineMode::kStaged, fft::PipelineMode::kFused}) {
+      for (std::size_t nt : kThreadCounts) {
+        exec::set_num_threads(nt);
+        auto options = test::fast_hybrid_options();
+        options.fft_dispatch = path;
+        options.op_pipeline = mode;  // fock inherits via normalize()
+        ham::Hamiltonian h(setup, species, options);
+        auto rho = ham::compute_density(setup, h.fft_dense(), psi, occ, comm, true, mode);
+        h.update_density(rho);
+        h.set_exchange_orbitals(psi, occ, bands, comm);
+        CMatrix y;
+        h.apply(psi, y, comm);
+        if (ref.empty()) {
+          ref = y;
+        } else {
+          EXPECT_EQ(test::max_abs_diff(y, ref), 0.0)
+              << "nt=" << nt << " fused=" << (mode == fft::PipelineMode::kFused)
+              << " graph=" << (path == fft::ExecPath::kTaskGraph);
+        }
+      }
+    }
+  }
+}
+
+TEST(BandParallel, FockPipelineModesBitIdenticalAcrossWidth) {
+  // The fused pair-solve pipeline (multiply/solve stages chained into the
+  // same graph as the FFT passes) vs the staged loops, wide and narrow
+  // windows, at widths 1/2/4.
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 6;
+  CMatrix phi = test::random_orthonormal(setup, nb, 79);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  for (const auto mode : {fft::PipelineMode::kStaged, fft::PipelineMode::kFused}) {
+    for (std::size_t window : {1u, 4u}) {
+      for (std::size_t nt : kThreadCounts) {
+        exec::set_num_threads(nt);
+        ham::FockOptions fopt;
+        fopt.band_window = window;
+        fopt.op_pipeline = mode;
+        ham::FockOperator fock(setup, xc::HybridParams{true, 0.25, 0.11}, fopt);
+        fock.set_orbitals(phi, occ, bands, comm);
+        CMatrix y(setup.n_g(), nb, Complex{0.0, 0.0});
+        fock.apply_add(phi, y, comm);
+        if (ref.empty()) {
+          ref = y;
+        } else {
+          EXPECT_EQ(test::max_abs_diff(y, ref), 0.0)
+              << "nt=" << nt << " window=" << window
+              << " fused=" << (mode == fft::PipelineMode::kFused);
+        }
+      }
+    }
+  }
+}
+
 TEST(BandParallel, OverlappedTransposeMatchesSerializedPath) {
   // Two thread-backed ranks, engine at 4 threads, Fock broadcast prefetch
   // AND the async-lane transposes all in flight: the overlapped step must

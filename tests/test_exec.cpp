@@ -9,7 +9,10 @@
 #include "common/exec.hpp"
 #include "common/random.hpp"
 #include "fft/fft3d.hpp"
+#include "grid/transforms.hpp"
+#include "ham/density.hpp"
 #include "ham/fock.hpp"
+#include "ham/hamiltonian.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 
@@ -350,6 +353,39 @@ TEST(TaskGraph, NodeExceptionPropagatesAndGraphStaysReusable) {
   }
 }
 
+TEST(TaskGraph, RawNodePayloadsAndGates) {
+  // The raw-pointer node form: one static trampoline + a packed payload per
+  // node (the shape fft3d's pipeline hooks use), joined by a gate.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  for (std::size_t nt : {1u, 4u}) {
+    exec::set_num_threads(nt);
+    struct Ctx {
+      std::array<int, 8> slot{};
+      std::atomic<int> after_gate{0};
+    } ctx;
+    exec::TaskGraph g;
+    std::vector<exec::TaskGraph::NodeId> writers;
+    for (std::uint64_t i = 0; i < 8; ++i)
+      writers.push_back(g.add_node(
+          [](void* p, std::uint64_t payload) {
+            static_cast<Ctx*>(p)->slot[payload] = static_cast<int>(payload) + 1;
+          },
+          i));
+    const auto gate = g.add_gate(writers);
+    const auto check = g.add_node([](void* p) {
+      auto* c = static_cast<Ctx*>(p);
+      int sum = 0;
+      for (int v : c->slot) sum += v;
+      c->after_gate.store(sum);
+    });
+    g.add_edge(gate, check);
+    g.seal();
+    g.replay(&ctx);
+    EXPECT_EQ(ctx.after_gate.load(), 36) << "nt=" << nt;  // 1+2+...+8
+  }
+}
+
 TEST(TaskGraph, BuildValidation) {
   exec::TaskGraph g;
   auto a = g.add_node([](void*) {});
@@ -433,6 +469,245 @@ TEST(TaskGraphFock, DispatchPathsBitIdenticalAcrossWidths) {
             << " nt " << nt;
       }
     }
+  }
+}
+
+// ---- Whole-operator pipelines & graph-cache identity ---------------------
+
+namespace {
+
+/// Per-call state of the direct run_pipeline tests below. Hooks are
+/// captureless lambdas (so they decay to the BatchHook function pointers
+/// the graph cache keys on).
+struct PipeTestCtx {
+  std::array<double, 8> v{};
+  std::array<double, 3> out{};
+};
+
+}  // namespace
+
+TEST(OperatorPipeline, ChainAndJoinSemantics) {
+  // Stage::chain serializes consecutive runs in batch order (batch b reads
+  // b-1's value — any order violation corrupts it) and a trailing join runs
+  // only after every batch finished. Pure hook/join pipeline, both dispatch
+  // paths, widths 1/4.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  const auto chain_hook = +[](void* u, std::size_t b) {
+    auto* c = static_cast<PipeTestCtx*>(u);
+    c->v[b] = b % 2 == 0 ? static_cast<double>(b + 1) : c->v[b - 1] * 3.0;
+  };
+  const auto join_hook = +[](void* u, std::size_t j) {
+    auto* c = static_cast<PipeTestCtx*>(u);
+    const std::size_t per = 3;  // ceil(8 / 3 jobs)
+    double acc = 0.0;
+    for (std::size_t i = j * per; i < std::min<std::size_t>(8, (j + 1) * per); ++i)
+      acc += c->v[i];
+    c->out[j] = acc;
+  };
+  for (std::size_t nt : {1u, 4u}) {
+    exec::set_num_threads(nt);
+    for (const auto path : {fft::ExecPath::kTaskGraph, fft::ExecPath::kForkJoin}) {
+      fft::Fft3D fft({4, 4, 4}, fft::RadixKernel::kAuto, path);
+      PipeTestCtx ctx;
+      const std::array<fft::Fft3D::Stage, 2> stages = {
+          fft::Fft3D::Stage::make_hook(chain_hook, &ctx, 2),
+          fft::Fft3D::Stage::make_join(join_hook, &ctx, 3)};
+      for (int rep = 0; rep < 20; ++rep) {
+        ctx = PipeTestCtx{};
+        fft.run_pipeline(8, stages);
+        const std::array<double, 8> want = {1, 3, 3, 9, 5, 15, 7, 21};
+        for (std::size_t b = 0; b < 8; ++b) ASSERT_EQ(ctx.v[b], want[b]) << "b=" << b;
+        ASSERT_EQ(ctx.out[0], 7.0);
+        ASSERT_EQ(ctx.out[1], 29.0);
+        ASSERT_EQ(ctx.out[2], 28.0);
+      }
+    }
+  }
+}
+
+TEST(OperatorPipeline, NarrowHamiltonianApplyIsOneWake) {
+  // The acceptance contract of the fused pipeline: a narrow (band×line
+  // split) Hamiltonian::apply is ONE TaskGraph replay — a single pool wake,
+  // no range jobs.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 4.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  ham::HamiltonianOptions opt;
+  opt.hybrid.enabled = false;
+  opt.fft_dispatch = fft::ExecPath::kTaskGraph;
+  opt.op_pipeline = fft::PipelineMode::kFused;
+  ham::Hamiltonian h(setup, species, opt);
+  par::SerialComm comm;
+  Rng rng(71);
+  CMatrix psi(setup.n_g(), 2);
+  for (std::size_t i = 0; i < psi.size(); ++i) psi.data()[i] = rng.complex_normal();
+  CMatrix y;
+  h.apply(psi, y, comm);  // warm-up: builds the cached graph, grows arenas
+  const std::uint64_t g0 = exec::pool().graph_jobs();
+  const std::uint64_t r0 = exec::pool().range_jobs();
+  h.apply(psi, y, comm);
+  EXPECT_EQ(exec::pool().graph_jobs() - g0, 1u);
+  EXPECT_EQ(exec::pool().range_jobs() - r0, 0u);
+}
+
+TEST(OperatorPipeline, NarrowDensityIsOneWake) {
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 4.0, 1);
+  fft::Fft3D fft_dense(setup.dense_grid.dims(), fft::RadixKernel::kAuto,
+                       fft::ExecPath::kTaskGraph);
+  Rng rng(73);
+  CMatrix psi(setup.n_g(), 2);
+  for (std::size_t i = 0; i < psi.size(); ++i) psi.data()[i] = rng.complex_normal();
+  std::vector<double> occ(2, 2.0);
+  par::SerialComm comm;
+  (void)ham::compute_density(setup, fft_dense, psi, occ, comm, true,
+                             fft::PipelineMode::kFused);  // warm-up
+  const std::uint64_t g0 = exec::pool().graph_jobs();
+  const std::uint64_t r0 = exec::pool().range_jobs();
+  auto rho = ham::compute_density(setup, fft_dense, psi, occ, comm, true,
+                                  fft::PipelineMode::kFused);
+  EXPECT_EQ(exec::pool().graph_jobs() - g0, 1u);
+  EXPECT_EQ(exec::pool().range_jobs() - r0, 0u);
+  // And it matches the staged formulation byte for byte.
+  auto rho_staged = ham::compute_density(setup, fft_dense, psi, occ, comm, true,
+                                         fft::PipelineMode::kStaged);
+  ASSERT_EQ(rho.size(), rho_staged.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) ASSERT_EQ(rho[i], rho_staged[i]) << "i=" << i;
+}
+
+TEST(GraphCache, DistinguishesLineMaskContent) {
+  // Two SphereMaps with equal mask lengths but different line content,
+  // alternated through one Fft3D: a cache that keyed on shape alone would
+  // replay the wrong (stale) line set. Every conversion is checked against
+  // an independent fork-join engine.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  const std::size_t n = 8, grid_n = n * n * n;
+  fft::Fft3D graph_fft({n, n, n}, fft::RadixKernel::kAuto, fft::ExecPath::kTaskGraph);
+  fft::Fft3D fork_fft({n, n, n}, fft::RadixKernel::kAuto, fft::ExecPath::kForkJoin);
+  std::vector<std::size_t> lower(grid_n / 2), upper(grid_n / 2);
+  for (std::size_t i = 0; i < grid_n / 2; ++i) {
+    lower[i] = i;
+    upper[i] = grid_n / 2 + i;
+  }
+  grid::SphereMap sm_lower(lower, {n, n, n});
+  grid::SphereMap sm_upper(upper, {n, n, n});
+  ASSERT_EQ(sm_lower.x_lines.size(), sm_upper.x_lines.size());
+  ASSERT_NE(sm_lower.x_lines, sm_upper.x_lines);
+  Rng rng(79);
+  std::vector<Complex> coeffs(grid_n / 2);
+  for (auto& c : coeffs) c = rng.complex_normal();
+  std::vector<Complex> a(grid_n), b(grid_n);
+  for (const auto* sm : {&sm_lower, &sm_upper, &sm_lower, &sm_upper}) {
+    grid::sphere_to_grid(graph_fft, *sm, coeffs, a);
+    grid::sphere_to_grid(fork_fft, *sm, coeffs, b);
+    ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)));
+  }
+}
+
+namespace {
+
+/// Prologue hooks for the hook-identity cache test: same shape, different
+/// function — must map to distinct cached graphs.
+struct FillCtx {
+  Complex* data;
+  std::size_t n;
+};
+void fill_plus(void* u, std::size_t b) {
+  const auto* c = static_cast<const FillCtx*>(u);
+  for (std::size_t i = 0; i < c->n; ++i) c->data[b * c->n + i] = Complex(double(b + 1), 0.0);
+}
+void fill_minus(void* u, std::size_t b) {
+  const auto* c = static_cast<const FillCtx*>(u);
+  for (std::size_t i = 0; i < c->n; ++i) c->data[b * c->n + i] = Complex(-double(b + 1), 0.0);
+}
+
+}  // namespace
+
+TEST(GraphCache, DistinguishesHookAndStageIdentity) {
+  // Identical batch shape and masks, two different prologue hooks, plus a
+  // pipeline with an extra interior stage: three distinct cached graphs.
+  // Stale replay of any of them against the wrong hook/stage list would
+  // produce the wrong sign or skip the negation.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  const std::size_t n = 6, grid_n = n * n * n, nb = 3;
+  fft::Fft3D graph_fft({n, n, n}, fft::RadixKernel::kAuto, fft::ExecPath::kTaskGraph);
+  fft::Fft3D fork_fft({n, n, n}, fft::RadixKernel::kAuto, fft::ExecPath::kForkJoin);
+  std::vector<Complex> a(grid_n * nb), b(grid_n * nb);
+  // All-lines masks: the hook-fill contract is trivially satisfied.
+  std::vector<std::uint32_t> all_x(n * n), all_y(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) all_x[i] = all_y[i] = std::uint32_t(i);
+  FillCtx ca{a.data(), grid_n}, cb{b.data(), grid_n};
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto hook : {&fill_plus, &fill_minus}) {
+      graph_fft.inverse_many_active(a.data(), nb, all_x, all_y, *hook, &ca);
+      fork_fft.inverse_many_active(b.data(), nb, all_x, all_y, *hook, &cb);
+      ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)));
+    }
+    // Same shape with an extra interior negation stage (run_pipeline): must
+    // not collide with the two-stage graphs above.
+    const auto negate = +[](void* u, std::size_t batch) {
+      const auto* c = static_cast<const FillCtx*>(u);
+      for (std::size_t i = 0; i < c->n; ++i) c->data[batch * c->n + i] *= -1.0;
+    };
+    const std::array<fft::Fft3D::PassSpec, 3> passes = {
+        fft::Fft3D::PassSpec{all_x.data(), all_x.size()},
+        fft::Fft3D::PassSpec{all_y.data(), all_y.size()},
+        fft::Fft3D::PassSpec{nullptr, n * n}};
+    const std::array<fft::Fft3D::Stage, 3> st_a = {
+        fft::Fft3D::Stage::make_hook(&fill_plus, &ca),
+        fft::Fft3D::Stage::make_hook(negate, &ca),
+        fft::Fft3D::Stage::make_passes(+1, a.data(), passes)};
+    const std::array<fft::Fft3D::Stage, 3> st_b = {
+        fft::Fft3D::Stage::make_hook(&fill_plus, &cb),
+        fft::Fft3D::Stage::make_hook(negate, &cb),
+        fft::Fft3D::Stage::make_passes(+1, b.data(), passes)};
+    graph_fft.run_pipeline(nb, st_a);
+    fork_fft.run_pipeline(nb, st_b);
+    ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)));
+  }
+}
+
+TEST(GraphCache, HamiltonianCacheKeySweep) {
+  // Alternating band counts through one Hamiltonian: each block width is
+  // its own pipeline graph; replaying a stale shape would transform the
+  // wrong batch count. Every fused apply is checked against a staged-mode
+  // Hamiltonian sharing the same state.
+  ThreadGuard guard;
+  ParallelReplayGuard preplay;
+  exec::set_num_threads(4);
+  ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), 4.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  ham::HamiltonianOptions fused_opt;
+  fused_opt.hybrid.enabled = false;
+  fused_opt.fft_dispatch = fft::ExecPath::kTaskGraph;
+  fused_opt.op_pipeline = fft::PipelineMode::kFused;
+  ham::HamiltonianOptions staged_opt = fused_opt;
+  staged_opt.op_pipeline = fft::PipelineMode::kStaged;
+  ham::Hamiltonian h_fused(setup, species, fused_opt);
+  ham::Hamiltonian h_staged(setup, species, staged_opt);
+  par::SerialComm comm;
+  Rng rng(83);
+  CMatrix psi3(setup.n_g(), 3);
+  for (std::size_t i = 0; i < psi3.size(); ++i) psi3.data()[i] = rng.complex_normal();
+  CMatrix y_fused, y_staged;
+  for (const std::size_t nb : {2u, 3u, 2u, 3u, 2u}) {
+    CMatrix psi(setup.n_g(), nb);
+    for (std::size_t j = 0; j < nb; ++j)
+      std::copy_n(psi3.col(j), setup.n_g(), psi.col(j));
+    h_fused.apply(psi, y_fused, comm);
+    h_staged.apply(psi, y_staged, comm);
+    ASSERT_EQ(0, std::memcmp(y_fused.data(), y_staged.data(),
+                             y_fused.size() * sizeof(Complex)))
+        << "nb=" << nb;
   }
 }
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown doc set.
+
+Usage:
+    tools/check_docs_links.py [--root REPO_ROOT]
+
+Scans README.md, ROADMAP.md, docs/*.md, and bench/README.md for markdown
+links/images `[text](target)` and checks that every *relative* target
+(anything that is not http(s)/mailto or a pure #anchor) resolves to an
+existing file or directory, after stripping a trailing #anchor. Targets
+inside fenced code blocks (``` ... ```) and inline code spans are ignored.
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link is
+reported as file:line). This is the CI `docs-check` step, so the cross-links
+between the performance/architecture/threading docs can't rot silently.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root):
+    files = [root / "README.md", root / "ROADMAP.md", root / "bench" / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path, root):
+    broken = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(CODE_SPAN_RE.sub("``", line)):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                broken.append((lineno, target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                broken.append((lineno, target, "does not exist"))
+    return broken
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=pathlib.Path(__file__).resolve().parent.parent,
+                    type=pathlib.Path, help="repository root (default: script's parent)")
+    args = ap.parse_args()
+
+    files = doc_files(args.root)
+    if not files:
+        print("docs-check: no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for f in files:
+        for lineno, target, why in check_file(f, args.root):
+            print(f"{f.relative_to(args.root)}:{lineno}: broken link '{target}' ({why})",
+                  file=sys.stderr)
+            failures += 1
+    checked = ", ".join(str(f.relative_to(args.root)) for f in files)
+    if failures:
+        print(f"docs-check: {failures} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"docs-check: all relative links resolve ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
