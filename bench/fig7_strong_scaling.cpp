@@ -1,13 +1,20 @@
 // Regenerates paper Fig. 7: strong scaling of the PT-CN step for Si1536.
 // (a) total time and per-component times including MPI and memcpy;
 // (b) pure computation per component (near-ideal scaling in the paper).
+//
+// `--json <path>` writes the model-derived step times as bench_json.hpp
+// trajectory records (benchmark "fig7_step_time", throughput = steps/s)
+// for the CI perf-smoke artifact.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "perf/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pwdft;
+  const std::string json_path = benchjson::consume_json_flag(&argc, argv);
   perf::SummitModel model(perf::SummitMachine::defaults(), perf::Workload::silicon(1536));
   const std::vector<int> gpus{36, 72, 144, 288, 384, 768, 1536, 3072};
 
@@ -17,5 +24,18 @@ int main() {
 
   std::printf("\n== Fig. 7(b): computation-only per SCF (s, comm excluded) ==\n\n");
   perf::fig7b(model, gpus).print();
+
+  if (!json_path.empty()) {
+    benchjson::Writer json;
+    const double t36 = model.ptcn_step_total(36);
+    for (int g : gpus) {
+      const double t = model.ptcn_step_total(g);
+      json.add("fig7_step_time", "gpus:" + std::to_string(g), t, t > 0 ? 1.0 / t : 0.0);
+      // Strong-scaling efficiency vs the 36-GPU anchor (1.0 = ideal).
+      json.add("fig7_parallel_efficiency", "gpus:" + std::to_string(g), 0.0,
+               t > 0 ? (t36 * 36.0) / (t * g) : 0.0);
+    }
+    json.write(json_path);
+  }
   return 0;
 }

@@ -3,20 +3,40 @@
 // ideal O(N^2) line anchored at the largest system. Paper observations:
 // 192 atoms / 96 GPUs run 50 as in ~16 s; small systems sit above the
 // anchored N^2 line because Fock exchange does not yet dominate.
+//
+// `--json <path>` writes the model-derived step times as bench_json.hpp
+// trajectory records (benchmark "fig8_step_time", throughput = steps/s)
+// for the CI perf-smoke artifact.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "perf/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pwdft;
+  const std::string json_path = benchjson::consume_json_flag(&argc, argv);
   std::printf("== Fig. 8: weak scaling, 50 as step time, GPUs = Natom/2 ==\n\n");
-  perf::fig8(perf::SummitMachine::defaults(), {48, 96, 192, 384, 768, 1536}).print();
+  const std::vector<std::size_t> natoms{48, 96, 192, 384, 768, 1536};
+  perf::fig8(perf::SummitMachine::defaults(), natoms).print();
 
   perf::SummitModel m192(perf::SummitMachine::defaults(), perf::Workload::silicon(192));
   const double per_fs = m192.ptcn_step_total(96) * (1000.0 / 50.0);
   std::printf("\n192 atoms at 96 GPUs: %.1f s per fs (paper: ~5 min/fs), so a\n"
               "picosecond of dynamics is ~%.1f days (paper: ~4 days).\n",
               per_fs, per_fs * 1000.0 / 86400.0);
+
+  if (!json_path.empty()) {
+    benchjson::Writer json;
+    for (std::size_t n : natoms) {
+      perf::SummitModel m(perf::SummitMachine::defaults(), perf::Workload::silicon(n));
+      const double t = m.ptcn_step_total(int(n / 2));
+      json.add("fig8_step_time",
+               "natoms:" + std::to_string(n) + "/gpus:" + std::to_string(n / 2), t,
+               t > 0 ? 1.0 / t : 0.0);
+    }
+    json.write(json_path);
+  }
   return 0;
 }

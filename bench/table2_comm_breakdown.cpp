@@ -1,16 +1,40 @@
 // Regenerates paper Table 2: per-step MPI / CPU-GPU memcpy / compute
 // breakdown for Si1536 across GPU counts.
+//
+// `--json <path>` writes the model-derived component times as
+// bench_json.hpp trajectory records (one record per GPU count per
+// component, throughput = 1/seconds) for the CI perf-smoke artifact.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "perf/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pwdft;
+  const std::string json_path = benchjson::consume_json_flag(&argc, argv);
   perf::SummitModel model(perf::SummitMachine::defaults(), perf::Workload::silicon(1536));
   std::printf("== Table 2: MPI / memcpy / compute per PT-CN step (s), Si1536 ==\n");
   std::printf("(paper anchors @36 GPUs: memcpy 60.8, Alltoallv 20.97, Allreduce 11.5,\n"
               " Bcast 18.78, compute 2341.4; Bcast grows to 193.9 @3072 GPUs)\n\n");
   perf::table2(model, perf::paper_gpu_counts()).print();
+
+  if (!json_path.empty()) {
+    benchjson::Writer json;
+    for (int g : perf::paper_gpu_counts()) {
+      const auto b = model.comm_breakdown(g);
+      const std::string cfg = "gpus:" + std::to_string(g);
+      auto rec = [&](const char* name, double s) {
+        json.add(std::string("table2_") + name, cfg, s, s > 0 ? 1.0 / s : 0.0);
+      };
+      rec("memcpy", b.memcpy);
+      rec("alltoallv", b.alltoallv);
+      rec("allreduce", b.allreduce);
+      rec("bcast", b.bcast);
+      rec("compute", b.compute);
+    }
+    json.write(json_path);
+  }
   return 0;
 }

@@ -105,6 +105,15 @@ class Comm {
   /// if the traffic should be accounted together.
   virtual std::unique_ptr<Comm> dup() = 0;
 
+  /// Collective: partitions the ranks into sub-communicators, one per
+  /// distinct `color` (MPI_Comm_split; every rank must pass a valid color —
+  /// there is no MPI_UNDEFINED opt-out). Within a color, new ranks are
+  /// assigned by ascending (key, parent rank). The sub-communicator owns an
+  /// independent rendezvous domain, so its collectives never interleave
+  /// with the parent's or a sibling color's — two band groups can run their
+  /// grid-level transposes concurrently (see par::HierComm).
+  virtual std::unique_ptr<Comm> split(int color, int key) = 0;
+
   /// Typed broadcast convenience.
   template <typename T>
   void bcast(T* data, std::size_t count, int root) {
@@ -135,6 +144,7 @@ class SerialComm final : public Comm {
   void send_bytes(const void* data, std::size_t bytes, int dest, int tag) override;
   void recv_bytes(void* data, std::size_t bytes, int src, int tag) override;
   std::unique_ptr<Comm> dup() override;
+  std::unique_ptr<Comm> split(int color, int key) override;
 };
 
 }  // namespace pwdft::par

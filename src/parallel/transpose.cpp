@@ -1,10 +1,14 @@
 #include "parallel/transpose.hpp"
 
 #include <complex>
+#include <cstdlib>
+#include <cstring>
 #include <span>
+#include <string_view>
 
 #include "common/check.hpp"
 #include "common/exec.hpp"
+#include "parallel/overlap.hpp"
 
 namespace pwdft::par {
 
@@ -20,98 +24,129 @@ std::span<Wire> wire_buf(exec::Slot slot, std::size_t n) {
     return exec::workspace().fbuf(slot, n);
 }
 
-/// Runs one alltoallv where block (dst <- src) carries the sub-matrix of
-/// src's local bands restricted to dst's G rows, in band-major order. The
-/// wire buffers live in the calling thread's workspace arena (steady state
-/// allocates nothing) and the pack/unpack column copies run on the exec
-/// engine: every column is written by exactly one task, so the result is
-/// bit-identical at any thread count.
-template <typename Wire>
-void transpose_impl(Comm& comm, const BlockPartition& gvecs, const BlockPartition& bands,
-                    const CMatrix& band_local, CMatrix* g_out, const CMatrix* g_in,
-                    CMatrix* band_out) {
-  const int np = comm.size();
-  const int me = comm.rank();
-  const std::size_t nb_loc = bands.count(me);
-  const std::size_t ng_loc = gvecs.count(me);
-  const std::size_t nb_tot = bands.total();
-  const bool to_g = (g_out != nullptr);
+/// Byte counts/displacements of one transpose direction: block (dst <- src)
+/// carries the sub-matrix of src's local bands restricted to dst's G rows,
+/// in band-major order.
+struct Plan {
+  std::vector<std::size_t> scounts, sdispls, rcounts, rdispls;
+  std::size_t sbytes = 0, rbytes = 0;
+};
 
-  std::vector<std::size_t> scounts(np), sdispls(np), rcounts(np), rdispls(np);
-  std::size_t soff = 0, roff = 0;
+template <typename Wire>
+Plan make_plan(int np, int me, const BlockPartition& gvecs, const BlockPartition& bands,
+               bool to_g) {
+  Plan plan;
+  plan.scounts.resize(np);
+  plan.sdispls.resize(np);
+  plan.rcounts.resize(np);
+  plan.rdispls.resize(np);
   for (int r = 0; r < np; ++r) {
     // Element counts of the exchanged blocks.
     const std::size_t fwd = bands.count(me) * gvecs.count(r);  // me -> r (band_to_g)
     const std::size_t bwd = bands.count(r) * gvecs.count(me);  // r -> me (band_to_g)
-    scounts[r] = (to_g ? fwd : bwd) * sizeof(Wire);
-    rcounts[r] = (to_g ? bwd : fwd) * sizeof(Wire);
-    sdispls[r] = soff;
-    rdispls[r] = roff;
-    soff += scounts[r];
-    roff += rcounts[r];
+    plan.scounts[r] = (to_g ? fwd : bwd) * sizeof(Wire);
+    plan.rcounts[r] = (to_g ? bwd : fwd) * sizeof(Wire);
+    plan.sdispls[r] = plan.sbytes;
+    plan.rdispls[r] = plan.rbytes;
+    plan.sbytes += plan.scounts[r];
+    plan.rbytes += plan.rcounts[r];
   }
+  return plan;
+}
 
-  auto sendbuf = wire_buf<Wire>(exec::Slot::trans_send, soff / sizeof(Wire));
-  auto recvbuf = wire_buf<Wire>(exec::Slot::trans_recv, roff / sizeof(Wire));
-
-  // Pack: one task per (destination rank, local band) or per global band.
+/// Pack phase: one task per (destination rank, local band) for band->G, per
+/// global band for G->band; every wire element is written by exactly one
+/// task, so the phase is bit-identical at any engine width.
+template <typename Wire>
+void pack_phase(const Plan& plan, int np, const BlockPartition& gvecs,
+                const BlockPartition& bands, int me, bool to_g, const CMatrix& in,
+                Wire* sendbuf) {
+  const std::size_t nb_loc = bands.count(me);
+  const std::size_t ng_loc = gvecs.count(me);
+  const std::size_t nb_tot = bands.total();
+  const std::size_t* sdispls = plan.sdispls.data();
   if (to_g) {
-    PWDFT_CHECK(band_local.rows() == gvecs.total() && band_local.cols() == nb_loc,
+    PWDFT_CHECK(in.rows() == gvecs.total() && in.cols() == nb_loc,
                 "band_to_g: bad band-local shape");
     exec::parallel_for(static_cast<std::size_t>(np) * nb_loc, [&](std::size_t b, std::size_t e) {
       for (std::size_t t = b; t < e; ++t) {
         const int r = static_cast<int>(t / nb_loc);
         const std::size_t j = t % nb_loc;
         const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
-        const Complex* src = band_local.col(j) + g0;
-        Wire* dst = sendbuf.data() + sdispls[r] / sizeof(Wire) + j * gn;
+        const Complex* src = in.col(j) + g0;
+        Wire* dst = sendbuf + sdispls[r] / sizeof(Wire) + j * gn;
         for (std::size_t i = 0; i < gn; ++i) dst[i] = Wire(src[i]);
       }
     });
   } else {
-    PWDFT_CHECK(g_in->rows() == ng_loc && g_in->cols() == nb_tot,
-                "g_to_band: bad G-local shape");
+    PWDFT_CHECK(in.rows() == ng_loc && in.cols() == nb_tot, "g_to_band: bad G-local shape");
     exec::parallel_for(nb_tot, [&](std::size_t b, std::size_t e) {
       for (std::size_t j = b; j < e; ++j) {
         const int r = bands.owner(j);
-        const Complex* src = g_in->col(j);
-        Wire* dst =
-            sendbuf.data() + sdispls[r] / sizeof(Wire) + (j - bands.offset(r)) * ng_loc;
+        const Complex* src = in.col(j);
+        Wire* dst = sendbuf + sdispls[r] / sizeof(Wire) + (j - bands.offset(r)) * ng_loc;
         for (std::size_t i = 0; i < ng_loc; ++i) dst[i] = Wire(src[i]);
       }
     });
   }
+}
 
-  comm.alltoallv_bytes(reinterpret_cast<const unsigned char*>(sendbuf.data()), scounts.data(),
-                       sdispls.data(), reinterpret_cast<unsigned char*>(recvbuf.data()),
-                       rcounts.data(), rdispls.data());
+/// Exchange phase: the only phase that touches the communicator.
+void exchange_phase(Comm& comm, const Plan& plan, const unsigned char* send,
+                    unsigned char* recv) {
+  comm.alltoallv_bytes(send, plan.scounts.data(), plan.sdispls.data(), recv,
+                       plan.rcounts.data(), plan.rdispls.data());
+}
 
-  // Unpack: each task owns a full output column (or a disjoint row range of
-  // one), so writes never race.
+/// Unpack phase: each task owns a full output column (or a disjoint row
+/// range of one), so writes never race.
+template <typename Wire>
+void unpack_phase(const Plan& plan, int np, const BlockPartition& gvecs,
+                  const BlockPartition& bands, int me, bool to_g, const Wire* recvbuf,
+                  CMatrix& out) {
+  const std::size_t nb_loc = bands.count(me);
+  const std::size_t ng_loc = gvecs.count(me);
+  const std::size_t nb_tot = bands.total();
+  const std::size_t* rdispls = plan.rdispls.data();
   if (to_g) {
-    g_out->resize(ng_loc, nb_tot);
+    out.resize(ng_loc, nb_tot);
     exec::parallel_for(nb_tot, [&](std::size_t b, std::size_t e) {
       for (std::size_t j = b; j < e; ++j) {
         const int r = bands.owner(j);
-        const Wire* src =
-            recvbuf.data() + rdispls[r] / sizeof(Wire) + (j - bands.offset(r)) * ng_loc;
-        Complex* dst = g_out->col(j);
+        const Wire* src = recvbuf + rdispls[r] / sizeof(Wire) + (j - bands.offset(r)) * ng_loc;
+        Complex* dst = out.col(j);
         for (std::size_t i = 0; i < ng_loc; ++i) dst[i] = Complex(src[i]);
       }
     });
   } else {
-    band_out->resize(gvecs.total(), nb_loc);
+    out.resize(gvecs.total(), nb_loc);
     exec::parallel_for(static_cast<std::size_t>(np) * nb_loc, [&](std::size_t b, std::size_t e) {
       for (std::size_t t = b; t < e; ++t) {
         const int r = static_cast<int>(t / nb_loc);
         const std::size_t j = t % nb_loc;
         const std::size_t g0 = gvecs.offset(r), gn = gvecs.count(r);
-        const Wire* src = recvbuf.data() + rdispls[r] / sizeof(Wire) + j * gn;
-        Complex* dst = band_out->col(j) + g0;
+        const Wire* src = recvbuf + rdispls[r] / sizeof(Wire) + j * gn;
+        Complex* dst = out.col(j) + g0;
         for (std::size_t i = 0; i < gn; ++i) dst[i] = Complex(src[i]);
       }
     });
   }
+}
+
+/// Synchronous call: the three phases back to back, wires from the calling
+/// thread's workspace arena (steady-state calls allocate nothing).
+template <typename Wire>
+void transpose_impl(Comm& comm, const BlockPartition& gvecs, const BlockPartition& bands,
+                    bool to_g, const CMatrix& in, CMatrix& out) {
+  const int np = comm.size();
+  const int me = comm.rank();
+  const Plan plan = make_plan<Wire>(np, me, gvecs, bands, to_g);
+  auto sendbuf = wire_buf<Wire>(exec::Slot::trans_send, plan.sbytes / sizeof(Wire));
+  auto recvbuf = wire_buf<Wire>(exec::Slot::trans_recv, plan.rbytes / sizeof(Wire));
+  pack_phase<Wire>(plan, np, gvecs, bands, me, to_g, in, sendbuf.data());
+  exchange_phase(comm, plan, reinterpret_cast<const unsigned char*>(sendbuf.data()),
+                 reinterpret_cast<unsigned char*>(recvbuf.data()));
+  unpack_phase<Wire>(plan, np, gvecs, bands, me, to_g, recvbuf.data(), out);
 }
 
 }  // namespace
@@ -119,17 +154,151 @@ void transpose_impl(Comm& comm, const BlockPartition& gvecs, const BlockPartitio
 void WavefunctionTranspose::band_to_g(Comm& comm, const CMatrix& band_local, CMatrix& g_local,
                                       bool single_precision) const {
   if (single_precision)
-    transpose_impl<ComplexF>(comm, gvecs_, bands_, band_local, &g_local, nullptr, nullptr);
+    transpose_impl<ComplexF>(comm, gvecs_, bands_, true, band_local, g_local);
   else
-    transpose_impl<Complex>(comm, gvecs_, bands_, band_local, &g_local, nullptr, nullptr);
+    transpose_impl<Complex>(comm, gvecs_, bands_, true, band_local, g_local);
 }
 
 void WavefunctionTranspose::g_to_band(Comm& comm, const CMatrix& g_local, CMatrix& band_local,
                                       bool single_precision) const {
   if (single_precision)
-    transpose_impl<ComplexF>(comm, gvecs_, bands_, CMatrix{}, nullptr, &g_local, &band_local);
+    transpose_impl<ComplexF>(comm, gvecs_, bands_, false, g_local, band_local);
   else
-    transpose_impl<Complex>(comm, gvecs_, bands_, CMatrix{}, nullptr, &g_local, &band_local);
+    transpose_impl<Complex>(comm, gvecs_, bands_, false, g_local, band_local);
+}
+
+void redistribute_columns(Comm& comm, const CostPartition& from, const CostPartition& to,
+                          const CMatrix& in, CMatrix& out) {
+  const int np = comm.size();
+  const int me = comm.rank();
+  PWDFT_CHECK(from.parts() == np && to.parts() == np && from.total() == to.total(),
+              "redistribute_columns: partition/communicator mismatch");
+  PWDFT_CHECK(in.cols() == from.count(me), "redistribute_columns: bad local column count");
+  const std::size_t rows = in.rows();
+  const std::size_t colbytes = rows * sizeof(Complex);
+  out.resize(rows, to.count(me));
+
+  // Both partitions are contiguous and rank-ascending, so the columns bound
+  // for (or arriving from) each peer form one contiguous range: the
+  // Alltoallv runs straight out of `in` and into `out`, no pack phase.
+  std::vector<std::size_t> scounts(np), sdispls(np), rcounts(np), rdispls(np);
+  auto range = [](const CostPartition& a, int pa, const CostPartition& b, int pb,
+                  std::size_t& start, std::size_t& len) {
+    const std::size_t lo = std::max(a.offset(pa), b.offset(pb));
+    const std::size_t hi =
+        std::min(a.offset(pa) + a.count(pa), b.offset(pb) + b.count(pb));
+    start = lo;
+    len = hi > lo ? hi - lo : 0;
+  };
+  for (int r = 0; r < np; ++r) {
+    std::size_t s0 = 0, slen = 0, r0 = 0, rlen = 0;
+    range(from, me, to, r, s0, slen);  // my columns that r will own
+    range(from, r, to, me, r0, rlen);  // r's columns that I will own
+    scounts[r] = slen * colbytes;
+    rcounts[r] = rlen * colbytes;
+    sdispls[r] = (slen ? s0 - from.offset(me) : 0) * colbytes;
+    rdispls[r] = (rlen ? r0 - to.offset(me) : 0) * colbytes;
+  }
+  comm.alltoallv_bytes(reinterpret_cast<const unsigned char*>(in.data()), scounts.data(),
+                       sdispls.data(), reinterpret_cast<unsigned char*>(out.data()),
+                       rcounts.data(), rdispls.data());
+}
+
+// ---------------------------------------------------------------------------
+// TransposeOverlap (overlap.hpp): the split-phase path. Implemented here so
+// the overlap engine and the synchronous call share one set of phase
+// kernels — one mechanism, not two.
+
+bool comm_overlap_env_default() {
+  const char* env = std::getenv("PWDFT_COMM_OVERLAP");
+  if (!env) return true;
+  const std::string_view v(env);
+  return !(v == "0" || v == "off" || v == "OFF" || v == "false");
+}
+
+struct TransposeOverlap::Pending {
+  Plan plan;
+  const WavefunctionTranspose* transpose = nullptr;
+  CMatrix* out = nullptr;
+  bool to_g = true;
+  bool single = false;
+  int np = 0, me = 0;
+};
+
+TransposeOverlap::TransposeOverlap(bool enabled) : enabled_(enabled) {}
+
+TransposeOverlap::~TransposeOverlap() = default;  // lane_ joins first
+
+void TransposeOverlap::start_band_to_g(const WavefunctionTranspose& t, Comm& comm,
+                                       const CMatrix& band_local, CMatrix& g_out,
+                                       bool single_precision) {
+  if (!enabled_) {
+    t.band_to_g(comm, band_local, g_out, single_precision);
+    return;
+  }
+  start(t, comm, band_local, g_out, true, single_precision);
+}
+
+void TransposeOverlap::start_g_to_band(const WavefunctionTranspose& t, Comm& comm,
+                                       const CMatrix& g_local, CMatrix& band_out,
+                                       bool single_precision) {
+  if (!enabled_) {
+    t.g_to_band(comm, g_local, band_out, single_precision);
+    return;
+  }
+  start(t, comm, g_local, band_out, false, single_precision);
+}
+
+void TransposeOverlap::start(const WavefunctionTranspose& t, Comm& comm, const CMatrix& in,
+                             CMatrix& out, bool to_g, bool single_precision) {
+  PWDFT_CHECK(!pending_, "TransposeOverlap: a transpose is already in flight");
+  if (!ocomm_) ocomm_ = comm.dup();  // collective: first start() of every rank
+
+  auto p = std::make_unique<Pending>();
+  p->transpose = &t;
+  p->out = &out;
+  p->to_g = to_g;
+  p->single = single_precision;
+  p->np = ocomm_->size();
+  p->me = ocomm_->rank();
+  p->plan = single_precision
+                ? make_plan<ComplexF>(p->np, p->me, t.gvecs(), t.bands(), to_g)
+                : make_plan<Complex>(p->np, p->me, t.gvecs(), t.bands(), to_g);
+  if (send_.size() < p->plan.sbytes) send_.resize(p->plan.sbytes);
+  if (recv_.size() < p->plan.rbytes) recv_.resize(p->plan.rbytes);
+
+  // Pack on the calling thread (engine-parallel) so the parked task is pure
+  // wire exchange; the instance-owned buffers keep the bytes alive and
+  // un-aliased for the helper's lifetime.
+  if (single_precision)
+    pack_phase<ComplexF>(p->plan, p->np, t.gvecs(), t.bands(), p->me, to_g, in,
+                         reinterpret_cast<ComplexF*>(send_.data()));
+  else
+    pack_phase<Complex>(p->plan, p->np, t.gvecs(), t.bands(), p->me, to_g, in,
+                        reinterpret_cast<Complex*>(send_.data()));
+
+  pending_ = std::move(p);
+  lane_.run([this] { exchange_phase(*ocomm_, pending_->plan, send_.data(), recv_.data()); });
+}
+
+void TransposeOverlap::wait() {
+  if (!pending_) return;
+  lane_.wait();  // rethrows a failed exchange
+  const Pending& p = *pending_;
+  const auto& t = *p.transpose;
+  if (p.single)
+    unpack_phase<ComplexF>(p.plan, p.np, t.gvecs(), t.bands(), p.me, p.to_g,
+                           reinterpret_cast<const ComplexF*>(recv_.data()), *p.out);
+  else
+    unpack_phase<Complex>(p.plan, p.np, t.gvecs(), t.bands(), p.me, p.to_g,
+                          reinterpret_cast<const Complex*>(recv_.data()), *p.out);
+  pending_.reset();
+}
+
+void TransposeOverlap::fold_stats(Comm& parent) {
+  if (!ocomm_) return;
+  parent.stats().merge(ocomm_->stats());
+  ocomm_->stats().reset();
 }
 
 }  // namespace pwdft::par

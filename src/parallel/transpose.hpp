@@ -14,10 +14,10 @@
 /// Wire buffers come from the calling thread's workspace arena (steady-state
 /// calls allocate nothing) and the pack/unpack column copies run on the exec
 /// engine (bit-identical at any thread count). Both methods are collectives
-/// on `comm`; to overlap a transpose with compute that itself communicates
-/// (the Fock band loop), run it on the engine's async lane against a
-/// Comm::dup()'ed communicator — see exec::TaskGroup and
-/// td::PtCnPropagator::step for the idiom.
+/// on `comm`. Internally each call is three phases — pack, exchange, unpack
+/// — and par::TransposeOverlap (overlap.hpp) mounts those phases around
+/// caller compute: pack up front, the exchange parked on the exec engine's
+/// async lane against a Comm::dup()'ed communicator, unpack at wait().
 
 #include "linalg/matrix.hpp"
 #include "parallel/comm.hpp"
@@ -46,5 +46,15 @@ class WavefunctionTranspose {
   BlockPartition gvecs_;
   BlockPartition bands_;
 };
+
+/// Moves a column-distributed matrix (full rows on every rank) from the
+/// contiguous column partition `from` to `to` with one Alltoallv straight
+/// out of / into the matrix storage (contiguous partitions make the
+/// per-peer column ranges contiguous, so there is no pack/unpack phase).
+/// Collective on comm; from/to must have comm.size() parts and equal
+/// totals. Resizes `out` to (in.rows() x to.count(rank)). The carrier of
+/// the Fock dynamic band rebalance; always double precision on the wire.
+void redistribute_columns(Comm& comm, const CostPartition& from, const CostPartition& to,
+                          const CMatrix& in, CMatrix& out);
 
 }  // namespace pwdft::par

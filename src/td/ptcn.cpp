@@ -80,7 +80,9 @@ PtCnPropagator::PtCnPropagator(ham::Hamiltonian& hamiltonian, par::BlockPartitio
     : ham_(hamiltonian),
       bands_(bands),
       opt_(opt),
-      transpose_(par::BlockPartition(hamiltonian.setup().n_g(), comm_size), bands) {
+      transpose_(par::BlockPartition(hamiltonian.setup().n_g(), comm_size), bands),
+      psi_ovl_(opt.overlap_transpose),
+      half_ovl_(opt.overlap_transpose) {
   PWDFT_CHECK(opt_.dt > 0.0, "PtCnPropagator: dt must be positive");
 }
 
@@ -105,25 +107,6 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
   }
   for (auto& m : mixers_) m->reset();
 
-  // Communicator for the overlapped transposes: an independent rendezvous
-  // domain, so a transpose parked on the async lane can never interleave
-  // with the Fock broadcasts running on `comm` (collective: all ranks
-  // reach this dup() together on their first step).
-  const bool ovl = opt_.overlap_transpose;
-  if (ovl && !ocomm_) ocomm_ = comm.dup();
-
-  // Starts the Psi -> G transpose of `src`: on the async lane against the
-  // dup()'ed comm when overlap is on (caller computes H Psi meanwhile and
-  // then waits), else inline on `comm`. Math is identical either way.
-  exec::TaskGroup tg;
-  auto start_psi_transpose = [&](const CMatrix& src) {
-    if (ovl) {
-      tg.run([this, &src] { transpose_.band_to_g(*ocomm_, src, psi_g_, opt_.sp_comm); });
-    } else {
-      transpose_.band_to_g(comm, src, psi_g_, opt_.sp_comm);
-    }
-  };
-
   PtCnStepReport report;
   const Complex i_half_dt = imag_unit * (0.5 * opt_.dt);
 
@@ -140,7 +123,10 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
     ham_.update_density(rho);
   }
   if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_local, occ_global, bands_, comm);
-  start_psi_transpose(psi_local);
+  // The Psi -> G transpose rides behind H Psi: packed here, its exchange
+  // parked on the async lane against the stream's dup()'ed communicator
+  // while the Fock band loop broadcasts on `comm` (overlap.hpp).
+  psi_ovl_.start_band_to_g(transpose_, comm, psi_local, psi_g_, opt_.sp_comm);
   CMatrix hpsi;
   ham_.apply(psi_local, hpsi, comm, timers);
   ++report.fock_applies;
@@ -148,7 +134,7 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
   CMatrix rn;
   {
     ScopedTimer st(*timers, "residual");
-    tg.wait();
+    psi_ovl_.wait();
     rn = pt_residual_from_g(transpose_, comm, psi_g_, hpsi, nullptr, Complex{0.0, 0.0},
                             Complex{1.0, 0.0}, Complex{0.0, 0.0}, opt_.sp_comm);
   }
@@ -159,10 +145,11 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
   CMatrix psi_f = psi_half;
 
   // The Psi_half transpose is invariant across the SCF loop: pay it once
-  // here instead of once per residual evaluation (Alg. 3 line 1).
+  // here instead of once per residual evaluation (Alg. 3 line 1), and let
+  // its exchange ride behind the Psi_f density build on its own stream.
   {
     ScopedTimer st(*timers, "residual");
-    transpose_.band_to_g(comm, psi_half, half_g_, opt_.sp_comm);
+    half_ovl_.start_band_to_g(transpose_, comm, psi_half, half_g_, opt_.sp_comm);
   }
 
   std::vector<double> rho_f;
@@ -170,6 +157,10 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
     ScopedTimer st(*timers, "density");
     rho_f = ham::compute_density(ham_.setup(), ham_.fft_dense(), psi_f, occ_local, comm, true,
                                  ham_.options().op_pipeline);
+  }
+  {
+    ScopedTimer st(*timers, "residual");
+    half_ovl_.wait();
   }
 
   // --- SCF fixed-point loop at time t + dt. ---
@@ -180,14 +171,14 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
       ham_.update_density(rho_f);
     }
     if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_f, occ_global, bands_, comm);
-    start_psi_transpose(psi_f);
+    psi_ovl_.start_band_to_g(transpose_, comm, psi_f, psi_g_, opt_.sp_comm);
     ham_.apply(psi_f, hpsi, comm, timers);
     ++report.fock_applies;
 
     CMatrix rf;
     {
       ScopedTimer st(*timers, "residual");
-      tg.wait();
+      psi_ovl_.wait();
       rf = pt_residual_from_g(transpose_, comm, psi_g_, hpsi, &half_g_, Complex{1.0, 0.0},
                               i_half_dt, Complex{1.0, 0.0}, opt_.sp_comm);
     }
@@ -221,13 +212,11 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
   }
   psi_local = std::move(psi_f);
 
-  // Fold the overlap lane's traffic into the caller-visible record so the
+  // Fold the overlap streams' traffic into the caller-visible record so the
   // comm-volume accounting (bench/real_comm_volume, perf model validation)
-  // sees one total regardless of which domain carried the transpose.
-  if (ocomm_) {
-    comm.stats().merge(ocomm_->stats());
-    ocomm_->stats().reset();
-  }
+  // sees one total regardless of which domain carried each transpose.
+  psi_ovl_.fold_stats(comm);
+  half_ovl_.fold_stats(comm);
   return report;
 }
 

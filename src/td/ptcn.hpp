@@ -18,6 +18,7 @@
 
 #include "common/timer.hpp"
 #include "ham/hamiltonian.hpp"
+#include "parallel/overlap.hpp"
 #include "parallel/transpose.hpp"
 #include "scf/anderson.hpp"
 #include "td/field.hpp"
@@ -31,15 +32,16 @@ struct PtCnOptions {
   std::size_t anderson_depth = 20;  ///< paper §3.4
   double anderson_beta = 1.0;
   bool sp_comm = true;           ///< single-precision Alltoallv payloads (§3.3)
-  /// Runs the Psi -> G transpose of each residual evaluation on the exec
-  /// engine's async lane, on a dup()'ed communicator, while H Psi (the Fock
-  /// band loop) computes on the parent (paper §3.2 step 5 applied to Alg. 3).
-  /// Results are bit-identical to the serialized path. The async lane never
-  /// wins the fork-join pool: a parallel_for — or a task-graph replay of
-  /// the Fock loop's batched FFTs — issued from the lane runs inline, so
-  /// the overlapped transpose cannot steal workers from the compute it
-  /// hides behind (docs/threading.md).
-  bool overlap_transpose = true;
+  /// Overlaps the propagator's loop transposes with compute through
+  /// par::TransposeOverlap (paper §3.2 step 5 applied to Alg. 3): the
+  /// Psi -> G transpose of each residual evaluation rides behind H Psi (the
+  /// Fock band loop), and the loop-invariant Psi_half transpose rides
+  /// behind the density build. Each stream packs up front, parks its
+  /// exchange on the exec engine's async lane against its own dup()'ed
+  /// communicator, and unpacks at wait() — bit-identical to the serialized
+  /// path (overlap.hpp). Defaults to the PWDFT_COMM_OVERLAP resolution
+  /// (overlap on).
+  bool overlap_transpose = par::comm_overlap_env_default();
 };
 
 struct PtCnStepReport {
@@ -69,13 +71,15 @@ class PtCnPropagator {
   PtCnOptions opt_;
   par::WavefunctionTranspose transpose_;
   std::vector<std::unique_ptr<scf::AndersonMixer>> mixers_;  ///< one per local band
-  /// Independent rendezvous domain for the overlapped transposes (created
-  /// lazily by the first step(); step() must always be called with the same
-  /// communicator). Its traffic is merged into the parent's stats per step.
-  std::unique_ptr<par::Comm> ocomm_;
-  /// G-layout blocks written by the (possibly async) transposes. Plain
-  /// members rather than arena slots: the async task runs on a helper
-  /// thread whose arena the main thread must not depend on.
+  /// One overlap stream per concurrently in-flight transpose: the per-
+  /// iteration Psi -> G stream and the loop-invariant Psi_half stream. Each
+  /// lazily dup()s its own rendezvous domain on the first step() (step()
+  /// must always be called with the same communicator); their traffic is
+  /// folded into the parent's stats per step.
+  par::TransposeOverlap psi_ovl_;
+  par::TransposeOverlap half_ovl_;
+  /// G-layout blocks written at wait(). Plain members rather than arena
+  /// slots: they must survive across the overlap window.
   CMatrix psi_g_;
   CMatrix half_g_;
 };

@@ -446,5 +446,92 @@ TEST(BandParallel, OverlappedTransposeMatchesSerializedPath) {
     EXPECT_EQ(test::max_abs_diff(overlapped[r], serialized[r]), 0.0) << "rank " << r;
 }
 
+TEST(BandParallel, OverlapModeBitIdenticalAcrossThreadCounts) {
+  // Overlap {off, on} × engine widths {1, 2, 4} on two thread-backed ranks:
+  // all six PT-CN runs must produce the same bytes. The overlap knob only
+  // moves the exchange onto the async lane; pack/unpack stay engine-ordered
+  // and the arithmetic never changes.
+  ThreadGuard guard;
+  const int np = 2;
+  const std::size_t nb = 8;
+  auto setup = test::make_si8_setup(3.0, 1);
+  CMatrix psi_init = test::random_orthonormal(setup, nb, 83);
+  std::vector<double> occ(nb, 2.0);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+
+  td::PtCnOptions opt;
+  opt.dt = 1.0;
+  opt.rho_tol = 1e-8;
+  opt.max_scf = 5;
+
+  std::vector<CMatrix> ref(np);
+  for (bool overlap : {false, true}) {
+    for (std::size_t nt : kThreadCounts) {
+      exec::set_num_threads(nt);
+      std::vector<CMatrix> per_rank(np);
+      par::ThreadGroup::run(np, [&](par::Comm& c) {
+        auto setup_loc = test::make_si8_setup(3.0, 1);
+        auto species = pseudo::PseudoSpecies::silicon(true);
+        ham::Hamiltonian h(setup_loc, species, test::fast_hybrid_options());
+        par::BlockPartition bands(nb, np);
+        CMatrix psi_loc = test::band_slice(psi_init, bands, c.rank());
+        td::PtCnOptions o = opt;
+        o.overlap_transpose = overlap;
+        td::PtCnPropagator prop(h, bands, o, np);
+        prop.step(psi_loc, occ, 0.0, kick, c);
+        per_rank[c.rank()] = std::move(psi_loc);
+      });
+      if (ref[0].size() == 0) {
+        ref = std::move(per_rank);
+      } else {
+        for (int r = 0; r < np; ++r)
+          EXPECT_EQ(test::max_abs_diff(per_rank[r], ref[r]), 0.0)
+              << "rank " << r << " nt=" << nt << " overlap=" << overlap;
+      }
+    }
+  }
+}
+
+TEST(BandParallel, FockRebalanceBitIdenticalAcrossThreadCounts) {
+  // Dynamic band rebalance {off, on-with-forced-skew} × widths {1, 2, 4} on
+  // two ranks: the shuffled solve must reproduce the static layout byte for
+  // byte at every engine width.
+  ThreadGuard guard;
+  const int np = 2;
+  const std::size_t nb = 6;
+  auto setup = test::make_si8_setup(3.0, 1);
+  CMatrix phi = test::random_orthonormal(setup, nb, 89);
+  CMatrix x = test::random_orthonormal(setup, nb, 97);
+  std::vector<double> occ(nb, 2.0);
+
+  std::vector<CMatrix> ref(np);
+  for (bool rebalance : {false, true}) {
+    for (std::size_t nt : kThreadCounts) {
+      exec::set_num_threads(nt);
+      std::vector<CMatrix> per_rank(np);
+      par::ThreadGroup::run(np, [&](par::Comm& c) {
+        auto setup_loc = test::make_si8_setup(3.0, 1);
+        par::BlockPartition bands(nb, np);
+        ham::FockOptions fopt;
+        fopt.band_rebalance = rebalance;
+        ham::FockOperator fock(setup_loc, xc::HybridParams{true, 0.25, 0.11}, fopt);
+        fock.set_orbitals(test::band_slice(phi, bands, c.rank()), occ, bands, c);
+        if (rebalance) fock.debug_set_rank_cost({5.0, 1.0});
+        CMatrix x_loc = test::band_slice(x, bands, c.rank());
+        CMatrix y(setup_loc.n_g(), x_loc.cols(), Complex{0, 0});
+        fock.apply_add(x_loc, y, c);
+        per_rank[c.rank()] = std::move(y);
+      });
+      if (ref[0].size() == 0) {
+        ref = std::move(per_rank);
+      } else {
+        for (int r = 0; r < np; ++r)
+          EXPECT_EQ(test::max_abs_diff(per_rank[r], ref[r]), 0.0)
+              << "rank " << r << " nt=" << nt << " rebalance=" << rebalance;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pwdft

@@ -2,7 +2,9 @@
 
 #include "ham/density.hpp"
 #include "ham/fock.hpp"
+#include "parallel/hier_comm.hpp"
 #include "parallel/thread_comm.hpp"
+#include "parallel/transpose.hpp"
 #include "scf/scf.hpp"
 #include "td/field.hpp"
 #include "td/observables.hpp"
@@ -265,6 +267,192 @@ TEST_P(DistributedRanks, ExcitedElectronsMatchesSerial) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Np, DistributedRanks, ::testing::Values(1, 2, 3, 4));
+
+/// Band-group x grid-rank layouts of the hierarchical communicator
+/// (paper §3.1, Fig. 1). Every test pins results across the 2D layouts
+/// against the flat (1D) layout at the same world size — bitwise where the
+/// determinism contract promises it.
+struct HierLayout {
+  int band_groups;
+  int grid_ranks;
+  int np() const { return band_groups * grid_ranks; }
+};
+
+class HierLayouts : public ::testing::TestWithParam<HierLayout> {};
+
+TEST_P(HierLayouts, DensityAllreduceBitwiseMatchesFlat) {
+  // The density Allreduce is the reduction that must stay bit-identical
+  // when it runs through HierComm's staged (grid -> band -> ordered fold)
+  // path instead of the flat rendezvous.
+  const auto layout = GetParam();
+  const int np = layout.np();
+  const std::size_t nb = 8;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, nb, 31);
+  std::vector<double> occ(nb, 2.0);
+
+  std::vector<std::vector<double>> rho_flat(np), rho_hier(np);
+  par::ThreadGroup::run(np, [&](par::Comm& c) {
+    RankContext ctx(3.0, false);
+    par::BlockPartition bands(nb, np);
+    CMatrix psi_loc = test::band_slice(psi, bands, c.rank());
+    std::span<const double> occ_loc(occ.data() + bands.offset(c.rank()), bands.count(c.rank()));
+    rho_flat[c.rank()] =
+        ham::compute_density(ctx.setup, ctx.hamiltonian.fft_dense(), psi_loc, occ_loc, c);
+    par::HierComm h(c, layout.band_groups);
+    rho_hier[c.rank()] =
+        ham::compute_density(ctx.setup, ctx.hamiltonian.fft_dense(), psi_loc, occ_loc, h);
+  });
+  for (int r = 0; r < np; ++r) {
+    ASSERT_EQ(rho_hier[r].size(), rho_flat[r].size());
+    for (std::size_t i = 0; i < rho_flat[r].size(); ++i)
+      EXPECT_EQ(rho_hier[r][i], rho_flat[r][i]) << "rank " << r << " i " << i;
+  }
+}
+
+TEST_P(HierLayouts, GridTransposeMatchesSlicedReference) {
+  // Within one band group the wavefunction transpose runs on grid() — a
+  // P_g-rank rendezvous — and the groups transpose concurrently. The result
+  // must be the exact slice of the group's band block.
+  const auto layout = GetParam();
+  const int np = layout.np();
+  const std::size_t ng = 30, nb = 8;
+  CMatrix full(ng, nb);
+  Rng rng(53);
+  for (std::size_t i = 0; i < full.size(); ++i) full.data()[i] = rng.complex_normal();
+
+  par::ThreadGroup::run(np, [&](par::Comm& c) {
+    par::HierComm h(c, layout.band_groups);
+    const par::BlockPartition groups = h.group_bands(nb);
+    // My group's band slice of the global block.
+    CMatrix group_full(ng, groups.count(h.band_group()));
+    for (std::size_t j = 0; j < group_full.cols(); ++j)
+      for (std::size_t i = 0; i < ng; ++i)
+        group_full(i, j) = full(i, groups.offset(h.band_group()) + j);
+
+    par::BlockPartition bands(group_full.cols(), h.n_grid_ranks());
+    par::BlockPartition gvecs(ng, h.n_grid_ranks());
+    par::WavefunctionTranspose tr(gvecs, bands);
+    CMatrix band_local = test::band_slice(group_full, bands, h.grid_rank());
+    CMatrix g_local, back;
+    tr.band_to_g(h.grid(), band_local, g_local, false);
+    ASSERT_EQ(g_local.rows(), gvecs.count(h.grid_rank()));
+    ASSERT_EQ(g_local.cols(), group_full.cols());
+    for (std::size_t j = 0; j < g_local.cols(); ++j)
+      for (std::size_t i = 0; i < g_local.rows(); ++i)
+        EXPECT_EQ(g_local(i, j), group_full(gvecs.offset(h.grid_rank()) + i, j));
+    tr.g_to_band(h.grid(), g_local, back, false);
+    for (std::size_t i = 0; i < back.size(); ++i)
+      EXPECT_EQ(back.data()[i], band_local.data()[i]);
+    h.merge_substats();
+  });
+}
+
+TEST_P(HierLayouts, FullPtCnStepOnHierCommBitwiseMatchesFlat) {
+  // The whole propagator — density, Fock broadcasts, overlap transposes,
+  // Anderson, orthonormalization — run on the hierarchical communicator
+  // must reproduce the flat layout bit for bit (the staged allreduce is the
+  // only reduction whose path changes, and it is order-preserving).
+  const auto layout = GetParam();
+  const int np = layout.np();
+  const std::size_t nb = 8;
+  RankContext ref_ctx(3.0, true);
+  auto psi_init = test::random_orthonormal(ref_ctx.setup, nb, 33);
+  std::vector<double> occ(nb, 2.0);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  td::PtCnOptions opt;
+  opt.dt = 1.0;
+  opt.rho_tol = 1e-7;
+  opt.max_scf = 60;
+  opt.sp_comm = false;
+
+  std::vector<CMatrix> psi_flat(np), psi_hier(np);
+  par::ThreadGroup::run(np, [&](par::Comm& c) {
+    RankContext ctx(3.0, true);
+    par::BlockPartition bands(nb, np);
+    CMatrix psi_loc = test::band_slice(psi_init, bands, c.rank());
+    td::PtCnPropagator prop(ctx.hamiltonian, bands, opt, np);
+    auto rep = prop.step(psi_loc, occ, 0.0, kick, c);
+    EXPECT_TRUE(rep.converged);
+    psi_flat[c.rank()] = std::move(psi_loc);
+  });
+  par::ThreadGroup::run(np, [&](par::Comm& c) {
+    RankContext ctx(3.0, true);
+    par::BlockPartition bands(nb, np);
+    CMatrix psi_loc = test::band_slice(psi_init, bands, c.rank());
+    par::HierComm h(c, layout.band_groups);
+    td::PtCnPropagator prop(ctx.hamiltonian, bands, opt, np);
+    auto rep = prop.step(psi_loc, occ, 0.0, kick, h);
+    EXPECT_TRUE(rep.converged);
+    psi_hier[c.rank()] = std::move(psi_loc);
+  });
+  for (int r = 0; r < np; ++r) {
+    ASSERT_EQ(psi_hier[r].size(), psi_flat[r].size());
+    for (std::size_t i = 0; i < psi_flat[r].size(); ++i)
+      EXPECT_EQ(psi_hier[r].data()[i], psi_flat[r].data()[i]) << "rank " << r;
+  }
+}
+
+TEST_P(HierLayouts, FockRebalanceShufflePathBitwise) {
+  // Force a skewed cost measurement so the rebalanced apply really shuffles
+  // columns, and pin the result against the static layout bit for bit (the
+  // per-column arithmetic and the broadcast sequence are layout-invariant).
+  const auto layout = GetParam();
+  const int np = layout.np();
+  if (np == 1) GTEST_SKIP() << "no columns move on one rank";
+  const std::size_t nb = 8;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto phi = test::random_orthonormal(setup, nb, 35);
+  auto x = test::random_orthonormal(setup, nb, 37);
+  std::vector<double> occ(nb, 2.0);
+
+  // Static reference at the same rank count.
+  std::vector<CMatrix> y_static(np);
+  par::ThreadGroup::run(np, [&](par::Comm& c) {
+    RankContext ctx(3.0, true);
+    par::BlockPartition bands(nb, np);
+    ham::FockOperator fock(ctx.setup, xc::HybridParams{true, 0.25, 0.11});
+    fock.set_orbitals(test::band_slice(phi, bands, c.rank()), occ, bands, c);
+    CMatrix x_loc = test::band_slice(x, bands, c.rank());
+    CMatrix y(ctx.setup.n_g(), x_loc.cols(), Complex{0, 0});
+    fock.apply_add(x_loc, y, c);
+    y_static[c.rank()] = std::move(y);
+  });
+
+  // Skewed measured costs: rank 0 claims most of the time, so balance must
+  // hand columns away from it.
+  std::vector<double> skew(np, 1.0);
+  skew[0] = 6.0;
+  par::ThreadGroup::run(np, [&](par::Comm& c) {
+    RankContext ctx(3.0, true);
+    par::BlockPartition bands(nb, np);
+    ham::FockOptions fopt;
+    fopt.band_rebalance = true;
+    ham::FockOperator fock(ctx.setup, xc::HybridParams{true, 0.25, 0.11}, fopt);
+    fock.set_orbitals(test::band_slice(phi, bands, c.rank()), occ, bands, c);
+    fock.debug_set_rank_cost(skew);
+    CMatrix x_loc = test::band_slice(x, bands, c.rank());
+    CMatrix y(ctx.setup.n_g(), x_loc.cols(), Complex{0, 0});
+    par::HierComm h(c, layout.band_groups);
+    fock.apply_add(x_loc, y, h);
+    // The shuffle path must actually have run: the solved layout differs
+    // from the uniform one.
+    const auto& bal = fock.rebalance_partition();
+    EXPECT_FALSE(bal == par::CostPartition(bands));
+    EXPECT_LT(bal.count(0), bands.count(0));
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_EQ(y.data()[i], y_static[c.rank()].data()[i]);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HierLayouts,
+                         ::testing::Values(HierLayout{1, 4}, HierLayout{2, 2},
+                                           HierLayout{4, 1}, HierLayout{2, 1},
+                                           HierLayout{1, 1}),
+                         [](const ::testing::TestParamInfo<HierLayout>& info) {
+                           return "Layout" + std::to_string(info.param.band_groups) + "x" +
+                                  std::to_string(info.param.grid_ranks);
+                         });
 
 }  // namespace
 }  // namespace pwdft

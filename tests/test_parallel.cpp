@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
 
 #include "common/exec.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/distribution.hpp"
+#include "parallel/hier_comm.hpp"
+#include "parallel/overlap.hpp"
 #include "parallel/thread_comm.hpp"
 #include "parallel/transpose.hpp"
 #include "test_helpers.hpp"
@@ -160,6 +163,127 @@ TEST(ThreadComm, DupCreatesIndependentRendezvousDomain) {
   });
 }
 
+TEST(ThreadComm, SplitPartitionsByColorWithKeyOrder) {
+  const int np = 6;
+  ThreadGroup::run(np, [&](Comm& c) {
+    // Even/odd colors; key reverses the parent order inside each group.
+    const int color = c.rank() % 2;
+    auto sub = c.split(color, /*key=*/-c.rank());
+    EXPECT_EQ(sub->size(), 3);
+    // Ranks {4,2,0} / {5,3,1} in key order.
+    EXPECT_EQ(sub->rank(), (np - 2 - c.rank() + color) / 2);
+    // Group collectives see only the group: sum of parent ranks.
+    double v = c.rank();
+    sub->allreduce_sum(&v, 1);
+    EXPECT_DOUBLE_EQ(v, color == 0 ? 0.0 + 2.0 + 4.0 : 1.0 + 3.0 + 5.0);
+  });
+}
+
+TEST(ThreadComm, SplitGroupsRunCollectivesConcurrently) {
+  // Two color groups must be able to sit in *different* collectives at the
+  // same time — the property HierComm relies on for concurrent band-group
+  // transposes.
+  const int np = 4;
+  ThreadGroup::run(np, [&](Comm& c) {
+    auto sub = c.split(c.rank() / 2, c.rank());
+    for (int rep = 0; rep < 10; ++rep) {
+      if (c.rank() < 2) {
+        double v = 1.0;
+        sub->allreduce_sum(&v, 1);
+        EXPECT_DOUBLE_EQ(v, 2.0);
+      } else {
+        std::vector<double> v(32, double(c.rank()));
+        sub->bcast(v.data(), v.size(), 0);
+        EXPECT_DOUBLE_EQ(v[0], 2.0);
+      }
+    }
+    c.barrier();
+  });
+}
+
+TEST(SerialComm, SplitIsSerial) {
+  par::SerialComm c;
+  auto sub = c.split(7, 0);
+  EXPECT_EQ(sub->size(), 1);
+  EXPECT_EQ(sub->rank(), 0);
+}
+
+TEST(HierComm, LayoutMapsRowMajor) {
+  const int np = 6, nbg = 3;
+  ThreadGroup::run(np, [&](Comm& c) {
+    par::HierComm h(c, nbg);
+    EXPECT_EQ(h.size(), np);
+    EXPECT_EQ(h.rank(), c.rank());
+    EXPECT_EQ(h.n_band_groups(), nbg);
+    EXPECT_EQ(h.n_grid_ranks(), 2);
+    EXPECT_EQ(h.band_group(), c.rank() / 2);
+    EXPECT_EQ(h.grid_rank(), c.rank() % 2);
+    EXPECT_EQ(h.grid().rank(), h.grid_rank());
+    EXPECT_EQ(h.band().rank(), h.band_group());
+    // grid() connects exactly my band group's world ranks.
+    double v = c.rank();
+    h.grid().allreduce_sum(&v, 1);
+    EXPECT_DOUBLE_EQ(v, 2.0 * (c.rank() / 2) * 2 + 1.0);
+    // band() connects the same grid slot across groups.
+    double w = c.rank();
+    h.band().allreduce_sum(&w, 1);
+    EXPECT_DOUBLE_EQ(w, 3.0 * (c.rank() % 2) + 0.0 + 2.0 + 4.0);
+  });
+}
+
+TEST(HierComm, StagedAllreduceBitwiseMatchesFlat) {
+  // The staged (grid allgather -> band allgather -> world-rank-ordered
+  // fold) reduction must produce the identical bits as the flat rendezvous
+  // allreduce — the contract that keeps densities and overlap matrices
+  // bit-identical across 1D and 2D layouts.
+  const int np = 4;
+  const std::size_t n = 257;  // odd length exercises the fold tail
+  for (int nbg : {1, 2, 4}) {
+    ThreadGroup::run(np, [&](Comm& c) {
+      Rng rng(100 + c.rank());
+      std::vector<double> flat(n), staged(n);
+      for (std::size_t i = 0; i < n; ++i) flat[i] = staged[i] = rng.normal();
+      par::HierComm h(c, nbg);
+      c.allreduce_sum(flat.data(), n);
+      h.allreduce_sum(staged.data(), n);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(flat[i], staged[i]);
+
+      std::vector<Complex> cf(17), cs(17);
+      for (std::size_t i = 0; i < cf.size(); ++i) cf[i] = cs[i] = rng.complex_normal();
+      c.allreduce_sum(cf.data(), cf.size());
+      h.allreduce_sum(cs.data(), cs.size());
+      for (std::size_t i = 0; i < cf.size(); ++i) EXPECT_EQ(cf[i], cs[i]);
+    });
+  }
+}
+
+TEST(HierComm, SubstatsFoldIntoWorldRecord) {
+  const int np = 4;
+  ThreadGroup::run(np, [&](Comm& c) {
+    par::HierComm h(c, 2);
+    std::vector<double> v(8, 1.0);
+    h.allreduce_sum(v.data(), v.size());
+    EXPECT_EQ(h.stats().get(CommOp::kAllreduce).calls, 1u);
+    h.merge_substats();
+    // The two allgather hops now show in the hier record.
+    EXPECT_EQ(h.stats().get(CommOp::kAllgatherv).calls, 2u);
+  });
+}
+
+TEST(HierComm, BandGroupsFromEnvClampsToDivisors) {
+  unsetenv("PWDFT_BAND_GROUPS");
+  EXPECT_EQ(par::HierComm::band_groups_from_env(8), 1);
+  setenv("PWDFT_BAND_GROUPS", "2", 1);
+  EXPECT_EQ(par::HierComm::band_groups_from_env(8), 2);
+  setenv("PWDFT_BAND_GROUPS", "3", 1);  // does not divide 8
+  EXPECT_EQ(par::HierComm::band_groups_from_env(8), 1);
+  setenv("PWDFT_BAND_GROUPS", "16", 1);  // more groups than ranks
+  EXPECT_EQ(par::HierComm::band_groups_from_env(8), 1);
+  setenv("PWDFT_BAND_GROUPS", "0", 1);
+  EXPECT_EQ(par::HierComm::band_groups_from_env(8), 1);
+  unsetenv("PWDFT_BAND_GROUPS");
+}
+
 TEST(SerialComm, DupIsSerial) {
   par::SerialComm c;
   auto dup = c.dup();
@@ -294,6 +418,192 @@ TEST(Transpose, AlltoallvVolumeMatchesFormula) {
     (void)expect;
     EXPECT_EQ(stats[r].get(CommOp::kAlltoallv).bytes, recv);
   }
+}
+
+TEST(CostPartition, IdentityMatchesBlockPartition) {
+  BlockPartition b(11, 3);
+  par::CostPartition p(b);
+  EXPECT_EQ(p.total(), b.total());
+  EXPECT_EQ(p.parts(), b.parts());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(p.count(r), b.count(r));
+    EXPECT_EQ(p.offset(r), b.offset(r));
+  }
+  for (std::size_t j = 0; j < 11; ++j) EXPECT_EQ(p.owner(j), b.owner(j));
+  EXPECT_TRUE(p == par::CostPartition(b));
+}
+
+TEST(CostPartition, BalanceEvensSkewedCosts) {
+  // One expensive item: balance must isolate it and spread the rest.
+  std::vector<double> costs{8, 1, 1, 1, 1, 1, 1, 1};
+  auto p = par::CostPartition::balance(costs, 4);
+  auto load = [&](int part) {
+    double s = 0.0;
+    for (std::size_t j = p.offset(part); j < p.offset(part) + p.count(part); ++j) s += costs[j];
+    return s;
+  };
+  // Contiguous, ordered, complete, non-empty.
+  std::size_t covered = 0;
+  double max_load = 0.0;
+  for (int part = 0; part < 4; ++part) {
+    EXPECT_GT(p.count(part), 0u);
+    EXPECT_EQ(p.offset(part), covered);
+    covered += p.count(part);
+    max_load = std::max(max_load, load(part));
+  }
+  EXPECT_EQ(covered, costs.size());
+  // Uniform split puts {8,1} on part 0 (load 9); balance can't beat the
+  // single 8-cost item but must not exceed it.
+  EXPECT_DOUBLE_EQ(max_load, 8.0);
+}
+
+TEST(CostPartition, BalanceUniformCostsIsUniform) {
+  std::vector<double> costs(12, 1.0);
+  auto p = par::CostPartition::balance(costs, 4);
+  for (int part = 0; part < 4; ++part) EXPECT_EQ(p.count(part), 3u);
+}
+
+TEST(CostPartition, BalanceFallsBackOnDegenerateCosts) {
+  std::vector<double> zeros(6, 0.0);
+  auto p = par::CostPartition::balance(zeros, 3);
+  EXPECT_TRUE(p == par::CostPartition(BlockPartition(6, 3)));
+}
+
+TEST(CostPartition, OwnerIsConsistentWithOffsets) {
+  Rng rng(17);
+  std::vector<double> costs(23);
+  for (auto& x : costs) x = rng.uniform(0.1, 4.0);
+  auto p = par::CostPartition::balance(costs, 5);
+  for (std::size_t j = 0; j < costs.size(); ++j) {
+    const int owner = p.owner(j);
+    EXPECT_GE(j, p.offset(owner));
+    EXPECT_LT(j, p.offset(owner) + p.count(owner));
+  }
+}
+
+TEST(Redistribute, ColumnsRoundTripBitwise) {
+  const int np = 3;
+  const std::size_t rows = 5, nb = 7;
+  CMatrix full(rows, nb);
+  Rng rng(23);
+  for (std::size_t i = 0; i < full.size(); ++i) full.data()[i] = rng.complex_normal();
+  // Skewed target layout: counts {1, 2, 4}.
+  std::vector<double> costs{5, 1, 1, 1, 1, 1, 1};
+  const par::CostPartition from{BlockPartition(nb, np)};
+  const auto to = par::CostPartition::balance(costs, np);
+  ThreadGroup::run(np, [&](Comm& c) {
+    CMatrix mine(rows, from.count(c.rank()));
+    for (std::size_t j = 0; j < mine.cols(); ++j)
+      for (std::size_t i = 0; i < rows; ++i)
+        mine(i, j) = full(i, from.offset(c.rank()) + j);
+    CMatrix shuffled, back;
+    par::redistribute_columns(c, from, to, mine, shuffled);
+    ASSERT_EQ(shuffled.cols(), to.count(c.rank()));
+    for (std::size_t j = 0; j < shuffled.cols(); ++j)
+      for (std::size_t i = 0; i < rows; ++i)
+        EXPECT_EQ(shuffled(i, j), full(i, to.offset(c.rank()) + j));
+    par::redistribute_columns(c, to, from, shuffled, back);
+    ASSERT_EQ(back.cols(), mine.cols());
+    for (std::size_t i = 0; i < back.size(); ++i) EXPECT_EQ(back.data()[i], mine.data()[i]);
+  });
+}
+
+TEST(Overlap, EnvDefaultParsesKnob) {
+  unsetenv("PWDFT_COMM_OVERLAP");
+  EXPECT_TRUE(par::comm_overlap_env_default());
+  setenv("PWDFT_COMM_OVERLAP", "0", 1);
+  EXPECT_FALSE(par::comm_overlap_env_default());
+  setenv("PWDFT_COMM_OVERLAP", "off", 1);
+  EXPECT_FALSE(par::comm_overlap_env_default());
+  setenv("PWDFT_COMM_OVERLAP", "1", 1);
+  EXPECT_TRUE(par::comm_overlap_env_default());
+  unsetenv("PWDFT_COMM_OVERLAP");
+}
+
+TEST(Overlap, AsyncTransposeMatchesSynchronousBitwise) {
+  // The packed-now / parked-exchange / unpack-at-wait path must produce the
+  // identical bits as the synchronous transpose, in both directions, while
+  // the parent communicator stays busy with unrelated collectives.
+  const int np = 4;
+  const std::size_t ng = 33, nb = 6;
+  CMatrix full(ng, nb);
+  Rng rng(41);
+  for (std::size_t i = 0; i < full.size(); ++i) full.data()[i] = rng.complex_normal();
+  for (bool sp : {false, true}) {
+    ThreadGroup::run(np, [&](Comm& c) {
+      BlockPartition bands(nb, np), gvecs(ng, np);
+      par::WavefunctionTranspose tr(gvecs, bands);
+      CMatrix band_local = test::band_slice(full, bands, c.rank());
+
+      CMatrix g_sync;
+      tr.band_to_g(c, band_local, g_sync, sp);
+
+      par::TransposeOverlap ovl(true);
+      CMatrix g_async;
+      ovl.start_band_to_g(tr, c, band_local, g_async, sp);
+      // Keep the parent comm busy while the exchange is in flight.
+      for (int rep = 0; rep < 5; ++rep) {
+        double v = 1.0;
+        c.allreduce_sum(&v, 1);
+      }
+      ovl.wait();
+      ASSERT_EQ(g_async.rows(), g_sync.rows());
+      ASSERT_EQ(g_async.cols(), g_sync.cols());
+      for (std::size_t i = 0; i < g_sync.size(); ++i)
+        EXPECT_EQ(g_async.data()[i], g_sync.data()[i]);
+
+      CMatrix band_sync, band_async;
+      tr.g_to_band(c, g_sync, band_sync, sp);
+      ovl.start_g_to_band(tr, c, g_sync, band_async, sp);
+      c.barrier();
+      ovl.wait();
+      for (std::size_t i = 0; i < band_sync.size(); ++i)
+        EXPECT_EQ(band_async.data()[i], band_sync.data()[i]);
+
+      // Disabled instance falls back to the synchronous path.
+      par::TransposeOverlap off(false);
+      CMatrix g_off;
+      off.start_band_to_g(tr, c, band_local, g_off, sp);
+      off.wait();
+      for (std::size_t i = 0; i < g_sync.size(); ++i)
+        EXPECT_EQ(g_off.data()[i], g_sync.data()[i]);
+    });
+  }
+}
+
+TEST(Overlap, TwoStreamsInFlightConcurrently) {
+  // PT-CN keeps a psi stream and a half stream airborne at once; each
+  // instance owns its communicator and wires, so both exchanges may be
+  // pending simultaneously.
+  const int np = 3;
+  const std::size_t ng = 20, nb = 5;
+  CMatrix a_full(ng, nb), b_full(ng, nb);
+  Rng rng(47);
+  for (std::size_t i = 0; i < a_full.size(); ++i) a_full.data()[i] = rng.complex_normal();
+  for (std::size_t i = 0; i < b_full.size(); ++i) b_full.data()[i] = rng.complex_normal();
+  ThreadGroup::run(np, [&](Comm& c) {
+    BlockPartition bands(nb, np), gvecs(ng, np);
+    par::WavefunctionTranspose tr(gvecs, bands);
+    CMatrix a_local = test::band_slice(a_full, bands, c.rank());
+    CMatrix b_local = test::band_slice(b_full, bands, c.rank());
+    CMatrix a_ref, b_ref;
+    tr.band_to_g(c, a_local, a_ref, false);
+    tr.band_to_g(c, b_local, b_ref, false);
+
+    par::TransposeOverlap s1(true), s2(true);
+    CMatrix a_g, b_g;
+    s1.start_band_to_g(tr, c, a_local, a_g, false);
+    s2.start_band_to_g(tr, c, b_local, b_g, false);
+    c.barrier();
+    s2.wait();
+    s1.wait();
+    for (std::size_t i = 0; i < a_ref.size(); ++i) EXPECT_EQ(a_g.data()[i], a_ref.data()[i]);
+    for (std::size_t i = 0; i < b_ref.size(); ++i) EXPECT_EQ(b_g.data()[i], b_ref.data()[i]);
+    s1.fold_stats(c);
+    s2.fold_stats(c);
+    // The overlap traffic lands in the parent's record after folding.
+    EXPECT_GT(c.stats().get(CommOp::kAlltoallv).bytes, 0u);
+  });
 }
 
 }  // namespace
