@@ -436,6 +436,14 @@ enum class Slot : std::size_t {
   pt_gb,
   pt_gc,
   cn_r,
+  // ACE compressed exchange apply (ham/ace.cpp): G-layout psi block, the
+  // Xi^H psi projection matrix, the -Xi P contribution, and its band-layout
+  // image. Dedicated slots — AceOperator::apply_add runs inside
+  // Hamiltonian::apply while pt_*/ham_* blocks may be live.
+  ace_ga,
+  ace_gb,
+  ace_p,
+  ace_band,
   mix_f,
   // AndersonMixer::mix internals (Gram system + real-vector staging), so a
   // whole SCF iteration stays allocation-free (tests/test_alloc_free.cpp).

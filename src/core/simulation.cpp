@@ -17,6 +17,7 @@ Simulation::Simulation(const SimulationOptions& opt)
   hopt.fock = opt.fock;
   hopt.use_nonlocal = opt.nonlocal;
   hopt.use_ace = opt.use_ace;
+  hopt.ace_refresh = opt.ace_refresh;
   hopt.fft_dispatch = opt.fft_dispatch;
   hopt.op_pipeline = opt.op_pipeline;
   ham_ = std::make_unique<ham::Hamiltonian>(*setup_, species_, hopt);
@@ -58,9 +59,12 @@ std::vector<td::TimePoint> Simulation::propagate(const PropagateOptions& opt) {
   std::vector<td::TimePoint> trace;
   trace.reserve(opt.steps + 1);
 
-  auto record = [&](double t, int scf_iters, double rho_err, double wall) {
+  auto record = [&](double t, int scf_iters, double rho_err, double wall, bool refreshed,
+                    double drift) {
     td::TimePoint p;
     p.t = t;
+    p.exchange_refreshed = refreshed;
+    p.mts_drift = drift;
     const grid::Vec3 a = field.vector_potential(t);
     ham_->set_vector_potential(a);
     p.current = td::compute_current(*setup_, psi_, occ_, a, comm_);
@@ -79,21 +83,25 @@ std::vector<td::TimePoint> Simulation::propagate(const PropagateOptions& opt) {
     trace.push_back(p);
   };
 
-  record(0.0, 0, 0.0, 0.0);
+  record(0.0, 0, 0.0, 0.0, false, 0.0);
   double t = 0.0;
   for (int s = 0; s < opt.steps; ++s) {
     WallTimer timer;
     int scf_iters = 0;
     double rho_err = 0.0;
+    bool refreshed = false;
+    double drift = 0.0;
     if (opt.integrator == Integrator::kPtCn) {
       auto rep = ptcn.step(psi_, occ_, t, field, comm_);
       scf_iters = rep.scf_iterations;
       rho_err = rep.rho_error;
+      refreshed = rep.exchange_refreshed;
+      drift = rep.mts_drift;
     } else {
       rk4.step(psi_, occ_, t, field, comm_);
     }
     t += dt;
-    record(t, scf_iters, rho_err, timer.seconds());
+    record(t, scf_iters, rho_err, timer.seconds(), refreshed, drift);
   }
   return trace;
 }

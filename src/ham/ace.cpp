@@ -1,10 +1,28 @@
 #include "ham/ace.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "common/check.hpp"
+#include "common/exec.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 
 namespace pwdft::ham {
+
+bool ace_env_default() {
+  const char* env = std::getenv("PWDFT_ACE");
+  if (!env) return false;
+  const std::string_view v(env);
+  return v == "1" || v == "on" || v == "ON" || v == "true";
+}
+
+int ace_refresh_env_default() {
+  const char* env = std::getenv("PWDFT_ACE_REFRESH");
+  if (!env) return 1;
+  const int k = std::atoi(env);
+  return k >= 1 ? k : 1;
+}
 
 void AceOperator::build(FockOperator& fock, const CMatrix& phi_local, par::Comm& comm) {
   PWDFT_CHECK(fock.has_orbitals(), "AceOperator: Fock orbitals not set");
@@ -49,6 +67,7 @@ void AceOperator::build(FockOperator& fock, const CMatrix& phi_local, par::Comm&
   // Xi = W L^{-H} in the G layout.
   xi_g_ = std::move(w_g);
   linalg::trsm_right_lower_conj(xi_g_, neg_m);
+  ++builds_;
 }
 
 void AceOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Comm& comm) const {
@@ -60,17 +79,23 @@ void AceOperator::apply_add(const CMatrix& psi_local, CMatrix& y_local, par::Com
   par::BlockPartition cols(psi_bands_.total(), comm.size());
   PWDFT_CHECK(cols.count(comm.rank()) == ncol, "AceOperator: column layout mismatch");
 
-  CMatrix psi_g;
+  // Scratch from the executing rank's arena: apply_add sits inside the
+  // SCF/propagator inner loops, so steady state must not heap-allocate
+  // (tests/test_alloc_free.cpp). Dedicated ace_* slots — pt_*/ham_* blocks
+  // may be live around the enclosing Hamiltonian::apply.
+  auto& ws = exec::workspace();
+  CMatrix& psi_g = ws.cmat(exec::Slot::ace_ga, 0, 0);
   transpose_.band_to_g(comm, psi_local, psi_g, /*single_precision=*/false);
 
   // P = Xi^H psi (nb x nb), then contribution -Xi P, all in the G layout.
-  CMatrix p = linalg::overlap(xi_g_, psi_g);
+  CMatrix& p = ws.cmat(exec::Slot::ace_p, xi_g_.cols(), psi_g.cols());
+  linalg::overlap_into(xi_g_, psi_g, p);
   comm.allreduce_sum(p.data(), p.size());
 
-  CMatrix contrib_g(psi_g.rows(), psi_g.cols());
+  CMatrix& contrib_g = ws.cmat(exec::Slot::ace_gb, psi_g.rows(), psi_g.cols());
   linalg::gemm('N', 'N', Complex{-1.0, 0.0}, xi_g_, p, Complex{0.0, 0.0}, contrib_g);
 
-  CMatrix contrib_band;
+  CMatrix& contrib_band = ws.cmat(exec::Slot::ace_band, 0, 0);
   transpose_.g_to_band(comm, contrib_g, contrib_band, /*single_precision=*/false);
   for (std::size_t j = 0; j < ncol; ++j)
     linalg::axpy(Complex{1.0, 0.0}, {contrib_band.col(j), contrib_band.rows()},

@@ -17,6 +17,7 @@ HamiltonianOptions normalize(HamiltonianOptions o) {
   if (o.fock.fft_dispatch == fft::ExecPath::kAuto) o.fock.fft_dispatch = o.fft_dispatch;
   if (o.op_pipeline == fft::PipelineMode::kAuto) o.op_pipeline = fft::pipeline_env_default();
   if (o.fock.op_pipeline == fft::PipelineMode::kAuto) o.fock.op_pipeline = o.op_pipeline;
+  if (o.ace_refresh <= 0) o.ace_refresh = ace_refresh_env_default();
   return o;
 }
 
@@ -110,8 +111,18 @@ void Hamiltonian::set_exchange_orbitals(const CMatrix& phi_local,
                                         std::span<const double> occ_global,
                                         const par::BlockPartition& bands, par::Comm& comm) {
   if (!options_.hybrid.enabled) return;
+  ++exchange_serial_;
   fock_.set_orbitals(phi_local, occ_global, bands, comm);
-  if (options_.use_ace) ace_.build(fock_, phi_local, comm);
+  if (options_.use_ace) {
+    // Counter-based refresh cadence (never timer-driven, so the rebuild
+    // pattern — and hence the physics — is deterministic): rebuild on every
+    // ace_refresh-th registration, and always when no projectors exist yet.
+    // request_ace_refresh() resets the counter so schedule anchors (SCF
+    // outer steps, MTS refresh steps) rebuild unconditionally.
+    if (!ace_.ready() || ace_registrations_ % static_cast<std::uint64_t>(options_.ace_refresh) == 0)
+      ace_.build(fock_, phi_local, comm);
+    ++ace_registrations_;
+  }
 }
 
 void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& comm,

@@ -26,8 +26,18 @@ struct HamiltonianOptions {
   xc::HybridParams hybrid;
   FockOptions fock;
   bool use_nonlocal = true;
-  /// Apply exchange through the ACE compression instead of direct Alg. 2.
-  bool use_ace = false;
+  /// Apply exchange through the ACE compression instead of direct Alg. 2:
+  /// apply() then costs two transposes + one small Allreduce instead of a
+  /// broadcast loop of pair solves, and one exact Fock apply per projector
+  /// build amortizes over every apply until the next refresh. Defaults to
+  /// the PWDFT_ACE resolution (off — ACE is exact only on span(Phi)).
+  bool use_ace = ace_env_default();
+  /// Rebuild the ACE projectors every k-th set_exchange_orbitals()
+  /// registration (counter-based, deterministic; <= 0 resolves
+  /// PWDFT_ACE_REFRESH, default 1 = every registration). The SCF outer
+  /// loop and the MTS propagators force a rebuild at their own schedule
+  /// points through request_ace_refresh() regardless of this cadence.
+  int ace_refresh = 0;
   /// Hybrid band×line scheduling: when the local band count is below the
   /// engine width, apply() switches from the band-parallel loop (per-band
   /// FFTs inline) to one batched formulation whose FFT passes parallelize
@@ -69,9 +79,22 @@ class Hamiltonian {
   const grid::Vec3& vector_potential() const { return a_; }
 
   /// Registers the exchange orbitals (PT-CN refreshes these every SCF
-  /// iteration with Psi_f). Rebuilds ACE when enabled. Collective.
+  /// iteration with Psi_f; the MTS scheduler pins a frozen snapshot at step
+  /// starts). Always updates the Fock orbitals; rebuilds the ACE projectors
+  /// on the ace_refresh cadence when ACE is enabled. Collective.
   void set_exchange_orbitals(const CMatrix& phi_local, std::span<const double> occ_global,
                              const par::BlockPartition& bands, par::Comm& comm);
+
+  /// Forces the next set_exchange_orbitals() to rebuild the ACE projectors
+  /// regardless of where the ace_refresh cadence stands (schedule anchor
+  /// for the SCF outer loop and the propagators' MTS refresh steps).
+  void request_ace_refresh() { ace_registrations_ = 0; }
+
+  /// Monotone count of set_exchange_orbitals() registrations. Propagators
+  /// freezing an exchange snapshot compare this against the value at their
+  /// last refresh to detect (and deterministically repair) registrations
+  /// made behind their back, e.g. by per-step energy evaluation.
+  std::uint64_t exchange_serial() const { return exchange_serial_; }
 
   /// y = H psi for a block of local bands (sphere coefficients).
   /// Optional timers record "hpsi_local" and "hpsi_fock" phases.
@@ -84,6 +107,7 @@ class Hamiltonian {
   void set_hybrid_enabled(bool enabled) { options_.hybrid.enabled = enabled; }
   FockOperator& fock() { return fock_; }
   const FockOperator& fock() const { return fock_; }
+  const AceOperator& ace() const { return ace_; }
   const pseudo::NonlocalProjectors* nonlocal() const { return nonlocal_.get(); }
 
   const std::vector<double>& v_local_ps() const { return v_loc_ps_; }
@@ -107,6 +131,8 @@ class Hamiltonian {
   std::unique_ptr<pseudo::NonlocalProjectors> nonlocal_;
   FockOperator fock_;
   AceOperator ace_;
+  std::uint64_t exchange_serial_ = 0;    ///< registrations since construction
+  std::uint64_t ace_registrations_ = 0;  ///< position in the ace_refresh cadence
   grid::Vec3 a_{0.0, 0.0, 0.0};
   std::vector<double> kin_;
   double e_ewald_ = 0.0;

@@ -32,7 +32,9 @@ void gemm_cn(Complex alpha, const CMatrix& a, const CMatrix& b, Complex beta, CM
       const Complex* ai = a.col(i);
       Complex acc{0.0, 0.0};
       for (std::size_t l = 0; l < k; ++l) acc += std::conj(ai[l]) * bj[l];
-      c(i, j) = alpha * acc + beta * c(i, j);
+      // beta == 0 must not read C: the destination may be a reused arena
+      // block holding stale (possibly non-finite) values.
+      c(i, j) = beta == Complex{0.0, 0.0} ? alpha * acc : alpha * acc + beta * c(i, j);
     }
   }
 }
@@ -88,10 +90,15 @@ void gemm(char opa, char opb, Complex alpha, const CMatrix& a, const CMatrix& b,
 }
 
 CMatrix overlap(const CMatrix& a, const CMatrix& b) {
-  PWDFT_CHECK(a.rows() == b.rows(), "overlap: row mismatch");
-  CMatrix s(a.cols(), b.cols());
-  gemm('C', 'N', Complex{1.0, 0.0}, a, b, Complex{0.0, 0.0}, s);
+  CMatrix s;
+  overlap_into(a, b, s);
   return s;
+}
+
+void overlap_into(const CMatrix& a, const CMatrix& b, CMatrix& s) {
+  PWDFT_CHECK(a.rows() == b.rows(), "overlap: row mismatch");
+  s.resize(a.cols(), b.cols());
+  gemm('C', 'N', Complex{1.0, 0.0}, a, b, Complex{0.0, 0.0}, s);
 }
 
 void axpy(Complex alpha, std::span<const Complex> x, std::span<Complex> y) {

@@ -21,6 +21,10 @@ void gemm(char opa, char opb, Complex alpha, const CMatrix& a, const CMatrix& b,
 /// Convenience: returns A^H * B (the overlap of two wavefunction blocks).
 CMatrix overlap(const CMatrix& a, const CMatrix& b);
 
+/// overlap() into caller-owned storage (resized); the allocation-free form
+/// for hot paths whose result matrix lives in a workspace arena slot.
+void overlap_into(const CMatrix& a, const CMatrix& b, CMatrix& s);
+
 /// y += alpha * x
 void axpy(Complex alpha, std::span<const Complex> x, std::span<Complex> y);
 

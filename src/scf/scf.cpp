@@ -110,6 +110,11 @@ ScfResult GroundStateSolver::solve(CMatrix& psi, std::span<const double> occ,
   double e_prev = 0.0;
   bool have_prev = false;
   for (int outer = 0; outer < opt.hybrid_outer_max; ++outer) {
+    // ACE refresh schedule for the ground state: rebuild the projectors at
+    // every outer step (the inner LOBPCG phase then amortizes one exact
+    // Fock apply over all of its H applications), independent of where the
+    // PWDFT_ACE_REFRESH registration cadence happens to stand.
+    ham_.request_ace_refresh();
     ham_.set_exchange_orbitals(psi, occ, bands, comm);
     ScfResult inner = scf_phase(psi, occ, opt, std::max(4, opt.max_iter / 4));
     res.scf_iterations += inner.scf_iterations;

@@ -24,6 +24,10 @@ struct TimePoint {
   int scf_iterations = 0;     ///< PT-CN SCF count for the step ending here
   double rho_error = 0.0;     ///< final SCF density error
   double wall_seconds = 0.0;  ///< wall time of the step
+  /// Exchange operator rebuilt at this step's start (always true without
+  /// MTS when hybrid is on; the refresh pattern under MTS, td/mts.hpp).
+  bool exchange_refreshed = false;
+  double mts_drift = 0.0;  ///< monitored drift vs the frozen snapshot
 };
 
 /// j = (1/Omega) sum_i f_i sum_G (G + a) |c_iG|^2. Collective (band sum).

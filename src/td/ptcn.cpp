@@ -122,7 +122,14 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
     ScopedTimer st(*timers, "others");
     ham_.update_density(rho);
   }
-  if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_local, occ_global, bands_, comm);
+  // Exchange cadence: with MTS off this registers Psi_n (and the loop
+  // below re-registers Psi_f each iteration); with MTS on the scheduler
+  // decides — deterministically — between rebuilding from Psi_n and
+  // keeping the frozen operator, and the loop below leaves it frozen.
+  const MtsStepDecision mts = mts_.begin_step(ham_, psi_local, occ_global, bands_, comm,
+                                              opt_.mts_interval, opt_.mts_drift_tol);
+  report.exchange_refreshed = ham_.hybrid_enabled() && (!mts.active || mts.refreshed);
+  report.mts_drift = mts.drift;
   // The Psi -> G transpose rides behind H Psi: packed here, its exchange
   // parked on the async lane against the stream's dup()'ed communicator
   // while the Fock band loop broadcasts on `comm` (overlap.hpp).
@@ -170,7 +177,8 @@ PtCnStepReport PtCnPropagator::step(CMatrix& psi_local, std::span<const double> 
       ScopedTimer st(*timers, "others");
       ham_.update_density(rho_f);
     }
-    if (ham_.hybrid_enabled()) ham_.set_exchange_orbitals(psi_f, occ_global, bands_, comm);
+    if (ham_.hybrid_enabled() && !mts.active)
+      ham_.set_exchange_orbitals(psi_f, occ_global, bands_, comm);
     psi_ovl_.start_band_to_g(transpose_, comm, psi_f, psi_g_, opt_.sp_comm);
     ham_.apply(psi_f, hpsi, comm, timers);
     ++report.fock_applies;

@@ -22,6 +22,7 @@
 #include "parallel/transpose.hpp"
 #include "scf/anderson.hpp"
 #include "td/field.hpp"
+#include "td/mts.hpp"
 
 namespace pwdft::td {
 
@@ -42,6 +43,19 @@ struct PtCnOptions {
   /// path (overlap.hpp). Defaults to the PWDFT_COMM_OVERLAP resolution
   /// (overlap on).
   bool overlap_transpose = par::comm_overlap_env_default();
+  /// Multiple time stepping of the exchange operator (td/mts.hpp). 0
+  /// (default, the PWDFT_MTS_INTERVAL resolution) = off: exchange orbitals
+  /// are re-registered from Psi_f every inner SCF iteration. k >= 1
+  /// freezes the exchange operator across steps — rebuilt from Psi_n at
+  /// step start every k-th step or when the drift bound trips, held frozen
+  /// through the step's inner iterations. The cadence is counter-based and
+  /// deterministic; composes with HamiltonianOptions::use_ace, which makes
+  /// the frozen applies cheap (no pair solves between refreshes).
+  int mts_interval = mts_interval_env_default();
+  /// Early-refresh bound on the monitored per-band subspace drift
+  /// max_j (1 - |<phi_frozen_j, psi_j>|^2); exceeding it forces an exact
+  /// rebuild before the cadence is due. <= 0 refreshes every step.
+  double mts_drift_tol = 1e-3;
 };
 
 struct PtCnStepReport {
@@ -51,6 +65,11 @@ struct PtCnStepReport {
   /// Fock operator applications in this step (scf + initial residual);
   /// the paper counts 24 per step including the energy evaluation.
   int fock_applies = 0;
+  /// MTS: whether the exchange operator was rebuilt at this step's start
+  /// (always true when MTS is off and hybrid is on), and the monitored
+  /// drift vs the frozen snapshot (0 on refresh steps).
+  bool exchange_refreshed = false;
+  double mts_drift = 0.0;
 };
 
 class PtCnPropagator {
@@ -82,6 +101,8 @@ class PtCnPropagator {
   /// slots: they must survive across the overlap window.
   CMatrix psi_g_;
   CMatrix half_g_;
+  /// Exchange-operator MTS state (frozen snapshot + refresh cadence).
+  MtsScheduler mts_;
 };
 
 /// Computes R = c_psi * Psi + c_h * (H Psi - Psi S) - c_half * Psi_half with

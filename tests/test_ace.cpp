@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/exec.hpp"
 #include "ham/ace.hpp"
 #include "ham/density.hpp"
 #include "linalg/blas.hpp"
@@ -12,6 +13,11 @@ namespace pwdft {
 namespace {
 
 xc::HybridParams hse() { return xc::HybridParams{true, 0.25, 0.11}; }
+
+/// Restores the engine width on scope exit so tests compose.
+struct ThreadGuard {
+  ~ThreadGuard() { exec::set_num_threads(1); }
+};
 
 TEST(Ace, ExactOnItsOwnOrbitals) {
   // The defining ACE property: VX_ACE Phi == VX Phi.
@@ -146,6 +152,175 @@ TEST(Ace, PtCnStepWithAceMatchesDirectFock) {
   EXPECT_TRUE(r1.converged);
   EXPECT_TRUE(r2.converged);
   EXPECT_LT(test::max_abs_diff(psi_a, psi_b), 1e-5);
+}
+
+TEST(Ace, BuildAndApplyBitIdenticalAcrossWidthDispatchPipeline) {
+  // The fixed-reduction-order contract (docs/threading.md) extended to
+  // ACE: build (exact Fock apply + serial dense algebra on transposed
+  // G-layout blocks) and apply_add must produce identical bits whatever
+  // the engine width, FFT dispatch path, and operator pipeline mode.
+  ThreadGuard guard;
+  auto setup = test::make_si8_setup(3.0, 1);
+  const std::size_t nb = 6;
+  CMatrix phi = test::random_orthonormal(setup, nb, 17);
+  CMatrix x = test::random_orthonormal(setup, nb, 19);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  CMatrix ref;
+  bool have_ref = false;
+  for (std::size_t nt : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (fft::ExecPath dispatch : {fft::ExecPath::kTaskGraph, fft::ExecPath::kForkJoin}) {
+      for (fft::PipelineMode pipe : {fft::PipelineMode::kFused, fft::PipelineMode::kStaged}) {
+        exec::set_num_threads(nt);
+        ham::FockOptions fopt;
+        fopt.fft_dispatch = dispatch;
+        fopt.op_pipeline = pipe;
+        ham::FockOperator fock(setup, hse(), fopt);
+        fock.set_orbitals(phi, occ, bands, comm);
+        ham::AceOperator ace(setup);
+        ace.build(fock, phi, comm);
+        CMatrix y(setup.n_g(), nb, Complex{0, 0});
+        ace.apply_add(x, y, comm);
+        if (!have_ref) {
+          ref = y;
+          have_ref = true;
+        } else {
+          EXPECT_EQ(test::max_abs_diff(y, ref), 0.0)
+              << "nt=" << nt << " dispatch=" << static_cast<int>(dispatch)
+              << " pipeline=" << static_cast<int>(pipe);
+        }
+      }
+    }
+  }
+}
+
+/// One Si8 Hamiltonian + PT-CN propagator with ACE exchange and the given
+/// MTS settings (serial, full occupancy).
+struct MtsHarness {
+  explicit MtsHarness(int mts_interval, double drift_tol, bool use_ace = true)
+      : setup(test::make_si8_setup(3.0, 1)),
+        species(pseudo::PseudoSpecies::silicon(true)),
+        hamiltonian(setup, species, make_opt(use_ace)),
+        bands(nb, 1),
+        psi(test::random_orthonormal(setup, nb, 15)),
+        occ(nb, 2.0),
+        kick({0.0, 0.0, 0.02}, -1.0),
+        prop(hamiltonian, bands, make_pt(mts_interval, drift_tol), 1) {}
+  static ham::HamiltonianOptions make_opt(bool use_ace) {
+    auto o = test::fast_hybrid_options();
+    o.use_ace = use_ace;
+    return o;
+  }
+  static td::PtCnOptions make_pt(int mts_interval, double drift_tol) {
+    td::PtCnOptions o;
+    o.dt = 1.0;
+    o.rho_tol = 1e-7;
+    o.max_scf = 100;
+    o.sp_comm = false;
+    o.mts_interval = mts_interval;
+    o.mts_drift_tol = drift_tol;
+    return o;
+  }
+  td::PtCnStepReport step(double t) { return prop.step(psi, occ, t, kick, comm); }
+
+  static constexpr std::size_t nb = 16;  // full Si8 occupancy
+  ham::PlanewaveSetup setup;
+  pseudo::PseudoSpecies species;
+  ham::Hamiltonian hamiltonian;
+  par::SerialComm comm;
+  par::BlockPartition bands;
+  CMatrix psi;
+  std::vector<double> occ;
+  td::DeltaKick kick;
+  td::PtCnPropagator prop;
+};
+
+TEST(Mts, FreezesExchangeBetweenRefreshSteps) {
+  // ACE + MTS interval 3 with the drift bound disabled: the projectors are
+  // rebuilt on steps 0 and 3 only, and the frozen steps in between perform
+  // ZERO exact Fock pair solves — the entire point of the compression.
+  MtsHarness h(/*mts_interval=*/3, /*drift_tol=*/1e9);
+  double t = 0.0;
+  for (int s = 0; s < 4; ++s, t += 1.0) {
+    const auto builds_before = h.hamiltonian.ace().builds();
+    const auto solves_before = h.hamiltonian.fock().pair_solves();
+    auto rep = h.step(t);
+    EXPECT_TRUE(rep.converged) << "step " << s;
+    const bool expect_refresh = (s % 3 == 0);
+    EXPECT_EQ(rep.exchange_refreshed, expect_refresh) << "step " << s;
+    EXPECT_EQ(h.hamiltonian.ace().builds() - builds_before, expect_refresh ? 1u : 0u)
+        << "step " << s;
+    if (expect_refresh) {
+      EXPECT_GT(h.hamiltonian.fock().pair_solves(), solves_before) << "step " << s;
+    } else {
+      EXPECT_EQ(h.hamiltonian.fock().pair_solves(), solves_before) << "step " << s;
+      EXPECT_GT(rep.mts_drift, 0.0) << "step " << s;
+    }
+  }
+}
+
+TEST(Mts, DriftBoundForcesEarlyRefresh) {
+  // A zero drift tolerance trips the monitored bound on every step after
+  // the first: the cadence (interval 100) never comes due, yet every step
+  // must rebuild — the forced-early-refresh path.
+  MtsHarness h(/*mts_interval=*/100, /*drift_tol=*/0.0);
+  double t = 0.0;
+  for (int s = 0; s < 3; ++s, t += 1.0) {
+    const auto builds_before = h.hamiltonian.ace().builds();
+    auto rep = h.step(t);
+    EXPECT_TRUE(rep.converged) << "step " << s;
+    EXPECT_TRUE(rep.exchange_refreshed) << "step " << s;
+    EXPECT_EQ(h.hamiltonian.ace().builds() - builds_before, 1u) << "step " << s;
+  }
+}
+
+TEST(Mts, TrajectoryIndependentOfInterleavedRegistrations) {
+  // Per-step energy recording registers the *current* orbitals as exchange
+  // orbitals between propagator steps (core::Simulation::record). The MTS
+  // scheduler must detect the foreign registration through the exchange
+  // serial and re-pin its frozen snapshot, so the trajectory is bit-for-bit
+  // the same whether or not anything registered behind its back.
+  MtsHarness clean(/*mts_interval=*/3, /*drift_tol=*/1e9);
+  MtsHarness dirty(/*mts_interval=*/3, /*drift_tol=*/1e9);
+  double t = 0.0;
+  for (int s = 0; s < 3; ++s, t += 1.0) {
+    clean.step(t);
+    dirty.step(t);
+    // Foreign registration with the *moved* orbitals, as energy recording
+    // would do after every step.
+    dirty.hamiltonian.set_exchange_orbitals(dirty.psi, dirty.occ, dirty.bands, dirty.comm);
+  }
+  ASSERT_EQ(clean.psi.size(), dirty.psi.size());
+  EXPECT_EQ(test::max_abs_diff(clean.psi, dirty.psi), 0.0);
+}
+
+TEST(Mts, AceRefreshCadenceFollowsRegistrationCounter) {
+  // PWDFT_ACE_REFRESH semantics at the Hamiltonian level, without MTS:
+  // every k-th set_exchange_orbitals() rebuilds the projectors, and
+  // request_ace_refresh() forces the next registration to rebuild.
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto species = pseudo::PseudoSpecies::silicon(true);
+  auto opt = test::fast_hybrid_options();
+  opt.use_ace = true;
+  opt.ace_refresh = 3;
+  ham::Hamiltonian h(setup, species, opt);
+  const std::size_t nb = 8;
+  auto phi = test::random_orthonormal(setup, nb, 21);
+  std::vector<double> occ(nb, 2.0);
+  par::SerialComm comm;
+  par::BlockPartition bands(nb, 1);
+
+  for (int reg = 0; reg < 6; ++reg) {
+    const auto before = h.ace().builds();
+    h.set_exchange_orbitals(phi, occ, bands, comm);
+    EXPECT_EQ(h.ace().builds() - before, reg % 3 == 0 ? 1u : 0u) << "registration " << reg;
+  }
+  h.request_ace_refresh();
+  const auto before = h.ace().builds();
+  h.set_exchange_orbitals(phi, occ, bands, comm);
+  EXPECT_EQ(h.ace().builds() - before, 1u);
 }
 
 }  // namespace

@@ -393,6 +393,108 @@ TEST_P(HierLayouts, FullPtCnStepOnHierCommBitwiseMatchesFlat) {
   }
 }
 
+TEST_P(HierLayouts, AceBuildAndApplyBitwiseMatchesFlat) {
+  // ACE build (exact Fock apply + transposes + small Allreduce) and
+  // apply_add (two transposes + one Allreduce) on the hierarchical
+  // communicator must reproduce the flat layout bit for bit: HierComm's
+  // staged allreduce is order-preserving and the transposes are exact
+  // permutations, so the serial dense algebra sees identical inputs.
+  const auto layout = GetParam();
+  const int np = layout.np();
+  const std::size_t nb = 8;
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto phi = test::random_orthonormal(setup, nb, 41);
+  auto x = test::random_orthonormal(setup, nb, 43);
+  std::vector<double> occ(nb, 2.0);
+
+  auto run = [&](bool hier, std::vector<CMatrix>& out) {
+    par::ThreadGroup::run(np, [&](par::Comm& c) {
+      RankContext ctx(3.0, true);
+      par::BlockPartition bands(nb, np);
+      CMatrix phi_loc = test::band_slice(phi, bands, c.rank());
+      CMatrix x_loc = test::band_slice(x, bands, c.rank());
+      ham::FockOperator fock(ctx.setup, xc::HybridParams{true, 0.25, 0.11});
+      ham::AceOperator ace(ctx.setup);
+      CMatrix y_loc(ctx.setup.n_g(), x_loc.cols(), Complex{0, 0});
+      if (hier) {
+        par::HierComm h(c, layout.band_groups);
+        fock.set_orbitals(phi_loc, occ, bands, h);
+        ace.build(fock, phi_loc, h);
+        ace.apply_add(x_loc, y_loc, h);
+      } else {
+        fock.set_orbitals(phi_loc, occ, bands, c);
+        ace.build(fock, phi_loc, c);
+        ace.apply_add(x_loc, y_loc, c);
+      }
+      out[c.rank()] = std::move(y_loc);
+    });
+  };
+  std::vector<CMatrix> y_flat(np), y_hier(np);
+  run(false, y_flat);
+  run(true, y_hier);
+  for (int r = 0; r < np; ++r) {
+    ASSERT_EQ(y_hier[r].size(), y_flat[r].size());
+    for (std::size_t i = 0; i < y_flat[r].size(); ++i)
+      EXPECT_EQ(y_hier[r].data()[i], y_flat[r].data()[i]) << "rank " << r;
+  }
+}
+
+TEST_P(HierLayouts, AceMtsPtCnStepOnHierCommBitwiseMatchesFlat) {
+  // The ACE-mode PT-CN step under MTS (projector rebuild at step start,
+  // frozen compressed applies through the inner loop) across layouts: the
+  // drift monitor's Allreduce, the ACE build/apply collectives, and every
+  // legacy reduction must keep the trajectory bit-identical to flat.
+  const auto layout = GetParam();
+  const int np = layout.np();
+  const std::size_t nb = 8;
+  RankContext ref_ctx(3.0, true);
+  auto psi_init = test::random_orthonormal(ref_ctx.setup, nb, 47);
+  std::vector<double> occ(nb, 2.0);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  td::PtCnOptions opt;
+  opt.dt = 1.0;
+  opt.rho_tol = 1e-6;
+  opt.max_scf = 60;
+  opt.sp_comm = false;
+  opt.mts_interval = 2;  // second step runs the frozen-exchange path
+  opt.mts_drift_tol = 1e9;
+
+  auto make_ctx_opt = [] {
+    auto o = RankContext::make_opt(true);
+    o.use_ace = true;
+    return o;
+  };
+  auto run = [&](bool hier, std::vector<CMatrix>& out) {
+    par::ThreadGroup::run(np, [&](par::Comm& c) {
+      ham::PlanewaveSetup setup_loc = test::make_si8_setup(3.0, 1);
+      auto species = pseudo::PseudoSpecies::silicon(true);
+      ham::Hamiltonian hamiltonian(setup_loc, species, make_ctx_opt());
+      par::BlockPartition bands(nb, np);
+      CMatrix psi_loc = test::band_slice(psi_init, bands, c.rank());
+      td::PtCnPropagator prop(hamiltonian, bands, opt, np);
+      std::unique_ptr<par::HierComm> h;
+      par::Comm* use = &c;
+      if (hier) {
+        h = std::make_unique<par::HierComm>(c, layout.band_groups);
+        use = h.get();
+      }
+      auto r0 = prop.step(psi_loc, occ, 0.0, kick, *use);
+      auto r1 = prop.step(psi_loc, occ, 1.0, kick, *use);
+      EXPECT_TRUE(r0.exchange_refreshed);
+      EXPECT_FALSE(r1.exchange_refreshed);
+      out[c.rank()] = std::move(psi_loc);
+    });
+  };
+  std::vector<CMatrix> psi_flat(np), psi_hier(np);
+  run(false, psi_flat);
+  run(true, psi_hier);
+  for (int r = 0; r < np; ++r) {
+    ASSERT_EQ(psi_hier[r].size(), psi_flat[r].size());
+    for (std::size_t i = 0; i < psi_flat[r].size(); ++i)
+      EXPECT_EQ(psi_hier[r].data()[i], psi_flat[r].data()[i]) << "rank " << r;
+  }
+}
+
 TEST_P(HierLayouts, FockRebalanceShufflePathBitwise) {
   // Force a skewed cost measurement so the rebalanced apply really shuffles
   // columns, and pin the result against the static layout bit for bit (the
