@@ -1,0 +1,50 @@
+#include "common/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace pwdft::env {
+
+namespace {
+
+std::string lower(std::string_view v) {
+  std::string out(v);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+bool flag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw) return fallback;
+  const std::string v = lower(raw);
+  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
+  PWDFT_CHECK(false, "" << name << "='" << raw
+                         << "' is not a boolean; use 1/on/true/yes or 0/off/false/no (or unset "
+                            "it for the default)");
+  return fallback;  // unreachable: the check above always throws
+}
+
+long integer(const char* name, long fallback, long min, long max) {
+  const char* raw = std::getenv(name);
+  if (!raw) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  // Full-string match only: strtol's leading-whitespace skip and partial
+  // parses ("4x") are exactly the lenience this helper exists to remove.
+  PWDFT_CHECK(!std::isspace(static_cast<unsigned char>(raw[0])) && end != raw &&
+                  *end == '\0' && errno != ERANGE,
+              "" << name << "='" << raw << "' is not an integer (or unset it for the default)");
+  PWDFT_CHECK(v >= min && v <= max,
+              "" << name << "=" << v << " is out of range [" << min << ", " << max << "]");
+  return v;
+}
+
+}  // namespace pwdft::env

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file env.hpp
+/// Strict parsing of PWDFT_* environment variables.
+///
+/// The scheduling and algorithm knobs (docs/PERFORMANCE.md) are resolved
+/// from the environment at option-construction time. A malformed value must
+/// fail loudly, exactly like PWDFT_FFT_KERNEL always has: a typo
+/// (`PWDFT_MTS_INTERVAL=four`, `PWDFT_ACE=On`) that silently resolves to
+/// "off" or "default" runs the wrong configuration through an entire
+/// experiment. Every helper here therefore throws pwdft::Error — naming the
+/// variable and the accepted forms — on anything it cannot parse exactly;
+/// an unset variable yields the caller's default.
+
+#include <string>
+
+namespace pwdft::env {
+
+/// Boolean knob. Accepts (case-insensitive) 1/on/true/yes and 0/off/false/no;
+/// unset returns `fallback`; anything else throws pwdft::Error.
+bool flag(const char* name, bool fallback);
+
+/// Integer knob. Accepts a full-string base-10 integer in [min, max]; unset
+/// returns `fallback` (which need not lie in the range); a malformed or
+/// out-of-range value throws pwdft::Error.
+long integer(const char* name, long fallback, long min, long max);
+
+}  // namespace pwdft::env

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace pwdft::exec {
 
@@ -420,10 +421,10 @@ void TaskGroup::wait() {
 namespace {
 
 std::size_t default_threads() {
-  if (const char* env = std::getenv("PWDFT_NUM_THREADS")) {
-    const long v = std::atol(env);
-    if (v >= 1) return std::min<std::size_t>(static_cast<std::size_t>(v), 64);
-  }
+  // Strict parse (common/env.hpp): PWDFT_NUM_THREADS=sixteen used to atol
+  // to 0 and silently fall back to hardware concurrency.
+  const long v = env::integer("PWDFT_NUM_THREADS", 0, 1, 64);
+  if (v >= 1) return static_cast<std::size_t>(v);
   const unsigned hw = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 16);
 }

@@ -7,10 +7,17 @@
 namespace pwdft::core {
 
 Simulation::Simulation(const SimulationOptions& opt)
-    : opt_(opt), species_(pseudo::PseudoSpecies::silicon(opt.nonlocal)) {
-  setup_ = std::make_unique<ham::PlanewaveSetup>(
-      crystal::Crystal::silicon_supercell(opt.cells[0], opt.cells[1], opt.cells[2]), opt.ecut,
-      opt.dense_factor);
+    : Simulation(std::make_shared<const ham::PlanewaveSetup>(
+                     crystal::Crystal::silicon_supercell(opt.cells[0], opt.cells[1],
+                                                         opt.cells[2]),
+                     opt.ecut, opt.dense_factor),
+                 opt) {}
+
+Simulation::Simulation(std::shared_ptr<const ham::PlanewaveSetup> setup,
+                       const SimulationOptions& opt)
+    : opt_(opt),
+      setup_(std::move(setup)),
+      species_(pseudo::PseudoSpecies::silicon(opt.nonlocal)) {
   ham::HamiltonianOptions hopt;
   hopt.hybrid = opt.hybrid_params;
   hopt.hybrid.enabled = opt.hybrid;
@@ -30,6 +37,15 @@ scf::ScfResult Simulation::ground_state() {
   scf::ScfResult res = solver.solve(psi_, occ_, opt_.scf);
   ground_state_done_ = true;
   return res;
+}
+
+void Simulation::restore_wavefunctions(const CMatrix& psi) {
+  PWDFT_CHECK(psi.rows() == setup_->n_g() && psi.cols() == setup_->n_bands(),
+              "Simulation: restored wavefunctions have shape "
+                  << psi.rows() << "x" << psi.cols() << ", this run needs " << setup_->n_g()
+                  << "x" << setup_->n_bands());
+  psi_ = psi;
+  ground_state_done_ = true;
 }
 
 ham::EnergyBreakdown Simulation::current_energy() {
@@ -55,7 +71,7 @@ std::vector<td::TimePoint> Simulation::propagate(const PropagateOptions& opt) {
   td::PtCnPropagator ptcn(*ham_, bands, pt_opt, comm_.size());
   td::Rk4Propagator rk4(*ham_, bands, td::Rk4Options{dt});
 
-  const CMatrix psi0 = psi_;
+  const CMatrix psi0 = opt.psi0_reference ? *opt.psi0_reference : psi_;
   std::vector<td::TimePoint> trace;
   trace.reserve(opt.steps + 1);
 
@@ -83,8 +99,8 @@ std::vector<td::TimePoint> Simulation::propagate(const PropagateOptions& opt) {
     trace.push_back(p);
   };
 
-  record(0.0, 0, 0.0, 0.0, false, 0.0);
-  double t = 0.0;
+  if (opt.record_initial) record(opt.t0, 0, 0.0, 0.0, false, 0.0);
+  double t = opt.t0;
   for (int s = 0; s < opt.steps; ++s) {
     WallTimer timer;
     int scf_iters = 0;
@@ -102,6 +118,8 @@ std::vector<td::TimePoint> Simulation::propagate(const PropagateOptions& opt) {
     }
     t += dt;
     record(t, scf_iters, rho_err, timer.seconds(), refreshed, drift);
+    const std::uint64_t global_step = opt.step0 + static_cast<std::uint64_t>(s) + 1;
+    if (opt.on_step && !opt.on_step(global_step, trace, psi_, t)) break;
   }
   return trace;
 }

@@ -117,6 +117,31 @@ Fft3D::Fft3D(std::array<std::size_t, 3> dims, RadixKernel kernel, ExecPath path)
 
 Fft3D::~Fft3D() = default;
 
+std::shared_ptr<Fft3D> shared_engine(std::array<std::size_t, 3> dims, RadixKernel kernel,
+                                     ExecPath path) {
+  struct Key {
+    std::array<std::size_t, 3> dims;
+    RadixKernel kernel;
+    ExecPath path;
+    bool operator==(const Key&) const = default;
+  };
+  // The kAuto resolutions below mirror the Fft3D/FftPlan1D constructors, so
+  // explicit-and-equivalent requests hit the same cache entry as kAuto ones.
+  const Key key{dims, kernel == RadixKernel::kAuto ? FftPlan1D::env_default() : kernel,
+                path == ExecPath::kAuto ? Fft3D::path_env_default() : path};
+  static std::mutex mu;
+  // Intentionally leaked: engines may still be referenced by objects whose
+  // destruction order at exit is unknowable.
+  static auto* cache = new std::vector<std::pair<Key, std::shared_ptr<Fft3D>>>();
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& [k, engine] : *cache) {
+    if (k == key) return engine;
+  }
+  auto engine = std::make_shared<Fft3D>(dims, key.kernel, key.path);
+  cache->emplace_back(key, engine);
+  return engine;
+}
+
 void Fft3D::run_lines(Complex* data, int axis, int sign, const std::uint32_t* lines,
                       std::size_t li0, std::size_t li1, std::size_t batch) const {
   const std::size_t n0 = dims_[0], n1 = dims_[1];

@@ -265,4 +265,15 @@ class Fft3D {
   mutable std::vector<std::unique_ptr<CachedGraph>> cache_;
 };
 
+/// Process-wide engine cache: returns the one Fft3D for (dims, resolved
+/// kernel, resolved dispatch path), constructing it on first request. Since
+/// an Fft3D is safe for concurrent use and its graph cache only grows,
+/// sharing one engine per grid shape means co-resident simulations (the
+/// serve::JobEngine tenants, or several Simulations in one process) reuse
+/// each other's warmed-up replay graphs instead of each rebuilding them.
+/// Entries live for the life of the process.
+std::shared_ptr<Fft3D> shared_engine(std::array<std::size_t, 3> dims,
+                                     RadixKernel kernel = RadixKernel::kAuto,
+                                     ExecPath path = ExecPath::kAuto);
+
 }  // namespace pwdft::fft

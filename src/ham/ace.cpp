@@ -1,9 +1,7 @@
 #include "ham/ace.hpp"
 
-#include <cstdlib>
-#include <string_view>
-
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/exec.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
@@ -11,17 +9,12 @@
 namespace pwdft::ham {
 
 bool ace_env_default() {
-  const char* env = std::getenv("PWDFT_ACE");
-  if (!env) return false;
-  const std::string_view v(env);
-  return v == "1" || v == "on" || v == "ON" || v == "true";
+  // Strict parse: PWDFT_ACE=On/TRUE/yes used to be silently off (common/env.hpp).
+  return env::flag("PWDFT_ACE", false);
 }
 
 int ace_refresh_env_default() {
-  const char* env = std::getenv("PWDFT_ACE_REFRESH");
-  if (!env) return 1;
-  const int k = std::atoi(env);
-  return k >= 1 ? k : 1;
+  return static_cast<int>(env::integer("PWDFT_ACE_REFRESH", 1, 1, 1 << 20));
 }
 
 void AceOperator::build(FockOperator& fock, const CMatrix& phi_local, par::Comm& comm) {

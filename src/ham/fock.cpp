@@ -1,10 +1,9 @@
 #include "ham/fock.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <string_view>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/exec.hpp"
 #include "common/timer.hpp"
 #include "grid/transforms.hpp"
@@ -13,12 +12,7 @@
 
 namespace pwdft::ham {
 
-bool band_rebalance_env_default() {
-  const char* env = std::getenv("PWDFT_BAND_REBALANCE");
-  if (!env) return false;
-  const std::string_view v(env);
-  return v == "1" || v == "on" || v == "ON" || v == "true";
-}
+bool band_rebalance_env_default() { return env::flag("PWDFT_BAND_REBALANCE", false); }
 
 namespace {
 
@@ -65,7 +59,7 @@ FockOperator::FockOperator(const PlanewaveSetup& setup, xc::HybridParams hybrid,
     : setup_(setup),
       hybrid_(hybrid),
       opt_(opt),
-      fft_wfc_(setup.wfc_grid.dims(), fft::RadixKernel::kAuto, opt.fft_dispatch) {
+      fft_wfc_(fft::shared_engine(setup.wfc_grid.dims(), fft::RadixKernel::kAuto, opt.fft_dispatch)) {
   if (opt_.op_pipeline == fft::PipelineMode::kAuto)
     opt_.op_pipeline = fft::pipeline_env_default();
   // Precompute K(G)/N on the wavefunction grid (the paper evaluates the
@@ -97,7 +91,7 @@ void FockOperator::set_orbitals(const CMatrix& phi_local, std::span<const double
   occ_.assign(occ_global.begin(), occ_global.end());
 
   // All local orbitals to the real-space wfc grid as one fused batch.
-  grid::sphere_to_grid_many(fft_wfc_, setup_.smap_wfc, phi_local, phi_real_);
+  grid::sphere_to_grid_many(*fft_wfc_, setup_.smap_wfc, phi_local, phi_real_);
 }
 
 void FockOperator::fetch_orbital(std::size_t band, par::Comm& comm, std::span<Complex> buf) {
@@ -216,7 +210,7 @@ void FockOperator::apply_block(const CMatrix& psi_local, CMatrix& y_local, par::
 
   // psi on the real-space wavefunction grid: fused scatter + batched FFT.
   CMatrix& psi_real = ws.cmat(exec::Slot::fock_psi_real, nw, ncol);
-  grid::sphere_to_grid_many(fft_wfc_, setup_.smap_wfc, psi_local, psi_real);
+  grid::sphere_to_grid_many(*fft_wfc_, setup_.smap_wfc, psi_local, psi_real);
 
   CMatrix& acc = ws.cmat(exec::Slot::fock_acc, nw, ncol);
   acc.fill(Complex{0.0, 0.0});
@@ -287,11 +281,11 @@ void FockOperator::apply_block(const CMatrix& psi_local, CMatrix& y_local, par::
                            nw};
           const std::array<fft::Fft3D::Stage, 5> stages = {
               fft::Fft3D::Stage::make_hook(&PairSolveHooks::form, &h),
-              fft_wfc_.full_passes_stage(-1, pair.data()),
+              fft_wfc_->full_passes_stage(-1, pair.data()),
               fft::Fft3D::Stage::make_hook(&PairSolveHooks::kernel_mul, &h),
-              fft_wfc_.full_passes_stage(+1, pair.data()),
+              fft_wfc_->full_passes_stage(+1, pair.data()),
               fft::Fft3D::Stage::make_hook(&PairSolveHooks::write_out, &h)};
-          fft_wfc_.run_pipeline(jn, stages);
+          fft_wfc_->run_pipeline(jn, stages);
           continue;
         }
         for (std::size_t col = 0; col < jn; ++col) {
@@ -299,13 +293,13 @@ void FockOperator::apply_block(const CMatrix& psi_local, CMatrix& y_local, par::
           Complex* dst = pair.data() + col * nw;
           for (std::size_t k = 0; k < nw; ++k) dst[k] = std::conj(qi[k]) * pj[k];
         }
-        fft_wfc_.forward_many(pair.data(), jn);
+        fft_wfc_->forward_many(pair.data(), jn);
         const double* kern = kernel_.data();
         for (std::size_t col = 0; col < jn; ++col) {
           Complex* dst = pair.data() + col * nw;
           for (std::size_t k = 0; k < nw; ++k) dst[k] *= kern[k];
         }
-        fft_wfc_.inverse_many(pair.data(), jn);
+        fft_wfc_->inverse_many(pair.data(), jn);
         for (std::size_t col = 0; col < jn; ++col) {
           const Complex* v = pair.data() + col * nw;
           Complex* dst = contrib_p + (il * ncol + j0 + col) * nw;
@@ -354,7 +348,7 @@ void FockOperator::apply_block(const CMatrix& psi_local, CMatrix& y_local, par::
   // one fused batched FFT + gather.
   const double out_scale = 1.0 / (static_cast<double>(nw) * setup_.volume());
   CMatrix& coeffs = ws.cmat(exec::Slot::fock_coeffs, setup_.n_g(), ncol);
-  grid::grid_to_sphere_many(fft_wfc_, setup_.smap_wfc, acc, out_scale, coeffs);
+  grid::grid_to_sphere_many(*fft_wfc_, setup_.smap_wfc, acc, out_scale, coeffs);
   for (std::size_t j = 0; j < ncol; ++j)
     linalg::axpy(Complex{1.0, 0.0}, {coeffs.col(j), setup_.n_g()},
                  {y_local.col(j), setup_.n_g()});

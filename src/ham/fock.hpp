@@ -20,6 +20,7 @@
 /// whose rounding is bounded by tests (paper: "negligible changes").
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -152,7 +153,8 @@ class FockOperator {
   const PlanewaveSetup& setup_;
   xc::HybridParams hybrid_;
   FockOptions opt_;
-  fft::Fft3D fft_wfc_;
+  /// Shared process-wide per (dims, kernel, dispatch) via fft::shared_engine.
+  std::shared_ptr<fft::Fft3D> fft_wfc_;
   std::vector<double> kernel_;  ///< K(G)/Nwfc on the wavefunction grid
   par::BlockPartition bands_;
   std::vector<double> occ_;

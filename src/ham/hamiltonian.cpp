@@ -70,7 +70,8 @@ Hamiltonian::Hamiltonian(const PlanewaveSetup& setup, const pseudo::PseudoSpecie
                          HamiltonianOptions options)
     : setup_(setup),
       options_(normalize(options)),
-      fft_dense_(setup.dense_grid.dims(), fft::RadixKernel::kAuto, options_.fft_dispatch),
+      fft_dense_(fft::shared_engine(setup.dense_grid.dims(), fft::RadixKernel::kAuto,
+                                     options_.fft_dispatch)),
       fock_(setup, options_.hybrid, options_.fock),
       ace_(setup) {
   v_loc_ps_ = pseudo::build_local_potential(setup_.crystal, species, setup_.dense_grid);
@@ -92,7 +93,7 @@ Hamiltonian::Hamiltonian(const PlanewaveSetup& setup, const pseudo::PseudoSpecie
 void Hamiltonian::update_density(std::span<const double> rho_dense) {
   const std::size_t nd = setup_.n_dense();
   PWDFT_CHECK(rho_dense.size() == nd, "Hamiltonian: density size mismatch");
-  v_hartree_ = hartree_potential(setup_, fft_dense_, rho_dense);
+  v_hartree_ = hartree_potential(setup_, *fft_dense_, rho_dense);
   xc::lda_pz(rho_dense, eps_xc_, v_xc_);
   for (std::size_t i = 0; i < nd; ++i) v_total_[i] = v_loc_ps_[i] + v_hartree_[i] + v_xc_[i];
 }
@@ -173,9 +174,9 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
             grid::forward_passes_stage(setup_.smap_dense, vlocs.data()),
             fft::Fft3D::Stage::make_hook(&grid::GatherHook::run, &gather),
             fft::Fft3D::Stage::make_hook(&KineticAddHook::run, &tail)};
-        fft_dense_.run_pipeline(ncol, stages);
+        fft_dense_->run_pipeline(ncol, stages);
       } else {
-        grid::sphere_to_grid_many(fft_dense_, setup_.smap_dense, psi_local, grids);
+        grid::sphere_to_grid_many(*fft_dense_, setup_.smap_dense, psi_local, grids);
         const Complex* gw = grids.data();
         Complex* vp = vlocs.data();
         exec::parallel_for_cols(ncol, nd, [=](std::size_t col, std::size_t r0, std::size_t len) {
@@ -190,7 +191,7 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
               nonlocal_->apply_add({grids.col(j), nd}, {vlocs.col(j), nd}, weight);
           });
         }
-        grid::grid_to_sphere_many(fft_dense_, setup_.smap_dense, vlocs, inv_nd, coeffs);
+        grid::grid_to_sphere_many(*fft_dense_, setup_.smap_dense, vlocs, inv_nd, coeffs);
         // Two separate stages (pure multiply, then pure add) exactly like
         // the band path — a single fused expression could contract to FMA
         // and break bit-identity between the two schedules.
@@ -232,12 +233,12 @@ void Hamiltonian::apply(const CMatrix& psi_local, CMatrix& y_local, par::Comm& c
           // grid): fused sphere->grid, point-wise V, fused grid->sphere.
           // The forward pass only completes the z-lines that are gathered
           // afterwards.
-          grid::sphere_to_grid(fft_dense_, setup_.smap_dense, {c, ng}, grid_work);
+          grid::sphere_to_grid(*fft_dense_, setup_.smap_dense, {c, ng}, grid_work);
           Complex* gw = grid_work.data();
           Complex* vp = vloc_part.data();
           for (std::size_t i = 0; i < nd; ++i) vp[i] = vt[i] * gw[i];
           if (nonlocal_) nonlocal_->apply_add(grid_work, vloc_part, weight);
-          grid::grid_to_sphere(fft_dense_, setup_.smap_dense, vloc_part, inv_nd, coeffs);
+          grid::grid_to_sphere(*fft_dense_, setup_.smap_dense, vloc_part, inv_nd, coeffs);
           for (std::size_t i = 0; i < ng; ++i) y[i] += coeffs[i];
         }
       });

@@ -117,12 +117,15 @@ class Hamiltonian {
   double ewald_energy() const { return e_ewald_; }
   /// Kinetic coefficients 1/2 |G + a|^2 per sphere index.
   const std::vector<double>& kinetic() const { return kin_; }
-  fft::Fft3D& fft_dense() { return fft_dense_; }
+  fft::Fft3D& fft_dense() { return *fft_dense_; }
 
  private:
   const PlanewaveSetup& setup_;
   HamiltonianOptions options_;
-  fft::Fft3D fft_dense_;
+  /// Shared process-wide per (dims, kernel, dispatch) via fft::shared_engine:
+  /// co-resident Hamiltonians on the same dense grid reuse one warmed graph
+  /// cache (the serve::JobEngine runs several tenants per process).
+  std::shared_ptr<fft::Fft3D> fft_dense_;
   std::vector<double> v_loc_ps_;
   std::vector<double> v_hartree_;
   std::vector<double> v_xc_;

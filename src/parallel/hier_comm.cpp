@@ -1,8 +1,7 @@
 #include "parallel/hier_comm.hpp"
 
-#include <cstdlib>
-
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/exec.hpp"
 #include "common/timer.hpp"
 
@@ -24,11 +23,13 @@ HierComm::HierComm(Comm& world, int band_groups) : world_(&world), nbg_(band_gro
 }
 
 int HierComm::band_groups_from_env(int world_size) {
-  const char* env = std::getenv("PWDFT_BAND_GROUPS");
-  if (!env) return 1;
-  const int v = std::atoi(env);
-  if (v <= 0 || v > world_size || world_size % v != 0) return 1;
-  return v;
+  // Strict parse (common/env.hpp): a malformed count, or one that does not
+  // divide the rank count, used to fall back silently to the flat layout —
+  // an experiment asking for a 2D layout must not run 1D without saying so.
+  const long v = env::integer("PWDFT_BAND_GROUPS", 1, 1, world_size);
+  PWDFT_CHECK(world_size % v == 0, "PWDFT_BAND_GROUPS=" << v << " does not divide the rank count "
+                                                        << world_size);
+  return static_cast<int>(v);
 }
 
 namespace {

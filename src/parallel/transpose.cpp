@@ -1,12 +1,11 @@
 #include "parallel/transpose.hpp"
 
 #include <complex>
-#include <cstdlib>
 #include <cstring>
 #include <span>
-#include <string_view>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/exec.hpp"
 #include "parallel/overlap.hpp"
 
@@ -209,12 +208,7 @@ void redistribute_columns(Comm& comm, const CostPartition& from, const CostParti
 // the overlap engine and the synchronous call share one set of phase
 // kernels — one mechanism, not two.
 
-bool comm_overlap_env_default() {
-  const char* env = std::getenv("PWDFT_COMM_OVERLAP");
-  if (!env) return true;
-  const std::string_view v(env);
-  return !(v == "0" || v == "off" || v == "OFF" || v == "false");
-}
+bool comm_overlap_env_default() { return env::flag("PWDFT_COMM_OVERLAP", true); }
 
 struct TransposeOverlap::Pending {
   Plan plan;

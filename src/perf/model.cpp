@@ -235,4 +235,8 @@ std::vector<FockStage> SummitModel::fock_stages(int ngpu, int cpu_cores) const {
   return stages;
 }
 
+double job_cost(const SummitMachine& m, const Workload& w, int steps) {
+  return SummitModel(m, w).ptcn_step_total(1) * static_cast<double>(std::max(steps, 1));
+}
+
 }  // namespace pwdft::perf

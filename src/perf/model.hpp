@@ -117,4 +117,11 @@ class SummitModel {
   Workload w_;
 };
 
+/// Admission-control cost of a queued job: model-seconds for `steps` PT-CN
+/// steps of workload `w` on one model GPU. The serve::JobEngine compares
+/// these against its concurrent-cost budget, so only the ratios between
+/// jobs matter and the machine constants cancel out of scheduling
+/// decisions (a 2x2x2-cell laser sweep costs 8x a unit-cell SCF probe).
+double job_cost(const SummitMachine& m, const Workload& w, int steps);
+
 }  // namespace pwdft::perf

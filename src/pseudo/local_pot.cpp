@@ -55,8 +55,8 @@ std::vector<double> build_local_potential(const crystal::Crystal& crystal,
   }
 
   // V(r) = sum_G V(G) e^{i G.r}: one unnormalized inverse FFT.
-  fft::Fft3D plan(dims);
-  plan.inverse(vg.data());
+  const auto plan = fft::shared_engine(dims);
+  plan->inverse(vg.data());
 
   std::vector<double> vr(n);
   for (std::size_t i = 0; i < n; ++i) vr[i] = vg[i].real();

@@ -1,0 +1,343 @@
+#include "serve/job_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+#include "io/checkpoint.hpp"
+#include "perf/model.hpp"
+
+namespace pwdft::serve {
+
+namespace {
+
+// --- TimePoint <-> flat doubles (trace persistence via io::save_blob) ------
+
+constexpr std::size_t kPointDoubles = 11;
+
+void encode_point(const td::TimePoint& p, double* out) {
+  out[0] = p.t;
+  out[1] = p.current[0];
+  out[2] = p.current[1];
+  out[3] = p.current[2];
+  out[4] = p.n_excited;
+  out[5] = p.energy;
+  out[6] = static_cast<double>(p.scf_iterations);
+  out[7] = p.rho_error;
+  out[8] = p.wall_seconds;
+  out[9] = p.exchange_refreshed ? 1.0 : 0.0;
+  out[10] = p.mts_drift;
+}
+
+td::TimePoint decode_point(const double* in) {
+  td::TimePoint p;
+  p.t = in[0];
+  p.current = {in[1], in[2], in[3]};
+  p.n_excited = in[4];
+  p.energy = in[5];
+  p.scf_iterations = static_cast<int>(in[6]);
+  p.rho_error = in[7];
+  p.wall_seconds = in[8];
+  p.exchange_refreshed = in[9] != 0.0;
+  p.mts_drift = in[10];
+  return p;
+}
+
+std::vector<double> encode_trace(const std::vector<td::TimePoint>& trace) {
+  std::vector<double> flat(trace.size() * kPointDoubles);
+  for (std::size_t i = 0; i < trace.size(); ++i) encode_point(trace[i], &flat[i * kPointDoubles]);
+  return flat;
+}
+
+std::vector<td::TimePoint> decode_trace(const std::vector<double>& flat) {
+  PWDFT_CHECK(flat.size() % kPointDoubles == 0,
+              "serve: trace blob has " << flat.size() << " doubles, not a multiple of "
+                                       << kPointDoubles);
+  std::vector<td::TimePoint> trace(flat.size() / kPointDoubles);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = decode_point(&flat[i * kPointDoubles]);
+  return trace;
+}
+
+}  // namespace
+
+std::size_t serve_slots_env_default() {
+  return static_cast<std::size_t>(env::integer("PWDFT_SERVE_SLOTS", 2, 1, 64));
+}
+
+/// Full per-job record; JobStatus is the copyable slice handed to callers.
+struct JobEngine::Job {
+  JobId id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::vector<td::TimePoint> trace;
+  std::uint64_t steps_done = 0;
+  double model_cost = 0.0;
+  double scf_energy = 0.0;
+  std::string error;
+  bool preempt_requested = false;
+  std::uint64_t submit_order = 0;  ///< FIFO tiebreak within a priority
+
+  std::string gs_path;     ///< ground-state orbitals (excitation reference)
+  std::string psi_path;    ///< latest propagation snapshot
+  std::string trace_path;  ///< trace recorded up to that snapshot
+
+  JobStatus to_status() const {
+    JobStatus s;
+    s.state = state;
+    s.trace = trace;
+    s.steps_done = steps_done;
+    s.model_cost = model_cost;
+    s.scf_energy = scf_energy;
+    s.error = error;
+    return s;
+  }
+};
+
+double JobEngine::cost_estimate(const JobSpec& spec) {
+  const std::size_t natoms = 8 * static_cast<std::size_t>(spec.sim.cells[0]) *
+                             spec.sim.cells[1] * spec.sim.cells[2];
+  return perf::job_cost(perf::SummitMachine{}, perf::Workload::silicon(natoms),
+                        spec.kind == JobKind::kScf ? 1 : spec.steps);
+}
+
+JobEngine::JobEngine(JobEngineOptions opt) : opt_(std::move(opt)) {}
+
+JobEngine::~JobEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;  // pump_locked admits nothing more
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+JobId JobEngine::submit(JobSpec spec) {
+  PWDFT_CHECK(!spec.name.empty(), "serve: jobs must be named (names key checkpoint files)");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& j : jobs_)
+    PWDFT_CHECK(j->spec.name != spec.name,
+                "serve: duplicate job name '" << spec.name << "'");
+  auto job = std::make_unique<Job>();
+  job->id = jobs_.size();
+  job->model_cost = cost_estimate(spec);
+  job->submit_order = jobs_.size();
+  const std::string base = opt_.checkpoint_dir + "/" + spec.name;
+  job->gs_path = base + ".gs.ckpt";
+  job->psi_path = base + ".psi.ckpt";
+  job->trace_path = base + ".trace.ckpt";
+  job->spec = std::move(spec);
+  jobs_.push_back(std::move(job));
+  const JobId id = jobs_.back()->id;
+  pump_locked();
+  return id;
+}
+
+void JobEngine::preempt(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  Job& job = *jobs_[id];
+  job.preempt_requested = true;
+  if (job.state == JobState::kQueued) {
+    job.state = JobState::kPreempted;
+    cv_.notify_all();
+  }
+}
+
+JobId JobEngine::resume(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  Job& job = *jobs_[id];
+  PWDFT_CHECK(job.state == JobState::kPreempted || job.state == JobState::kFailed,
+              "serve: job '" << job.spec.name << "' is not preempted/failed");
+  job.state = JobState::kQueued;
+  job.preempt_requested = false;
+  job.error.clear();
+  pump_locked();
+  return id;
+}
+
+JobStatus JobEngine::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  cv_.wait(lock, [&] {
+    const JobState s = jobs_[id]->state;
+    return s != JobState::kQueued && s != JobState::kRunning;
+  });
+  return jobs_[id]->to_status();
+}
+
+void JobEngine::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    for (const auto& j : jobs_)
+      if (j->state == JobState::kQueued || j->state == JobState::kRunning) return false;
+    return true;
+  });
+}
+
+JobStatus JobEngine::status(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  return jobs_[id]->to_status();
+}
+
+void JobEngine::pump_locked() {
+  if (shutdown_) return;
+  for (;;) {
+    if (running_ >= opt_.max_running) return;
+    // Highest priority first, then submission order: deterministic given
+    // the same submission/completion sequence.
+    Job* next = nullptr;
+    for (const auto& j : jobs_) {
+      if (j->state != JobState::kQueued) continue;
+      if (!next || j->spec.priority > next->spec.priority ||
+          (j->spec.priority == next->spec.priority && j->submit_order < next->submit_order))
+        next = j.get();
+    }
+    if (!next) return;
+    // The cost gate never starves: an over-budget job runs once the engine
+    // drains (admitted alone).
+    if (opt_.cost_budget > 0.0 && running_ > 0 &&
+        running_cost_ + next->model_cost > opt_.cost_budget)
+      return;
+    next->state = JobState::kRunning;
+    ++running_;
+    running_cost_ += next->model_cost;
+    threads_.emplace_back([this, job = next] { run_job(*job); });
+  }
+}
+
+std::shared_ptr<const ham::PlanewaveSetup> JobEngine::setup_for(
+    const core::SimulationOptions& sim) {
+  std::lock_guard<std::mutex> lock(setup_mu_);
+  for (const auto& [key, setup] : setups_) {
+    if (key.cells[0] == sim.cells[0] && key.cells[1] == sim.cells[1] &&
+        key.cells[2] == sim.cells[2] && key.ecut == sim.ecut &&
+        key.dense_factor == sim.dense_factor)
+      return setup;
+  }
+  auto setup = std::make_shared<const ham::PlanewaveSetup>(
+      crystal::Crystal::silicon_supercell(sim.cells[0], sim.cells[1], sim.cells[2]), sim.ecut,
+      sim.dense_factor);
+  setups_.emplace_back(SetupKey{{sim.cells[0], sim.cells[1], sim.cells[2]}, sim.ecut,
+                                sim.dense_factor},
+                       setup);
+  return setup;
+}
+
+void JobEngine::run_job(Job& job) {
+  std::vector<td::TimePoint> trace;
+  std::uint64_t steps_done = 0;
+  double scf_energy = 0.0;
+  std::string error;
+  bool preempted = false;
+
+  try {
+    core::Simulation sim(setup_for(job.spec.sim), job.spec.sim);
+
+    // Resume state: non-empty when a usable snapshot pair exists.
+    CMatrix psi_gs;
+    double t0 = 0.0;
+    std::uint64_t step0 = 0;
+    bool resuming = false;
+    if (job.spec.checkpoint_every > 0) {
+      try {
+        io::CheckpointMeta meta_gs = io::load_wavefunctions(job.gs_path, psi_gs);
+        CMatrix psi_ckpt;
+        const io::CheckpointMeta meta = io::load_wavefunctions(job.psi_path, psi_ckpt, &meta_gs);
+        std::vector<double> flat;
+        io::load_blob(job.trace_path, flat);
+        trace = decode_trace(flat);
+        sim.restore_wavefunctions(psi_ckpt);
+        t0 = meta.time_au;
+        step0 = meta.step;
+        steps_done = step0;
+        resuming = true;
+      } catch (const Error&) {
+        // No (or unreadable) snapshot: start from scratch. A torn file is
+        // impossible by construction (atomic saves), but a checkpoint from
+        // before the job's first snapshot simply does not exist yet.
+        trace.clear();
+        psi_gs = CMatrix();
+        resuming = false;
+      }
+    }
+
+    if (!resuming) {
+      const scf::ScfResult scf = sim.ground_state();
+      scf_energy = scf.energy.total();
+      if (job.spec.checkpoint_every > 0 && job.spec.kind != JobKind::kScf) {
+        // Ground-state orbitals: the excitation reference every resume
+        // needs, and the compatibility stamp for later snapshots.
+        io::save_wavefunctions(
+            job.gs_path,
+            io::CheckpointMeta::from_setup(sim.setup(), sim.wavefunctions().cols(), 0.0, 0),
+            sim.wavefunctions());
+      }
+    }
+
+    if (job.spec.kind != JobKind::kScf && steps_done < static_cast<std::uint64_t>(job.spec.steps)) {
+      const auto field = job.spec.build_field();
+      core::PropagateOptions prop;
+      prop.integrator = core::Integrator::kPtCn;
+      prop.dt_as = job.spec.dt_as;
+      prop.steps = static_cast<int>(job.spec.steps - steps_done);
+      prop.field = field.get();
+      prop.ptcn = job.spec.ptcn;
+      prop.record_energy = job.spec.record_energy;
+      prop.t0 = t0;
+      prop.step0 = step0;
+      prop.record_initial = !resuming;
+      if (resuming) prop.psi0_reference = &psi_gs;
+      prop.on_step = [&](std::uint64_t step, const std::vector<td::TimePoint>& live,
+                         const CMatrix& psi, double t) {
+        steps_done = step;
+        if (job.spec.checkpoint_every > 0 && step % job.spec.checkpoint_every == 0 &&
+            step < static_cast<std::uint64_t>(job.spec.steps)) {
+          // Snapshot = psi + trace-so-far, both atomic. `trace` holds the
+          // pre-resume prefix, `live` what this propagate() recorded, so
+          // the blob is always the full history from t = 0.
+          const auto meta = io::CheckpointMeta::from_setup(sim.setup(), psi.cols(), t, step);
+          io::save_wavefunctions(job.psi_path, meta, psi);
+          std::vector<td::TimePoint> full = trace;
+          full.insert(full.end(), live.begin(), live.end());
+          io::save_blob(job.trace_path, meta, encode_trace(full));
+        }
+        // Preemption is checked after the cadence snapshot (a kill request
+        // stops the job at this boundary, not mid-write), but nothing else
+        // is persisted: anything since the last on-cadence snapshot is
+        // lost, exactly as in a real kill.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (jobs_[job.id]->preempt_requested) {
+          preempted = true;
+          return false;
+        }
+        return true;
+      };
+      auto live = sim.propagate(prop);
+      trace.insert(trace.end(), live.begin(), live.end());
+    } else if (job.spec.kind != JobKind::kScf) {
+      // Resumed at or past the requested horizon: nothing to do.
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Job& j = *jobs_[job.id];
+  j.trace = std::move(trace);
+  j.steps_done = steps_done;
+  if (scf_energy != 0.0) j.scf_energy = scf_energy;
+  if (!error.empty()) {
+    j.state = JobState::kFailed;
+    j.error = std::move(error);
+  } else {
+    j.state = preempted ? JobState::kPreempted : JobState::kDone;
+  }
+  --running_;
+  running_cost_ -= j.model_cost;
+  pump_locked();
+  cv_.notify_all();
+}
+
+}  // namespace pwdft::serve

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file job_engine.hpp
+/// Multi-tenant job engine: a long-lived service that accepts a queue of
+/// typed simulation jobs (serve/job.hpp — the examples/ workloads), runs
+/// them concurrently on the shared process-wide exec pool, and checkpoints
+/// running trajectories so a killed or preempted job resumes bit-exactly.
+///
+/// Scheduling. Queued jobs are admitted highest-priority-first (FIFO within
+/// a priority) subject to two limits: a running-slot cap (max_running, env
+/// PWDFT_SERVE_SLOTS) and a cost budget — each job is priced by the
+/// calibrated performance model (perf::job_cost on its Workload), and the
+/// sum of admitted costs stays under cost_budget. A job too expensive for
+/// an empty engine is admitted alone rather than starved. Each admitted job
+/// runs on its own engine-owned std::thread: per docs/threading.md,
+/// concurrent parallel_for callers race for the pool and losers run inline,
+/// so tenants interleave at operator granularity and every trajectory stays
+/// bit-identical to its solo run (the async lane is NOT used here — work
+/// submitted there can never win the pool).
+///
+/// Sharing. Tenants with the same cell/cutoff share one PlanewaveSetup
+/// (engine-level cache) and — through fft::shared_engine — the same Fft3D
+/// instances, so a newly admitted tenant replays the graph caches its
+/// predecessors already built instead of rewarming them.
+///
+/// Crash safety. Every checkpoint_every steps a job atomically snapshots
+/// its wavefunctions and recorded trace (io::checkpoint, v2 format:
+/// tmp+rename, checksummed). preempt() stops a job cooperatively at the
+/// next step boundary WITHOUT a fresh snapshot — deliberately equivalent to
+/// a kill: work since the last snapshot is lost. resume() re-queues the job
+/// to continue from its newest snapshot; because a PT-CN step is a pure
+/// function of (psi, t) at the default exchange cadence, the stitched
+/// trajectory is bit-identical to an uninterrupted run (tests/test_serve.cpp
+/// pins this). Resume exactness requires the default per-step exchange
+/// refresh (MTS off), which JobSpec does not expose.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace pwdft::serve {
+
+/// PWDFT_SERVE_SLOTS resolution (strict parse, range [1, 64]); default 2.
+std::size_t serve_slots_env_default();
+
+struct JobEngineOptions {
+  /// Maximum concurrently running jobs.
+  std::size_t max_running = serve_slots_env_default();
+  /// Maximum summed perf::job_cost (model-seconds) of concurrently running
+  /// jobs; 0 disables the cost gate. See the scheduling notes above.
+  double cost_budget = 0.0;
+  /// Directory for checkpoint files (`<dir>/<job-name>.{gs,psi,trace}.ckpt`).
+  std::string checkpoint_dir = "/tmp";
+};
+
+using JobId = std::size_t;
+
+class JobEngine {
+ public:
+  explicit JobEngine(JobEngineOptions opt = {});
+  /// Joins every worker; queued jobs that never started stay kQueued.
+  ~JobEngine();
+  JobEngine(const JobEngine&) = delete;
+  JobEngine& operator=(const JobEngine&) = delete;
+
+  /// Enqueues a job and starts it immediately if admission allows.
+  /// Job names must be unique within the engine (they key checkpoints).
+  JobId submit(JobSpec spec);
+
+  /// Cooperative kill: a queued job is marked preempted before it starts; a
+  /// running job stops at its next step boundary, keeping only state saved
+  /// at its last checkpoint (crash semantics — no farewell snapshot).
+  void preempt(JobId id);
+
+  /// Re-queues a preempted (or failed) job. If a checkpoint exists the job
+  /// continues from it; otherwise it restarts from scratch. Returns the
+  /// same id.
+  JobId resume(JobId id);
+
+  /// Blocks until the job leaves the queued/running states.
+  JobStatus wait(JobId id);
+  /// Blocks until no job is queued or running.
+  void wait_all();
+  /// Non-blocking snapshot.
+  JobStatus status(JobId id) const;
+
+  /// The admission price of a spec (perf::job_cost of its workload).
+  static double cost_estimate(const JobSpec& spec);
+
+ private:
+  struct Job;
+
+  /// Starts every queued job the admission rules allow. Caller holds mu_.
+  void pump_locked();
+  /// Worker-thread body for one admitted job.
+  void run_job(Job& job);
+  /// Engine-level PlanewaveSetup cache (keyed by cells/ecut/dense_factor).
+  std::shared_ptr<const ham::PlanewaveSetup> setup_for(const core::SimulationOptions& sim);
+
+  JobEngineOptions opt_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::vector<std::thread> threads_;
+  std::size_t running_ = 0;
+  double running_cost_ = 0.0;
+  bool shutdown_ = false;
+
+  struct SetupKey {
+    int cells[3];
+    double ecut;
+    int dense_factor;
+  };
+  std::mutex setup_mu_;
+  std::vector<std::pair<SetupKey, std::shared_ptr<const ham::PlanewaveSetup>>> setups_;
+};
+
+}  // namespace pwdft::serve

@@ -1,18 +1,17 @@
 #include "td/mts.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "linalg/blas.hpp"
 
 namespace pwdft::td {
 
 int mts_interval_env_default() {
-  const char* env = std::getenv("PWDFT_MTS_INTERVAL");
-  if (!env) return 0;
-  const int k = std::atoi(env);
-  return k >= 1 ? k : 0;
+  // Strict parse: PWDFT_MTS_INTERVAL=four used to atoi to 0 and silently
+  // disable MTS; malformed values now throw (common/env.hpp).
+  return static_cast<int>(env::integer("PWDFT_MTS_INTERVAL", 0, 0, 1 << 20));
 }
 
 double MtsScheduler::subspace_drift(const CMatrix& psi_local, par::Comm& comm) const {

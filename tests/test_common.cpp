@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "ham/ace.hpp"
+#include "ham/fock.hpp"
+#include "td/mts.hpp"
 
 namespace pwdft {
 namespace {
@@ -114,6 +119,87 @@ TEST(Table, WritesCsv) {
 TEST(Table, CellBeforeRowThrows) {
   Table t({"x"});
   EXPECT_THROW(t.add_cell("v"), Error);
+}
+
+// The shared strict env parser (common/env.hpp): unset falls back, valid
+// forms parse, and malformed values throw instead of silently resolving to
+// a default — the contract every PWDFT_* knob now follows.
+TEST(Env, FlagAcceptsCanonicalFormsCaseInsensitively) {
+  const char* name = "PWDFT_TEST_FLAG";
+  unsetenv(name);
+  EXPECT_TRUE(env::flag(name, true));
+  EXPECT_FALSE(env::flag(name, false));
+  for (const char* v : {"1", "on", "ON", "true", "TRUE", "yes", "Yes"}) {
+    setenv(name, v, 1);
+    EXPECT_TRUE(env::flag(name, false)) << v;
+  }
+  for (const char* v : {"0", "off", "OFF", "false", "False", "no", "NO"}) {
+    setenv(name, v, 1);
+    EXPECT_FALSE(env::flag(name, true)) << v;
+  }
+  unsetenv(name);
+}
+
+TEST(Env, FlagRejectsGarbageLoudly) {
+  const char* name = "PWDFT_TEST_FLAG";
+  for (const char* v : {"2", "enabled", "y", "t", "", " 1", "on "}) {
+    setenv(name, v, 1);
+    EXPECT_THROW(env::flag(name, false), Error) << "'" << v << "'";
+  }
+  unsetenv(name);
+}
+
+TEST(Env, IntegerParsesFullStringInRange) {
+  const char* name = "PWDFT_TEST_INT";
+  unsetenv(name);
+  EXPECT_EQ(env::integer(name, 7, 1, 10), 7);
+  // The fallback may lie outside [min, max]: range-checks apply to set values only.
+  EXPECT_EQ(env::integer(name, 0, 1, 10), 0);
+  setenv(name, "4", 1);
+  EXPECT_EQ(env::integer(name, 7, 1, 10), 4);
+  setenv(name, "-3", 1);
+  EXPECT_EQ(env::integer(name, 0, -10, 10), -3);
+  unsetenv(name);
+}
+
+TEST(Env, IntegerRejectsGarbageAndOutOfRangeLoudly) {
+  const char* name = "PWDFT_TEST_INT";
+  for (const char* v : {"four", "", "4x", "1.5", " 4", "99999999999999999999"}) {
+    setenv(name, v, 1);
+    EXPECT_THROW(env::integer(name, 0, 0, 100), Error) << "'" << v << "'";
+  }
+  setenv(name, "11", 1);
+  EXPECT_THROW(env::integer(name, 0, 1, 10), Error);
+  setenv(name, "0", 1);
+  EXPECT_THROW(env::integer(name, 0, 1, 10), Error);
+  unsetenv(name);
+}
+
+// The knob resolvers ride the strict parser: the exact failure modes the
+// bugfix targets (PWDFT_MTS_INTERVAL=four silently disabling MTS,
+// PWDFT_ACE=yes silently off) now throw / parse correctly.
+TEST(Env, KnobResolversUseStrictParsing) {
+  setenv("PWDFT_MTS_INTERVAL", "four", 1);
+  EXPECT_THROW(td::mts_interval_env_default(), Error);
+  setenv("PWDFT_MTS_INTERVAL", "3", 1);
+  EXPECT_EQ(td::mts_interval_env_default(), 3);
+  unsetenv("PWDFT_MTS_INTERVAL");
+
+  setenv("PWDFT_ACE", "yes", 1);
+  EXPECT_TRUE(ham::ace_env_default());
+  setenv("PWDFT_ACE", "On", 1);
+  EXPECT_TRUE(ham::ace_env_default());
+  setenv("PWDFT_ACE", "enabled", 1);
+  EXPECT_THROW(ham::ace_env_default(), Error);
+  unsetenv("PWDFT_ACE");
+
+  setenv("PWDFT_ACE_REFRESH", "0", 1);
+  EXPECT_THROW(ham::ace_refresh_env_default(), Error);
+  unsetenv("PWDFT_ACE_REFRESH");
+
+  setenv("PWDFT_BAND_REBALANCE", "TRUE", 1);
+  EXPECT_TRUE(ham::band_rebalance_env_default());
+  unsetenv("PWDFT_BAND_REBALANCE");
 }
 
 }  // namespace

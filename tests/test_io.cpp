@@ -101,5 +101,169 @@ TEST(Checkpoint, MetadataShapeMismatchOnSaveThrows) {
   EXPECT_THROW(io::save_wavefunctions(p.path, meta, psi), Error);
 }
 
+// --- Fault suite for the v2 crash-safe format ------------------------------
+
+namespace fault {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+}  // namespace fault
+
+// Simulated crash mid-save: a torn partial write lands at `<path>.tmp`, never
+// at the final path, so the previous good snapshot stays loadable bit-for-bit.
+TEST(CheckpointFault, InterruptedSaveKeepsOldSnapshotLoadable) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi_old = test::random_orthonormal(setup, 4, 21);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 4, 2.5, 50);
+  TempPath p("crash.bin");
+  io::save_wavefunctions(p.path, meta, psi_old);
+
+  // Crash simulation: a newer save died after writing half its bytes to the
+  // temp file (the only file an interrupted Writer ever touches).
+  const std::string good = fault::slurp(p.path);
+  fault::spit(p.path + ".tmp", good.substr(0, good.size() / 2));
+
+  CMatrix loaded;
+  const auto got = io::load_wavefunctions(p.path, loaded, &meta);
+  EXPECT_EQ(got.step, 50u);
+  EXPECT_EQ(test::max_abs_diff(loaded, psi_old), 0.0);
+  std::remove((p.path + ".tmp").c_str());
+}
+
+TEST(CheckpointFault, SaveLeavesNoTempFileBehind) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 4, 23);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 4, 0.0, 0);
+  TempPath p("notmp.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+  std::ifstream tmp(p.path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+}
+
+// Every single-bit flip anywhere in the file — magic, header, payload, or
+// checksum — must be rejected; sampled stride keeps the test fast.
+TEST(CheckpointFault, RejectsBitFlipsAnywhere) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 3, 31);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 3, 0.0, 4);
+  TempPath p("flip.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+  const std::string good = fault::slurp(p.path);
+
+  for (std::size_t byte = 0; byte < good.size(); byte += 97) {
+    std::string bad = good;
+    bad[byte] = static_cast<char>(bad[byte] ^ 0x10);
+    fault::spit(p.path, bad);
+    CMatrix loaded;
+    EXPECT_THROW(io::load_wavefunctions(p.path, loaded), Error) << "flip at byte " << byte;
+  }
+}
+
+TEST(CheckpointFault, RejectsTrailingGarbage) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 3, 33);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 3, 0.0, 0);
+  TempPath p("trail.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+  fault::spit(p.path, fault::slurp(p.path) + "junk");
+  CMatrix loaded;
+  EXPECT_THROW(io::load_wavefunctions(p.path, loaded), Error);
+}
+
+TEST(CheckpointFault, RejectsTruncationAtEveryRegion) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 3, 35);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 3, 0.0, 0);
+  TempPath p("trunc2.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+  const std::string good = fault::slurp(p.path);
+  // Mid-magic, mid-header, mid-payload, mid-checksum.
+  for (const std::size_t keep : {4ul, 30ul, good.size() / 2, good.size() - 3}) {
+    fault::spit(p.path, good.substr(0, keep));
+    CMatrix loaded;
+    EXPECT_THROW(io::load_wavefunctions(p.path, loaded), Error) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(CheckpointFault, RejectsUnknownFormatVersion) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 3, 37);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 3, 0.0, 0);
+  TempPath p("ver.bin");
+  io::save_wavefunctions(p.path, meta, psi);
+  std::string bad = fault::slurp(p.path);
+  bad[7] = '9';  // version byte of the magic
+  fault::spit(p.path, bad);
+  CMatrix loaded;
+  try {
+    io::load_wavefunctions(p.path, loaded);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported format version"), std::string::npos);
+  }
+}
+
+TEST(CheckpointFault, RejectsWrongFamilyMagic) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  Rng rng(3);
+  std::vector<double> rho(setup.n_dense());
+  for (auto& v : rho) v = rng.uniform(0.0, 1.0);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 3, 0.0, 0);
+  TempPath p("family.bin");
+  io::save_density(p.path, meta, rho);
+  // A density file is not a wavefunction file even though both parse as v2.
+  CMatrix psi;
+  EXPECT_THROW(io::load_wavefunctions(p.path, psi), Error);
+}
+
+// Legacy v1 snapshot (raw-struct header, no checksum) still loads.
+TEST(CheckpointFault, ReadsLegacyV1Wavefunctions) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  auto psi = test::random_orthonormal(setup, 4, 41);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 4, 3.75, 9);
+  static_assert(sizeof(io::CheckpointMeta) == 48);
+
+  TempPath p("v1.bin");
+  {
+    std::ofstream f(p.path, std::ios::binary);
+    f.write("PWDFTPS1", 8);
+    f.write(reinterpret_cast<const char*>(&meta), sizeof(meta));
+    f.write(reinterpret_cast<const char*>(psi.data()),
+            static_cast<std::streamsize>(psi.size() * sizeof(Complex)));
+  }
+  CMatrix loaded;
+  const auto got = io::load_wavefunctions(p.path, loaded, &meta);
+  EXPECT_EQ(got.step, 9u);
+  EXPECT_DOUBLE_EQ(got.time_au, 3.75);
+  EXPECT_EQ(test::max_abs_diff(loaded, psi), 0.0);
+}
+
+TEST(CheckpointFault, BlobRoundTripAndFaults) {
+  auto setup = test::make_si8_setup(3.0, 1);
+  const auto meta = io::CheckpointMeta::from_setup(setup, 4, 1.0, 2);
+  std::vector<double> data = {1.0, -2.5, 3.25, 0.0, 1e-300, 7.75};
+  TempPath p("blob.bin");
+  io::save_blob(p.path, meta, data);
+
+  std::vector<double> loaded;
+  const auto got = io::load_blob(p.path, loaded);
+  EXPECT_EQ(got.step, 2u);
+  ASSERT_EQ(loaded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) EXPECT_EQ(loaded[i], data[i]);
+
+  std::string bad = fault::slurp(p.path);
+  bad[bad.size() - 20] = static_cast<char>(bad[bad.size() - 20] ^ 0x01);
+  fault::spit(p.path, bad);
+  EXPECT_THROW(io::load_blob(p.path, loaded), Error);
+}
+
 }  // namespace
 }  // namespace pwdft

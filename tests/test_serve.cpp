@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "io/checkpoint.hpp"
+#include "serve/job_engine.hpp"
+
+namespace pwdft {
+namespace {
+
+core::SimulationOptions tiny_sim(bool hybrid = true) {
+  core::SimulationOptions opt;
+  opt.cells[0] = opt.cells[1] = opt.cells[2] = 1;
+  opt.ecut = 3.0;
+  opt.dense_factor = 1;
+  opt.hybrid = hybrid;
+  opt.scf.max_iter = 40;
+  opt.scf.tol_rho = 1e-7;
+  opt.scf.lobpcg.max_iter = 6;
+  opt.scf.hybrid_outer_max = 5;
+  opt.scf.hybrid_outer_tol = 1e-6;
+  return opt;
+}
+
+serve::JobSpec tiny_job(const std::string& name, serve::JobKind kind, int steps) {
+  serve::JobSpec spec;
+  spec.name = name;
+  spec.kind = kind;
+  spec.sim = tiny_sim();
+  spec.steps = steps;
+  spec.ptcn.rho_tol = 1e-7;
+  return spec;
+}
+
+/// Bitwise equality on every physics field (wall_seconds is timing noise).
+void expect_points_identical(const td::TimePoint& a, const td::TimePoint& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.t, b.t) << what;
+  for (int d = 0; d < 3; ++d) EXPECT_EQ(a.current[d], b.current[d]) << what << " axis " << d;
+  EXPECT_EQ(a.n_excited, b.n_excited) << what;
+  EXPECT_EQ(a.energy, b.energy) << what;
+  EXPECT_EQ(a.scf_iterations, b.scf_iterations) << what;
+  EXPECT_EQ(a.rho_error, b.rho_error) << what;
+  EXPECT_EQ(a.exchange_refreshed, b.exchange_refreshed) << what;
+  EXPECT_EQ(a.mts_drift, b.mts_drift) << what;
+}
+
+void expect_traces_identical(const std::vector<td::TimePoint>& a,
+                             const std::vector<td::TimePoint>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_points_identical(a[i], b[i], what + " point " + std::to_string(i));
+}
+
+/// Solo reference: the same trajectory run directly through Simulation.
+std::vector<td::TimePoint> solo_trace(const serve::JobSpec& spec) {
+  core::Simulation sim(spec.sim);
+  sim.ground_state();
+  const auto field = spec.build_field();
+  core::PropagateOptions prop;
+  prop.dt_as = spec.dt_as;
+  prop.steps = spec.steps;
+  prop.field = field.get();
+  prop.ptcn = spec.ptcn;
+  return sim.propagate(prop);
+}
+
+struct CkptDir {
+  explicit CkptDir(const char* name) : path(std::string("/tmp/pwdft_serve_") + name) {
+    std::filesystem::create_directories(path);
+  }
+  ~CkptDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+// The tentpole acceptance test: >= 4 concurrent mixed jobs (SCF probe,
+// absorption kick, laser run, quiescent propagation) co-scheduled on the
+// shared pool, every trajectory bit-identical to its solo run.
+TEST(JobEngine, ConcurrentMixedTenantsMatchSoloRunsBitwise) {
+  const auto spec_abs = tiny_job("abs", serve::JobKind::kAbsorption, 2);
+  auto spec_laser = tiny_job("laser", serve::JobKind::kLaser, 2);
+  spec_laser.field.laser_e0 = 0.05;
+  auto spec_quiet = tiny_job("quiet", serve::JobKind::kAbsorption, 1);
+  spec_quiet.field.kick = {0.0, 0.0, 0.0};
+
+  const auto ref_abs = solo_trace(spec_abs);
+  const auto ref_laser = solo_trace(spec_laser);
+  const auto ref_quiet = solo_trace(spec_quiet);
+
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.max_running = 4;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+  const auto id_scf = engine.submit(tiny_job("scf", serve::JobKind::kScf, 0));
+  const auto id_abs = engine.submit(spec_abs);
+  const auto id_laser = engine.submit(spec_laser);
+  const auto id_quiet = engine.submit(spec_quiet);
+  engine.wait_all();
+
+  const auto scf = engine.wait(id_scf);
+  ASSERT_EQ(scf.state, serve::JobState::kDone) << scf.error;
+  EXPECT_TRUE(std::isfinite(scf.scf_energy));
+  EXPECT_LT(scf.scf_energy, 0.0);
+
+  const auto abs = engine.wait(id_abs);
+  ASSERT_EQ(abs.state, serve::JobState::kDone) << abs.error;
+  expect_traces_identical(abs.trace, ref_abs, "absorption");
+
+  const auto laser = engine.wait(id_laser);
+  ASSERT_EQ(laser.state, serve::JobState::kDone) << laser.error;
+  expect_traces_identical(laser.trace, ref_laser, "laser");
+
+  const auto quiet = engine.wait(id_quiet);
+  ASSERT_EQ(quiet.state, serve::JobState::kDone) << quiet.error;
+  expect_traces_identical(quiet.trace, ref_quiet, "quiet");
+}
+
+// The crash-restart acceptance test: kill a job mid-propagation, resume it
+// from its snapshot, and require the stitched trajectory bit-identical to
+// the uninterrupted run.
+TEST(JobEngine, KillMidRunThenResumeIsBitIdentical) {
+  auto spec = tiny_job("victim", serve::JobKind::kLaser, 3);
+  spec.field.laser_e0 = 0.05;
+  spec.checkpoint_every = 1;
+  const auto ref = solo_trace(spec);
+
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+
+  // A second tenant runs across the kill/resume so the victim is always
+  // co-scheduled, never alone on the pool.
+  const auto id_bg = engine.submit(tiny_job("bg", serve::JobKind::kAbsorption, 2));
+
+  const auto id = engine.submit(spec);
+  // Kill at the first step boundary after the request lands: the job dies
+  // mid-trajectory with only its checkpoint to continue from.
+  engine.preempt(id);
+  auto killed = engine.wait(id);
+  ASSERT_EQ(killed.state, serve::JobState::kPreempted) << killed.error;
+  EXPECT_LT(killed.steps_done, 3u);
+
+  engine.resume(id);
+  const auto done = engine.wait(id);
+  ASSERT_EQ(done.state, serve::JobState::kDone) << done.error;
+  EXPECT_EQ(done.steps_done, 3u);
+  expect_traces_identical(done.trace, ref, "kill+resume");
+
+  const auto bg = engine.wait(id_bg);
+  ASSERT_EQ(bg.state, serve::JobState::kDone) << bg.error;
+}
+
+TEST(JobEngine, PreemptedBeforeStartResumesFromScratch) {
+  auto spec = tiny_job("early", serve::JobKind::kAbsorption, 1);
+  const auto ref = solo_trace(spec);
+
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.max_running = 1;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+  // A long-priority job hogs the single slot so "early" stays queued.
+  const auto id_hog = engine.submit(tiny_job("hog", serve::JobKind::kAbsorption, 1));
+  const auto id = engine.submit(spec);
+  engine.preempt(id);
+  const auto pre = engine.wait(id);
+  EXPECT_EQ(pre.state, serve::JobState::kPreempted);
+  EXPECT_TRUE(pre.trace.empty());
+
+  engine.resume(id);
+  const auto done = engine.wait(id);
+  ASSERT_EQ(done.state, serve::JobState::kDone) << done.error;
+  expect_traces_identical(done.trace, ref, "requeued");
+  engine.wait(id_hog);
+}
+
+TEST(JobEngine, CostModelGatesAdmissionButNeverStarves) {
+  // Larger cells cost more in the calibrated model.
+  const double small = serve::JobEngine::cost_estimate(
+      tiny_job("a", serve::JobKind::kAbsorption, 2));
+  auto big_spec = tiny_job("b", serve::JobKind::kAbsorption, 2);
+  big_spec.sim.cells[0] = 2;
+  const double big = serve::JobEngine::cost_estimate(big_spec);
+  EXPECT_GT(big, small);
+  // More steps cost proportionally more.
+  EXPECT_EQ(serve::JobEngine::cost_estimate(tiny_job("c", serve::JobKind::kAbsorption, 4)),
+            2.0 * serve::JobEngine::cost_estimate(tiny_job("c", serve::JobKind::kAbsorption, 2)));
+
+  // A budget below any single job's cost still runs everything (one at a
+  // time), and results are unchanged.
+  auto spec = tiny_job("solo-budget", serve::JobKind::kAbsorption, 1);
+  const auto ref = solo_trace(spec);
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.max_running = 4;
+  eopt.cost_budget = small / 1e6;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+  const auto id1 = engine.submit(spec);
+  const auto id2 = engine.submit(tiny_job("other", serve::JobKind::kScf, 0));
+  engine.wait_all();
+  const auto s1 = engine.wait(id1);
+  ASSERT_EQ(s1.state, serve::JobState::kDone) << s1.error;
+  expect_traces_identical(s1.trace, ref, "budgeted");
+  EXPECT_EQ(engine.wait(id2).state, serve::JobState::kDone);
+}
+
+TEST(JobEngine, RejectsDuplicateNamesAndUnknownIds) {
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+  auto spec = tiny_job("dup", serve::JobKind::kScf, 0);
+  const auto id = engine.submit(spec);
+  EXPECT_THROW(engine.submit(spec), Error);
+  EXPECT_THROW(engine.status(99), Error);
+  EXPECT_THROW(engine.preempt(99), Error);
+  serve::JobSpec unnamed;
+  EXPECT_THROW(engine.submit(unnamed), Error);
+  engine.wait(id);
+}
+
+}  // namespace
+}  // namespace pwdft
