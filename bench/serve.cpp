@@ -1,0 +1,118 @@
+// Serving front-end overhead: submission latency and status round-trip
+// throughput through the full wire stack (client frame encode -> unix
+// socket -> server decode -> engine call -> durable spec write -> reply),
+// measured against a live serve::Server on a loopback socket.
+//
+// The engine is pinned to one slot and blocked by a running SCF probe, so
+// every measured submit is pure front-end + admission work (validate,
+// persist the spec, enqueue, reply) with no simulation time mixed in —
+// that's the quantity a batch driver feeding thousands of trajectories
+// (the paper's serving regime) cares about.
+//
+//   bench_serve [--json out.json]
+//
+// JSON records (bench_json.hpp schema; gated floor-style in
+// BENCH_scaling.json — loopback ops/s is machine-dependent, so the
+// committed baseline is a conservative acceptance bound, not a measured
+// medium):
+//   serve_submit_roundtrip  transport:unix/jobs:64      submits/s
+//   serve_status_roundtrip  transport:unix/requests:256 requests/s
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace pwdft;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+serve::JobSpec tiny_job(const std::string& name, serve::JobKind kind, int steps) {
+  serve::JobSpec spec;
+  spec.name = name;
+  spec.kind = kind;
+  spec.sim.cells[0] = spec.sim.cells[1] = spec.sim.cells[2] = 1;
+  spec.sim.ecut = 3.0;
+  spec.sim.dense_factor = 1;
+  spec.sim.scf.lobpcg.max_iter = 6;
+  spec.sim.scf.hybrid_outer_max = 5;
+  spec.steps = steps;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = benchjson::consume_json_flag(&argc, argv);
+
+  const std::string dir = "/tmp/pwdft_bench_serve";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  serve::ServerOptions sopt;
+  sopt.listen = "unix:" + dir + "/serve.sock";
+  sopt.engine.max_running = 1;
+  sopt.engine.checkpoint_dir = dir;
+  serve::Server server(sopt);
+  serve::Client client(server.address());
+
+  // Occupy the single slot so the measured submissions only enqueue.
+  const auto blocker = client.submit(tiny_job("blocker", serve::JobKind::kScf, 0));
+  if (!blocker.ok()) {
+    std::fprintf(stderr, "blocker submission failed: %s\n", blocker.message.c_str());
+    return 1;
+  }
+
+  constexpr int kJobs = 64;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kJobs; ++i) {
+    const auto r = client.submit(
+        tiny_job("queued-" + std::to_string(i), serve::JobKind::kAbsorption, 10));
+    if (!r.ok()) {
+      std::fprintf(stderr, "submission %d failed: %s\n", i, r.message.c_str());
+      return 1;
+    }
+  }
+  const double submit_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  const double submit_thr = kJobs / submit_s;
+
+  constexpr int kRequests = 256;
+  const auto t1 = Clock::now();
+  for (int i = 0; i < kRequests; ++i) {
+    const auto s = client.status(blocker.id);
+    if (s.error == serve::ErrorCode::kUnknownJob) {
+      std::fprintf(stderr, "status round-trip %d failed\n", i);
+      return 1;
+    }
+  }
+  const double status_s = std::chrono::duration<double>(Clock::now() - t1).count();
+  const double status_thr = kRequests / status_s;
+
+  // The queued jobs never run: cancel them (which also deletes their
+  // durable specs) and let the blocker drain in the server destructor.
+  for (std::size_t id = blocker.id + 1; id <= blocker.id + kJobs; ++id) client.cancel(id);
+
+  std::printf("bench_serve: wire-protocol front-end on %s\n", server.address().c_str());
+  std::printf("  submit round-trip: %d jobs in %.3f s  ->  %.0f submits/s (%.1f us each)\n",
+              kJobs, submit_s, submit_thr, 1e6 * submit_s / kJobs);
+  std::printf("  status round-trip: %d reqs in %.3f s  ->  %.0f requests/s (%.1f us each)\n",
+              kRequests, status_s, status_thr, 1e6 * status_s / kRequests);
+
+  if (!json_path.empty()) {
+    benchjson::Writer w;
+    w.add("serve_submit_roundtrip", "transport:unix/jobs:64", submit_s / kJobs, submit_thr);
+    w.add("serve_status_roundtrip", "transport:unix/requests:256", status_s / kRequests,
+          status_thr);
+    w.write(json_path);
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+
+  server.stop();
+  std::filesystem::remove_all(dir);
+  return 0;
+}

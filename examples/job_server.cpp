@@ -9,7 +9,9 @@
 // Tenants with the same cell/cutoff share one PlanewaveSetup and (through
 // fft::shared_engine) the same warmed FFT graph caches. Checkpoints are the
 // crash-safe v2 format of io/checkpoint.hpp: atomic tmp+rename writes,
-// field-by-field versioned header, checksummed payload.
+// field-by-field versioned header, checksummed payload. Every engine call
+// reports failures as typed serve::ErrorCode values — what a remote
+// serve::Client sees too (see examples/serve_server.cpp).
 
 #include <cstdio>
 #include <filesystem>
@@ -37,26 +39,16 @@ serve::JobSpec base_job(const std::string& name, serve::JobKind kind, int steps)
   return spec;
 }
 
-const char* state_name(serve::JobState s) {
-  switch (s) {
-    case serve::JobState::kQueued:    return "queued";
-    case serve::JobState::kRunning:   return "running";
-    case serve::JobState::kDone:      return "done";
-    case serve::JobState::kPreempted: return "preempted";
-    case serve::JobState::kFailed:    return "FAILED";
-  }
-  return "?";
-}
-
 void print_status(const char* name, const serve::JobStatus& s) {
   std::printf("  %-10s %-10s cost %8.1f model-s, %3llu steps, %3zu samples",
-              name, state_name(s.state), s.model_cost,
+              name, serve::state_name(s.state), s.model_cost,
               static_cast<unsigned long long>(s.steps_done), s.trace.size());
   if (!s.trace.empty())
     std::printf(", final E = %.6f Ha, j_z = %.3e", s.trace.back().energy,
                 s.trace.back().current[2]);
   if (s.scf_energy != 0.0) std::printf(", E_scf = %.6f Ha", s.scf_energy);
-  if (!s.error.empty()) std::printf(" (%s)", s.error.c_str());
+  if (!s.ok())
+    std::printf(" (%s: %s)", serve::error_name(s.error), s.message.c_str());
   std::printf("\n");
 }
 
@@ -89,23 +81,33 @@ int main() {
   const auto id_abs = engine.submit(absorb);
   const auto id_a = engine.submit(laser_a);
   const auto id_b = engine.submit(laser_b);
+  if (!id_scf.ok() || !id_abs.ok() || !id_a.ok() || !id_b.ok()) {
+    std::printf("submission failed: %s\n", id_b.message.c_str());
+    return 1;
+  }
+
+  // A typed rejection, not an exception: duplicate names are refused because
+  // they key the checkpoint files.
+  const auto dup = engine.submit(laser_a);
+  std::printf("  resubmitting laser-a -> %s (%s)\n", serve::error_name(dup.error),
+              dup.message.c_str());
 
   // Kill laser-b mid-propagation: it stops at its next step boundary with
   // only the periodic snapshot on disk, exactly like a preempted allocation.
-  engine.preempt(id_b);
-  auto killed = engine.wait(id_b);
+  engine.preempt(id_b.id);
+  auto killed = engine.wait(id_b.id);
   std::printf("\nlaser-b killed mid-run:\n");
   print_status("laser-b", killed);
 
   std::printf("\nresuming laser-b from %s/laser-b.psi.ckpt ...\n", dir.c_str());
-  engine.resume(id_b);
+  engine.resume(std::string("laser-b"));
   engine.wait_all();
 
   std::printf("\nall jobs drained:\n");
-  print_status("scf-probe", engine.status(id_scf));
-  print_status("absorption", engine.status(id_abs));
-  print_status("laser-a", engine.status(id_a));
-  const auto resumed = engine.status(id_b);
+  print_status("scf-probe", engine.status(id_scf.id));
+  print_status("absorption", engine.status(id_abs.id));
+  print_status("laser-a", engine.status(id_a.id));
+  const auto resumed = engine.status(id_b.id);
   print_status("laser-b", resumed);
 
   // Verify the restart: an uninterrupted solo run of the same spec must
@@ -117,7 +119,7 @@ int main() {
   auto solo = laser_b;
   solo.name = "laser-b-solo";
   solo.priority = 0;
-  const auto ref = verify.wait(verify.submit(solo));
+  const auto ref = verify.wait(verify.submit(solo).id);
 
   bool identical = ref.state == serve::JobState::kDone &&
                    resumed.state == serve::JobState::kDone &&

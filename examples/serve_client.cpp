@@ -1,0 +1,117 @@
+// Remote job submission CLI: the serve::Client end of the wire protocol,
+// driving a live serve_server over a unix or tcp socket.
+//
+//   serve_client <address> scf <name>
+//   serve_client <address> absorption <name> <steps>
+//   serve_client <address> laser <name> <steps> <e0>
+//   serve_client <address> status <id>
+//   serve_client <address> wait <id>
+//   serve_client <address> stream <id>        # one line per step boundary
+//   serve_client <address> preempt <id>
+//   serve_client <address> cancel <id>
+//   serve_client <address> resume <name>
+//
+// <address> is "unix:<path>" or "tcp:<host>:<port>". Every engine rejection
+// (duplicate name, unknown id, invalid spec, resume of a cancelled job…)
+// comes back as the same typed serve::ErrorCode an in-process caller sees.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/client.hpp"
+
+using namespace pwdft;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_client <address> scf|absorption|laser <name> [steps] [e0]\n"
+               "       serve_client <address> status|wait|stream|preempt|cancel <id>\n"
+               "       serve_client <address> resume <name>\n");
+  return 2;
+}
+
+serve::JobSpec base_job(const std::string& name, serve::JobKind kind, int steps) {
+  serve::JobSpec spec;
+  spec.name = name;
+  spec.kind = kind;
+  spec.sim.cells[0] = spec.sim.cells[1] = spec.sim.cells[2] = 1;  // Si8
+  spec.sim.ecut = 4.0;
+  spec.sim.dense_factor = 1;
+  spec.sim.scf.tol_rho = 1e-7;
+  spec.sim.scf.lobpcg.max_iter = 6;
+  spec.sim.scf.hybrid_outer_max = 6;
+  spec.steps = steps;
+  spec.ptcn.rho_tol = 1e-6;
+  spec.checkpoint_every = 1;
+  return spec;
+}
+
+void print_status(const serve::JobStatus& s) {
+  std::printf("state %-10s steps %llu, %zu trace points", serve::state_name(s.state),
+              static_cast<unsigned long long>(s.steps_done), s.trace.size());
+  if (s.scf_energy != 0.0) std::printf(", E_scf = %.6f Ha", s.scf_energy);
+  if (!s.trace.empty())
+    std::printf(", final E = %.6f Ha, j_z = %.3e", s.trace.back().energy,
+                s.trace.back().current[2]);
+  if (s.preemptions > 0) std::printf(", evicted %u time(s)", s.preemptions);
+  if (!s.ok()) std::printf(" [%s: %s]", serve::error_name(s.error), s.message.c_str());
+  std::printf("\n");
+}
+
+int report_submit(const serve::SubmitResult& r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "rejected: %s: %s\n", serve::error_name(r.error), r.message.c_str());
+    return 1;
+  }
+  std::printf("job id %zu\n", r.id);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string address = argv[1];
+  const std::string cmd = argv[2];
+  const std::string arg = argv[3];
+
+  serve::Client client(address);
+
+  if (cmd == "scf") return report_submit(client.submit(base_job(arg, serve::JobKind::kScf, 0)));
+  if (cmd == "absorption") {
+    if (argc < 5) return usage();
+    return report_submit(
+        client.submit(base_job(arg, serve::JobKind::kAbsorption, std::atoi(argv[4]))));
+  }
+  if (cmd == "laser") {
+    if (argc < 6) return usage();
+    auto spec = base_job(arg, serve::JobKind::kLaser, std::atoi(argv[4]));
+    spec.field.laser_e0 = std::atof(argv[5]);
+    return report_submit(client.submit(spec));
+  }
+  if (cmd == "resume") return report_submit(client.resume(arg));
+
+  const auto id = static_cast<std::size_t>(std::strtoull(arg.c_str(), nullptr, 10));
+  if (cmd == "status") {
+    print_status(client.status(id));
+    return 0;
+  }
+  if (cmd == "wait") {
+    const auto s = client.wait(id);
+    print_status(s);
+    return s.state == serve::JobState::kDone ? 0 : 1;
+  }
+  if (cmd == "stream") {
+    const auto s = client.stream(id, [](const serve::JobStatus& live) { print_status(live); });
+    return s.state == serve::JobState::kDone ? 0 : 1;
+  }
+  if (cmd == "preempt" || cmd == "cancel") {
+    const auto code = cmd == "preempt" ? client.preempt(id) : client.cancel(id);
+    std::printf("%s\n", serve::error_name(code));
+    return code == serve::ErrorCode::kOk ? 0 : 1;
+  }
+  return usage();
+}

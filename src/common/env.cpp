@@ -47,4 +47,12 @@ long integer(const char* name, long fallback, long min, long max) {
   return v;
 }
 
+std::string text(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw) return fallback;
+  PWDFT_CHECK(raw[0] != '\0',
+              "" << name << " is set but empty (set a value or unset it for the default)");
+  return raw;
+}
+
 }  // namespace pwdft::env

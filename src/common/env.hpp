@@ -25,4 +25,9 @@ bool flag(const char* name, bool fallback);
 /// out-of-range value throws pwdft::Error.
 long integer(const char* name, long fallback, long min, long max);
 
+/// String knob. Unset returns `fallback`; a set-but-empty value throws
+/// pwdft::Error (an empty path or address is always a typo, and silently
+/// treating it as "default" is the lenience this header exists to remove).
+std::string text(const char* name, const std::string& fallback);
+
 }  // namespace pwdft::env

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file client.hpp
+/// serve::Client — the remote counterpart of the in-process JobEngine API.
+/// One Client is one connection: the constructor dials the server address,
+/// performs the version handshake, and every method is a request/response
+/// round-trip in serve/wire.hpp frames. Methods mirror the engine's typed
+/// signatures (SubmitResult / JobStatus / ErrorCode), so a caller moved
+/// from in-process to remote sees identical results — transport failures
+/// surface as the additional codes kIoError / kClosed / kBadFrame /
+/// kVersionMismatch in the same fields, never as exceptions.
+///
+/// A Client is NOT thread-safe: it owns one socket with strictly
+/// alternating request/response traffic. Give each thread its own Client.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/job.hpp"
+#include "serve/wire.hpp"
+
+namespace pwdft::serve {
+
+class Client {
+ public:
+  /// Dials and performs the kHello handshake. Throws pwdft::Error when the
+  /// address is unusable (environment error); a handshake the *server*
+  /// rejects — version mismatch — is also thrown, since no later call can
+  /// succeed.
+  explicit Client(const std::string& address);
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Remote JobEngine::submit.
+  SubmitResult submit(const JobSpec& spec);
+  /// Remote JobEngine::status (kUnknownJob in the error field for bad ids).
+  JobStatus status(std::size_t id);
+  /// Remote JobEngine::wait — blocks server-side until terminal.
+  JobStatus wait(std::size_t id);
+  /// Remote JobEngine::preempt / cancel.
+  ErrorCode preempt(std::size_t id);
+  ErrorCode cancel(std::size_t id);
+  /// Remote JobEngine::resume overloads.
+  SubmitResult resume(std::size_t id);
+  SubmitResult resume(const std::string& name);
+
+  /// Streams live statuses: `on_update` fires once per received snapshot
+  /// (one per propagation step boundary) and the final status is returned.
+  /// A transport failure ends the stream with the typed code in the
+  /// returned status.
+  JobStatus stream(std::size_t id, const std::function<void(const JobStatus&)>& on_update);
+
+  /// Closes the connection; every later call returns kClosed. Idempotent.
+  void close();
+
+ private:
+  /// One request/response round-trip; kOk means `*reply` holds a frame.
+  ErrorCode roundtrip(wire::MsgType type, const std::vector<std::uint8_t>& payload,
+                      wire::Frame* reply);
+  /// Round-trip carrying just a job id (the common request shape).
+  ErrorCode id_request(wire::MsgType type, std::size_t id, wire::Frame* reply);
+
+  int fd_ = -1;
+};
+
+}  // namespace pwdft::serve

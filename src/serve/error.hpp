@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file error.hpp
+/// Typed failure reporting for the serve layer. Every way a serve request
+/// can fail — an invalid JobSpec, an unknown job id, a malformed network
+/// frame — has one ErrorCode, and the same code travels both paths: an
+/// in-process JobEngine caller reads it from a SubmitResult/JobStatus, a
+/// remote client reads the identical value out of a wire error frame. The
+/// codes are part of the wire protocol (serve/wire.hpp), so values are
+/// stable: append, never renumber.
+
+#include <cstdint>
+
+namespace pwdft::serve {
+
+enum class ErrorCode : std::uint32_t {
+  kOk = 0,
+  // --- request-level failures (engine + wire) -----------------------------
+  kInvalidSpec = 1,      ///< JobSpec::validate() rejected the spec
+  kDuplicateName = 2,    ///< a job with this name already exists
+  kUnknownJob = 3,       ///< no job with this id/name
+  kNotResumable = 4,     ///< resume of a cancelled job
+  kAlreadyActive = 5,    ///< resume-by-name while the original is queued/running
+  kShutdown = 6,         ///< engine/server is shutting down
+  kJobFailed = 7,        ///< the simulation threw; message carries what()
+  // --- wire-level failures (frame parsing / transport) ---------------------
+  kBadFrame = 8,         ///< bad magic, unknown message type, malformed payload
+  kVersionMismatch = 9,  ///< frame or handshake protocol version not ours
+  kChecksumMismatch = 10, ///< FNV-1a footer does not match the frame bytes
+  kTruncated = 11,       ///< connection dropped / file ended mid-frame
+  kFrameTooLarge = 12,   ///< declared payload exceeds the receiver's limit
+  kIoError = 13,         ///< socket/disk syscall failure
+  kClosed = 14,          ///< peer closed the connection at a frame boundary
+};
+
+/// Stable lowercase identifier for logs and wire-error messages.
+constexpr const char* error_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidSpec: return "invalid-spec";
+    case ErrorCode::kDuplicateName: return "duplicate-name";
+    case ErrorCode::kUnknownJob: return "unknown-job";
+    case ErrorCode::kNotResumable: return "not-resumable";
+    case ErrorCode::kAlreadyActive: return "already-active";
+    case ErrorCode::kShutdown: return "shutdown";
+    case ErrorCode::kJobFailed: return "job-failed";
+    case ErrorCode::kBadFrame: return "bad-frame";
+    case ErrorCode::kVersionMismatch: return "version-mismatch";
+    case ErrorCode::kChecksumMismatch: return "checksum-mismatch";
+    case ErrorCode::kTruncated: return "truncated";
+    case ErrorCode::kFrameTooLarge: return "frame-too-large";
+    case ErrorCode::kIoError: return "io-error";
+    case ErrorCode::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+}  // namespace pwdft::serve

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "serve/error.hpp"
 #include "td/field.hpp"
 #include "td/observables.hpp"
 
@@ -73,20 +74,58 @@ struct JobSpec {
       f.kind = FieldSpec::Kind::kLaser;
     return f.build();
   }
+
+  /// Structural validation shared by the engine and the wire front-end: a
+  /// spec a remote peer hands us must be safe to run *and* safe to use as a
+  /// checkpoint-file key. Returns kOk or kInvalidSpec; when `why` is
+  /// non-null it receives a one-line reason.
+  ErrorCode validate(std::string* why = nullptr) const;
 };
 
-enum class JobState { kQueued, kRunning, kDone, kPreempted, kFailed };
+enum class JobState { kQueued, kRunning, kDone, kPreempted, kFailed, kCancelled };
 
-/// Snapshot of one job's progress, returned by JobEngine::status/wait.
+constexpr bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kPreempted || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+constexpr const char* state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kPreempted: return "preempted";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Snapshot of one job's progress, returned by JobEngine::status/wait and
+/// streamed over the wire. `error` != kOk marks either a failed lookup
+/// (kUnknownJob, kShutdown — the rest of the fields are then meaningless)
+/// or, with state == kFailed, the job's own failure (kJobFailed + message).
 struct JobStatus {
   JobState state = JobState::kQueued;
   /// Recorded trajectory: for finished jobs the full trace; for preempted
   /// jobs everything recorded up to the stop (resume stitches the rest).
+  /// Streamed intermediate statuses omit it (wire cost).
   std::vector<td::TimePoint> trace;
-  std::uint64_t steps_done = 0;  ///< propagation steps completed
+  std::uint64_t steps_done = 0;  ///< propagation steps completed (live)
   double model_cost = 0.0;       ///< perf::job_cost admission estimate
   double scf_energy = 0.0;       ///< ground-state total energy (Ha)
-  std::string error;             ///< set when state == kFailed
+  std::uint32_t preemptions = 0; ///< times the scheduler evicted this job
+  ErrorCode error = ErrorCode::kOk;
+  std::string message;           ///< human-readable detail for `error`
+  bool ok() const { return error == ErrorCode::kOk; }
+};
+
+/// Typed result of submit/resume: the id is valid only when ok().
+struct SubmitResult {
+  ErrorCode error = ErrorCode::kOk;
+  std::size_t id = 0;
+  std::string message;
+  bool ok() const { return error == ErrorCode::kOk; }
 };
 
 }  // namespace pwdft::serve

@@ -1,68 +1,37 @@
 #include "serve/job_engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "common/check.hpp"
 #include "common/env.hpp"
 #include "io/checkpoint.hpp"
 #include "perf/model.hpp"
+#include "serve/wire.hpp"
 
 namespace pwdft::serve {
 
 namespace {
 
-// --- TimePoint <-> flat doubles (trace persistence via io::save_blob) ------
+constexpr const char* kSpecSuffix = ".spec.ckpt";
 
-constexpr std::size_t kPointDoubles = 11;
-
-void encode_point(const td::TimePoint& p, double* out) {
-  out[0] = p.t;
-  out[1] = p.current[0];
-  out[2] = p.current[1];
-  out[3] = p.current[2];
-  out[4] = p.n_excited;
-  out[5] = p.energy;
-  out[6] = static_cast<double>(p.scf_iterations);
-  out[7] = p.rho_error;
-  out[8] = p.wall_seconds;
-  out[9] = p.exchange_refreshed ? 1.0 : 0.0;
-  out[10] = p.mts_drift;
-}
-
-td::TimePoint decode_point(const double* in) {
-  td::TimePoint p;
-  p.t = in[0];
-  p.current = {in[1], in[2], in[3]};
-  p.n_excited = in[4];
-  p.energy = in[5];
-  p.scf_iterations = static_cast<int>(in[6]);
-  p.rho_error = in[7];
-  p.wall_seconds = in[8];
-  p.exchange_refreshed = in[9] != 0.0;
-  p.mts_drift = in[10];
-  return p;
-}
-
-std::vector<double> encode_trace(const std::vector<td::TimePoint>& trace) {
-  std::vector<double> flat(trace.size() * kPointDoubles);
-  for (std::size_t i = 0; i < trace.size(); ++i) encode_point(trace[i], &flat[i * kPointDoubles]);
-  return flat;
-}
-
-std::vector<td::TimePoint> decode_trace(const std::vector<double>& flat) {
-  PWDFT_CHECK(flat.size() % kPointDoubles == 0,
-              "serve: trace blob has " << flat.size() << " doubles, not a multiple of "
-                                       << kPointDoubles);
-  std::vector<td::TimePoint> trace(flat.size() / kPointDoubles);
-  for (std::size_t i = 0; i < trace.size(); ++i) trace[i] = decode_point(&flat[i * kPointDoubles]);
-  return trace;
+JobStatus unknown_job_status(JobId id) {
+  JobStatus s;
+  s.error = ErrorCode::kUnknownJob;
+  s.message = "unknown job id " + std::to_string(id);
+  return s;
 }
 
 }  // namespace
 
-std::size_t serve_slots_env_default() {
-  return static_cast<std::size_t>(env::integer("PWDFT_SERVE_SLOTS", 2, 1, 64));
+JobEngineOptions JobEngineOptions::from_env() {
+  JobEngineOptions o;
+  o.max_running = static_cast<std::size_t>(env::integer("PWDFT_SERVE_SLOTS", 2, 1, 64));
+  o.checkpoint_dir = env::text("PWDFT_SERVE_CKPT_DIR", o.checkpoint_dir);
+  o.recover_on_start = env::flag("PWDFT_SERVE_RECOVER", false);
+  return o;
 }
 
 /// Full per-job record; JobStatus is the copyable slice handed to callers.
@@ -71,16 +40,39 @@ struct JobEngine::Job {
   JobSpec spec;
   JobState state = JobState::kQueued;
   std::vector<td::TimePoint> trace;
-  std::uint64_t steps_done = 0;
+  std::uint64_t steps_done = 0;  ///< published live at step boundaries
   double model_cost = 0.0;
   double scf_energy = 0.0;
-  std::string error;
+  std::uint32_t preemptions = 0;  ///< scheduler evictions suffered
+  ErrorCode error = ErrorCode::kOk;
+  std::string message;
   bool preempt_requested = false;
+  bool cancel_requested = false;
+  bool evict_requested = false;   ///< scheduler-initiated preemption
   std::uint64_t submit_order = 0;  ///< FIFO tiebreak within a priority
 
+  std::string spec_path;   ///< durable JobSpec (restart-recovery key)
   std::string gs_path;     ///< ground-state orbitals (excitation reference)
   std::string psi_path;    ///< latest propagation snapshot
   std::string trace_path;  ///< trace recorded up to that snapshot
+
+  void set_paths(const std::string& dir) {
+    const std::string base = dir + "/" + spec.name;
+    spec_path = base + kSpecSuffix;
+    gs_path = base + ".gs.ckpt";
+    psi_path = base + ".psi.ckpt";
+    trace_path = base + ".trace.ckpt";
+  }
+
+  /// Removes the durable spec (job no longer restart-recoverable).
+  void drop_spec_file() const { std::remove(spec_path.c_str()); }
+  /// Removes every on-disk artifact (cancel semantics).
+  void drop_all_files() const {
+    drop_spec_file();
+    std::remove(gs_path.c_str());
+    std::remove(psi_path.c_str());
+    std::remove(trace_path.c_str());
+  }
 
   JobStatus to_status() const {
     JobStatus s;
@@ -89,7 +81,9 @@ struct JobEngine::Job {
     s.steps_done = steps_done;
     s.model_cost = model_cost;
     s.scf_energy = scf_energy;
+    s.preemptions = preemptions;
     s.error = error;
+    s.message = message;
     return s;
   }
 };
@@ -101,74 +95,179 @@ double JobEngine::cost_estimate(const JobSpec& spec) {
                         spec.kind == JobKind::kScf ? 1 : spec.steps);
 }
 
-JobEngine::JobEngine(JobEngineOptions opt) : opt_(std::move(opt)) {}
+JobEngine::JobEngine(JobEngineOptions opt) : opt_(std::move(opt)) {
+  if (opt_.recover_on_start) recover();
+}
+
+void JobEngine::begin_shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;  // pump_locked admits nothing more
+  cv_.notify_all();  // unblock wait/wait_progress/wait_all
+}
 
 JobEngine::~JobEngine() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;  // pump_locked admits nothing more
-  }
+  begin_shutdown();
   for (std::thread& t : threads_) t.join();
 }
 
-JobId JobEngine::submit(JobSpec spec) {
-  PWDFT_CHECK(!spec.name.empty(), "serve: jobs must be named (names key checkpoint files)");
-  std::lock_guard<std::mutex> lock(mu_);
+SubmitResult JobEngine::register_locked(JobSpec spec, bool persist_spec) {
+  if (shutdown_) return {ErrorCode::kShutdown, 0, "engine is shutting down"};
+  std::string why;
+  if (spec.validate(&why) != ErrorCode::kOk) return {ErrorCode::kInvalidSpec, 0, why};
   for (const auto& j : jobs_)
-    PWDFT_CHECK(j->spec.name != spec.name,
-                "serve: duplicate job name '" << spec.name << "'");
+    if (j->spec.name == spec.name)
+      return {ErrorCode::kDuplicateName, j->id, "duplicate job name '" + spec.name + "'"};
   auto job = std::make_unique<Job>();
   job->id = jobs_.size();
   job->model_cost = cost_estimate(spec);
   job->submit_order = jobs_.size();
-  const std::string base = opt_.checkpoint_dir + "/" + spec.name;
-  job->gs_path = base + ".gs.ckpt";
-  job->psi_path = base + ".psi.ckpt";
-  job->trace_path = base + ".trace.ckpt";
   job->spec = std::move(spec);
+  job->set_paths(opt_.checkpoint_dir);
+  if (persist_spec) {
+    // The durable spec is what recover() replays after a process restart;
+    // a job that cannot be made durable is not accepted at all.
+    try {
+      wire::save_spec_file(job->spec_path, job->spec);
+    } catch (const Error& e) {
+      return {ErrorCode::kIoError, 0, e.what()};
+    }
+  }
   jobs_.push_back(std::move(job));
   const JobId id = jobs_.back()->id;
   pump_locked();
-  return id;
+  return {ErrorCode::kOk, id, {}};
 }
 
-void JobEngine::preempt(JobId id) {
+SubmitResult JobEngine::submit(JobSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
-  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  return register_locked(std::move(spec), /*persist_spec=*/true);
+}
+
+std::vector<JobId> JobEngine::recover() {
+  // Collect candidate names first (sorted: recovery order — and therefore
+  // id assignment — is deterministic, not directory-iteration order).
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(opt_.checkpoint_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string fname = it->path().filename().string();
+    if (fname.size() > std::char_traits<char>::length(kSpecSuffix) &&
+        fname.ends_with(kSpecSuffix))
+      names.push_back(fname.substr(0, fname.size() - std::char_traits<char>::length(kSpecSuffix)));
+  }
+  std::sort(names.begin(), names.end());
+
+  std::vector<JobId> ids;
+  for (const std::string& name : names) {
+    JobSpec spec;
+    const std::string path = opt_.checkpoint_dir + "/" + name + kSpecSuffix;
+    if (wire::load_spec_file(path, &spec) != ErrorCode::kOk) continue;
+    if (spec.name != name) continue;  // snapshot must match its own key
+    std::lock_guard<std::mutex> lock(mu_);
+    bool known = false;
+    for (const auto& j : jobs_)
+      if (j->spec.name == name) known = true;
+    if (known) continue;
+    const SubmitResult r = register_locked(std::move(spec), /*persist_spec=*/false);
+    if (r.ok()) ids.push_back(r.id);
+  }
+  return ids;
+}
+
+ErrorCode JobEngine::preempt(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= jobs_.size()) return ErrorCode::kUnknownJob;
   Job& job = *jobs_[id];
+  if (is_terminal(job.state)) return ErrorCode::kOk;  // already stopped
   job.preempt_requested = true;
   if (job.state == JobState::kQueued) {
     job.state = JobState::kPreempted;
     cv_.notify_all();
   }
+  return ErrorCode::kOk;
 }
 
-JobId JobEngine::resume(JobId id) {
+ErrorCode JobEngine::cancel(JobId id) {
   std::lock_guard<std::mutex> lock(mu_);
-  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  if (id >= jobs_.size()) return ErrorCode::kUnknownJob;
   Job& job = *jobs_[id];
-  PWDFT_CHECK(job.state == JobState::kPreempted || job.state == JobState::kFailed,
-              "serve: job '" << job.spec.name << "' is not preempted/failed");
+  if (job.state == JobState::kCancelled) return ErrorCode::kOk;
+  if (job.state == JobState::kDone) return ErrorCode::kOk;  // finished first
+  job.cancel_requested = true;
+  if (job.state != JobState::kRunning) {
+    // Queued or already-stopped (preempted/failed): cancel takes effect now.
+    job.state = JobState::kCancelled;
+    job.drop_all_files();
+    cv_.notify_all();
+  }
+  return ErrorCode::kOk;  // a running job lands in kCancelled at its next boundary
+}
+
+SubmitResult JobEngine::resume(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= jobs_.size())
+    return {ErrorCode::kUnknownJob, 0, "unknown job id " + std::to_string(id)};
+  Job& job = *jobs_[id];
+  if (job.state == JobState::kQueued || job.state == JobState::kRunning)
+    return {ErrorCode::kAlreadyActive, job.id,
+            "job '" + job.spec.name + "' is still " + state_name(job.state)};
+  if (job.state == JobState::kDone) return {ErrorCode::kOk, job.id, {}};  // idempotent
+  if (job.state == JobState::kCancelled)
+    return {ErrorCode::kNotResumable, job.id, "job '" + job.spec.name + "' was cancelled"};
   job.state = JobState::kQueued;
   job.preempt_requested = false;
-  job.error.clear();
+  job.evict_requested = false;
+  job.error = ErrorCode::kOk;
+  job.message.clear();
   pump_locked();
-  return id;
+  return {ErrorCode::kOk, job.id, {}};
+}
+
+SubmitResult JobEngine::resume(const std::string& name) {
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool found = false;
+    for (const auto& j : jobs_)
+      if (j->spec.name == name) {
+        id = j->id;
+        found = true;
+      }
+    if (!found) return {ErrorCode::kUnknownJob, 0, "no job named '" + name + "'"};
+  }
+  return resume(id);
 }
 
 JobStatus JobEngine::wait(JobId id) {
   std::unique_lock<std::mutex> lock(mu_);
-  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  if (id >= jobs_.size()) return unknown_job_status(id);
+  cv_.wait(lock, [&] { return shutdown_ || is_terminal(jobs_[id]->state); });
+  JobStatus s = jobs_[id]->to_status();
+  if (!is_terminal(s.state)) {
+    s.error = ErrorCode::kShutdown;
+    s.message = "engine shut down before the job finished";
+  }
+  return s;
+}
+
+JobStatus JobEngine::wait_progress(JobId id, std::uint64_t seen_steps) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (id >= jobs_.size()) return unknown_job_status(id);
   cv_.wait(lock, [&] {
-    const JobState s = jobs_[id]->state;
-    return s != JobState::kQueued && s != JobState::kRunning;
+    return shutdown_ || is_terminal(jobs_[id]->state) || jobs_[id]->steps_done != seen_steps;
   });
-  return jobs_[id]->to_status();
+  JobStatus s = jobs_[id]->to_status();
+  if (!is_terminal(s.state) && shutdown_) {
+    s.error = ErrorCode::kShutdown;
+    s.message = "engine shut down before the job finished";
+  }
+  return s;
 }
 
 void JobEngine::wait_all() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] {
+    if (shutdown_) return true;
     for (const auto& j : jobs_)
       if (j->state == JobState::kQueued || j->state == JobState::kRunning) return false;
     return true;
@@ -177,14 +276,25 @@ void JobEngine::wait_all() {
 
 JobStatus JobEngine::status(JobId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  PWDFT_CHECK(id < jobs_.size(), "serve: unknown job id " << id);
+  if (id >= jobs_.size()) return unknown_job_status(id);
   return jobs_[id]->to_status();
+}
+
+std::optional<JobId> JobEngine::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& j : jobs_)
+    if (j->spec.name == name) return j->id;
+  return std::nullopt;
+}
+
+std::size_t JobEngine::job_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
 }
 
 void JobEngine::pump_locked() {
   if (shutdown_) return;
   for (;;) {
-    if (running_ >= opt_.max_running) return;
     // Highest priority first, then submission order: deterministic given
     // the same submission/completion sequence.
     Job* next = nullptr;
@@ -195,6 +305,22 @@ void JobEngine::pump_locked() {
         next = j.get();
     }
     if (!next) return;
+    if (running_ >= opt_.max_running) {
+      // Scheduler preemption: a starved higher-priority job evicts the
+      // cheapest running job of strictly lower priority. The victim stops
+      // cooperatively at its next step boundary with crash semantics (work
+      // since its last snapshot is lost) and is requeued, so it resumes
+      // from its newest checkpoint once a slot frees up again.
+      Job* victim = nullptr;
+      for (const auto& j : jobs_) {
+        if (j->state != JobState::kRunning) continue;
+        if (j->preempt_requested || j->cancel_requested || j->evict_requested) continue;
+        if (j->spec.priority >= next->spec.priority) continue;
+        if (!victim || j->model_cost < victim->model_cost) victim = j.get();
+      }
+      if (victim) victim->evict_requested = true;
+      return;
+    }
     // The cost gate never starves: an over-budget job runs once the engine
     // drains (admitted alone).
     if (opt_.cost_budget > 0.0 && running_ > 0 &&
@@ -230,7 +356,8 @@ void JobEngine::run_job(Job& job) {
   std::uint64_t steps_done = 0;
   double scf_energy = 0.0;
   std::string error;
-  bool preempted = false;
+  enum class Stop { kNone, kPreempt, kCancel, kEvict };
+  Stop stop = Stop::kNone;
 
   try {
     core::Simulation sim(setup_for(job.spec.sim), job.spec.sim);
@@ -247,7 +374,7 @@ void JobEngine::run_job(Job& job) {
         const io::CheckpointMeta meta = io::load_wavefunctions(job.psi_path, psi_ckpt, &meta_gs);
         std::vector<double> flat;
         io::load_blob(job.trace_path, flat);
-        trace = decode_trace(flat);
+        trace = wire::unflatten_trace(flat);
         sim.restore_wavefunctions(psi_ckpt);
         t0 = meta.time_au;
         step0 = meta.step;
@@ -266,6 +393,12 @@ void JobEngine::run_job(Job& job) {
     if (!resuming) {
       const scf::ScfResult scf = sim.ground_state();
       scf_energy = scf.energy.total();
+      {
+        // Publish the ground-state energy while the job is still running,
+        // so streamed statuses carry it.
+        std::lock_guard<std::mutex> lock(mu_);
+        jobs_[job.id]->scf_energy = scf_energy;
+      }
       if (job.spec.checkpoint_every > 0 && job.spec.kind != JobKind::kScf) {
         // Ground-state orbitals: the excitation reference every resume
         // needs, and the compatibility stamp for later snapshots.
@@ -301,18 +434,26 @@ void JobEngine::run_job(Job& job) {
           io::save_wavefunctions(job.psi_path, meta, psi);
           std::vector<td::TimePoint> full = trace;
           full.insert(full.end(), live.begin(), live.end());
-          io::save_blob(job.trace_path, meta, encode_trace(full));
+          io::save_blob(job.trace_path, meta, wire::flatten_trace(full));
         }
-        // Preemption is checked after the cadence snapshot (a kill request
-        // stops the job at this boundary, not mid-write), but nothing else
-        // is persisted: anything since the last on-cadence snapshot is
-        // lost, exactly as in a real kill.
+        // Stop requests are checked after the cadence snapshot (a kill
+        // lands at this boundary, not mid-write), and live progress is
+        // published only now — an observer that sees steps_done == k knows
+        // snapshot k is already on disk. Nothing else is persisted:
+        // anything since the last on-cadence snapshot is lost, exactly as
+        // in a real kill. Request priority: cancel > client preempt >
+        // scheduler eviction.
         std::lock_guard<std::mutex> lock(mu_);
-        if (jobs_[job.id]->preempt_requested) {
-          preempted = true;
-          return false;
-        }
-        return true;
+        Job& j = *jobs_[job.id];
+        j.steps_done = step;
+        if (j.cancel_requested)
+          stop = Stop::kCancel;
+        else if (j.preempt_requested)
+          stop = Stop::kPreempt;
+        else if (j.evict_requested)
+          stop = Stop::kEvict;
+        cv_.notify_all();
+        return stop == Stop::kNone;
       };
       auto live = sim.propagate(prop);
       trace.insert(trace.end(), live.begin(), live.end());
@@ -330,9 +471,24 @@ void JobEngine::run_job(Job& job) {
   if (scf_energy != 0.0) j.scf_energy = scf_energy;
   if (!error.empty()) {
     j.state = JobState::kFailed;
-    j.error = std::move(error);
+    j.error = ErrorCode::kJobFailed;
+    j.message = std::move(error);
+  } else if (stop == Stop::kCancel || j.cancel_requested) {
+    // A cancel that landed too late to stop the run still wins: the caller
+    // asked for the job to be gone.
+    j.state = JobState::kCancelled;
+    j.drop_all_files();
+  } else if (stop == Stop::kEvict) {
+    // Scheduler preemption: straight back into the queue; the next
+    // admission resumes from the newest snapshot.
+    j.state = JobState::kQueued;
+    j.evict_requested = false;
+    ++j.preemptions;
+  } else if (stop == Stop::kPreempt || j.preempt_requested) {
+    j.state = JobState::kPreempted;
   } else {
-    j.state = preempted ? JobState::kPreempted : JobState::kDone;
+    j.state = JobState::kDone;
+    j.drop_spec_file();  // no longer restart-recoverable work
   }
   --running_;
   running_cost_ -= j.model_cost;

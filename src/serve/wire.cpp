@@ -1,0 +1,565 @@
+#include "serve/wire.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace pwdft::serve::wire {
+
+namespace {
+
+static_assert(std::endian::native == std::endian::little,
+              "wire format is little-endian; big-endian hosts need byte swaps");
+
+// Same FNV-1a-64 as io/checkpoint.cpp: one hashing discipline per repo.
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ull;
+  void update(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+void pack_u64(std::uint64_t v, std::uint8_t out[8]) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t unpack_u64(const std::uint8_t in[8]) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+void pack_u32(std::uint32_t v, std::uint8_t out[4]) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t unpack_u32(const std::uint8_t in[4]) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+constexpr char kMagicPrefix[7] = {'P', 'W', 'D', 'F', 'T', 'N', 'W'};
+
+void write_header(std::uint8_t out[kFrameHeaderBytes], MsgType type, std::uint64_t payload_len) {
+  std::memcpy(out, kMagicPrefix, 7);
+  out[7] = static_cast<std::uint8_t>('0' + kProtocolVersion);
+  pack_u32(static_cast<std::uint32_t>(type), out + 8);
+  pack_u64(payload_len, out + 12);
+}
+
+/// Magic + version + length sanity of a raw header. Fills type/payload_len.
+ErrorCode parse_header(const std::uint8_t hdr[kFrameHeaderBytes], std::uint64_t max_payload,
+                       MsgType* type, std::uint64_t* payload_len) {
+  if (std::memcmp(hdr, kMagicPrefix, 7) != 0) return ErrorCode::kBadFrame;
+  if (hdr[7] != static_cast<std::uint8_t>('0' + kProtocolVersion))
+    return ErrorCode::kVersionMismatch;
+  const std::uint32_t t = unpack_u32(hdr + 8);
+  if (t < static_cast<std::uint32_t>(MsgType::kHello) ||
+      t > static_cast<std::uint32_t>(MsgType::kSpecSnapshot))
+    return ErrorCode::kBadFrame;
+  *type = static_cast<MsgType>(t);
+  *payload_len = unpack_u64(hdr + 12);
+  if (*payload_len > max_payload) return ErrorCode::kFrameTooLarge;
+  return ErrorCode::kOk;
+}
+
+}  // namespace
+
+// --- cursors ---------------------------------------------------------------
+
+void PutBuf::u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  pack_u32(v, b);
+  b_.insert(b_.end(), b, b + 4);
+}
+
+void PutBuf::u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  pack_u64(v, b);
+  b_.insert(b_.end(), b, b + 8);
+}
+
+void PutBuf::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void PutBuf::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  b_.insert(b_.end(), s.begin(), s.end());
+}
+
+bool GetBuf::take(std::size_t n) {
+  if (!ok_ || n > n_ - pos_) {
+    ok_ = false;
+    return false;
+  }
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t GetBuf::u8() {
+  const std::size_t at = pos_;
+  return take(1) ? p_[at] : 0;
+}
+
+std::uint32_t GetBuf::u32() {
+  const std::size_t at = pos_;
+  return take(4) ? unpack_u32(p_ + at) : 0;
+}
+
+std::uint64_t GetBuf::u64() {
+  const std::size_t at = pos_;
+  return take(8) ? unpack_u64(p_ + at) : 0;
+}
+
+double GetBuf::f64() { return std::bit_cast<double>(u64()); }
+
+std::string GetBuf::str() {
+  const std::uint32_t len = u32();
+  const std::size_t at = pos_;
+  if (!take(len)) return {};
+  return std::string(reinterpret_cast<const char*>(p_ + at), len);
+}
+
+// --- frame codec -----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_frame(MsgType type, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out(kFrameHeaderBytes + payload.size() + kFrameFooterBytes);
+  write_header(out.data(), type, payload.size());
+  std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  Fnv1a hash;
+  hash.update(out.data(), kFrameHeaderBytes + payload.size());
+  pack_u64(hash.h, out.data() + kFrameHeaderBytes + payload.size());
+  return out;
+}
+
+ErrorCode decode_frame(const std::uint8_t* data, std::size_t size, Frame* out,
+                       std::uint64_t max_payload) {
+  if (size < kFrameHeaderBytes + kFrameFooterBytes) return ErrorCode::kTruncated;
+  MsgType type;
+  std::uint64_t payload_len = 0;
+  const ErrorCode hdr = parse_header(data, max_payload, &type, &payload_len);
+  if (hdr != ErrorCode::kOk) return hdr;
+  const std::uint64_t want = kFrameHeaderBytes + payload_len + kFrameFooterBytes;
+  if (size < want) return ErrorCode::kTruncated;
+  if (size > want) return ErrorCode::kBadFrame;  // trailing bytes
+  Fnv1a hash;
+  hash.update(data, kFrameHeaderBytes + payload_len);
+  if (unpack_u64(data + kFrameHeaderBytes + payload_len) != hash.h)
+    return ErrorCode::kChecksumMismatch;
+  out->type = type;
+  out->payload.assign(data + kFrameHeaderBytes, data + kFrameHeaderBytes + payload_len);
+  return ErrorCode::kOk;
+}
+
+// --- message payload codecs ------------------------------------------------
+
+void put_spec(PutBuf& out, const JobSpec& spec) {
+  out.str(spec.name);
+  out.u32(static_cast<std::uint32_t>(spec.kind));
+  out.i32(spec.priority);
+  out.f64(spec.dt_as);
+  out.i64(spec.steps);
+  out.u64(spec.checkpoint_every);
+  out.boolean(spec.record_energy);
+  out.u32(static_cast<std::uint32_t>(spec.field.kind));
+  for (int d = 0; d < 3; ++d) out.f64(spec.field.kick[d]);
+  out.f64(spec.field.laser_e0);
+  for (int d = 0; d < 3; ++d) out.i32(spec.sim.cells[d]);
+  out.f64(spec.sim.ecut);
+  out.i32(spec.sim.dense_factor);
+  out.boolean(spec.sim.hybrid);
+  out.boolean(spec.sim.nonlocal);
+  out.boolean(spec.sim.use_ace);
+  out.i32(spec.sim.ace_refresh);
+  out.u64(spec.sim.seed);
+  out.boolean(spec.sim.hybrid_params.enabled);
+  out.f64(spec.sim.hybrid_params.alpha);
+  out.f64(spec.sim.hybrid_params.omega);
+  out.i32(spec.sim.scf.max_iter);
+  out.f64(spec.sim.scf.tol_rho);
+  out.f64(spec.sim.scf.mix_beta);
+  out.u64(spec.sim.scf.anderson_depth);
+  out.i32(spec.sim.scf.lobpcg.max_iter);
+  out.f64(spec.sim.scf.lobpcg.tol);
+  out.boolean(spec.sim.scf.lobpcg.verbose);
+  out.i32(spec.sim.scf.hybrid_outer_max);
+  out.f64(spec.sim.scf.hybrid_outer_tol);
+  out.boolean(spec.sim.scf.verbose);
+  out.f64(spec.ptcn.dt);
+  out.f64(spec.ptcn.rho_tol);
+  out.i32(spec.ptcn.max_scf);
+  out.u64(spec.ptcn.anderson_depth);
+  out.f64(spec.ptcn.anderson_beta);
+  out.boolean(spec.ptcn.sp_comm);
+  out.boolean(spec.ptcn.overlap_transpose);
+  out.i32(spec.ptcn.mts_interval);
+  out.f64(spec.ptcn.mts_drift_tol);
+}
+
+bool get_spec(GetBuf& in, JobSpec* spec) {
+  JobSpec s;
+  s.name = in.str();
+  s.kind = static_cast<JobKind>(in.u32());
+  s.priority = in.i32();
+  s.dt_as = in.f64();
+  s.steps = static_cast<int>(in.i64());
+  s.checkpoint_every = in.u64();
+  s.record_energy = in.boolean();
+  s.field.kind = static_cast<FieldSpec::Kind>(in.u32());
+  for (int d = 0; d < 3; ++d) s.field.kick[d] = in.f64();
+  s.field.laser_e0 = in.f64();
+  for (int d = 0; d < 3; ++d) s.sim.cells[d] = in.i32();
+  s.sim.ecut = in.f64();
+  s.sim.dense_factor = in.i32();
+  s.sim.hybrid = in.boolean();
+  s.sim.nonlocal = in.boolean();
+  s.sim.use_ace = in.boolean();
+  s.sim.ace_refresh = in.i32();
+  s.sim.seed = in.u64();
+  s.sim.hybrid_params.enabled = in.boolean();
+  s.sim.hybrid_params.alpha = in.f64();
+  s.sim.hybrid_params.omega = in.f64();
+  s.sim.scf.max_iter = in.i32();
+  s.sim.scf.tol_rho = in.f64();
+  s.sim.scf.mix_beta = in.f64();
+  s.sim.scf.anderson_depth = in.u64();
+  s.sim.scf.lobpcg.max_iter = in.i32();
+  s.sim.scf.lobpcg.tol = in.f64();
+  s.sim.scf.lobpcg.verbose = in.boolean();
+  s.sim.scf.hybrid_outer_max = in.i32();
+  s.sim.scf.hybrid_outer_tol = in.f64();
+  s.sim.scf.verbose = in.boolean();
+  s.ptcn.dt = in.f64();
+  s.ptcn.rho_tol = in.f64();
+  s.ptcn.max_scf = in.i32();
+  s.ptcn.anderson_depth = in.u64();
+  s.ptcn.anderson_beta = in.f64();
+  s.ptcn.sp_comm = in.boolean();
+  s.ptcn.overlap_transpose = in.boolean();
+  s.ptcn.mts_interval = in.i32();
+  s.ptcn.mts_drift_tol = in.f64();
+  if (!in.ok()) return false;
+  *spec = std::move(s);
+  return true;
+}
+
+void put_status(PutBuf& out, const JobStatus& status) {
+  out.u32(static_cast<std::uint32_t>(status.state));
+  out.u32(static_cast<std::uint32_t>(status.error));
+  out.str(status.message);
+  out.u64(status.steps_done);
+  out.f64(status.model_cost);
+  out.f64(status.scf_energy);
+  out.u32(status.preemptions);
+  const std::vector<double> flat = flatten_trace(status.trace);
+  out.u64(status.trace.size());
+  for (const double v : flat) out.f64(v);
+}
+
+bool get_status(GetBuf& in, JobStatus* status) {
+  JobStatus s;
+  s.state = static_cast<JobState>(in.u32());
+  s.error = static_cast<ErrorCode>(in.u32());
+  s.message = in.str();
+  s.steps_done = in.u64();
+  s.model_cost = in.f64();
+  s.scf_energy = in.f64();
+  s.preemptions = in.u32();
+  const std::uint64_t count = in.u64();
+  // Size-check against the remaining bytes is implicit: each failed read
+  // latches !ok(), so a hostile count cannot drive a huge allocation before
+  // the first miss.
+  std::vector<double> flat;
+  flat.reserve(in.ok() ? std::min<std::uint64_t>(count * kTracePointDoubles, 1 << 20) : 0);
+  for (std::uint64_t i = 0; i < count && in.ok(); ++i)
+    for (std::size_t d = 0; d < kTracePointDoubles; ++d) flat.push_back(in.f64());
+  if (!in.ok()) return false;
+  s.trace = unflatten_trace(flat);
+  *status = std::move(s);
+  return true;
+}
+
+// --- trace <-> flat doubles ------------------------------------------------
+
+std::vector<double> flatten_trace(const std::vector<td::TimePoint>& trace) {
+  std::vector<double> flat(trace.size() * kTracePointDoubles);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const td::TimePoint& p = trace[i];
+    double* out = &flat[i * kTracePointDoubles];
+    out[0] = p.t;
+    out[1] = p.current[0];
+    out[2] = p.current[1];
+    out[3] = p.current[2];
+    out[4] = p.n_excited;
+    out[5] = p.energy;
+    out[6] = static_cast<double>(p.scf_iterations);
+    out[7] = p.rho_error;
+    out[8] = p.wall_seconds;
+    out[9] = p.exchange_refreshed ? 1.0 : 0.0;
+    out[10] = p.mts_drift;
+  }
+  return flat;
+}
+
+std::vector<td::TimePoint> unflatten_trace(const std::vector<double>& flat) {
+  PWDFT_CHECK(flat.size() % kTracePointDoubles == 0,
+              "serve: trace blob has " << flat.size() << " doubles, not a multiple of "
+                                       << kTracePointDoubles);
+  std::vector<td::TimePoint> trace(flat.size() / kTracePointDoubles);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double* in = &flat[i * kTracePointDoubles];
+    td::TimePoint& p = trace[i];
+    p.t = in[0];
+    p.current = {in[1], in[2], in[3]};
+    p.n_excited = in[4];
+    p.energy = in[5];
+    p.scf_iterations = static_cast<int>(in[6]);
+    p.rho_error = in[7];
+    p.wall_seconds = in[8];
+    p.exchange_refreshed = in[9] != 0.0;
+    p.mts_drift = in[10];
+  }
+  return trace;
+}
+
+// --- fd transport ----------------------------------------------------------
+
+namespace {
+
+/// write loop; MSG_NOSIGNAL so a vanished peer yields EPIPE, not SIGPIPE.
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Reads exactly n bytes. 1 = got them, 0 = clean EOF before the first
+/// byte, -1 = error or EOF mid-read.
+int read_exact(int fd, std::uint8_t* p, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+ErrorCode send_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  return write_all(fd, frame.data(), frame.size()) ? ErrorCode::kOk : ErrorCode::kIoError;
+}
+
+ErrorCode recv_frame(int fd, Frame* out, std::uint64_t max_payload) {
+  std::uint8_t hdr[kFrameHeaderBytes];
+  const int got = read_exact(fd, hdr, sizeof hdr);
+  if (got == 0) return ErrorCode::kClosed;
+  if (got < 0) return ErrorCode::kTruncated;
+  MsgType type;
+  std::uint64_t payload_len = 0;
+  const ErrorCode e = parse_header(hdr, max_payload, &type, &payload_len);
+  if (e != ErrorCode::kOk) return e;
+  std::vector<std::uint8_t> payload(payload_len);
+  if (payload_len > 0 && read_exact(fd, payload.data(), payload_len) != 1)
+    return ErrorCode::kTruncated;
+  std::uint8_t footer[kFrameFooterBytes];
+  if (read_exact(fd, footer, sizeof footer) != 1) return ErrorCode::kTruncated;
+  Fnv1a hash;
+  hash.update(hdr, sizeof hdr);
+  hash.update(payload.data(), payload.size());
+  if (unpack_u64(footer) != hash.h) return ErrorCode::kChecksumMismatch;
+  out->type = type;
+  out->payload = std::move(payload);
+  return ErrorCode::kOk;
+}
+
+// --- addresses -------------------------------------------------------------
+
+namespace {
+
+struct ParsedAddr {
+  bool is_unix = false;
+  std::string path;  ///< unix
+  std::string host;  ///< tcp, numeric or "localhost"
+  std::uint16_t port = 0;
+};
+
+ParsedAddr parse_address(const std::string& address) {
+  ParsedAddr a;
+  if (address.rfind("unix:", 0) == 0) {
+    a.is_unix = true;
+    a.path = address.substr(5);
+    PWDFT_CHECK(!a.path.empty(), "serve: empty unix socket path in '" << address << "'");
+    PWDFT_CHECK(a.path.size() < sizeof(sockaddr_un{}.sun_path),
+                "serve: unix socket path too long: " << a.path);
+    return a;
+  }
+  PWDFT_CHECK(address.rfind("tcp:", 0) == 0,
+              "serve: address '" << address << "' is neither unix:<path> nor tcp:<host>:<port>");
+  const std::string rest = address.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  PWDFT_CHECK(colon != std::string::npos && colon > 0 && colon + 1 < rest.size(),
+              "serve: tcp address '" << address << "' is not tcp:<host>:<port>");
+  a.host = rest.substr(0, colon);
+  if (a.host == "localhost") a.host = "127.0.0.1";
+  const std::string port_s = rest.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_s.c_str(), &end, 10);
+  PWDFT_CHECK(end && *end == '\0' && port >= 0 && port <= 65535,
+              "serve: bad tcp port '" << port_s << "' in '" << address << "'");
+  a.port = static_cast<std::uint16_t>(port);
+  return a;
+}
+
+sockaddr_in tcp_sockaddr(const ParsedAddr& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(a.port);
+  PWDFT_CHECK(::inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) == 1,
+              "serve: '" << a.host << "' is not a numeric IPv4 address (or localhost)");
+  return sa;
+}
+
+sockaddr_un unix_sockaddr(const ParsedAddr& a) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, a.path.c_str(), a.path.size() + 1);
+  return sa;
+}
+
+}  // namespace
+
+Listener listen_on(const std::string& address) {
+  const ParsedAddr a = parse_address(address);
+  Listener l;
+  if (a.is_unix) {
+    l.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PWDFT_CHECK(l.fd >= 0, "serve: socket() failed: " << std::strerror(errno));
+    ::unlink(a.path.c_str());  // stale socket from a killed server
+    const sockaddr_un sa = unix_sockaddr(a);
+    PWDFT_CHECK(::bind(l.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0,
+                "serve: bind(" << a.path << ") failed: " << std::strerror(errno));
+    l.unix_path = a.path;
+    l.address = address;
+  } else {
+    l.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PWDFT_CHECK(l.fd >= 0, "serve: socket() failed: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(l.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in sa = tcp_sockaddr(a);
+    PWDFT_CHECK(::bind(l.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0,
+                "serve: bind(" << address << ") failed: " << std::strerror(errno));
+    socklen_t len = sizeof sa;
+    PWDFT_CHECK(::getsockname(l.fd, reinterpret_cast<sockaddr*>(&sa), &len) == 0,
+                "serve: getsockname failed: " << std::strerror(errno));
+    l.address = "tcp:" + a.host + ":" + std::to_string(ntohs(sa.sin_port));
+  }
+  PWDFT_CHECK(::listen(l.fd, 64) == 0,
+              "serve: listen(" << l.address << ") failed: " << std::strerror(errno));
+  return l;
+}
+
+int dial(const std::string& address) {
+  const ParsedAddr a = parse_address(address);
+  int fd = -1;
+  if (a.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PWDFT_CHECK(fd >= 0, "serve: socket() failed: " << std::strerror(errno));
+    const sockaddr_un sa = unix_sockaddr(a);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+      const int err = errno;
+      ::close(fd);
+      PWDFT_CHECK(false, "serve: connect(" << address << ") failed: " << std::strerror(err));
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PWDFT_CHECK(fd >= 0, "serve: socket() failed: " << std::strerror(errno));
+    const sockaddr_in sa = tcp_sockaddr(a);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+      const int err = errno;
+      ::close(fd);
+      PWDFT_CHECK(false, "serve: connect(" << address << ") failed: " << std::strerror(err));
+    }
+  }
+  return fd;
+}
+
+// --- durable spec snapshots ------------------------------------------------
+
+void save_spec_file(const std::string& path, const JobSpec& spec) {
+  PutBuf payload;
+  put_spec(payload, spec);
+  const std::vector<std::uint8_t> frame = encode_frame(MsgType::kSpecSnapshot, payload.bytes());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    PWDFT_CHECK(f.good(), "serve: cannot open " << tmp << " for writing");
+    f.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+    f.flush();
+    PWDFT_CHECK(f.good(), "serve: short write to " << tmp);
+  }
+  PWDFT_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "serve: cannot rename " << tmp << " to " << path);
+}
+
+ErrorCode load_spec_file(const std::string& path, JobSpec* spec, std::string* why) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    if (why) *why = "cannot open " + path;
+    return ErrorCode::kIoError;
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  Frame frame;
+  // A spec is a few hundred bytes; cap well below the transport limit.
+  const ErrorCode e = decode_frame(bytes.data(), bytes.size(), &frame, 1 << 20);
+  if (e != ErrorCode::kOk) {
+    if (why) *why = std::string(error_name(e)) + " in " + path;
+    return e;
+  }
+  if (frame.type != MsgType::kSpecSnapshot) {
+    if (why) *why = "not a spec snapshot: " + path;
+    return ErrorCode::kBadFrame;
+  }
+  GetBuf in(frame.payload);
+  JobSpec s;
+  if (!get_spec(in, &s) || !in.exhausted()) {
+    if (why) *why = "malformed spec payload in " + path;
+    return ErrorCode::kBadFrame;
+  }
+  const ErrorCode v = s.validate(why);
+  if (v != ErrorCode::kOk) return v;
+  *spec = std::move(s);
+  return ErrorCode::kOk;
+}
+
+}  // namespace pwdft::serve::wire

@@ -1,80 +1,30 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/simulation.hpp"
 #include "io/checkpoint.hpp"
 #include "serve/job_engine.hpp"
+#include "serve_test_util.hpp"
 
 namespace pwdft {
 namespace {
 
-core::SimulationOptions tiny_sim(bool hybrid = true) {
-  core::SimulationOptions opt;
-  opt.cells[0] = opt.cells[1] = opt.cells[2] = 1;
-  opt.ecut = 3.0;
-  opt.dense_factor = 1;
-  opt.hybrid = hybrid;
-  opt.scf.max_iter = 40;
-  opt.scf.tol_rho = 1e-7;
-  opt.scf.lobpcg.max_iter = 6;
-  opt.scf.hybrid_outer_max = 5;
-  opt.scf.hybrid_outer_tol = 1e-6;
-  return opt;
-}
+using serve_test::CkptDir;
+using serve_test::expect_traces_identical;
+using serve_test::solo_trace;
+using serve_test::tiny_job;
 
-serve::JobSpec tiny_job(const std::string& name, serve::JobKind kind, int steps) {
-  serve::JobSpec spec;
-  spec.name = name;
-  spec.kind = kind;
-  spec.sim = tiny_sim();
-  spec.steps = steps;
-  spec.ptcn.rho_tol = 1e-7;
-  return spec;
+/// Polls until the job reports kRunning (its worker started).
+void wait_until_running(serve::JobEngine& engine, serve::JobId id) {
+  while (engine.status(id).state != serve::JobState::kRunning)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
 }
-
-/// Bitwise equality on every physics field (wall_seconds is timing noise).
-void expect_points_identical(const td::TimePoint& a, const td::TimePoint& b,
-                             const std::string& what) {
-  EXPECT_EQ(a.t, b.t) << what;
-  for (int d = 0; d < 3; ++d) EXPECT_EQ(a.current[d], b.current[d]) << what << " axis " << d;
-  EXPECT_EQ(a.n_excited, b.n_excited) << what;
-  EXPECT_EQ(a.energy, b.energy) << what;
-  EXPECT_EQ(a.scf_iterations, b.scf_iterations) << what;
-  EXPECT_EQ(a.rho_error, b.rho_error) << what;
-  EXPECT_EQ(a.exchange_refreshed, b.exchange_refreshed) << what;
-  EXPECT_EQ(a.mts_drift, b.mts_drift) << what;
-}
-
-void expect_traces_identical(const std::vector<td::TimePoint>& a,
-                             const std::vector<td::TimePoint>& b, const std::string& what) {
-  ASSERT_EQ(a.size(), b.size()) << what;
-  for (std::size_t i = 0; i < a.size(); ++i)
-    expect_points_identical(a[i], b[i], what + " point " + std::to_string(i));
-}
-
-/// Solo reference: the same trajectory run directly through Simulation.
-std::vector<td::TimePoint> solo_trace(const serve::JobSpec& spec) {
-  core::Simulation sim(spec.sim);
-  sim.ground_state();
-  const auto field = spec.build_field();
-  core::PropagateOptions prop;
-  prop.dt_as = spec.dt_as;
-  prop.steps = spec.steps;
-  prop.field = field.get();
-  prop.ptcn = spec.ptcn;
-  return sim.propagate(prop);
-}
-
-struct CkptDir {
-  explicit CkptDir(const char* name) : path(std::string("/tmp/pwdft_serve_") + name) {
-    std::filesystem::create_directories(path);
-  }
-  ~CkptDir() { std::filesystem::remove_all(path); }
-  std::string path;
-};
 
 // The tentpole acceptance test: >= 4 concurrent mixed jobs (SCF probe,
 // absorption kick, laser run, quiescent propagation) co-scheduled on the
@@ -99,23 +49,24 @@ TEST(JobEngine, ConcurrentMixedTenantsMatchSoloRunsBitwise) {
   const auto id_abs = engine.submit(spec_abs);
   const auto id_laser = engine.submit(spec_laser);
   const auto id_quiet = engine.submit(spec_quiet);
+  ASSERT_TRUE(id_scf.ok() && id_abs.ok() && id_laser.ok() && id_quiet.ok());
   engine.wait_all();
 
-  const auto scf = engine.wait(id_scf);
-  ASSERT_EQ(scf.state, serve::JobState::kDone) << scf.error;
+  const auto scf = engine.wait(id_scf.id);
+  ASSERT_EQ(scf.state, serve::JobState::kDone) << scf.message;
   EXPECT_TRUE(std::isfinite(scf.scf_energy));
   EXPECT_LT(scf.scf_energy, 0.0);
 
-  const auto abs = engine.wait(id_abs);
-  ASSERT_EQ(abs.state, serve::JobState::kDone) << abs.error;
+  const auto abs = engine.wait(id_abs.id);
+  ASSERT_EQ(abs.state, serve::JobState::kDone) << abs.message;
   expect_traces_identical(abs.trace, ref_abs, "absorption");
 
-  const auto laser = engine.wait(id_laser);
-  ASSERT_EQ(laser.state, serve::JobState::kDone) << laser.error;
+  const auto laser = engine.wait(id_laser.id);
+  ASSERT_EQ(laser.state, serve::JobState::kDone) << laser.message;
   expect_traces_identical(laser.trace, ref_laser, "laser");
 
-  const auto quiet = engine.wait(id_quiet);
-  ASSERT_EQ(quiet.state, serve::JobState::kDone) << quiet.error;
+  const auto quiet = engine.wait(id_quiet.id);
+  ASSERT_EQ(quiet.state, serve::JobState::kDone) << quiet.message;
   expect_traces_identical(quiet.trace, ref_quiet, "quiet");
 }
 
@@ -138,21 +89,22 @@ TEST(JobEngine, KillMidRunThenResumeIsBitIdentical) {
   const auto id_bg = engine.submit(tiny_job("bg", serve::JobKind::kAbsorption, 2));
 
   const auto id = engine.submit(spec);
+  ASSERT_TRUE(id.ok()) << id.message;
   // Kill at the first step boundary after the request lands: the job dies
   // mid-trajectory with only its checkpoint to continue from.
-  engine.preempt(id);
-  auto killed = engine.wait(id);
-  ASSERT_EQ(killed.state, serve::JobState::kPreempted) << killed.error;
+  EXPECT_EQ(engine.preempt(id.id), serve::ErrorCode::kOk);
+  auto killed = engine.wait(id.id);
+  ASSERT_EQ(killed.state, serve::JobState::kPreempted) << killed.message;
   EXPECT_LT(killed.steps_done, 3u);
 
-  engine.resume(id);
-  const auto done = engine.wait(id);
-  ASSERT_EQ(done.state, serve::JobState::kDone) << done.error;
+  EXPECT_TRUE(engine.resume(id.id).ok());
+  const auto done = engine.wait(id.id);
+  ASSERT_EQ(done.state, serve::JobState::kDone) << done.message;
   EXPECT_EQ(done.steps_done, 3u);
   expect_traces_identical(done.trace, ref, "kill+resume");
 
-  const auto bg = engine.wait(id_bg);
-  ASSERT_EQ(bg.state, serve::JobState::kDone) << bg.error;
+  const auto bg = engine.wait(id_bg.id);
+  ASSERT_EQ(bg.state, serve::JobState::kDone) << bg.message;
 }
 
 TEST(JobEngine, PreemptedBeforeStartResumesFromScratch) {
@@ -164,19 +116,116 @@ TEST(JobEngine, PreemptedBeforeStartResumesFromScratch) {
   eopt.max_running = 1;
   eopt.checkpoint_dir = dir.path;
   serve::JobEngine engine(eopt);
-  // A long-priority job hogs the single slot so "early" stays queued.
+  // A hog occupies the single slot so "early" stays queued.
   const auto id_hog = engine.submit(tiny_job("hog", serve::JobKind::kAbsorption, 1));
   const auto id = engine.submit(spec);
-  engine.preempt(id);
-  const auto pre = engine.wait(id);
+  EXPECT_EQ(engine.preempt(id.id), serve::ErrorCode::kOk);
+  const auto pre = engine.wait(id.id);
   EXPECT_EQ(pre.state, serve::JobState::kPreempted);
   EXPECT_TRUE(pre.trace.empty());
 
-  engine.resume(id);
-  const auto done = engine.wait(id);
-  ASSERT_EQ(done.state, serve::JobState::kDone) << done.error;
+  EXPECT_TRUE(engine.resume(id.id).ok());
+  const auto done = engine.wait(id.id);
+  ASSERT_EQ(done.state, serve::JobState::kDone) << done.message;
   expect_traces_identical(done.trace, ref, "requeued");
-  engine.wait(id_hog);
+  engine.wait(id_hog.id);
+}
+
+// Scheduler preemption: a starved higher-priority submission evicts the
+// running lower-priority job at its next step boundary; the victim is
+// requeued, resumes from its snapshot, and still ends bit-identical.
+TEST(JobEngine, HighPrioritySubmissionEvictsCheapestLowerPriorityRunner) {
+  auto victim = tiny_job("victim", serve::JobKind::kLaser, 3);
+  victim.field.laser_e0 = 0.05;
+  victim.checkpoint_every = 1;
+  const auto ref = solo_trace(victim);
+
+  auto urgent = tiny_job("urgent", serve::JobKind::kAbsorption, 1);
+  urgent.priority = 5;
+  const auto ref_urgent = solo_trace(urgent);
+
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.max_running = 1;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+
+  const auto id_victim = engine.submit(victim);
+  ASSERT_TRUE(id_victim.ok()) << id_victim.message;
+  wait_until_running(engine, id_victim.id);
+  // All slots busy + a strictly-higher-priority job queued -> the scheduler
+  // marks the runner for eviction at its next step boundary.
+  const auto id_urgent = engine.submit(urgent);
+  ASSERT_TRUE(id_urgent.ok()) << id_urgent.message;
+  engine.wait_all();
+
+  const auto u = engine.wait(id_urgent.id);
+  ASSERT_EQ(u.state, serve::JobState::kDone) << u.message;
+  expect_traces_identical(u.trace, ref_urgent, "urgent");
+
+  const auto v = engine.wait(id_victim.id);
+  ASSERT_EQ(v.state, serve::JobState::kDone) << v.message;
+  EXPECT_GE(v.preemptions, 1u);  // the eviction actually happened
+  EXPECT_EQ(v.steps_done, 3u);
+  expect_traces_identical(v.trace, ref, "evicted victim");
+}
+
+// Satellite regression pin: resume-by-name is idempotent. Resuming a job
+// that is queued or running must NOT start a second run against the same
+// checkpoint files; resuming a done job is a no-op kOk.
+TEST(JobEngine, ResumeByNameIsIdempotent) {
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.max_running = 1;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+
+  auto spec = tiny_job("runner", serve::JobKind::kLaser, 2);
+  spec.field.laser_e0 = 0.05;
+  spec.checkpoint_every = 1;
+  const auto id = engine.submit(spec);
+  ASSERT_TRUE(id.ok()) << id.message;
+
+  // Queued-behind job for the cancelled-resume case below.
+  const auto id_q = engine.submit(tiny_job("doomed", serve::JobKind::kAbsorption, 1));
+  ASSERT_TRUE(id_q.ok());
+
+  wait_until_running(engine, id.id);
+  const auto while_running = engine.resume(std::string("runner"));
+  EXPECT_EQ(while_running.error, serve::ErrorCode::kAlreadyActive);
+  EXPECT_EQ(while_running.id, id.id);
+  const auto queued = engine.resume(std::string("doomed"));
+  EXPECT_EQ(queued.error, serve::ErrorCode::kAlreadyActive);
+
+  EXPECT_EQ(engine.cancel(id_q.id), serve::ErrorCode::kOk);
+  EXPECT_EQ(engine.wait(id_q.id).state, serve::JobState::kCancelled);
+  EXPECT_EQ(engine.resume(std::string("doomed")).error, serve::ErrorCode::kNotResumable);
+
+  const auto done = engine.wait(id.id);
+  ASSERT_EQ(done.state, serve::JobState::kDone) << done.message;
+  const auto again = engine.resume(std::string("runner"));
+  EXPECT_EQ(again.error, serve::ErrorCode::kOk);
+  EXPECT_EQ(again.id, id.id);
+  // No-op: still done, nothing requeued.
+  EXPECT_EQ(engine.status(id.id).state, serve::JobState::kDone);
+  EXPECT_EQ(engine.resume(std::string("nope")).error, serve::ErrorCode::kUnknownJob);
+}
+
+TEST(JobEngine, CancelDeletesCheckpointFilesAndIsTerminal) {
+  CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
+  serve::JobEngineOptions eopt;
+  eopt.max_running = 1;
+  eopt.checkpoint_dir = dir.path;
+  serve::JobEngine engine(eopt);
+  const auto id_hog = engine.submit(tiny_job("hog", serve::JobKind::kScf, 0));
+  const auto id = engine.submit(tiny_job("gone", serve::JobKind::kAbsorption, 1));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(std::filesystem::exists(dir.path + "/gone.spec.ckpt"));
+  EXPECT_EQ(engine.cancel(id.id), serve::ErrorCode::kOk);
+  EXPECT_EQ(engine.wait(id.id).state, serve::JobState::kCancelled);
+  EXPECT_FALSE(std::filesystem::exists(dir.path + "/gone.spec.ckpt"));
+  EXPECT_EQ(engine.cancel(id.id), serve::ErrorCode::kOk);  // idempotent
+  engine.wait(id_hog.id);
 }
 
 TEST(JobEngine, CostModelGatesAdmissionButNeverStarves) {
@@ -204,25 +253,106 @@ TEST(JobEngine, CostModelGatesAdmissionButNeverStarves) {
   const auto id1 = engine.submit(spec);
   const auto id2 = engine.submit(tiny_job("other", serve::JobKind::kScf, 0));
   engine.wait_all();
-  const auto s1 = engine.wait(id1);
-  ASSERT_EQ(s1.state, serve::JobState::kDone) << s1.error;
+  const auto s1 = engine.wait(id1.id);
+  ASSERT_EQ(s1.state, serve::JobState::kDone) << s1.message;
   expect_traces_identical(s1.trace, ref, "budgeted");
-  EXPECT_EQ(engine.wait(id2).state, serve::JobState::kDone);
+  EXPECT_EQ(engine.wait(id2.id).state, serve::JobState::kDone);
 }
 
-TEST(JobEngine, RejectsDuplicateNamesAndUnknownIds) {
+// The api_redesign pin: every rejection is a typed ErrorCode, not an
+// exception — in-process callers see exactly what remote clients see.
+TEST(JobEngine, RejectionsAreTypedErrorCodes) {
   CkptDir dir(::testing::UnitTest::GetInstance()->current_test_info()->name());
   serve::JobEngineOptions eopt;
   eopt.checkpoint_dir = dir.path;
   serve::JobEngine engine(eopt);
   auto spec = tiny_job("dup", serve::JobKind::kScf, 0);
   const auto id = engine.submit(spec);
-  EXPECT_THROW(engine.submit(spec), Error);
-  EXPECT_THROW(engine.status(99), Error);
-  EXPECT_THROW(engine.preempt(99), Error);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(engine.submit(spec).error, serve::ErrorCode::kDuplicateName);
+  EXPECT_EQ(engine.status(99).error, serve::ErrorCode::kUnknownJob);
+  EXPECT_EQ(engine.preempt(99), serve::ErrorCode::kUnknownJob);
+  EXPECT_EQ(engine.cancel(99), serve::ErrorCode::kUnknownJob);
+  EXPECT_EQ(engine.resume(static_cast<serve::JobId>(99)).error, serve::ErrorCode::kUnknownJob);
   serve::JobSpec unnamed;
-  EXPECT_THROW(engine.submit(unnamed), Error);
-  engine.wait(id);
+  EXPECT_EQ(engine.submit(unnamed).error, serve::ErrorCode::kInvalidSpec);
+  engine.wait(id.id);
+}
+
+TEST(JobSpec, ValidateRejectsHostileAndUnphysicalSpecs) {
+  const auto ok = tiny_job("fine.job-1", serve::JobKind::kAbsorption, 2);
+  EXPECT_EQ(ok.validate(), serve::ErrorCode::kOk);
+
+  std::string why;
+  auto bad = ok;
+  bad.name = "../../etc/passwd";  // names key checkpoint files: no traversal
+  EXPECT_EQ(bad.validate(&why), serve::ErrorCode::kInvalidSpec);
+
+  bad = ok;
+  bad.name = ".hidden";
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kInvalidSpec);
+
+  bad = ok;
+  bad.name.clear();
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kInvalidSpec);
+
+  bad = ok;
+  bad.name.assign(200, 'x');
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kInvalidSpec);
+
+  bad = ok;
+  bad.steps = -1;
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kInvalidSpec);
+
+  bad = ok;
+  bad.dt_as = 0.0;
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kInvalidSpec);
+
+  bad = ok;
+  bad.sim.cells[1] = 0;
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kInvalidSpec);
+
+  bad = ok;
+  bad.sim.ecut = -3.0;
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kInvalidSpec);
+
+  // Checkpointed MTS is rejected: resume is bit-exact only at the default
+  // per-step exchange cadence.
+  bad = ok;
+  bad.ptcn.mts_interval = 4;
+  bad.checkpoint_every = 1;
+  EXPECT_EQ(bad.validate(&why), serve::ErrorCode::kInvalidSpec);
+  bad.checkpoint_every = 0;
+  EXPECT_EQ(bad.validate(), serve::ErrorCode::kOk);
+}
+
+TEST(JobEngineOptions, FromEnvResolvesEveryServeKnobStrictly) {
+  ::setenv("PWDFT_SERVE_SLOTS", "7", 1);
+  ::setenv("PWDFT_SERVE_CKPT_DIR", "/tmp/pwdft_serve_env_dir", 1);
+  ::setenv("PWDFT_SERVE_RECOVER", "off", 1);
+  auto opt = serve::JobEngineOptions::from_env();
+  EXPECT_EQ(opt.max_running, 7u);
+  EXPECT_EQ(opt.checkpoint_dir, "/tmp/pwdft_serve_env_dir");
+  EXPECT_FALSE(opt.recover_on_start);
+
+  ::setenv("PWDFT_SERVE_RECOVER", "on", 1);
+  EXPECT_TRUE(serve::JobEngineOptions::from_env().recover_on_start);
+
+  ::setenv("PWDFT_SERVE_SLOTS", "many", 1);
+  EXPECT_THROW(serve::JobEngineOptions::from_env(), Error);
+  ::setenv("PWDFT_SERVE_SLOTS", "0", 1);
+  EXPECT_THROW(serve::JobEngineOptions::from_env(), Error);
+  ::setenv("PWDFT_SERVE_SLOTS", "7", 1);
+  ::setenv("PWDFT_SERVE_CKPT_DIR", "", 1);
+  EXPECT_THROW(serve::JobEngineOptions::from_env(), Error);
+
+  ::unsetenv("PWDFT_SERVE_SLOTS");
+  ::unsetenv("PWDFT_SERVE_CKPT_DIR");
+  ::unsetenv("PWDFT_SERVE_RECOVER");
+  const auto def = serve::JobEngineOptions::from_env();
+  EXPECT_EQ(def.max_running, 2u);
+  EXPECT_EQ(def.checkpoint_dir, "/tmp");
+  EXPECT_FALSE(def.recover_on_start);
 }
 
 }  // namespace
