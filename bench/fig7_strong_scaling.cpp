@@ -6,11 +6,17 @@
 // trajectory records (benchmark "fig7_step_time", throughput = steps/s)
 // for the CI perf-smoke artifact.
 
+// The model tables are followed by a *measured* strong-scaling point: one
+// real hybrid PT-CN step on 1 and 2 OS processes over the SocketComm
+// loopback mesh (Si8, reduced cutoff), written as untracked
+// "fig7_socket_step_time" records.
+
 #include <cstdio>
 #include <string>
 
 #include "bench_json.hpp"
 #include "perf/report.hpp"
+#include "socket_step.hpp"
 
 int main(int argc, char** argv) {
   using namespace pwdft;
@@ -25,6 +31,15 @@ int main(int argc, char** argv) {
   std::printf("\n== Fig. 7(b): computation-only per SCF (s, comm excluded) ==\n\n");
   perf::fig7b(model, gpus).print();
 
+  std::printf("\n== Measured: PT-CN step over SocketComm loopback (Si8, Ecut 3) ==\n");
+  std::printf("(strong scaling: 16 bands total, ranks are forked OS processes)\n\n");
+  std::vector<std::pair<int, double>> socket_times;
+  for (int np : {1, 2}) {
+    const double s = benchsock::socket_ptcn_step_seconds(np, /*nb=*/16);
+    if (s > 0) std::printf("  %d process(es): %.3f s/step\n", np, s);
+    socket_times.emplace_back(np, s);
+  }
+
   if (!json_path.empty()) {
     benchjson::Writer json;
     const double t36 = model.ptcn_step_total(36);
@@ -35,6 +50,9 @@ int main(int argc, char** argv) {
       json.add("fig7_parallel_efficiency", "gpus:" + std::to_string(g), 0.0,
                t > 0 ? (t36 * 36.0) / (t * g) : 0.0);
     }
+    for (const auto& [np, s] : socket_times)
+      if (s > 0)
+        json.add("fig7_socket_step_time", "procs:" + std::to_string(np), s, 1.0 / s);
     json.write(json_path);
   }
   return 0;

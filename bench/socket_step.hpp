@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file socket_step.hpp
+/// Real multi-process PT-CN step measurement over SocketComm loopback,
+/// shared by the fig7/fig8 scaling harnesses: forks `np` OS processes,
+/// rendezvouses them through a unix-socket mesh (par::SocketGroup), runs
+/// one hybrid PT-CN step with the bands block-distributed, and returns
+/// rank 0's measured step wall time. This is the same collective path the
+/// paper times on Summit, shrunk to Si8 and loopback sockets — the
+/// numbers position the socket backend against the thread backend, they
+/// do not reproduce the paper's absolute scale.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/timer.hpp"
+#include "ham/hamiltonian.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "parallel/socket_comm.hpp"
+#include "td/field.hpp"
+#include "td/ptcn.hpp"
+
+namespace pwdft::benchsock {
+
+/// One hybrid PT-CN step on `np` forked ranks over SocketComm; returns
+/// rank 0's step seconds, or a negative value if the run could not execute
+/// (no fork/socket support in the sandbox, non-convergence, ...). Never
+/// throws: scaling harnesses must keep producing their model tables even
+/// where multi-process execution is unavailable.
+inline double socket_ptcn_step_seconds(int np, std::size_t nb, double ecut = 3.0) {
+  char path_tmpl[] = "/tmp/pwdft_bench_XXXXXX";
+  const int tmp_fd = ::mkstemp(path_tmpl);
+  if (tmp_fd < 0) return -1.0;
+  ::close(tmp_fd);
+  const std::string result_path = path_tmpl;
+
+  double seconds = -1.0;
+  try {
+    // Deterministic orthonormal start, sliced per rank inside the children.
+    ham::PlanewaveSetup setup(crystal::Crystal::silicon_supercell(1, 1, 1), ecut, 1);
+    CMatrix psi(setup.n_g(), nb);
+    {
+      Rng rng(61);
+      const auto& g2 = setup.sphere.g2();
+      for (std::size_t j = 0; j < nb; ++j)
+        for (std::size_t i = 0; i < setup.n_g(); ++i)
+          psi(i, j) = rng.complex_normal() / (1.0 + g2[i]);
+      CMatrix s = linalg::overlap(psi, psi);
+      linalg::potrf_lower(s);
+      linalg::trsm_right_lower_conj(psi, s);
+    }
+    std::vector<double> occ(nb, 2.0);
+
+    par::SocketGroup::run(np, [&](par::Comm& c) {
+      ham::PlanewaveSetup s(crystal::Crystal::silicon_supercell(1, 1, 1), ecut, 1);
+      ham::HamiltonianOptions hopt;
+      hopt.hybrid.enabled = true;
+      hopt.hybrid.alpha = 0.25;
+      hopt.hybrid.omega = 0.11;
+      hopt.use_nonlocal = true;
+      auto species = pseudo::PseudoSpecies::silicon(true);
+      ham::Hamiltonian hamiltonian(s, species, hopt);
+      par::BlockPartition bands(nb, np);
+      CMatrix psi_loc(s.n_g(), bands.count(c.rank()));
+      for (std::size_t j = 0; j < psi_loc.cols(); ++j)
+        for (std::size_t i = 0; i < s.n_g(); ++i)
+          psi_loc(i, j) = psi(i, bands.offset(c.rank()) + j);
+
+      td::PtCnOptions opt;
+      opt.dt = 1.0;
+      opt.rho_tol = 1e-7;
+      opt.max_scf = 60;
+      opt.sp_comm = false;
+      td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+      td::PtCnPropagator prop(hamiltonian, bands, opt, np);
+      WallTimer t;
+      const auto rep = prop.step(psi_loc, occ, 0.0, kick, c);
+      const double step_s = t.seconds();
+      PWDFT_CHECK(rep.converged, "socket bench: PT-CN step did not converge");
+      if (c.rank() == 0) {
+        std::FILE* f = std::fopen(result_path.c_str(), "w");
+        PWDFT_CHECK(f != nullptr, "socket bench: cannot write " << result_path);
+        std::fprintf(f, "%.9f\n", step_s);
+        std::fclose(f);
+      }
+    });
+
+    if (std::FILE* f = std::fopen(result_path.c_str(), "r")) {
+      if (std::fscanf(f, "%lf", &seconds) != 1) seconds = -1.0;
+      std::fclose(f);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "socket loopback measurement skipped: %s\n", e.what());
+    seconds = -1.0;
+  }
+  ::unlink(result_path.c_str());
+  return seconds;
+}
+
+}  // namespace pwdft::benchsock

@@ -458,6 +458,16 @@ void set_num_threads(std::size_t n) {
   g_pool_ptr.store(g_pool.get(), std::memory_order_release);
 }
 
+void reinit_after_fork() {
+  std::lock_guard<std::mutex> lk(g_pool_mutex);
+  g_pool_ptr.store(nullptr, std::memory_order_release);
+  // Deliberately leak instead of reset(): the destructor joins worker
+  // threads, and in a fork()ed child those threads were never created — a
+  // join would block forever. The leak is one pool object per child
+  // process, reclaimed at _exit.
+  (void)g_pool.release();
+}
+
 std::span<Complex> Workspace::cbuf(Slot s, std::size_t n) {
   auto& v = c_[static_cast<std::size_t>(s)];
   if (v.size() < n) v.resize(n);

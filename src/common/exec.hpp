@@ -327,6 +327,15 @@ std::size_t num_threads();
 /// parallel_for or async task is in flight.
 void set_num_threads(std::size_t n);
 
+/// Drops the inherited engine in a fork()ed child. The child inherits the
+/// parent's ThreadPool object but none of its worker threads, so the first
+/// parallel_for would hang forever on workers that do not exist. Call this
+/// immediately after fork() (par::SocketGroup does): it abandons the dead
+/// pool without joining it — joining threads that never existed in this
+/// process would itself hang — and the next pool() use lazily builds a
+/// fresh one. Single-threaded-child use only; never call it in the parent.
+void reinit_after_fork();
+
 /// Scheduling-policy hook: when true (the default), TaskGraph::replay runs
 /// serially on an oversubscribed pool (engine width > hardware
 /// concurrency) instead of waking workers that have no CPU to run on.

@@ -1,0 +1,904 @@
+#include "parallel/socket_comm.hpp"
+
+#include <dirent.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/env.hpp"
+#include "common/exec.hpp"
+#include "common/frame.hpp"
+#include "common/timer.hpp"
+
+namespace pwdft::par {
+
+namespace {
+
+/// Frame dialect (common/frame.hpp): own magic so a SocketComm rank and a
+/// serve endpoint accidentally cross-wired reject each other's bytes as
+/// kBadMagic instead of misreading them.
+enum class CommMsg : std::uint32_t {
+  kJoin = 1,        ///< rank -> rank 0: u32 rank, u32 nranks, str listener
+  kTable = 2,       ///< rank 0 -> rank: u32 nranks, nranks x str listeners
+  kIdent = 3,       ///< mesh dial: u32 new rank of the dialing peer
+  kCollective = 4,  ///< u64 seq, u32 op, u32 src rank, raw data
+  kP2p = 5,         ///< u32 tag, u32 src rank, raw data
+};
+
+constexpr frame::Protocol kProto{"PWDFTCM", 1, static_cast<std::uint32_t>(CommMsg::kJoin),
+                                 static_cast<std::uint32_t>(CommMsg::kP2p), 1ull << 30};
+
+constexpr std::size_t kCoHeader = 16;  ///< seq + op + src prefix of kCollective
+constexpr std::size_t kP2pHeader = 8;  ///< tag + src prefix of kP2p
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point deadline_from(int timeout_ms) {
+  return Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+  return left > 0 ? static_cast<int>(std::min<long long>(left, 3600000)) : 0;
+}
+
+CommFault fault_of(frame::IoStatus s) {
+  switch (s) {
+    case frame::IoStatus::kOk: return CommFault::kIo;  // not a failure; unreachable
+    case frame::IoStatus::kClosed: return CommFault::kPeerClosed;
+    case frame::IoStatus::kTruncated: return CommFault::kTruncated;
+    case frame::IoStatus::kBadMagic: return CommFault::kProtocol;
+    case frame::IoStatus::kBadType: return CommFault::kProtocol;
+    case frame::IoStatus::kVersionMismatch: return CommFault::kProtocol;
+    case frame::IoStatus::kTooLarge: return CommFault::kProtocol;
+    case frame::IoStatus::kTrailingBytes: return CommFault::kProtocol;
+    case frame::IoStatus::kChecksumMismatch: return CommFault::kCorrupt;
+    case frame::IoStatus::kTimeout: return CommFault::kTimeout;
+    case frame::IoStatus::kIoError: return CommFault::kIo;
+  }
+  return CommFault::kIo;
+}
+
+[[noreturn]] void throw_fault(CommFault f, const std::string& what) {
+  throw CommError(f, "SocketComm: " + what + " [" + comm_fault_name(f) + "]");
+}
+
+[[noreturn]] void throw_io(frame::IoStatus s, const std::string& what) {
+  throw_fault(fault_of(s), what + ": " + frame::io_status_name(s));
+}
+
+void set_sock_opts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);  // no-op on unix sockets
+}
+
+/// Where this communicator (and its dup()/split() offspring) place their
+/// mesh listeners: same transport as the rendezvous address.
+std::string mesh_hint_from(const std::string& rendezvous) {
+  if (rendezvous.rfind("unix:", 0) == 0) {
+    const std::string path = rendezvous.substr(5);
+    const std::size_t slash = path.rfind('/');
+    return "unix:" + (slash == std::string::npos ? std::string(".") : path.substr(0, slash));
+  }
+  if (rendezvous.rfind("tcp:", 0) == 0) {
+    const std::string rest = rendezvous.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon != std::string::npos && colon > 0) return "tcp:" + rest.substr(0, colon);
+  }
+  return "tcp:127.0.0.1";
+}
+
+frame::Listener open_mesh_listener(const std::string& hint) {
+  static std::atomic<std::uint64_t> counter{0};
+  if (hint.rfind("unix:", 0) == 0) {
+    const std::string path = hint.substr(5) + "/m" + std::to_string(::getpid()) + "." +
+                             std::to_string(counter.fetch_add(1));
+    return frame::listen_on("unix:" + path);
+  }
+  return frame::listen_on(hint + ":0");
+}
+
+void close_listener(frame::Listener& l) {
+  if (l.fd >= 0) ::close(l.fd);
+  if (!l.unix_path.empty()) ::unlink(l.unix_path.c_str());
+  l.fd = -1;
+  l.unix_path.clear();
+}
+
+/// Closes the listener on every exit path (a failed handshake must not
+/// leak the fd or the bound unix socket file). close_listener is
+/// idempotent, so the explicit early close in the happy path still works.
+struct ListenerGuard {
+  frame::Listener& l;
+  ~ListenerGuard() { close_listener(l); }
+};
+
+int accept_deadline(int listen_fd, Clock::time_point deadline, const char* what) {
+  for (;;) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int left = remaining_ms(deadline);
+    if (left <= 0) throw_fault(CommFault::kTimeout, std::string(what) + ": accept timed out");
+    const int pr = ::poll(&pfd, 1, left);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw_fault(CommFault::kIo, std::string(what) + ": poll: " + std::strerror(errno));
+    }
+    if (pr == 0) throw_fault(CommFault::kTimeout, std::string(what) + ": accept timed out");
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw_fault(CommFault::kIo, std::string(what) + ": accept: " + std::strerror(errno));
+  }
+}
+
+int dial_deadline(const std::string& address, Clock::time_point deadline, const char* what) {
+  std::string why;
+  for (;;) {
+    const int fd = frame::try_dial(address, &why);
+    if (fd >= 0) return fd;
+    if (remaining_ms(deadline) <= 0)
+      throw_fault(CommFault::kConnect,
+                  std::string(what) + ": connect(" + address + ") failed: " + why);
+    // The listener may simply not exist yet (peers race through the
+    // rendezvous); retry until the deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void append_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  std::uint8_t tmp[4];
+  frame::pack_u32(v, tmp);
+  b.insert(b.end(), tmp, tmp + 4);
+}
+
+void append_str(std::vector<std::uint8_t>& b, const std::string& s) {
+  append_u32(b, static_cast<std::uint32_t>(s.size()));
+  b.insert(b.end(), s.begin(), s.end());
+}
+
+/// Minimal bounds-checked reader for the handshake payloads; any overrun
+/// is a malformed handshake, i.e. kProtocol.
+struct HandshakeReader {
+  const std::uint8_t* p;
+  std::size_t n;
+  std::size_t pos = 0;
+  std::uint32_t u32() {
+    if (n - pos < 4) throw_fault(CommFault::kProtocol, "handshake payload overrun");
+    const std::uint32_t v = frame::unpack_u32(p + pos);
+    pos += 4;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (n - pos < len) throw_fault(CommFault::kProtocol, "handshake payload overrun");
+    std::string s(reinterpret_cast<const char*>(p + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+void send_handshake(int fd, CommMsg type, const std::vector<std::uint8_t>& payload,
+                    const char* what) {
+  const frame::IoStatus st = frame::send_frame(fd, kProto, static_cast<std::uint32_t>(type),
+                                               payload.data(), payload.size());
+  if (st != frame::IoStatus::kOk) throw_io(st, std::string(what) + ": send handshake");
+}
+
+std::vector<std::uint8_t> recv_handshake(int fd, CommMsg want, const char* what) {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+  const frame::IoStatus st = frame::recv_frame(fd, kProto, &type, &payload);
+  if (st != frame::IoStatus::kOk) throw_io(st, std::string(what) + ": recv handshake");
+  if (type != static_cast<std::uint32_t>(want))
+    throw_fault(CommFault::kProtocol, std::string(what) + ": unexpected handshake frame type " +
+                                          std::to_string(type));
+  return payload;
+}
+
+}  // namespace
+
+const char* comm_fault_name(CommFault f) {
+  switch (f) {
+    case CommFault::kTimeout: return "timeout";
+    case CommFault::kPeerClosed: return "peer closed";
+    case CommFault::kTruncated: return "truncated";
+    case CommFault::kCorrupt: return "corrupt frame";
+    case CommFault::kProtocol: return "protocol violation";
+    case CommFault::kConnect: return "connect failed";
+    case CommFault::kIo: return "io error";
+  }
+  return "unknown";
+}
+
+SocketCommOptions SocketCommOptions::from_env() {
+  SocketCommOptions o;
+  o.timeout_ms = static_cast<int>(env::integer("PWDFT_COMM_TIMEOUT_MS", 30000, 1, 3600000));
+  return o;
+}
+
+SocketComm::SocketComm(int rank, std::vector<int> fds, SocketCommOptions opts,
+                       std::string mesh_hint)
+    : rank_(rank), fds_(std::move(fds)), opts_(opts), mesh_hint_(std::move(mesh_hint)) {
+  stash_.resize(fds_.size());
+}
+
+SocketComm::~SocketComm() {
+  for (int fd : fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+std::unique_ptr<SocketComm> SocketComm::connect(int rank, int nranks,
+                                                const std::string& rendezvous,
+                                                const SocketCommOptions& opts) {
+  PWDFT_CHECK(nranks >= 1, "SocketComm: need at least one rank");
+  PWDFT_CHECK(rank >= 0 && rank < nranks,
+              "SocketComm: rank " << rank << " outside [0, " << nranks << ")");
+  const std::string hint = mesh_hint_from(rendezvous);
+  if (nranks == 1)
+    return std::unique_ptr<SocketComm>(
+        new SocketComm(0, std::vector<int>{-1}, opts, hint));
+
+  const auto deadline = deadline_from(opts.timeout_ms);
+  std::vector<int> fds(nranks, -1);
+
+  if (rank == 0) {
+    frame::Listener rv = frame::listen_on(rendezvous);
+    ListenerGuard rv_guard{rv};
+    std::vector<std::string> addrs(nranks);
+    for (int joined = 1; joined < nranks; ++joined) {
+      const int fd = accept_deadline(rv.fd, deadline, "rendezvous");
+      set_sock_opts(fd, opts.timeout_ms);
+      const std::vector<std::uint8_t> pay = recv_handshake(fd, CommMsg::kJoin, "rendezvous");
+      HandshakeReader in{pay.data(), pay.size()};
+      const std::uint32_t r = in.u32();
+      const std::uint32_t n = in.u32();
+      const std::string addr = in.str();
+      if (n != static_cast<std::uint32_t>(nranks))
+        throw_fault(CommFault::kProtocol, "rendezvous: peer expects " + std::to_string(n) +
+                                              " ranks, this rank expects " +
+                                              std::to_string(nranks));
+      if (r < 1 || r >= static_cast<std::uint32_t>(nranks) || fds[r] != -1)
+        throw_fault(CommFault::kProtocol, "rendezvous: duplicate or bad rank " +
+                                              std::to_string(r) + " joined");
+      fds[r] = fd;
+      addrs[r] = addr;
+    }
+    close_listener(rv);
+    std::vector<std::uint8_t> table;
+    append_u32(table, static_cast<std::uint32_t>(nranks));
+    for (const std::string& a : addrs) append_str(table, a);
+    for (int r = 1; r < nranks; ++r) send_handshake(fds[r], CommMsg::kTable, table, "rendezvous");
+  } else {
+    // The peer mesh among ranks >= 1: rank j accepts from ranks > j and
+    // dials ranks in [1, j); the (0, j) edges are the join connections.
+    frame::Listener mesh = open_mesh_listener(hint);
+    ListenerGuard mesh_guard{mesh};
+    const int fd0 = dial_deadline(rendezvous, deadline, "rendezvous");
+    set_sock_opts(fd0, opts.timeout_ms);
+    std::vector<std::uint8_t> join;
+    append_u32(join, static_cast<std::uint32_t>(rank));
+    append_u32(join, static_cast<std::uint32_t>(nranks));
+    append_str(join, mesh.address);
+    send_handshake(fd0, CommMsg::kJoin, join, "rendezvous");
+    const std::vector<std::uint8_t> pay = recv_handshake(fd0, CommMsg::kTable, "rendezvous");
+    HandshakeReader in{pay.data(), pay.size()};
+    const std::uint32_t n = in.u32();
+    if (n != static_cast<std::uint32_t>(nranks))
+      throw_fault(CommFault::kProtocol, "rendezvous: table size mismatch");
+    std::vector<std::string> addrs(nranks);
+    for (int r = 0; r < nranks; ++r) addrs[r] = in.str();
+    fds[0] = fd0;
+
+    for (int b = 1; b < rank; ++b) {
+      fds[b] = dial_deadline(addrs[b], deadline, "mesh");
+      set_sock_opts(fds[b], opts.timeout_ms);
+      std::vector<std::uint8_t> ident;
+      append_u32(ident, static_cast<std::uint32_t>(rank));
+      send_handshake(fds[b], CommMsg::kIdent, ident, "mesh");
+    }
+    for (int count = rank + 1; count < nranks; ++count) {
+      const int fd = accept_deadline(mesh.fd, deadline, "mesh");
+      set_sock_opts(fd, opts.timeout_ms);
+      const std::vector<std::uint8_t> ip = recv_handshake(fd, CommMsg::kIdent, "mesh");
+      HandshakeReader ir{ip.data(), ip.size()};
+      const std::uint32_t r = ir.u32();
+      if (r <= static_cast<std::uint32_t>(rank) || r >= static_cast<std::uint32_t>(nranks) ||
+          fds[r] != -1)
+        throw_fault(CommFault::kProtocol,
+                    "mesh: duplicate or bad peer rank " + std::to_string(r));
+      fds[r] = fd;
+    }
+    close_listener(mesh);
+  }
+  return std::unique_ptr<SocketComm>(new SocketComm(rank, std::move(fds), opts, hint));
+}
+
+std::unique_ptr<SocketComm> SocketComm::connect_env() {
+  const SocketCommOptions opts = SocketCommOptions::from_env();
+  const long nranks = env::integer("PWDFT_RANKS", 1, 1, 4096);
+  const long rank = env::integer("PWDFT_RANK", 0, 0, nranks - 1);
+  const std::string listen = env::text("PWDFT_COMM_LISTEN", "tcp:127.0.0.1:0");
+  PWDFT_CHECK(nranks == 1 || listen != "tcp:127.0.0.1:0",
+              "SocketComm: PWDFT_COMM_LISTEN must name a fixed rendezvous address when "
+              "PWDFT_RANKS > 1 (every rank must dial the same address)");
+  return connect(static_cast<int>(rank), static_cast<int>(nranks), listen, opts);
+}
+
+// --- collective frame plumbing ---------------------------------------------
+
+void SocketComm::send_collective(int dst, CommOp op, const unsigned char* data, std::size_t n) {
+  std::vector<std::uint8_t> pay(kCoHeader + n);
+  frame::pack_u64(seq_, pay.data());
+  frame::pack_u32(static_cast<std::uint32_t>(op), pay.data() + 8);
+  frame::pack_u32(static_cast<std::uint32_t>(rank_), pay.data() + 12);
+  if (n > 0) std::memcpy(pay.data() + kCoHeader, data, n);
+  std::vector<std::uint8_t> f =
+      frame::encode(kProto, static_cast<std::uint32_t>(CommMsg::kCollective), pay.data(),
+                    pay.size());
+  if (inject_ == Inject::kFlipPayloadByte) {
+    // Damage after encoding: the frame parses but its checksum no longer
+    // matches, which the peer must report as kCorrupt.
+    f[frame::kHeaderBytes] ^= 0x01;
+    inject_ = Inject::kNone;
+  } else if (inject_ == Inject::kTruncateFrame) {
+    inject_ = Inject::kNone;
+    const frame::IoStatus st = frame::write_all(fds_[dst], f.data(), f.size() / 2);
+    ::shutdown(fds_[dst], SHUT_WR);  // peer sees EOF mid-frame: kTruncated
+    if (st != frame::IoStatus::kOk)
+      throw_io(st, "send to rank " + std::to_string(dst) + " (injected truncation)");
+    return;
+  }
+  const frame::IoStatus st = frame::write_all(fds_[dst], f.data(), f.size());
+  if (st != frame::IoStatus::kOk)
+    throw_io(st, std::string(comm_op_name(op)) + ": send to rank " + std::to_string(dst));
+}
+
+std::vector<std::uint8_t> SocketComm::recv_collective(int src, CommOp op, std::size_t expect) {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> pay;
+  const frame::IoStatus st = frame::recv_frame(fds_[src], kProto, &type, &pay);
+  const std::string ctx =
+      std::string(comm_op_name(op)) + ": recv from rank " + std::to_string(src);
+  if (st != frame::IoStatus::kOk) throw_io(st, ctx);
+  if (type != static_cast<std::uint32_t>(CommMsg::kCollective) || pay.size() < kCoHeader)
+    throw_fault(CommFault::kProtocol, ctx + ": not a collective frame");
+  const std::uint64_t seq = frame::unpack_u64(pay.data());
+  const std::uint32_t fop = frame::unpack_u32(pay.data() + 8);
+  const std::uint32_t fsrc = frame::unpack_u32(pay.data() + 12);
+  if (seq != seq_ || fop != static_cast<std::uint32_t>(op) ||
+      fsrc != static_cast<std::uint32_t>(src))
+    throw_fault(CommFault::kProtocol,
+                ctx + ": frame from collective #" + std::to_string(seq) + " op " +
+                    std::to_string(fop) + ", expected #" + std::to_string(seq_) +
+                    " (ranks out of step?)");
+  if (pay.size() - kCoHeader != expect)
+    throw_fault(CommFault::kProtocol, ctx + ": rank " + std::to_string(src) + " sent " +
+                                          std::to_string(pay.size() - kCoHeader) +
+                                          " bytes, expected " + std::to_string(expect));
+  return pay;
+}
+
+void SocketComm::duplex_exchange(int dst, const std::uint8_t* out, std::size_t out_n, int src,
+                                 std::uint8_t* in, std::size_t in_n) {
+  const int out_fd = fds_[dst];
+  const int in_fd = fds_[src];
+  const auto deadline = deadline_from(opts_.timeout_ms);
+  std::size_t wr = 0, rd = 0;
+  while (wr < out_n || rd < in_n) {
+    pollfd pfd[2];
+    int nf = 0, wi = -1, ri = -1;
+    if (wr < out_n) {
+      pfd[nf] = {out_fd, POLLOUT, 0};
+      wi = nf++;
+    }
+    if (rd < in_n) {
+      if (wi >= 0 && in_fd == out_fd) {
+        pfd[wi].events |= POLLIN;
+        ri = wi;
+      } else {
+        pfd[nf] = {in_fd, POLLIN, 0};
+        ri = nf++;
+      }
+    }
+    const int left = remaining_ms(deadline);
+    if (left <= 0) throw_fault(CommFault::kTimeout, "alltoallv: exchange timed out");
+    const int pr = ::poll(pfd, static_cast<nfds_t>(nf), left);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw_fault(CommFault::kIo, std::string("alltoallv: poll: ") + std::strerror(errno));
+    }
+    if (pr == 0) throw_fault(CommFault::kTimeout, "alltoallv: exchange timed out");
+    if (wi >= 0 && (pfd[wi].revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+      const ssize_t w = ::send(out_fd, out + wr, out_n - wr, MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+          if (errno == EPIPE || errno == ECONNRESET)
+            throw_fault(CommFault::kPeerClosed,
+                        "alltoallv: rank " + std::to_string(dst) + " went away mid-exchange");
+          throw_fault(CommFault::kIo, std::string("alltoallv: send: ") + std::strerror(errno));
+        }
+      } else {
+        wr += static_cast<std::size_t>(w);
+      }
+    }
+    if (ri >= 0 && (pfd[ri].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      const ssize_t r = ::recv(in_fd, in + rd, in_n - rd, MSG_DONTWAIT);
+      if (r < 0) {
+        if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)
+          throw_fault(CommFault::kIo, std::string("alltoallv: recv: ") + std::strerror(errno));
+      } else if (r == 0) {
+        throw_fault(rd == 0 ? CommFault::kPeerClosed : CommFault::kTruncated,
+                    "alltoallv: rank " + std::to_string(src) + " closed mid-exchange");
+      } else {
+        rd += static_cast<std::size_t>(r);
+      }
+    }
+  }
+}
+
+// --- collectives -----------------------------------------------------------
+
+void SocketComm::barrier() {
+  WallTimer t;
+  ++seq_;
+  const int np = size();
+  if (np > 1) {
+    // Hub rendezvous on rank 0: arrivals in rank order, then releases. A
+    // rank can only pass once every rank has arrived — the barrier
+    // property — and every blocking read is timeout-bounded.
+    if (rank_ == 0) {
+      for (int r = 1; r < np; ++r) recv_collective(r, CommOp::kBarrier, 0);
+      for (int r = 1; r < np; ++r) send_collective(r, CommOp::kBarrier, nullptr, 0);
+    } else {
+      send_collective(0, CommOp::kBarrier, nullptr, 0);
+      recv_collective(0, CommOp::kBarrier, 0);
+    }
+  }
+  stats_.add(CommOp::kBarrier, 0, t.seconds());
+}
+
+void SocketComm::bcast_bytes(void* data, std::size_t bytes, int root) {
+  PWDFT_CHECK(root >= 0 && root < size(), "bcast: root out of range");
+  WallTimer t;
+  ++seq_;
+  if (size() > 1) {
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r)
+        if (r != root)
+          send_collective(r, CommOp::kBcast, static_cast<const unsigned char*>(data), bytes);
+    } else {
+      const std::vector<std::uint8_t> pay = recv_collective(root, CommOp::kBcast, bytes);
+      std::memcpy(data, pay.data() + kCoHeader, bytes);
+    }
+  }
+  stats_.add(CommOp::kBcast, rank_ == root ? 0 : bytes, t.seconds());
+}
+
+template <typename T>
+void SocketComm::allreduce_sum_impl(T* data, std::size_t count) {
+  WallTimer t;
+  ++seq_;
+  const int np = size();
+  const std::size_t bytes = count * sizeof(T);
+  if (np > 1) {
+    if (rank_ == 0) {
+      // Zero-initialized accumulator folded in rank order 0..P-1: the
+      // identical summation order — and therefore identical bits — as
+      // ThreadComm::allreduce_sum_impl. Do not reassociate.
+      std::vector<T> acc(count, T{});
+      for (std::size_t i = 0; i < count; ++i) acc[i] += data[i];
+      for (int r = 1; r < np; ++r) {
+        const std::vector<std::uint8_t> pay = recv_collective(r, CommOp::kAllreduce, bytes);
+        const T* src = reinterpret_cast<const T*>(pay.data() + kCoHeader);
+        for (std::size_t i = 0; i < count; ++i) acc[i] += src[i];
+      }
+      std::memcpy(data, acc.data(), bytes);
+      for (int r = 1; r < np; ++r)
+        send_collective(r, CommOp::kAllreduce, reinterpret_cast<const unsigned char*>(data),
+                        bytes);
+    } else {
+      send_collective(0, CommOp::kAllreduce, reinterpret_cast<const unsigned char*>(data),
+                      bytes);
+      const std::vector<std::uint8_t> pay = recv_collective(0, CommOp::kAllreduce, bytes);
+      std::memcpy(data, pay.data() + kCoHeader, bytes);
+    }
+  }
+  stats_.add(CommOp::kAllreduce, bytes, t.seconds());
+}
+
+void SocketComm::allreduce_sum(double* data, std::size_t count) {
+  allreduce_sum_impl(data, count);
+}
+
+void SocketComm::allreduce_sum(Complex* data, std::size_t count) {
+  allreduce_sum_impl(data, count);
+}
+
+void SocketComm::allgatherv_bytes(const unsigned char* send, std::size_t send_bytes,
+                                  unsigned char* recv, const std::size_t* recv_counts,
+                                  const std::size_t* recv_displs) {
+  WallTimer t;
+  ++seq_;
+  const int np = size();
+  PWDFT_CHECK(send_bytes == recv_counts[rank_],
+              "allgatherv: count mismatch from rank " << rank_);
+  std::vector<std::size_t> off(np + 1, 0);
+  for (int r = 0; r < np; ++r) off[r + 1] = off[r] + recv_counts[r];
+  const std::size_t total = off[np];
+  if (np > 1) {
+    if (rank_ == 0) {
+      // Gather every block in rank order, then ship the concatenation to
+      // each peer; receivers scatter it through their own displacements.
+      std::vector<std::uint8_t> all(total);
+      std::memcpy(all.data() + off[0], send, send_bytes);
+      for (int r = 1; r < np; ++r) {
+        const std::vector<std::uint8_t> pay =
+            recv_collective(r, CommOp::kAllgatherv, recv_counts[r]);
+        std::memcpy(all.data() + off[r], pay.data() + kCoHeader, recv_counts[r]);
+      }
+      for (int r = 1; r < np; ++r)
+        send_collective(r, CommOp::kAllgatherv, all.data(), total);
+      for (int r = 0; r < np; ++r)
+        std::memcpy(recv + recv_displs[r], all.data() + off[r], recv_counts[r]);
+    } else {
+      send_collective(0, CommOp::kAllgatherv, send, send_bytes);
+      const std::vector<std::uint8_t> pay = recv_collective(0, CommOp::kAllgatherv, total);
+      for (int r = 0; r < np; ++r)
+        std::memcpy(recv + recv_displs[r], pay.data() + kCoHeader + off[r], recv_counts[r]);
+    }
+  } else {
+    std::memcpy(recv + recv_displs[0], send, send_bytes);
+  }
+  stats_.add(CommOp::kAllgatherv, total - recv_counts[rank_], t.seconds());
+}
+
+void SocketComm::alltoallv_bytes(const unsigned char* send, const std::size_t* send_counts,
+                                 const std::size_t* send_displs, unsigned char* recv,
+                                 const std::size_t* recv_counts,
+                                 const std::size_t* recv_displs) {
+  WallTimer t;
+  ++seq_;
+  const int np = size();
+  PWDFT_CHECK(send_counts[rank_] == recv_counts[rank_],
+              "alltoallv: rank " << rank_ << " sends " << send_counts[rank_]
+                                 << " bytes to itself, expected " << recv_counts[rank_]);
+  std::memcpy(recv + recv_displs[rank_], send + send_displs[rank_], send_counts[rank_]);
+  std::size_t received = 0;
+  // Ring schedule: round k pairs every rank with distinct peers (send to
+  // rank+k, receive from rank-k), and the exchange itself is poll-driven
+  // full duplex — neither side can block the other into a send/send
+  // deadlock on large payloads.
+  for (int k = 1; k < np; ++k) {
+    const int dst = (rank_ + k) % np;
+    const int src = (rank_ + np - k) % np;
+    std::vector<std::uint8_t> pay(kCoHeader + send_counts[dst]);
+    frame::pack_u64(seq_, pay.data());
+    frame::pack_u32(static_cast<std::uint32_t>(CommOp::kAlltoallv), pay.data() + 8);
+    frame::pack_u32(static_cast<std::uint32_t>(rank_), pay.data() + 12);
+    if (send_counts[dst] > 0)
+      std::memcpy(pay.data() + kCoHeader, send + send_displs[dst], send_counts[dst]);
+    const std::vector<std::uint8_t> out =
+        frame::encode(kProto, static_cast<std::uint32_t>(CommMsg::kCollective), pay.data(),
+                      pay.size());
+    const std::size_t in_n =
+        frame::kHeaderBytes + kCoHeader + recv_counts[src] + frame::kFooterBytes;
+    std::vector<std::uint8_t> in(in_n);
+    duplex_exchange(dst, out.data(), out.size(), src, in.data(), in_n);
+
+    std::uint32_t type = 0;
+    std::vector<std::uint8_t> got;
+    const frame::IoStatus st = frame::decode(kProto, in.data(), in.size(), &type, &got);
+    const std::string ctx = "alltoallv: frame from rank " + std::to_string(src);
+    if (st != frame::IoStatus::kOk) throw_io(st, ctx);
+    if (type != static_cast<std::uint32_t>(CommMsg::kCollective) || got.size() < kCoHeader)
+      throw_fault(CommFault::kProtocol, ctx + ": not a collective frame");
+    if (frame::unpack_u64(got.data()) != seq_ ||
+        frame::unpack_u32(got.data() + 8) != static_cast<std::uint32_t>(CommOp::kAlltoallv) ||
+        frame::unpack_u32(got.data() + 12) != static_cast<std::uint32_t>(src))
+      throw_fault(CommFault::kProtocol, ctx + ": ranks out of step");
+    std::memcpy(recv + recv_displs[src], got.data() + kCoHeader, recv_counts[src]);
+    received += recv_counts[src];
+  }
+  stats_.add(CommOp::kAlltoallv, received, t.seconds());
+}
+
+// --- point-to-point --------------------------------------------------------
+
+void SocketComm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
+  PWDFT_CHECK(dest >= 0 && dest < size() && dest != rank_, "send: bad destination");
+  WallTimer t;
+  std::vector<std::uint8_t> pay(kP2pHeader + bytes);
+  frame::pack_u32(static_cast<std::uint32_t>(tag), pay.data());
+  frame::pack_u32(static_cast<std::uint32_t>(rank_), pay.data() + 4);
+  if (bytes > 0) std::memcpy(pay.data() + kP2pHeader, data, bytes);
+  const frame::IoStatus st = frame::send_frame(
+      fds_[dest], kProto, static_cast<std::uint32_t>(CommMsg::kP2p), pay.data(), pay.size());
+  if (st != frame::IoStatus::kOk) throw_io(st, "send to rank " + std::to_string(dest));
+  stats_.add(CommOp::kSendRecv, bytes, t.seconds());
+}
+
+void SocketComm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
+  PWDFT_CHECK(src >= 0 && src < size() && src != rank_, "recv: bad source");
+  WallTimer t;
+  const std::uint32_t want = static_cast<std::uint32_t>(tag);
+  auto& parked = stash_[src];
+  const auto deliver = [&](const std::vector<std::uint8_t>& body) {
+    if (body.size() != bytes)
+      throw_fault(CommFault::kProtocol, "recv: size mismatch (sent " +
+                                            std::to_string(body.size()) + ", expected " +
+                                            std::to_string(bytes) + ")");
+    if (bytes > 0) std::memcpy(data, body.data(), bytes);
+  };
+  for (std::size_t i = 0; i < parked.size(); ++i) {
+    if (parked[i].first == want) {
+      deliver(parked[i].second);
+      parked.erase(parked.begin() + static_cast<std::ptrdiff_t>(i));
+      stats_.add(CommOp::kSendRecv, bytes, t.seconds());
+      return;
+    }
+  }
+  for (;;) {
+    std::uint32_t type = 0;
+    std::vector<std::uint8_t> pay;
+    const frame::IoStatus st = frame::recv_frame(fds_[src], kProto, &type, &pay);
+    const std::string ctx = "recv from rank " + std::to_string(src);
+    if (st != frame::IoStatus::kOk) throw_io(st, ctx);
+    if (type != static_cast<std::uint32_t>(CommMsg::kP2p) || pay.size() < kP2pHeader)
+      throw_fault(CommFault::kProtocol, ctx + ": expected a point-to-point frame");
+    const std::uint32_t ftag = frame::unpack_u32(pay.data());
+    if (frame::unpack_u32(pay.data() + 4) != static_cast<std::uint32_t>(src))
+      throw_fault(CommFault::kProtocol, ctx + ": frame claims a different source");
+    std::vector<std::uint8_t> body(pay.begin() + kP2pHeader, pay.end());
+    if (ftag == want) {
+      deliver(body);
+      stats_.add(CommOp::kSendRecv, bytes, t.seconds());
+      return;
+    }
+    if (parked.size() >= 1024)
+      throw_fault(CommFault::kProtocol, ctx + ": out-of-order message stash overflow");
+    parked.emplace_back(ftag, std::move(body));
+  }
+}
+
+// --- dup / split -----------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> SocketComm::allgather_var(
+    const std::vector<std::uint8_t>& mine) {
+  const int np = size();
+  std::vector<std::uint8_t> lens(static_cast<std::size_t>(np) * 8);
+  std::uint8_t mylen[8];
+  frame::pack_u64(mine.size(), mylen);
+  std::vector<std::size_t> counts(np, 8), displs(np);
+  for (int r = 0; r < np; ++r) displs[r] = static_cast<std::size_t>(r) * 8;
+  allgatherv_bytes(mylen, 8, lens.data(), counts.data(), displs.data());
+  std::size_t total = 0;
+  for (int r = 0; r < np; ++r) {
+    counts[r] = frame::unpack_u64(lens.data() + static_cast<std::size_t>(r) * 8);
+    displs[r] = total;
+    total += counts[r];
+  }
+  std::vector<std::uint8_t> all(total);
+  allgatherv_bytes(mine.data(), mine.size(), all.data(), counts.data(), displs.data());
+  std::vector<std::vector<std::uint8_t>> out(np);
+  for (int r = 0; r < np; ++r)
+    out[r].assign(all.begin() + static_cast<std::ptrdiff_t>(displs[r]),
+                  all.begin() + static_cast<std::ptrdiff_t>(displs[r] + counts[r]));
+  return out;
+}
+
+std::vector<std::string> SocketComm::allgather_addresses(const std::string& mine) {
+  const std::vector<std::vector<std::uint8_t>> blobs =
+      allgather_var(std::vector<std::uint8_t>(mine.begin(), mine.end()));
+  std::vector<std::string> out(blobs.size());
+  for (std::size_t r = 0; r < blobs.size(); ++r)
+    out[r].assign(blobs[r].begin(), blobs[r].end());
+  return out;
+}
+
+std::vector<int> SocketComm::build_mesh(int my_rank, const std::vector<std::string>& addrs,
+                                        int listen_fd) {
+  const int nmem = static_cast<int>(addrs.size());
+  const auto deadline = deadline_from(opts_.timeout_ms);
+  std::vector<int> fds(nmem, -1);
+  // Dial-lower / accept-higher: dials complete against the peer's listen
+  // backlog even before it reaches accept(), so the order is deadlock-free.
+  for (int b = 0; b < my_rank; ++b) {
+    fds[b] = dial_deadline(addrs[b], deadline, "mesh");
+    set_sock_opts(fds[b], opts_.timeout_ms);
+    std::vector<std::uint8_t> ident;
+    append_u32(ident, static_cast<std::uint32_t>(my_rank));
+    send_handshake(fds[b], CommMsg::kIdent, ident, "mesh");
+  }
+  for (int count = my_rank + 1; count < nmem; ++count) {
+    const int fd = accept_deadline(listen_fd, deadline, "mesh");
+    set_sock_opts(fd, opts_.timeout_ms);
+    const std::vector<std::uint8_t> pay = recv_handshake(fd, CommMsg::kIdent, "mesh");
+    HandshakeReader in{pay.data(), pay.size()};
+    const std::uint32_t r = in.u32();
+    if (r <= static_cast<std::uint32_t>(my_rank) || r >= static_cast<std::uint32_t>(nmem) ||
+        fds[r] != -1)
+      throw_fault(CommFault::kProtocol, "mesh: duplicate or bad peer rank " + std::to_string(r));
+    fds[r] = fd;
+  }
+  return fds;
+}
+
+std::unique_ptr<Comm> SocketComm::dup() {
+  if (size() == 1)
+    return std::unique_ptr<SocketComm>(
+        new SocketComm(0, std::vector<int>{-1}, opts_, mesh_hint_));
+  frame::Listener mesh = open_mesh_listener(mesh_hint_);
+  ListenerGuard mesh_guard{mesh};
+  // Publish every rank's fresh listener over the parent, then rebuild the
+  // full mesh on new sockets — an independent rendezvous domain.
+  const std::vector<std::string> addrs = allgather_addresses(mesh.address);
+  std::vector<int> fds = build_mesh(rank_, addrs, mesh.fd);
+  close_listener(mesh);
+  return std::unique_ptr<SocketComm>(new SocketComm(rank_, std::move(fds), opts_, mesh_hint_));
+}
+
+std::unique_ptr<Comm> SocketComm::split(int color, int key) {
+  frame::Listener mesh = open_mesh_listener(mesh_hint_);
+  ListenerGuard mesh_guard{mesh};
+  // Publish (color, key, listener address) from every rank over the parent.
+  std::vector<std::uint8_t> mine;
+  append_u32(mine, static_cast<std::uint32_t>(color));
+  append_u32(mine, static_cast<std::uint32_t>(key));
+  append_str(mine, mesh.address);
+  const std::vector<std::vector<std::uint8_t>> blobs = allgather_var(mine);
+
+  // Members of my color ordered by (key, parent rank) — the MPI_Comm_split
+  // rank rule, identical to ThreadComm::split.
+  struct Member {
+    int key;
+    int parent;
+    std::string addr;
+  };
+  std::vector<Member> members;
+  for (int r = 0; r < size(); ++r) {
+    HandshakeReader in{blobs[r].data(), blobs[r].size()};
+    const int c = static_cast<int>(in.u32());
+    const int k = static_cast<int>(in.u32());
+    const std::string addr = in.str();
+    if (c == color) members.push_back({k, r, addr});
+  }
+  std::sort(members.begin(), members.end(), [](const Member& a, const Member& b) {
+    return a.key != b.key ? a.key < b.key : a.parent < b.parent;
+  });
+  int new_rank = -1;
+  std::vector<std::string> addrs;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    addrs.push_back(members[i].addr);
+    if (members[i].parent == rank_) new_rank = static_cast<int>(i);
+  }
+  PWDFT_CHECK(new_rank >= 0, "split: rank not in its own color group");
+
+  std::vector<int> fds = members.size() == 1 ? std::vector<int>{-1}
+                                             : build_mesh(new_rank, addrs, mesh.fd);
+  close_listener(mesh);
+  return std::unique_ptr<SocketComm>(
+      new SocketComm(new_rank, std::move(fds), opts_, mesh_hint_));
+}
+
+// --- SocketGroup -----------------------------------------------------------
+
+namespace {
+
+void remove_tree(const std::string& dir) {
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace
+
+std::vector<SocketGroup::RankExit> SocketGroup::run_collect(int nranks, const RankFn& fn,
+                                                            int timeout_sec) {
+  PWDFT_CHECK(nranks >= 1, "SocketGroup: need at least one rank");
+  char tmpl[] = "/tmp/pwdft_sg_XXXXXX";
+  PWDFT_CHECK(::mkdtemp(tmpl) != nullptr,
+              "SocketGroup: mkdtemp failed: " << std::strerror(errno));
+  const std::string dir = tmpl;
+  const std::string rendezvous = "unix:" + dir + "/rv";
+
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<pid_t> pids(nranks, -1);
+  for (int r = 0; r < nranks; ++r) {
+    const pid_t pid = ::fork();
+    PWDFT_CHECK(pid >= 0, "SocketGroup: fork failed: " << std::strerror(errno));
+    if (pid == 0) {
+      // Child: the inherited thread pool has no workers here; drop it
+      // before anything can touch parallel_for.
+      exec::reinit_after_fork();
+      int code = 0;
+      try {
+        const auto comm = SocketComm::connect(r, nranks, rendezvous,
+                                              SocketCommOptions::from_env());
+        fn(*comm);
+      } catch (const CommError& e) {
+        std::fprintf(stderr, "[SocketGroup rank %d] %s\n", r, e.what());
+        code = 4;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "[SocketGroup rank %d] %s\n", r, e.what());
+        code = 3;
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      ::_exit(code);  // skip parent atexit handlers / static destructors
+    }
+    pids[r] = pid;
+  }
+
+  std::vector<RankExit> exits(nranks);
+  std::vector<bool> reaped(nranks, false);
+  const auto deadline = deadline_from(timeout_sec * 1000);
+  int live = nranks;
+  bool killed = false;
+  while (live > 0) {
+    for (int r = 0; r < nranks; ++r) {
+      if (reaped[r]) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(pids[r], &status, WNOHANG);
+      if (got == pids[r]) {
+        reaped[r] = true;
+        --live;
+        if (WIFEXITED(status)) {
+          exits[r].code = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+          exits[r].signaled = true;
+          exits[r].code = WTERMSIG(status);
+          exits[r].timed_out = killed;
+        }
+      }
+    }
+    if (live == 0) break;
+    if (!killed && remaining_ms(deadline) <= 0) {
+      // Deadline: a wedged collective must fail the test, not stall it.
+      killed = true;
+      for (int r = 0; r < nranks; ++r)
+        if (!reaped[r]) ::kill(pids[r], SIGKILL);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  remove_tree(dir);
+  return exits;
+}
+
+void SocketGroup::run(int nranks, const RankFn& fn, int timeout_sec) {
+  const std::vector<RankExit> exits = run_collect(nranks, fn, timeout_sec);
+  std::string bad;
+  for (int r = 0; r < nranks; ++r) {
+    const RankExit& e = exits[r];
+    if (!e.signaled && e.code == 0) continue;
+    bad += " rank " + std::to_string(r) +
+           (e.timed_out ? " killed at the deadline"
+            : e.signaled ? " died on signal " + std::to_string(e.code)
+                         : " exited " + std::to_string(e.code));
+  }
+  PWDFT_CHECK(bad.empty(), "SocketGroup: " << nranks << "-rank run failed:" << bad);
+}
+
+}  // namespace pwdft::par

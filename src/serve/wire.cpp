@@ -1,82 +1,48 @@
 #include "serve/wire.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <bit>
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "common/check.hpp"
+#include "common/frame.hpp"
 
 namespace pwdft::serve::wire {
 
 namespace {
 
-static_assert(std::endian::native == std::endian::little,
-              "wire format is little-endian; big-endian hosts need byte swaps");
+static_assert(kFrameHeaderBytes == frame::kHeaderBytes &&
+                  kFrameFooterBytes == frame::kFooterBytes,
+              "serve frames use the shared frame layout");
 
-// Same FNV-1a-64 as io/checkpoint.cpp: one hashing discipline per repo.
-struct Fnv1a {
-  std::uint64_t h = 1469598103934665603ull;
-  void update(const void* p, std::size_t n) {
-    const auto* b = static_cast<const unsigned char*>(p);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= b[i];
-      h *= 1099511628211ull;
-    }
+/// The serve dialect of the shared frame codec (common/frame.hpp). The
+/// byte format predates the shared module; the prefix and version byte are
+/// wire-stable.
+frame::Protocol protocol(std::uint64_t max_payload) {
+  return {"PWDFTNW", kProtocolVersion, static_cast<std::uint32_t>(MsgType::kHello),
+          static_cast<std::uint32_t>(MsgType::kSpecSnapshot), max_payload};
+}
+
+/// Collapses the shared transport statuses onto the wire-stable serve error
+/// enum. kTimeout cannot occur (serve sets no socket timeouts) but maps to
+/// kIoError rather than a default: the switch stays total.
+ErrorCode to_error(frame::IoStatus s) {
+  switch (s) {
+    case frame::IoStatus::kOk: return ErrorCode::kOk;
+    case frame::IoStatus::kClosed: return ErrorCode::kClosed;
+    case frame::IoStatus::kTruncated: return ErrorCode::kTruncated;
+    case frame::IoStatus::kBadMagic: return ErrorCode::kBadFrame;
+    case frame::IoStatus::kBadType: return ErrorCode::kBadFrame;
+    case frame::IoStatus::kVersionMismatch: return ErrorCode::kVersionMismatch;
+    case frame::IoStatus::kTooLarge: return ErrorCode::kFrameTooLarge;
+    case frame::IoStatus::kTrailingBytes: return ErrorCode::kBadFrame;
+    case frame::IoStatus::kChecksumMismatch: return ErrorCode::kChecksumMismatch;
+    case frame::IoStatus::kTimeout: return ErrorCode::kIoError;
+    case frame::IoStatus::kIoError: return ErrorCode::kIoError;
   }
-};
-
-void pack_u64(std::uint64_t v, std::uint8_t out[8]) {
-  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
-}
-
-std::uint64_t unpack_u64(const std::uint8_t in[8]) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
-  return v;
-}
-
-void pack_u32(std::uint32_t v, std::uint8_t out[4]) {
-  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
-}
-
-std::uint32_t unpack_u32(const std::uint8_t in[4]) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
-  return v;
-}
-
-constexpr char kMagicPrefix[7] = {'P', 'W', 'D', 'F', 'T', 'N', 'W'};
-
-void write_header(std::uint8_t out[kFrameHeaderBytes], MsgType type, std::uint64_t payload_len) {
-  std::memcpy(out, kMagicPrefix, 7);
-  out[7] = static_cast<std::uint8_t>('0' + kProtocolVersion);
-  pack_u32(static_cast<std::uint32_t>(type), out + 8);
-  pack_u64(payload_len, out + 12);
-}
-
-/// Magic + version + length sanity of a raw header. Fills type/payload_len.
-ErrorCode parse_header(const std::uint8_t hdr[kFrameHeaderBytes], std::uint64_t max_payload,
-                       MsgType* type, std::uint64_t* payload_len) {
-  if (std::memcmp(hdr, kMagicPrefix, 7) != 0) return ErrorCode::kBadFrame;
-  if (hdr[7] != static_cast<std::uint8_t>('0' + kProtocolVersion))
-    return ErrorCode::kVersionMismatch;
-  const std::uint32_t t = unpack_u32(hdr + 8);
-  if (t < static_cast<std::uint32_t>(MsgType::kHello) ||
-      t > static_cast<std::uint32_t>(MsgType::kSpecSnapshot))
-    return ErrorCode::kBadFrame;
-  *type = static_cast<MsgType>(t);
-  *payload_len = unpack_u64(hdr + 12);
-  if (*payload_len > max_payload) return ErrorCode::kFrameTooLarge;
-  return ErrorCode::kOk;
+  return ErrorCode::kIoError;
 }
 
 }  // namespace
@@ -85,13 +51,13 @@ ErrorCode parse_header(const std::uint8_t hdr[kFrameHeaderBytes], std::uint64_t 
 
 void PutBuf::u32(std::uint32_t v) {
   std::uint8_t b[4];
-  pack_u32(v, b);
+  frame::pack_u32(v, b);
   b_.insert(b_.end(), b, b + 4);
 }
 
 void PutBuf::u64(std::uint64_t v) {
   std::uint8_t b[8];
-  pack_u64(v, b);
+  frame::pack_u64(v, b);
   b_.insert(b_.end(), b, b + 8);
 }
 
@@ -118,12 +84,12 @@ std::uint8_t GetBuf::u8() {
 
 std::uint32_t GetBuf::u32() {
   const std::size_t at = pos_;
-  return take(4) ? unpack_u32(p_ + at) : 0;
+  return take(4) ? frame::unpack_u32(p_ + at) : 0;
 }
 
 std::uint64_t GetBuf::u64() {
   const std::size_t at = pos_;
-  return take(8) ? unpack_u64(p_ + at) : 0;
+  return take(8) ? frame::unpack_u64(p_ + at) : 0;
 }
 
 double GetBuf::f64() { return std::bit_cast<double>(u64()); }
@@ -138,31 +104,18 @@ std::string GetBuf::str() {
 // --- frame codec -----------------------------------------------------------
 
 std::vector<std::uint8_t> encode_frame(MsgType type, const std::vector<std::uint8_t>& payload) {
-  std::vector<std::uint8_t> out(kFrameHeaderBytes + payload.size() + kFrameFooterBytes);
-  write_header(out.data(), type, payload.size());
-  std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
-  Fnv1a hash;
-  hash.update(out.data(), kFrameHeaderBytes + payload.size());
-  pack_u64(hash.h, out.data() + kFrameHeaderBytes + payload.size());
-  return out;
+  return frame::encode(protocol(kMaxFramePayload), static_cast<std::uint32_t>(type),
+                       payload.data(), payload.size());
 }
 
 ErrorCode decode_frame(const std::uint8_t* data, std::size_t size, Frame* out,
                        std::uint64_t max_payload) {
-  if (size < kFrameHeaderBytes + kFrameFooterBytes) return ErrorCode::kTruncated;
-  MsgType type;
-  std::uint64_t payload_len = 0;
-  const ErrorCode hdr = parse_header(data, max_payload, &type, &payload_len);
-  if (hdr != ErrorCode::kOk) return hdr;
-  const std::uint64_t want = kFrameHeaderBytes + payload_len + kFrameFooterBytes;
-  if (size < want) return ErrorCode::kTruncated;
-  if (size > want) return ErrorCode::kBadFrame;  // trailing bytes
-  Fnv1a hash;
-  hash.update(data, kFrameHeaderBytes + payload_len);
-  if (unpack_u64(data + kFrameHeaderBytes + payload_len) != hash.h)
-    return ErrorCode::kChecksumMismatch;
-  out->type = type;
-  out->payload.assign(data + kFrameHeaderBytes, data + kFrameHeaderBytes + payload_len);
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+  const frame::IoStatus s = frame::decode(protocol(max_payload), data, size, &type, &payload);
+  if (s != frame::IoStatus::kOk) return to_error(s);
+  out->type = static_cast<MsgType>(type);
+  out->payload = std::move(payload);
   return ErrorCode::kOk;
 }
 
@@ -339,191 +292,51 @@ std::vector<td::TimePoint> unflatten_trace(const std::vector<double>& flat) {
 
 // --- fd transport ----------------------------------------------------------
 
-namespace {
-
-/// write loop; MSG_NOSIGNAL so a vanished peer yields EPIPE, not SIGPIPE.
-bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-/// Reads exactly n bytes. 1 = got them, 0 = clean EOF before the first
-/// byte, -1 = error or EOF mid-read.
-int read_exact(int fd, std::uint8_t* p, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, p + got, n - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    if (r == 0) return got == 0 ? 0 : -1;
-    got += static_cast<std::size_t>(r);
-  }
-  return 1;
-}
-
-}  // namespace
-
 ErrorCode send_frame(int fd, MsgType type, const std::vector<std::uint8_t>& payload) {
-  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
-  return write_all(fd, frame.data(), frame.size()) ? ErrorCode::kOk : ErrorCode::kIoError;
+  const frame::IoStatus s = frame::send_frame(fd, protocol(kMaxFramePayload),
+                                              static_cast<std::uint32_t>(type), payload.data(),
+                                              payload.size());
+  // Any transport failure (peer gone mid-write included) stays kIoError,
+  // the pre-refactor contract.
+  return s == frame::IoStatus::kOk ? ErrorCode::kOk : ErrorCode::kIoError;
 }
 
 ErrorCode recv_frame(int fd, Frame* out, std::uint64_t max_payload) {
-  std::uint8_t hdr[kFrameHeaderBytes];
-  const int got = read_exact(fd, hdr, sizeof hdr);
-  if (got == 0) return ErrorCode::kClosed;
-  if (got < 0) return ErrorCode::kTruncated;
-  MsgType type;
-  std::uint64_t payload_len = 0;
-  const ErrorCode e = parse_header(hdr, max_payload, &type, &payload_len);
-  if (e != ErrorCode::kOk) return e;
-  std::vector<std::uint8_t> payload(payload_len);
-  if (payload_len > 0 && read_exact(fd, payload.data(), payload_len) != 1)
-    return ErrorCode::kTruncated;
-  std::uint8_t footer[kFrameFooterBytes];
-  if (read_exact(fd, footer, sizeof footer) != 1) return ErrorCode::kTruncated;
-  Fnv1a hash;
-  hash.update(hdr, sizeof hdr);
-  hash.update(payload.data(), payload.size());
-  if (unpack_u64(footer) != hash.h) return ErrorCode::kChecksumMismatch;
-  out->type = type;
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+  const frame::IoStatus s = frame::recv_frame(fd, protocol(max_payload), &type, &payload);
+  if (s != frame::IoStatus::kOk) return to_error(s);
+  out->type = static_cast<MsgType>(type);
   out->payload = std::move(payload);
   return ErrorCode::kOk;
 }
 
 // --- addresses -------------------------------------------------------------
 
-namespace {
-
-struct ParsedAddr {
-  bool is_unix = false;
-  std::string path;  ///< unix
-  std::string host;  ///< tcp, numeric or "localhost"
-  std::uint16_t port = 0;
-};
-
-ParsedAddr parse_address(const std::string& address) {
-  ParsedAddr a;
-  if (address.rfind("unix:", 0) == 0) {
-    a.is_unix = true;
-    a.path = address.substr(5);
-    PWDFT_CHECK(!a.path.empty(), "serve: empty unix socket path in '" << address << "'");
-    PWDFT_CHECK(a.path.size() < sizeof(sockaddr_un{}.sun_path),
-                "serve: unix socket path too long: " << a.path);
-    return a;
-  }
-  PWDFT_CHECK(address.rfind("tcp:", 0) == 0,
-              "serve: address '" << address << "' is neither unix:<path> nor tcp:<host>:<port>");
-  const std::string rest = address.substr(4);
-  const std::size_t colon = rest.rfind(':');
-  PWDFT_CHECK(colon != std::string::npos && colon > 0 && colon + 1 < rest.size(),
-              "serve: tcp address '" << address << "' is not tcp:<host>:<port>");
-  a.host = rest.substr(0, colon);
-  if (a.host == "localhost") a.host = "127.0.0.1";
-  const std::string port_s = rest.substr(colon + 1);
-  char* end = nullptr;
-  const long port = std::strtol(port_s.c_str(), &end, 10);
-  PWDFT_CHECK(end && *end == '\0' && port >= 0 && port <= 65535,
-              "serve: bad tcp port '" << port_s << "' in '" << address << "'");
-  a.port = static_cast<std::uint16_t>(port);
-  return a;
-}
-
-sockaddr_in tcp_sockaddr(const ParsedAddr& a) {
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_port = htons(a.port);
-  PWDFT_CHECK(::inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) == 1,
-              "serve: '" << a.host << "' is not a numeric IPv4 address (or localhost)");
-  return sa;
-}
-
-sockaddr_un unix_sockaddr(const ParsedAddr& a) {
-  sockaddr_un sa{};
-  sa.sun_family = AF_UNIX;
-  std::memcpy(sa.sun_path, a.path.c_str(), a.path.size() + 1);
-  return sa;
-}
-
-}  // namespace
-
 Listener listen_on(const std::string& address) {
-  const ParsedAddr a = parse_address(address);
+  frame::Listener fl = frame::listen_on(address);
   Listener l;
-  if (a.is_unix) {
-    l.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    PWDFT_CHECK(l.fd >= 0, "serve: socket() failed: " << std::strerror(errno));
-    ::unlink(a.path.c_str());  // stale socket from a killed server
-    const sockaddr_un sa = unix_sockaddr(a);
-    PWDFT_CHECK(::bind(l.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0,
-                "serve: bind(" << a.path << ") failed: " << std::strerror(errno));
-    l.unix_path = a.path;
-    l.address = address;
-  } else {
-    l.fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    PWDFT_CHECK(l.fd >= 0, "serve: socket() failed: " << std::strerror(errno));
-    const int one = 1;
-    ::setsockopt(l.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in sa = tcp_sockaddr(a);
-    PWDFT_CHECK(::bind(l.fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) == 0,
-                "serve: bind(" << address << ") failed: " << std::strerror(errno));
-    socklen_t len = sizeof sa;
-    PWDFT_CHECK(::getsockname(l.fd, reinterpret_cast<sockaddr*>(&sa), &len) == 0,
-                "serve: getsockname failed: " << std::strerror(errno));
-    l.address = "tcp:" + a.host + ":" + std::to_string(ntohs(sa.sin_port));
-  }
-  PWDFT_CHECK(::listen(l.fd, 64) == 0,
-              "serve: listen(" << l.address << ") failed: " << std::strerror(errno));
+  l.fd = fl.fd;
+  l.address = std::move(fl.address);
+  l.unix_path = std::move(fl.unix_path);
   return l;
 }
 
-int dial(const std::string& address) {
-  const ParsedAddr a = parse_address(address);
-  int fd = -1;
-  if (a.is_unix) {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    PWDFT_CHECK(fd >= 0, "serve: socket() failed: " << std::strerror(errno));
-    const sockaddr_un sa = unix_sockaddr(a);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
-      const int err = errno;
-      ::close(fd);
-      PWDFT_CHECK(false, "serve: connect(" << address << ") failed: " << std::strerror(err));
-    }
-  } else {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    PWDFT_CHECK(fd >= 0, "serve: socket() failed: " << std::strerror(errno));
-    const sockaddr_in sa = tcp_sockaddr(a);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
-      const int err = errno;
-      ::close(fd);
-      PWDFT_CHECK(false, "serve: connect(" << address << ") failed: " << std::strerror(err));
-    }
-  }
-  return fd;
-}
+int dial(const std::string& address) { return frame::dial(address); }
 
 // --- durable spec snapshots ------------------------------------------------
 
 void save_spec_file(const std::string& path, const JobSpec& spec) {
   PutBuf payload;
   put_spec(payload, spec);
-  const std::vector<std::uint8_t> frame = encode_frame(MsgType::kSpecSnapshot, payload.bytes());
+  const std::vector<std::uint8_t> frame_bytes =
+      encode_frame(MsgType::kSpecSnapshot, payload.bytes());
   const std::string tmp = path + ".tmp";
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     PWDFT_CHECK(f.good(), "serve: cannot open " << tmp << " for writing");
-    f.write(reinterpret_cast<const char*>(frame.data()),
-            static_cast<std::streamsize>(frame.size()));
+    f.write(reinterpret_cast<const char*>(frame_bytes.data()),
+            static_cast<std::streamsize>(frame_bytes.size()));
     f.flush();
     PWDFT_CHECK(f.good(), "serve: short write to " << tmp);
   }
@@ -539,18 +352,18 @@ ErrorCode load_spec_file(const std::string& path, JobSpec* spec, std::string* wh
   }
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
                                   std::istreambuf_iterator<char>());
-  Frame frame;
+  Frame fr;
   // A spec is a few hundred bytes; cap well below the transport limit.
-  const ErrorCode e = decode_frame(bytes.data(), bytes.size(), &frame, 1 << 20);
+  const ErrorCode e = decode_frame(bytes.data(), bytes.size(), &fr, 1 << 20);
   if (e != ErrorCode::kOk) {
     if (why) *why = std::string(error_name(e)) + " in " + path;
     return e;
   }
-  if (frame.type != MsgType::kSpecSnapshot) {
+  if (fr.type != MsgType::kSpecSnapshot) {
     if (why) *why = "not a spec snapshot: " + path;
     return ErrorCode::kBadFrame;
   }
-  GetBuf in(frame.payload);
+  GetBuf in(fr.payload);
   JobSpec s;
   if (!get_spec(in, &s) || !in.exhausted()) {
     if (why) *why = "malformed spec payload in " + path;

@@ -1,0 +1,329 @@
+#pragma once
+
+/// \file comm_conformance.hpp
+/// Cross-backend Comm conformance harness.
+///
+/// Every check runs the same rank function over any backend and compares
+/// collective results BITWISE against an expectation each rank computes
+/// locally from (rank, size) alone — the fold order is pinned to the
+/// ThreadComm contract (zero-initialized accumulator, contributions added
+/// in rank order 0..P-1), so Serial, Thread, and Socket backends must all
+/// produce identical bits or the check fails.
+///
+/// New Comm backends must pass every check in this header (swept over the
+/// rank counts in test_socket_comm.cpp) before anything else may use them;
+/// docs/threading.md carries the checklist item.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/hier_comm.hpp"
+#include "parallel/socket_comm.hpp"
+#include "parallel/thread_comm.hpp"
+
+namespace pwdft::test {
+
+enum class CommBackend { kSerial, kThread, kSocket };
+
+inline const char* backend_name(CommBackend b) {
+  switch (b) {
+    case CommBackend::kSerial: return "serial";
+    case CommBackend::kThread: return "thread";
+    case CommBackend::kSocket: return "socket";
+  }
+  return "?";
+}
+
+/// Runs `fn` on every rank of an np-wide communicator of the given
+/// backend. Socket ranks are forked processes whose gtest failures are
+/// invisible to the parent, so the wrapper converts any EXPECT failure
+/// into a nonzero child exit, which SocketGroup::run turns into a parent
+/// test failure.
+inline void run_backend(CommBackend b, int np, const std::function<void(par::Comm&)>& fn,
+                        int timeout_sec = 120) {
+  switch (b) {
+    case CommBackend::kSerial: {
+      ASSERT_EQ(np, 1) << "serial backend is single-rank by definition";
+      par::SerialComm c;
+      fn(c);
+      return;
+    }
+    case CommBackend::kThread:
+      par::ThreadGroup::run(np, fn);
+      return;
+    case CommBackend::kSocket:
+      par::SocketGroup::run(
+          np,
+          [&](par::Comm& c) {
+            fn(c);
+            if (::testing::Test::HasFailure())
+              throw Error("conformance expectation failed in forked rank");
+          },
+          timeout_sec);
+      return;
+  }
+}
+
+// --- bitwise comparison helpers --------------------------------------------
+
+inline std::uint64_t bits_of(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+#define PWDFT_EXPECT_BITEQ(a, b) \
+  EXPECT_EQ(pwdft::test::bits_of(a), pwdft::test::bits_of(b)) << "values " << (a) << " vs " << (b)
+
+/// Deterministic per-(rank, index) test signal; irrational-ish factors so
+/// no two ranks contribute identical values and reassociation shows up.
+inline double signal(int rank, std::size_t i) {
+  return std::sin(0.7 * static_cast<double>(i) + 1.3 * (rank + 1)) *
+         (1.0 + 0.01 * static_cast<double>(rank));
+}
+
+inline unsigned char byte_signal(int rank, std::size_t i) {
+  return static_cast<unsigned char>((31 * rank + 17 * static_cast<int>(i) + 5) & 0xff);
+}
+
+// --- collective checks ------------------------------------------------------
+// Each check is callable on any Comm (any backend, any rank of it).
+
+inline void check_allreduce_double(par::Comm& c, std::size_t count = 257) {
+  std::vector<double> data(count), expect(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) data[i] = signal(c.rank(), i);
+  for (int r = 0; r < c.size(); ++r)
+    for (std::size_t i = 0; i < count; ++i) expect[i] += signal(r, i);
+  c.allreduce_sum(data.data(), count);
+  for (std::size_t i = 0; i < count; ++i) PWDFT_EXPECT_BITEQ(data[i], expect[i]);
+}
+
+inline void check_allreduce_complex(par::Comm& c, std::size_t count = 131) {
+  std::vector<Complex> data(count), expect(count, Complex{});
+  for (std::size_t i = 0; i < count; ++i)
+    data[i] = Complex(signal(c.rank(), i), signal(c.rank(), i + count));
+  for (int r = 0; r < c.size(); ++r)
+    for (std::size_t i = 0; i < count; ++i)
+      expect[i] += Complex(signal(r, i), signal(r, i + count));
+  c.allreduce_sum(data.data(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PWDFT_EXPECT_BITEQ(data[i].real(), expect[i].real());
+    PWDFT_EXPECT_BITEQ(data[i].imag(), expect[i].imag());
+  }
+}
+
+inline void check_bcast(par::Comm& c, std::size_t bytes = 613) {
+  for (int root = 0; root < c.size(); ++root) {
+    std::vector<unsigned char> buf(bytes, 0);
+    if (c.rank() == root)
+      for (std::size_t i = 0; i < bytes; ++i) buf[i] = byte_signal(root, i);
+    c.bcast_bytes(buf.data(), bytes, root);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      ASSERT_EQ(buf[i], byte_signal(root, i)) << "root " << root << " byte " << i;
+    }
+  }
+}
+
+inline void check_allgatherv(par::Comm& c) {
+  const int np = c.size();
+  const auto count_of = [](int r) { return static_cast<std::size_t>(3 * r + 1); };
+  std::vector<std::size_t> counts(np), displs(np);
+  std::size_t total = 0;
+  for (int r = 0; r < np; ++r) {
+    counts[r] = count_of(r);
+    displs[r] = total + static_cast<std::size_t>(2 * r);  // gaps: displs are honored, not assumed
+    total = displs[r] + counts[r];
+  }
+  std::vector<unsigned char> mine(counts[c.rank()]);
+  for (std::size_t i = 0; i < mine.size(); ++i) mine[i] = byte_signal(c.rank(), i);
+  std::vector<unsigned char> recv(total, 0xee);
+  c.allgatherv_bytes(mine.data(), mine.size(), recv.data(), counts.data(), displs.data());
+  for (int r = 0; r < np; ++r)
+    for (std::size_t i = 0; i < counts[r]; ++i) {
+      ASSERT_EQ(recv[displs[r] + i], byte_signal(r, i)) << "rank " << r << " byte " << i;
+    }
+}
+
+inline void check_alltoallv(par::Comm& c) {
+  const int np = c.size();
+  const auto pair_count = [](int src, int dst) {
+    return static_cast<std::size_t>(((3 * src + 5 * dst) % 4) + 1);
+  };
+  const auto pair_byte = [](int src, int dst, std::size_t i) {
+    return static_cast<unsigned char>((src * 31 + dst * 17 + static_cast<int>(i)) & 0xff);
+  };
+  std::vector<std::size_t> sc(np), sd(np), rc(np), rd(np);
+  std::size_t stot = 0, rtot = 0;
+  for (int r = 0; r < np; ++r) {
+    sc[r] = pair_count(c.rank(), r);
+    sd[r] = stot;
+    stot += sc[r];
+    rc[r] = pair_count(r, c.rank());
+    rd[r] = rtot;
+    rtot += rc[r];
+  }
+  std::vector<unsigned char> send(stot), recv(rtot, 0xee);
+  for (int r = 0; r < np; ++r)
+    for (std::size_t i = 0; i < sc[r]; ++i) send[sd[r] + i] = pair_byte(c.rank(), r, i);
+  c.alltoallv_bytes(send.data(), sc.data(), sd.data(), recv.data(), rc.data(), rd.data());
+  for (int r = 0; r < np; ++r)
+    for (std::size_t i = 0; i < rc[r]; ++i) {
+      ASSERT_EQ(recv[rd[r] + i], pair_byte(r, c.rank(), i)) << "from rank " << r << " byte " << i;
+    }
+}
+
+inline void check_barrier(par::Comm& c) {
+  // Interleave with an allreduce so a desynchronized barrier (a rank
+  // skipping ahead) would scramble the collective sequence and fail.
+  for (int iter = 0; iter < 3; ++iter) {
+    c.barrier();
+    double v = static_cast<double>(c.rank() + iter);
+    c.allreduce_sum(&v, 1);
+    double expect = 0;
+    for (int r = 0; r < c.size(); ++r) expect += static_cast<double>(r + iter);
+    PWDFT_EXPECT_BITEQ(v, expect);
+  }
+}
+
+inline void check_p2p(par::Comm& c) {
+  if (c.size() < 2) return;
+  const int next = (c.rank() + 1) % c.size();
+  const int prev = (c.rank() + c.size() - 1) % c.size();
+  // Ring pass with even ranks sending first: correct for both synchronous
+  // (ThreadComm rendezvous) and buffered (SocketComm) send semantics.
+  std::vector<unsigned char> out(64), in(64, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = byte_signal(c.rank(), i);
+  if (c.rank() % 2 == 0) {
+    c.send_bytes(out.data(), out.size(), next, 7);
+    c.recv_bytes(in.data(), in.size(), prev, 7);
+  } else {
+    c.recv_bytes(in.data(), in.size(), prev, 7);
+    c.send_bytes(out.data(), out.size(), next, 7);
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(in[i], byte_signal(prev, i)) << "ring byte " << i;
+  }
+}
+
+/// Buffered-send backends only (SocketComm): the receiver asks for tag 2
+/// before tag 1, so the backend must park the out-of-order message. Do NOT
+/// run this on ThreadComm, whose rendezvous send would deadlock by design.
+inline void check_p2p_out_of_order(par::Comm& c) {
+  if (c.size() < 2) return;
+  if (c.rank() == 0) {
+    unsigned char a = 0xaa, b = 0xbb;
+    c.send_bytes(&a, 1, 1, /*tag=*/1);
+    c.send_bytes(&b, 1, 1, /*tag=*/2);
+  } else if (c.rank() == 1) {
+    unsigned char a = 0, b = 0;
+    c.recv_bytes(&b, 1, 0, /*tag=*/2);
+    c.recv_bytes(&a, 1, 0, /*tag=*/1);
+    EXPECT_EQ(a, 0xaa);
+    EXPECT_EQ(b, 0xbb);
+  }
+}
+
+inline void check_dup(par::Comm& c) {
+  const std::unique_ptr<par::Comm> d = c.dup();
+  ASSERT_EQ(d->rank(), c.rank());
+  ASSERT_EQ(d->size(), c.size());
+  // Interleaved collectives on parent and duplicate stay independent.
+  double a = signal(c.rank(), 1), b = signal(c.rank(), 2);
+  c.allreduce_sum(&a, 1);
+  d->allreduce_sum(&b, 1);
+  double ea = 0, eb = 0;
+  for (int r = 0; r < c.size(); ++r) {
+    ea += signal(r, 1);
+    eb += signal(r, 2);
+  }
+  PWDFT_EXPECT_BITEQ(a, ea);
+  PWDFT_EXPECT_BITEQ(b, eb);
+}
+
+inline void check_split(par::Comm& c) {
+  const int np = c.size();
+  const int color = c.rank() % 2;
+  const int key = -c.rank();  // negative keys: members are ordered by key, so parent order reverses
+  const std::unique_ptr<par::Comm> sub = c.split(color, key);
+  std::vector<int> members;  // parent ranks of my color, in NEW rank order
+  for (int r = np - 1; r >= 0; --r)
+    if (r % 2 == color) members.push_back(r);
+  const int nsub = static_cast<int>(members.size());
+  ASSERT_EQ(sub->size(), nsub);
+  int my_new = -1;
+  for (int i = 0; i < nsub; ++i)
+    if (members[i] == c.rank()) my_new = i;
+  ASSERT_EQ(sub->rank(), my_new);
+  // Collective within the split: fold order is new-rank order.
+  double v = signal(c.rank(), 3);
+  sub->allreduce_sum(&v, 1);
+  double expect = 0;
+  for (int i = 0; i < nsub; ++i) expect += signal(members[i], 3);
+  PWDFT_EXPECT_BITEQ(v, expect);
+}
+
+/// dup()/split() offspring used from a second thread while the parent
+/// communicator keeps running its own collectives — the TransposeOverlap
+/// pattern. Streams must not interleave (satellite: ThreadComm coverage;
+/// also run over SocketComm).
+inline void check_concurrent_dup_collectives(par::Comm& c, int rounds = 16) {
+  const std::unique_ptr<par::Comm> d = c.dup();
+  std::vector<double> got(rounds);
+  std::thread side([&] {
+    for (int k = 0; k < rounds; ++k) {
+      double v = signal(d->rank(), 100 + k);
+      d->allreduce_sum(&v, 1);
+      got[k] = v;
+    }
+  });
+  for (int k = 0; k < rounds; ++k) {
+    double v = signal(c.rank(), 200 + k);
+    c.allreduce_sum(&v, 1);
+    double expect = 0;
+    for (int r = 0; r < c.size(); ++r) expect += signal(r, 200 + k);
+    PWDFT_EXPECT_BITEQ(v, expect);
+  }
+  side.join();
+  for (int k = 0; k < rounds; ++k) {
+    double expect = 0;
+    for (int r = 0; r < c.size(); ++r) expect += signal(r, 100 + k);
+    PWDFT_EXPECT_BITEQ(got[k], expect);
+  }
+}
+
+/// HierComm's staged ordered allreduce over any backend must match the
+/// flat rank-order fold bit for bit.
+inline void check_hier_allreduce(par::Comm& c, int band_groups, std::size_t count = 193) {
+  if (c.size() % band_groups != 0) return;
+  par::HierComm h(c, band_groups);
+  std::vector<double> data(count), expect(count, 0.0);
+  for (std::size_t i = 0; i < count; ++i) data[i] = signal(c.rank(), i);
+  for (int r = 0; r < c.size(); ++r)
+    for (std::size_t i = 0; i < count; ++i) expect[i] += signal(r, i);
+  h.allreduce_sum(data.data(), count);
+  for (std::size_t i = 0; i < count; ++i) PWDFT_EXPECT_BITEQ(data[i], expect[i]);
+}
+
+/// The full sweep a new backend must pass (docs/threading.md checklist).
+inline void check_all_collectives(par::Comm& c) {
+  check_allreduce_double(c);
+  check_allreduce_complex(c);
+  check_bcast(c);
+  check_allgatherv(c);
+  check_alltoallv(c);
+  check_barrier(c);
+  check_p2p(c);
+  check_dup(c);
+  check_split(c);
+}
+
+}  // namespace pwdft::test

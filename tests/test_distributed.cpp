@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "comm_conformance.hpp"
 #include "ham/density.hpp"
 #include "ham/fock.hpp"
 #include "parallel/hier_comm.hpp"
@@ -554,6 +555,80 @@ INSTANTIATE_TEST_SUITE_P(Grid, HierLayouts,
                          [](const ::testing::TestParamInfo<HierLayout>& info) {
                            return "Layout" + std::to_string(info.param.band_groups) + "x" +
                                   std::to_string(info.param.grid_ranks);
+                         });
+
+/// Multi-process acceptance: the full hybrid PT-CN step with the ranks in
+/// separate OS processes over SocketComm — flat and through HierComm (2x1
+/// band groups and 1x2 grid ranks) — must be bit-identical to the same
+/// step on ThreadComm. The thread-backed reference wavefunctions are
+/// computed in the parent before the fork, so every child reads them
+/// copy-on-write; any mismatch fails the child, which fails the parent
+/// through SocketGroup's exit-code contract.
+struct SocketPtCnCase {
+  int band_groups;  ///< 0 = flat SocketComm (no HierComm wrapper)
+};
+
+class SocketPtCn : public ::testing::TestWithParam<SocketPtCnCase> {};
+
+TEST_P(SocketPtCn, FullHybridStepBitwiseMatchesThreadComm) {
+  const int np = 2;
+  const int bg = GetParam().band_groups;
+  const std::size_t nb = 8;
+  RankContext ref_ctx(3.0, true);
+  auto psi_init = test::random_orthonormal(ref_ctx.setup, nb, 61);
+  std::vector<double> occ(nb, 2.0);
+  td::DeltaKick kick({0.0, 0.0, 0.02}, -1.0);
+  td::PtCnOptions opt;
+  opt.dt = 1.0;
+  opt.rho_tol = 1e-7;
+  opt.max_scf = 60;
+  opt.sp_comm = false;
+
+  std::vector<CMatrix> psi_ref(np);
+  par::ThreadGroup::run(np, [&](par::Comm& c) {
+    RankContext ctx(3.0, true);
+    par::BlockPartition bands(nb, np);
+    CMatrix psi_loc = test::band_slice(psi_init, bands, c.rank());
+    td::PtCnPropagator prop(ctx.hamiltonian, bands, opt, np);
+    auto rep = prop.step(psi_loc, occ, 0.0, kick, c);
+    EXPECT_TRUE(rep.converged);
+    psi_ref[c.rank()] = std::move(psi_loc);
+  });
+  ASSERT_FALSE(::testing::Test::HasFailure());
+
+  test::run_backend(
+      test::CommBackend::kSocket, np,
+      [&](par::Comm& c) {
+        RankContext ctx(3.0, true);
+        par::BlockPartition bands(nb, np);
+        CMatrix psi_loc = test::band_slice(psi_init, bands, c.rank());
+        td::PtCnPropagator prop(ctx.hamiltonian, bands, opt, np);
+        std::unique_ptr<par::HierComm> h;
+        par::Comm* use = &c;
+        if (bg > 0) {
+          h = std::make_unique<par::HierComm>(c, bg);
+          use = h.get();
+        }
+        auto rep = prop.step(psi_loc, occ, 0.0, kick, *use);
+        EXPECT_TRUE(rep.converged);
+        const CMatrix& expect = psi_ref[c.rank()];
+        ASSERT_EQ(psi_loc.size(), expect.size());
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+          ASSERT_EQ(psi_loc.data()[i], expect.data()[i])
+              << "rank " << c.rank() << " element " << i;
+        }
+      },
+      /*timeout_sec=*/600);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoProcess, SocketPtCn,
+                         ::testing::Values(SocketPtCnCase{0}, SocketPtCnCase{2},
+                                           SocketPtCnCase{1}),
+                         [](const ::testing::TestParamInfo<SocketPtCnCase>& info) {
+                           return info.param.band_groups == 0
+                                      ? std::string("Flat")
+                                      : "Hier" + std::to_string(info.param.band_groups) + "x" +
+                                            std::to_string(2 / info.param.band_groups);
                          });
 
 }  // namespace
